@@ -1,0 +1,113 @@
+// E7: effectiveness — the demo plan's comparative study of HOS-Miner vs the
+// evolutionary method [1]. Over several planted datasets we measure how
+// well each method recovers the planted point's true minimal outlying
+// subspace: exact precision/recall/F1 plus a dimension-level Jaccard score.
+
+#include "bench/bench_util.h"
+#include "src/baseline/evolutionary.h"
+#include "src/core/hos_miner.h"
+#include "src/eval/metrics.h"
+#include "src/eval/report.h"
+
+namespace {
+
+using namespace hos;  // NOLINT
+
+struct Accumulator {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double jaccard = 0.0;
+  int count = 0;
+
+  void Add(const eval::SetMetrics& m, double j) {
+    precision += m.precision;
+    recall += m.recall;
+    f1 += m.f1;
+    jaccard += j;
+    ++count;
+  }
+  std::vector<std::string> Row(const std::string& name) const {
+    const double n = count > 0 ? count : 1;
+    return {name, eval::FormatDouble(precision / n, 3),
+            eval::FormatDouble(recall / n, 3), eval::FormatDouble(f1 / n, 3),
+            eval::FormatDouble(jaccard / n, 3)};
+  }
+};
+
+void Run() {
+  bench::Banner("E7", "subspace recovery: HOS-Miner vs evolutionary [1]");
+  Accumulator hos_acc, evo_acc;
+
+  for (uint64_t seed : {1, 2, 3, 4, 5}) {
+    Rng rng(seed);
+    data::SubspaceOutlierSpec spec;
+    spec.num_points = 1500;
+    spec.num_dims = 8;
+    spec.planted_subspaces = {Subspace::FromOneBased({1, 2}),
+                              Subspace::FromOneBased({4, 5})};
+    spec.outliers_per_subspace = 2;
+    spec.displacement = 0.6;
+    auto generated = data::GenerateSubspaceOutliers(spec, &rng);
+    if (!generated.ok()) return;
+    data::Dataset copy = generated->dataset;
+
+    core::HosMinerConfig config;
+    config.seed = seed;
+    auto miner = core::HosMiner::Build(std::move(generated->dataset), config);
+    if (!miner.ok()) return;
+
+    baseline::EvolutionaryOptions evo_options;
+    evo_options.target_dims = 2;
+    evo_options.population_size = 80;
+    evo_options.max_generations = 60;
+    evo_options.top_m = 10;
+    auto evo = baseline::EvolutionaryOutlierSearch::Create(copy, evo_options);
+    if (!evo.ok()) return;
+    Rng evo_rng(seed);
+    auto projections = evo->Run(&evo_rng);
+
+    for (const auto& planted : generated->outliers) {
+      std::vector<Subspace> truth = {planted.subspace};
+
+      auto result = miner->Query(planted.id);
+      if (!result.ok()) return;
+      hos_acc.Add(
+          eval::CompareSubspaceSets(result->outlying_subspaces(), truth),
+          eval::BestMatchJaccard(result->outlying_subspaces(), truth));
+
+      // Evolutionary per-point prediction: sparse projections whose cube
+      // contains the point ("space -> outliers" re-read per point).
+      std::vector<Subspace> evo_predicted;
+      for (const auto& projection : projections) {
+        auto inside = evo->PointsIn(projection);
+        if (std::find(inside.begin(), inside.end(), planted.id) !=
+            inside.end()) {
+          evo_predicted.push_back(projection.subspace());
+        }
+      }
+      evo_acc.Add(eval::CompareSubspaceSets(evo_predicted, truth),
+                  eval::BestMatchJaccard(evo_predicted, truth));
+    }
+  }
+
+  eval::Table table(
+      {"method", "precision", "recall", "F1", "best-match Jaccard"});
+  table.AddRow(hos_acc.Row("HOS-Miner (outlier -> spaces)"));
+  table.AddRow(evo_acc.Row("evolutionary [1] (space -> outliers)"));
+  table.Print();
+  std::printf(
+      "\n(%d planted queries over 5 datasets, d=8.)\n"
+      "Paper shape: HOS-Miner answers the per-point question directly and\n"
+      "recovers the planted subspaces with near-perfect recall; globally\n"
+      "sparse projections only occasionally coincide with a given point's\n"
+      "outlying subspace.\n",
+      hos_acc.count);
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

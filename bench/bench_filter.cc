@@ -1,0 +1,50 @@
+// E10: the result-refinement filter (paper §3.4) — how many outlying
+// subspaces exist in total (the up-closure the user would otherwise be
+// shown) vs the minimal set the filter returns.
+
+#include "bench/bench_util.h"
+#include "src/core/hos_miner.h"
+#include "src/eval/report.h"
+
+namespace {
+
+using namespace hos;  // NOLINT
+
+void Run() {
+  bench::Banner("E10", "refinement filter: total outlying vs minimal");
+  eval::Table table({"d", "lattice size", "outlying total",
+                     "minimal returned", "reduction"});
+  for (int d : {6, 8, 10, 12, 14}) {
+    auto workload = bench::MakeWorkload(2000, d, /*seed=*/10 + d);
+    const data::PointId query = workload.outliers[0].id;
+    core::HosMinerConfig config;
+    config.seed = 10;
+    auto miner = core::HosMiner::Build(std::move(workload.dataset), config);
+    if (!miner.ok()) return;
+    auto result = miner->Query(query);
+    if (!result.ok()) return;
+    const uint64_t total = result->outcome.TotalOutlyingCount();
+    const size_t minimal = result->outlying_subspaces().size();
+    table.AddRow({std::to_string(d),
+                  std::to_string((uint64_t{1} << d) - 1),
+                  std::to_string(total), std::to_string(minimal),
+                  minimal == 0
+                      ? "-"
+                      : eval::FormatDouble(
+                            static_cast<double>(total) /
+                                static_cast<double>(minimal),
+                            0) + "x"});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape (the §3.4 example generalised): the raw answer set is\n"
+      "upward-closed and explodes with d; the filter returns only the\n"
+      "lowest-dimensional subspaces, orders of magnitude fewer.\n");
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// E5: pruning power of the two strategies (paper §3.1) — per lattice level,
+// how many subspaces were explicitly evaluated vs decided for free by
+// upward pruning (Property 2) and downward pruning (Property 1).
+
+#include "bench/bench_util.h"
+#include "src/common/combinatorics.h"
+#include "src/core/threshold.h"
+#include "src/eval/report.h"
+#include "src/index/xtree.h"
+#include "src/lattice/lattice_state.h"
+#include "src/learning/learner.h"
+#include "src/search/od_evaluator.h"
+#include "src/search/subspace_search.h"
+
+namespace {
+
+using namespace hos;  // NOLINT
+
+constexpr int kDims = 12;
+constexpr int kK = 5;
+
+// A DynamicSubspaceSearch clone that exposes the final per-level lattice
+// tallies: we re-run the same algorithm inline to read LatticeState.
+void Run() {
+  bench::Banner("E5", "per-level pruning breakdown (dynamic search, d=12)");
+  auto workload = bench::MakeWorkload(3000, kDims, /*seed=*/5);
+  const data::Dataset& ds = workload.dataset;
+  const data::PointId query = workload.outliers[0].id;
+
+  auto tree = index::XTree::BulkLoad(ds, knn::MetricKind::kL2);
+  if (!tree.ok()) return;
+  index::XTreeKnn engine(*tree);
+
+  Rng rng(5);
+  core::ThresholdOptions threshold_options;
+  threshold_options.k = kK;
+  auto threshold =
+      core::EstimateThreshold(ds, engine, threshold_options, &rng);
+  if (!threshold.ok()) return;
+
+  learning::LearnerOptions learner_options;
+  learner_options.sample_size = 10;
+  learner_options.k = kK;
+  learner_options.threshold = *threshold;
+  auto report =
+      learning::LearnPruningPriors(ds, engine, learner_options, &rng);
+
+  // Inline dynamic search so the LatticeState is inspectable at the end.
+  search::OdEvaluator od(engine, ds.Row(query), kK, query);
+  lattice::LatticeState state(kDims);
+  while (true) {
+    int m = lattice::BestLevel(report.priors, state);
+    if (m == 0) break;
+    std::vector<uint64_t> batch = state.Undecided(m);
+    for (uint64_t mask : batch) {
+      Subspace s(mask);
+      state.MarkEvaluated(s, od.Evaluate(s) >= *threshold);
+    }
+    state.Propagate();
+  }
+
+  eval::Table table({"level m", "C(d,m)", "evaluated", "pruned up (outlier)",
+                     "pruned down (non-outlier)", "evaluated %"});
+  uint64_t total_evaluated = 0, total = 0;
+  for (int m = 1; m <= kDims; ++m) {
+    uint64_t level_size = Binomial(kDims, m);
+    uint64_t evaluated =
+        state.EvaluatedOutliers(m) + state.EvaluatedNonOutliers(m);
+    total_evaluated += evaluated;
+    total += level_size;
+    table.AddRow(
+        {std::to_string(m), std::to_string(level_size),
+         std::to_string(evaluated), std::to_string(state.InferredOutliers(m)),
+         std::to_string(state.InferredNonOutliers(m)),
+         eval::FormatDouble(100.0 * static_cast<double>(evaluated) /
+                                static_cast<double>(level_size),
+                            1)});
+  }
+  table.Print();
+  std::printf(
+      "\nTotal: %llu of %llu subspaces evaluated (%.1f%%); the rest decided\n"
+      "by the two pruning strategies. Paper shape: only a thin band of\n"
+      "levels around the outlier boundary needs explicit evaluation.\n",
+      static_cast<unsigned long long>(total_evaluated),
+      static_cast<unsigned long long>(total),
+      100.0 * static_cast<double>(total_evaluated) /
+          static_cast<double>(total));
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

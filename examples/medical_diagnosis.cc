@@ -1,0 +1,118 @@
+// Medical scenario from the paper's introduction: "it is useful for the
+// Doctors to identify from voluminous medical data the subspaces in which a
+// particular patient is found abnormal and therefore a corresponding
+// medical treatment can be provided in a timely manner."
+//
+// We simulate 600 routine check-ups with seven vitals. Healthy physiology
+// couples several of them (systolic vs diastolic blood pressure; BMI vs
+// resting glucose). A patient can be "in range" on every single vital yet
+// clinically abnormal in a *combination* — exactly what subspace outlier
+// detection surfaces and full-space detectors blur.
+//
+// The threshold T is the paper's user parameter; here it plays the role of
+// the clinician's sensitivity dial and is set explicitly.
+//
+// Run: ./build/examples/medical_diagnosis
+
+#include <cstdio>
+
+#include "src/baseline/lof.h"
+#include "src/core/hos_miner.h"
+#include "src/data/dataset.h"
+#include "src/knn/linear_scan.h"
+
+int main() {
+  using namespace hos;  // NOLINT
+
+  const std::vector<std::string> vitals = {
+      "systolic_mmHg", "diastolic_mmHg", "heart_rate_bpm", "temp_c",
+      "glucose_mgdl",  "bmi",            "spo2_pct",
+  };
+  data::Dataset patients(static_cast<int>(vitals.size()));
+  if (auto s = patients.SetColumnNames(vitals); !s.ok()) return 1;
+
+  Rng rng(11);
+  for (int i = 0; i < 600; ++i) {
+    double diastolic = rng.Uniform(65.0, 90.0);
+    // Healthy coupling: systolic ~ diastolic + 40 ± 6.
+    double systolic = diastolic + 40.0 + rng.Gaussian(0, 6.0);
+    double heart_rate = rng.Uniform(55.0, 95.0);
+    double temp = rng.Gaussian(36.8, 0.3);
+    double bmi = rng.Uniform(19.0, 32.0);
+    // Healthy coupling: glucose ~ 60 + 1.5*bmi ± 7.
+    double glucose = 60.0 + 1.5 * bmi + rng.Gaussian(0, 7.0);
+    double spo2 = rng.Uniform(95.0, 100.0);
+    patients.Append(std::vector<double>{systolic, diastolic, heart_rate,
+                                        temp, glucose, bmi, spo2});
+  }
+
+  // Patient X: wide pulse pressure. Systolic 152 and diastolic 67 are each
+  // inside their healthy ranges, but 67 predicts systolic ~ 107 — the pair
+  // is the anomaly.
+  data::PointId patient_x = patients.Append(std::vector<double>{
+      152.0, 67.0, 72.0, 36.7, 95.0, 23.0, 98.0});
+  // Patient Y: glucose 135 with BMI 19.5 (predicted ~ 89). Both values are
+  // individually unremarkable; the combination suggests insulin resistance.
+  data::PointId patient_y = patients.Append(std::vector<double>{
+      118.0, 78.0, 64.0, 36.9, 135.0, 19.5, 97.0});
+
+  data::Dataset copy = patients;  // for the LOF comparison below
+
+  core::HosMinerConfig config;
+  config.k = 6;
+  config.threshold = 2.6;  // clinician-tuned sensitivity (paper's T)
+  auto miner = core::HosMiner::Build(std::move(patients), config);
+  if (!miner.ok()) {
+    std::fprintf(stderr, "%s\n", miner.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Clinic dataset: %zu check-ups, %d vitals, T = %.3f\n",
+              miner->dataset().size(), miner->num_dims(), miner->threshold());
+
+  auto report = [&](const char* label, data::PointId id) {
+    auto result = miner->Query(id);
+    if (!result.ok()) return;
+    std::printf("\n%s (record #%u): ", label, id);
+    if (!result->is_outlier_anywhere()) {
+      std::printf("no abnormal vital combination.\n");
+      return;
+    }
+    std::printf("abnormal in:\n");
+    for (const Subspace& s : result->outlying_subspaces()) {
+      std::printf("   {");
+      bool first = true;
+      for (int dim : s.Dims()) {
+        std::printf("%s%s", first ? "" : ", ",
+                    miner->dataset().column_names()[dim].c_str());
+        first = false;
+      }
+      std::printf("}\n");
+    }
+  };
+
+  report("Patient X (wide pulse pressure planted)", patient_x);
+  report("Patient Y (glucose/BMI mismatch planted)", patient_y);
+  report("Control (healthy record)", 3);
+
+  // Contrast with a full-space detector (the paper's motivation): LOF over
+  // all seven vitals.
+  knn::LinearScanKnn engine(copy, knn::MetricKind::kL2);
+  baseline::LofOptions lof_options;
+  lof_options.min_pts = 10;
+  auto scores = baseline::ComputeLofScores(copy, engine, lof_options);
+  if (scores.ok()) {
+    auto top = baseline::TopLofOutliers(*scores, 10);
+    bool x_found = false, y_found = false;
+    for (data::PointId id : top) {
+      x_found |= (id == patient_x);
+      y_found |= (id == patient_y);
+    }
+    std::printf(
+        "\nFull-space LOF top-10 contains patient X: %s, patient Y: %s —\n"
+        "and even when a full-space method does flag a patient, it cannot\n"
+        "say WHICH vitals are abnormal. HOS-Miner's answer is the subspace\n"
+        "itself (\"outlier -> spaces\", paper §1).\n",
+        x_found ? "yes" : "no", y_found ? "yes" : "no");
+  }
+  return 0;
+}

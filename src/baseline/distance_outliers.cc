@@ -1,0 +1,73 @@
+#include "src/baseline/distance_outliers.h"
+
+#include <algorithm>
+
+namespace hos::baseline {
+
+Result<std::vector<data::PointId>> FindDbOutliers(
+    const data::Dataset& dataset, const knn::KnnEngine& engine,
+    const DbOutlierOptions& options) {
+  if (options.pct <= 0.0 || options.pct >= 1.0) {
+    return Status::InvalidArgument("pct must be in (0, 1)");
+  }
+  if (options.distance <= 0.0) {
+    return Status::InvalidArgument("distance must be positive");
+  }
+  const size_t n = dataset.size();
+  Subspace subspace = options.subspace.Empty()
+                          ? Subspace::Full(dataset.num_dims())
+                          : options.subspace;
+  // Max number of in-range neighbours (excluding the point itself) a point
+  // may have while still qualifying as a DB(pct, D)-outlier.
+  const size_t max_neighbors = static_cast<size_t>(
+      (1.0 - options.pct) * static_cast<double>(n));
+
+  std::vector<data::PointId> outliers;
+  for (data::PointId i = 0; i < n; ++i) {
+    auto in_range =
+        engine.RangeSearch(dataset.Row(i), subspace, options.distance);
+    // RangeSearch includes the query point itself (distance 0).
+    size_t neighbors = 0;
+    for (const knn::Neighbor& hit : in_range) {
+      if (hit.id != i) ++neighbors;
+    }
+    if (neighbors <= max_neighbors) outliers.push_back(i);
+  }
+  return outliers;
+}
+
+Result<std::vector<ScoredPoint>> FindKthNnOutliers(
+    const data::Dataset& dataset, const knn::KnnEngine& engine,
+    const KthNnOutlierOptions& options) {
+  if (options.k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (dataset.size() <= static_cast<size_t>(options.k)) {
+    return Status::InvalidArgument("dataset smaller than k + 1");
+  }
+  Subspace subspace = options.subspace.Empty()
+                          ? Subspace::Full(dataset.num_dims())
+                          : options.subspace;
+
+  std::vector<ScoredPoint> scored;
+  scored.reserve(dataset.size());
+  for (data::PointId i = 0; i < dataset.size(); ++i) {
+    knn::KnnQuery query;
+    query.point = dataset.Row(i);
+    query.subspace = subspace;
+    query.k = options.k;
+    query.exclude = i;
+    auto neighbors = engine.Search(query);
+    scored.push_back({i, neighbors.empty() ? 0.0 : neighbors.back().distance});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredPoint& a, const ScoredPoint& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+  scored.resize(std::min<size_t>(scored.size(),
+                                 static_cast<size_t>(std::max(options.top_n, 0))));
+  return scored;
+}
+
+}  // namespace hos::baseline

@@ -1,0 +1,58 @@
+// The two classical distance-based outlier definitions cited by the paper:
+//
+//  * Knorr & Ng [5]: DB(pct, D)-outliers — a point is an outlier when at
+//    most a (1 - pct) fraction of the data lies within distance D of it.
+//  * Ramaswamy et al. [8]: top-n D^k outliers — the n points with the
+//    largest distance to their k-th nearest neighbour.
+//
+// Both are full-space "space -> outliers" detectors; the examples use them
+// to demonstrate the motivating claim that subspace outliers are invisible
+// to full-space methods.
+
+#ifndef HOS_BASELINE_DISTANCE_OUTLIERS_H_
+#define HOS_BASELINE_DISTANCE_OUTLIERS_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/subspace.h"
+#include "src/data/dataset.h"
+#include "src/knn/knn_engine.h"
+
+namespace hos::baseline {
+
+struct DbOutlierOptions {
+  /// Fraction of the dataset that must be far away: a point is an outlier
+  /// when fewer than (1 - pct) * N points lie within distance D.
+  double pct = 0.95;
+  double distance = 0.5;
+  Subspace subspace;  // empty => full space
+};
+
+/// Ids of all DB(pct, D)-outliers.
+Result<std::vector<data::PointId>> FindDbOutliers(
+    const data::Dataset& dataset, const knn::KnnEngine& engine,
+    const DbOutlierOptions& options);
+
+struct KthNnOutlierOptions {
+  int k = 5;
+  int top_n = 10;
+  Subspace subspace;  // empty => full space
+};
+
+/// One scored point of the Ramaswamy ranking.
+struct ScoredPoint {
+  data::PointId id;
+  /// Distance to the k-th nearest neighbour (D^k).
+  double score;
+};
+
+/// The top-n points by distance to their k-th nearest neighbour,
+/// descending by score.
+Result<std::vector<ScoredPoint>> FindKthNnOutliers(
+    const data::Dataset& dataset, const knn::KnnEngine& engine,
+    const KthNnOutlierOptions& options);
+
+}  // namespace hos::baseline
+
+#endif  // HOS_BASELINE_DISTANCE_OUTLIERS_H_

@@ -1,0 +1,333 @@
+#include "src/baseline/evolutionary.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/common/combinatorics.h"
+
+namespace hos::baseline {
+
+Subspace Projection::subspace() const {
+  Subspace s;
+  for (size_t dim = 0; dim < cells.size(); ++dim) {
+    if (cells[dim] != kWildcard) s = s.With(static_cast<int>(dim));
+  }
+  return s;
+}
+
+int Projection::NumSpecified() const {
+  int count = 0;
+  for (int c : cells) count += (c != kWildcard);
+  return count;
+}
+
+std::string Projection::ToString() const {
+  std::string out;
+  for (size_t dim = 0; dim < cells.size(); ++dim) {
+    if (dim > 0) out += " ";
+    out += cells[dim] == kWildcard ? "*" : std::to_string(cells[dim]);
+  }
+  return out;
+}
+
+EvolutionaryOutlierSearch::EvolutionaryOutlierSearch(
+    const data::Dataset& dataset, EvolutionaryOptions options,
+    EquiDepthGrid grid)
+    : dataset_(dataset), options_(options), grid_(std::move(grid)) {
+  const int d = dataset_.num_dims();
+  cell_matrix_.resize(dataset_.size() * static_cast<size_t>(d));
+  for (data::PointId i = 0; i < dataset_.size(); ++i) {
+    auto row = dataset_.Row(i);
+    for (int dim = 0; dim < d; ++dim) {
+      cell_matrix_[static_cast<size_t>(i) * d + dim] =
+          static_cast<int16_t>(grid_.CellOf(dim, row[dim]));
+    }
+  }
+}
+
+Result<EvolutionaryOutlierSearch> EvolutionaryOutlierSearch::Create(
+    const data::Dataset& dataset, const EvolutionaryOptions& options) {
+  if (options.target_dims < 1 ||
+      options.target_dims > dataset.num_dims()) {
+    return Status::InvalidArgument("target_dims out of range");
+  }
+  if (options.population_size < 4) {
+    return Status::InvalidArgument("population_size must be >= 4");
+  }
+  if (options.top_m < 1) {
+    return Status::InvalidArgument("top_m must be >= 1");
+  }
+  HOS_ASSIGN_OR_RETURN(EquiDepthGrid grid,
+                       EquiDepthGrid::Build(dataset, options.phi));
+  return EvolutionaryOutlierSearch(dataset, options, std::move(grid));
+}
+
+size_t EvolutionaryOutlierSearch::CountPoints(
+    const std::vector<int>& cells) const {
+  const int d = dataset_.num_dims();
+  size_t count = 0;
+  for (size_t i = 0; i < dataset_.size(); ++i) {
+    bool inside = true;
+    for (int dim = 0; dim < d; ++dim) {
+      int want = cells[dim];
+      if (want != Projection::kWildcard &&
+          cell_matrix_[i * d + dim] != want) {
+        inside = false;
+        break;
+      }
+    }
+    count += inside;
+  }
+  return count;
+}
+
+double EvolutionaryOutlierSearch::SparsityOf(
+    const std::vector<int>& cells) const {
+  ++fitness_evaluations_;
+  int k = 0;
+  for (int c : cells) k += (c != Projection::kWildcard);
+  const double n = static_cast<double>(dataset_.size());
+  const double f = 1.0 / options_.phi;
+  const double fk = std::pow(f, k);
+  const double expected = n * fk;
+  const double stddev = std::sqrt(n * fk * (1.0 - fk));
+  const double actual = static_cast<double>(CountPoints(cells));
+  if (stddev <= 0.0) return 0.0;
+  return (actual - expected) / stddev;
+}
+
+std::vector<data::PointId> EvolutionaryOutlierSearch::PointsIn(
+    const Projection& projection) const {
+  const int d = dataset_.num_dims();
+  std::vector<data::PointId> out;
+  for (size_t i = 0; i < dataset_.size(); ++i) {
+    bool inside = true;
+    for (int dim = 0; dim < d; ++dim) {
+      int want = projection.cells[dim];
+      if (want != Projection::kWildcard &&
+          cell_matrix_[i * d + dim] != want) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) out.push_back(static_cast<data::PointId>(i));
+  }
+  return out;
+}
+
+std::vector<Projection> EvolutionaryOutlierSearch::RunExhaustive() {
+  const int d = dataset_.num_dims();
+  const int k = options_.target_dims;
+  std::vector<Projection> best;
+
+  std::vector<int> cells(d, Projection::kWildcard);
+  // Enumerate dimension subsets of size k via masks, then all phi^k cell
+  // assignments per subset.
+  for (uint64_t mask : MasksOfLevel(d, k)) {
+    std::vector<int> dims = Subspace(mask).Dims();
+    std::vector<int> assignment(k, 0);
+    while (true) {
+      for (int i = 0; i < k; ++i) cells[dims[i]] = assignment[i];
+      Projection p;
+      p.cells = cells;
+      p.sparsity = SparsityOf(cells);
+      best.push_back(std::move(p));
+      std::sort(best.begin(), best.end(),
+                [](const Projection& a, const Projection& b) {
+                  return a.sparsity < b.sparsity;
+                });
+      if (static_cast<int>(best.size()) > options_.top_m) {
+        best.resize(options_.top_m);
+      }
+      // Next assignment (odometer).
+      int pos = k - 1;
+      while (pos >= 0 && assignment[pos] == options_.phi - 1) {
+        assignment[pos] = 0;
+        --pos;
+      }
+      if (pos < 0) break;
+      ++assignment[pos];
+    }
+    for (int dim : dims) cells[dim] = Projection::kWildcard;
+  }
+  for (Projection& p : best) {
+    p.num_points = PointsIn(p).size();
+  }
+  return best;
+}
+
+std::vector<int> EvolutionaryOutlierSearch::RandomCandidate(Rng* rng) const {
+  const int d = dataset_.num_dims();
+  std::vector<int> cells(d, Projection::kWildcard);
+  for (size_t dim : rng->SampleWithoutReplacement(
+           static_cast<size_t>(d),
+           static_cast<size_t>(options_.target_dims))) {
+    cells[dim] = static_cast<int>(rng->UniformInt(0, options_.phi - 1));
+  }
+  return cells;
+}
+
+void EvolutionaryOutlierSearch::Repair(std::vector<int>* cells,
+                                       Rng* rng) const {
+  const int d = dataset_.num_dims();
+  std::vector<int> specified, unspecified;
+  for (int dim = 0; dim < d; ++dim) {
+    ((*cells)[dim] != Projection::kWildcard ? specified : unspecified)
+        .push_back(dim);
+  }
+  // Too many specified positions: wildcard random ones away.
+  while (static_cast<int>(specified.size()) > options_.target_dims) {
+    size_t pick = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(specified.size()) - 1));
+    (*cells)[specified[pick]] = Projection::kWildcard;
+    unspecified.push_back(specified[pick]);
+    specified.erase(specified.begin() + pick);
+  }
+  // Too few: specify random dimensions with random cells.
+  while (static_cast<int>(specified.size()) < options_.target_dims) {
+    size_t pick = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(unspecified.size()) - 1));
+    (*cells)[unspecified[pick]] =
+        static_cast<int>(rng->UniformInt(0, options_.phi - 1));
+    specified.push_back(unspecified[pick]);
+    unspecified.erase(unspecified.begin() + pick);
+  }
+}
+
+std::vector<int> EvolutionaryOutlierSearch::Crossover(
+    const std::vector<int>& a, const std::vector<int>& b, Rng* rng) const {
+  std::vector<int> child(a.size());
+  for (size_t dim = 0; dim < a.size(); ++dim) {
+    child[dim] = rng->Bernoulli(0.5) ? a[dim] : b[dim];
+  }
+  Repair(&child, rng);
+  return child;
+}
+
+void EvolutionaryOutlierSearch::Mutate(std::vector<int>* cells,
+                                       Rng* rng) const {
+  const int d = dataset_.num_dims();
+  if (rng->Bernoulli(0.5)) {
+    // Re-draw the range of one specified dimension.
+    std::vector<int> specified;
+    for (int dim = 0; dim < d; ++dim) {
+      if ((*cells)[dim] != Projection::kWildcard) specified.push_back(dim);
+    }
+    if (specified.empty()) return;
+    int dim = specified[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(specified.size()) - 1))];
+    (*cells)[dim] = static_cast<int>(rng->UniformInt(0, options_.phi - 1));
+  } else {
+    // Relocate one specified dimension to an unspecified one.
+    std::vector<int> specified, unspecified;
+    for (int dim = 0; dim < d; ++dim) {
+      ((*cells)[dim] != Projection::kWildcard ? specified : unspecified)
+          .push_back(dim);
+    }
+    if (specified.empty() || unspecified.empty()) return;
+    int from = specified[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(specified.size()) - 1))];
+    int to = unspecified[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(unspecified.size()) - 1))];
+    (*cells)[to] = (*cells)[from];
+    (*cells)[from] = Projection::kWildcard;
+  }
+}
+
+std::vector<Projection> EvolutionaryOutlierSearch::Run(Rng* rng) {
+  struct Individual {
+    std::vector<int> cells;
+    double sparsity;
+  };
+
+  // Initial population.
+  std::vector<Individual> population;
+  population.reserve(options_.population_size);
+  for (int i = 0; i < options_.population_size; ++i) {
+    auto cells = RandomCandidate(rng);
+    double sparsity = SparsityOf(cells);
+    population.push_back({std::move(cells), sparsity});
+  }
+
+  // Hall of fame: best (most negative) distinct projections seen anywhere.
+  std::vector<Projection> best;
+  auto offer = [&](const Individual& ind) {
+    Projection p;
+    p.cells = ind.cells;
+    p.sparsity = ind.sparsity;
+    for (const Projection& existing : best) {
+      if (existing == p) return false;
+    }
+    best.push_back(std::move(p));
+    std::sort(best.begin(), best.end(),
+              [](const Projection& x, const Projection& y) {
+                return x.sparsity < y.sparsity;
+              });
+    if (static_cast<int>(best.size()) > options_.top_m) {
+      best.resize(options_.top_m);
+      // Report improvement only if the offered one survived the cut.
+      for (const Projection& kept : best) {
+        if (kept.cells == ind.cells) return true;
+      }
+      return false;
+    }
+    return true;
+  };
+  for (const Individual& ind : population) offer(ind);
+
+  int stagnant = 0;
+  for (int gen = 0;
+       gen < options_.max_generations && stagnant < options_.stagnation_limit;
+       ++gen) {
+    // Rank-based roulette selection: sort ascending by sparsity (best
+    // first) and give rank r weight (P - r).
+    std::sort(population.begin(), population.end(),
+              [](const Individual& x, const Individual& y) {
+                return x.sparsity < y.sparsity;
+              });
+    const int pop = static_cast<int>(population.size());
+    const double total_weight = 0.5 * pop * (pop + 1);
+    auto select = [&]() -> const Individual& {
+      double target = rng->Uniform(0.0, total_weight);
+      double acc = 0.0;
+      for (int r = 0; r < pop; ++r) {
+        acc += pop - r;
+        if (target <= acc) return population[r];
+      }
+      return population[pop - 1];
+    };
+
+    std::vector<Individual> next;
+    next.reserve(pop);
+    // Elitism: carry over the two best individuals unchanged.
+    next.push_back(population[0]);
+    next.push_back(population[1]);
+    bool improved = false;
+    while (static_cast<int>(next.size()) < pop) {
+      const Individual& parent_a = select();
+      const Individual& parent_b = select();
+      std::vector<int> child_cells =
+          rng->Bernoulli(options_.crossover_prob)
+              ? Crossover(parent_a.cells, parent_b.cells, rng)
+              : parent_a.cells;
+      if (rng->Bernoulli(options_.mutation_prob)) {
+        Mutate(&child_cells, rng);
+      }
+      double sparsity = SparsityOf(child_cells);
+      Individual child{std::move(child_cells), sparsity};
+      improved |= offer(child);
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+    stagnant = improved ? 0 : stagnant + 1;
+  }
+
+  // Attach point counts to the reported projections.
+  for (Projection& p : best) {
+    p.num_points = PointsIn(p).size();
+  }
+  return best;
+}
+
+}  // namespace hos::baseline

@@ -1,0 +1,48 @@
+#include "src/baseline/grid.h"
+
+#include <algorithm>
+
+namespace hos::baseline {
+
+Result<EquiDepthGrid> EquiDepthGrid::Build(const data::Dataset& dataset,
+                                           int phi) {
+  if (phi < 2) {
+    return Status::InvalidArgument("phi must be >= 2");
+  }
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot build grid on empty dataset");
+  }
+  const int d = dataset.num_dims();
+  const size_t n = dataset.size();
+  std::vector<std::vector<double>> cuts(d);
+  std::vector<double> column(n);
+  for (int dim = 0; dim < d; ++dim) {
+    for (data::PointId i = 0; i < n; ++i) column[i] = dataset.At(i, dim);
+    std::sort(column.begin(), column.end());
+    cuts[dim].reserve(phi - 1);
+    for (int c = 1; c < phi; ++c) {
+      size_t rank = c * n / phi;
+      rank = std::min(rank, n - 1);
+      cuts[dim].push_back(column[rank]);
+    }
+  }
+  return EquiDepthGrid(phi, std::move(cuts));
+}
+
+int EquiDepthGrid::CellOf(int dim, double value) const {
+  const auto& boundaries = cuts_[dim];
+  // First cell whose upper boundary is >= value.
+  auto it = std::lower_bound(boundaries.begin(), boundaries.end(), value);
+  return static_cast<int>(it - boundaries.begin());
+}
+
+std::vector<int> EquiDepthGrid::Discretize(
+    std::span<const double> point) const {
+  std::vector<int> cells(num_dims());
+  for (int dim = 0; dim < num_dims(); ++dim) {
+    cells[dim] = CellOf(dim, point[dim]);
+  }
+  return cells;
+}
+
+}  // namespace hos::baseline

@@ -1,0 +1,46 @@
+// Equi-depth grid discretisation used by the Aggarwal–Yu sparse-subspace
+// baseline [1]: each attribute is divided into phi ranges containing an
+// equal fraction f = 1/phi of the data.
+
+#ifndef HOS_BASELINE_GRID_H_
+#define HOS_BASELINE_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/data/dataset.h"
+
+namespace hos::baseline {
+
+/// Per-dimension equi-depth discretiser.
+class EquiDepthGrid {
+ public:
+  /// Builds phi equi-depth cells per dimension from the data distribution.
+  static Result<EquiDepthGrid> Build(const data::Dataset& dataset, int phi);
+
+  int phi() const { return phi_; }
+  int num_dims() const { return static_cast<int>(cuts_.size()); }
+
+  /// Cell index in [0, phi) of `value` along `dim`.
+  int CellOf(int dim, double value) const;
+
+  /// Discretises a full point.
+  std::vector<int> Discretize(std::span<const double> point) const;
+
+  /// Upper boundaries of the cells along `dim` (cuts[dim][c] closes cell c;
+  /// the last cell is unbounded above).
+  const std::vector<double>& Cuts(int dim) const { return cuts_[dim]; }
+
+ private:
+  EquiDepthGrid(int phi, std::vector<std::vector<double>> cuts)
+      : phi_(phi), cuts_(std::move(cuts)) {}
+
+  int phi_;
+  // cuts_[dim] has phi-1 interior boundaries, ascending.
+  std::vector<std::vector<double>> cuts_;
+};
+
+}  // namespace hos::baseline
+
+#endif  // HOS_BASELINE_GRID_H_

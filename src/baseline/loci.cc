@@ -1,0 +1,99 @@
+#include "src/baseline/loci.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hos::baseline {
+
+Result<std::vector<LociScore>> ComputeLociScores(const data::Dataset& dataset,
+                                                 const knn::KnnEngine& engine,
+                                                 const LociOptions& options) {
+  if (options.alpha <= 0.0 || options.alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  if (options.k_sigma <= 0.0) {
+    return Status::InvalidArgument("k_sigma must be positive");
+  }
+  if (options.num_radii < 1) {
+    return Status::InvalidArgument("num_radii must be >= 1");
+  }
+  if (dataset.empty()) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  const size_t n = dataset.size();
+  Subspace subspace = options.subspace.Empty()
+                          ? Subspace::Full(dataset.num_dims())
+                          : options.subspace;
+
+  // Radius ladder: geometric between a small and the full data spread in
+  // the subspace (estimated from per-column extents).
+  auto stats = ComputeColumnStats(dataset);
+  double spread_sq = 0.0;
+  for (int dim : subspace.Dims()) {
+    double extent = stats[dim].max - stats[dim].min;
+    spread_sq += extent * extent;
+  }
+  const double r_max = std::sqrt(spread_sq);
+  if (r_max <= 0.0) {
+    // Degenerate data: nobody deviates from anybody.
+    return std::vector<LociScore>(n);
+  }
+  const double r_min = r_max / 64.0;
+  std::vector<double> radii;
+  radii.reserve(options.num_radii);
+  for (int i = 0; i < options.num_radii; ++i) {
+    double t = options.num_radii == 1
+                   ? 1.0
+                   : static_cast<double>(i) / (options.num_radii - 1);
+    radii.push_back(r_min * std::pow(r_max / r_min, t));
+  }
+
+  // Counting-neighbourhood sizes n(p, alpha*r) for every point and radius,
+  // computed once and reused by every sampling neighbourhood.
+  std::vector<std::vector<uint32_t>> alpha_counts(
+      radii.size(), std::vector<uint32_t>(n, 0));
+  for (data::PointId p = 0; p < n; ++p) {
+    for (size_t ri = 0; ri < radii.size(); ++ri) {
+      alpha_counts[ri][p] = static_cast<uint32_t>(
+          engine.RangeSearch(dataset.Row(p), subspace,
+                             options.alpha * radii[ri])
+              .size());
+    }
+  }
+
+  std::vector<LociScore> scores(n);
+  for (data::PointId p = 0; p < n; ++p) {
+    for (size_t ri = 0; ri < radii.size(); ++ri) {
+      auto sampling =
+          engine.RangeSearch(dataset.Row(p), subspace, radii[ri]);
+      if (sampling.size() < options.min_neighbors) continue;
+
+      double sum = 0.0, sum_sq = 0.0;
+      for (const knn::Neighbor& q : sampling) {
+        double c = alpha_counts[ri][q.id];
+        sum += c;
+        sum_sq += c * c;
+      }
+      const double count = static_cast<double>(sampling.size());
+      const double n_hat = sum / count;
+      if (n_hat <= 0.0) continue;
+      double variance = sum_sq / count - n_hat * n_hat;
+      double sigma = variance > 0.0 ? std::sqrt(variance) / n_hat : 0.0;
+
+      const double mdef = 1.0 - alpha_counts[ri][p] / n_hat;
+      if (sigma <= 0.0) {
+        // Uniform neighbourhood counts: any positive MDEF is infinitely
+        // deviant, but with identical counts MDEF <= 0 anyway.
+        continue;
+      }
+      double ratio = mdef / (options.k_sigma * sigma);
+      if (ratio > scores[p].max_deviation_ratio) {
+        scores[p].max_deviation_ratio = ratio;
+      }
+    }
+    scores[p].is_outlier = scores[p].max_deviation_ratio > 1.0;
+  }
+  return scores;
+}
+
+}  // namespace hos::baseline

@@ -1,0 +1,58 @@
+// LOCI (Papadimitriou et al., ICDE'03) — "Fast Outlier Detection Using the
+// Local Correlation Integral", reference [7] of the HOS-Miner paper. The
+// last of the cited full-space detectors, completing the baseline suite.
+//
+// For a point p, radius r and ratio alpha < 1:
+//   n(p, ar)      = #points within alpha*r of p (the counting neighbourhood)
+//   n_hat(p, r)   = average of n(q, ar) over q within r of p (the sampling
+//                   neighbourhood)
+//   MDEF(p, r)    = 1 - n(p, ar) / n_hat(p, r)
+//   sigma_MDEF    = stddev of n(q, ar) over the sampling neighbourhood,
+//                   normalised by n_hat
+// p is flagged when MDEF > k_sigma * sigma_MDEF at any tested radius.
+//
+// This implementation tests a fixed ladder of radii derived from the data
+// spread (the paper's full method walks every critical radius; the ladder
+// preserves the detection behaviour at a fraction of the cost).
+
+#ifndef HOS_BASELINE_LOCI_H_
+#define HOS_BASELINE_LOCI_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/subspace.h"
+#include "src/data/dataset.h"
+#include "src/knn/knn_engine.h"
+
+namespace hos::baseline {
+
+struct LociOptions {
+  /// Counting-to-sampling radius ratio (paper default 0.5).
+  double alpha = 0.5;
+  /// Deviation threshold k_sigma (paper default 3).
+  double k_sigma = 3.0;
+  /// Number of radii tested, geometrically spaced.
+  int num_radii = 10;
+  /// Sampling neighbourhoods smaller than this are skipped (the statistic
+  /// is meaningless on a handful of points; paper uses 20).
+  size_t min_neighbors = 20;
+  Subspace subspace;  // empty => full space
+};
+
+/// Per-point LOCI verdict.
+struct LociScore {
+  /// Largest MDEF / (k_sigma * sigma_MDEF) ratio over all tested radii;
+  /// > 1 means flagged.
+  double max_deviation_ratio = 0.0;
+  bool is_outlier = false;
+};
+
+/// Runs LOCI for every dataset point.
+Result<std::vector<LociScore>> ComputeLociScores(const data::Dataset& dataset,
+                                                 const knn::KnnEngine& engine,
+                                                 const LociOptions& options);
+
+}  // namespace hos::baseline
+
+#endif  // HOS_BASELINE_LOCI_H_

@@ -1,0 +1,78 @@
+#include "src/baseline/lof.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace hos::baseline {
+
+Result<std::vector<double>> ComputeLofScores(const data::Dataset& dataset,
+                                             const knn::KnnEngine& engine,
+                                             const LofOptions& options) {
+  const size_t n = dataset.size();
+  if (options.min_pts < 1) {
+    return Status::InvalidArgument("min_pts must be >= 1");
+  }
+  if (n <= static_cast<size_t>(options.min_pts)) {
+    return Status::InvalidArgument("dataset smaller than min_pts + 1");
+  }
+  Subspace subspace = options.subspace.Empty()
+                          ? Subspace::Full(dataset.num_dims())
+                          : options.subspace;
+
+  // 1. k-neighbourhoods and k-distances.
+  std::vector<std::vector<knn::Neighbor>> neighbors(n);
+  std::vector<double> k_distance(n);
+  for (data::PointId i = 0; i < n; ++i) {
+    knn::KnnQuery query;
+    query.point = dataset.Row(i);
+    query.subspace = subspace;
+    query.k = options.min_pts;
+    query.exclude = i;
+    neighbors[i] = engine.Search(query);
+    k_distance[i] = neighbors[i].empty() ? 0.0 : neighbors[i].back().distance;
+  }
+
+  // 2. Local reachability density:
+  //    lrd(p) = 1 / mean_{o in N(p)} reach-dist(p, o),
+  //    reach-dist(p, o) = max(k-distance(o), dist(p, o)).
+  std::vector<double> lrd(n);
+  for (data::PointId i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (const knn::Neighbor& o : neighbors[i]) {
+      sum += std::max(k_distance[o.id], o.distance);
+    }
+    double mean = sum / static_cast<double>(neighbors[i].size());
+    lrd[i] = mean > 0.0 ? 1.0 / mean : std::numeric_limits<double>::infinity();
+  }
+
+  // 3. LOF(p) = mean_{o in N(p)} lrd(o) / lrd(p).
+  std::vector<double> lof(n);
+  for (data::PointId i = 0; i < n; ++i) {
+    if (std::isinf(lrd[i])) {
+      // p sits inside a zero-diameter cluster: by convention not an outlier.
+      lof[i] = 1.0;
+      continue;
+    }
+    double sum = 0.0;
+    for (const knn::Neighbor& o : neighbors[i]) {
+      sum += std::isinf(lrd[o.id]) ? 1.0 : lrd[o.id] / lrd[i];
+    }
+    lof[i] = sum / static_cast<double>(neighbors[i].size());
+  }
+  return lof;
+}
+
+std::vector<data::PointId> TopLofOutliers(const std::vector<double>& scores,
+                                          int top_n) {
+  std::vector<data::PointId> ids(scores.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::sort(ids.begin(), ids.end(), [&](data::PointId a, data::PointId b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  ids.resize(std::min<size_t>(ids.size(), static_cast<size_t>(top_n)));
+  return ids;
+}
+
+}  // namespace hos::baseline

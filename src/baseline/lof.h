@@ -1,0 +1,38 @@
+// LOF (Breunig et al., SIGMOD'00) — the local density-based outlier
+// detector cited by the paper [3]. A full-space "space -> outliers"
+// technique used in the motivation experiments to show that full-space
+// methods miss subspace outliers.
+
+#ifndef HOS_BASELINE_LOF_H_
+#define HOS_BASELINE_LOF_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/subspace.h"
+#include "src/data/dataset.h"
+#include "src/knn/knn_engine.h"
+
+namespace hos::baseline {
+
+struct LofOptions {
+  /// MinPts: neighbourhood size of the density estimate.
+  int min_pts = 10;
+  /// Subspace the scores are computed in (defaults to the full space —
+  /// scoring in a chosen subspace is useful for the Figure-1 experiment).
+  Subspace subspace;  // empty => full space
+};
+
+/// LOF scores for every dataset point (index = PointId). Scores near 1 are
+/// inliers; substantially larger values indicate local outliers.
+Result<std::vector<double>> ComputeLofScores(const data::Dataset& dataset,
+                                             const knn::KnnEngine& engine,
+                                             const LofOptions& options);
+
+/// Ids of the `top_n` highest-LOF points, descending by score.
+std::vector<data::PointId> TopLofOutliers(const std::vector<double>& scores,
+                                          int top_n);
+
+}  // namespace hos::baseline
+
+#endif  // HOS_BASELINE_LOF_H_

@@ -1,0 +1,77 @@
+#include "src/common/combinatorics.h"
+
+#include <bit>
+#include <cassert>
+
+namespace hos {
+
+uint64_t Binomial(int n, int k) {
+  if (k < 0 || k > n || n < 0) return 0;
+  if (k > n - k) k = n - k;
+  uint64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    // Multiply before divide stays exact because C(n, i) is an integer
+    // and result * (n - k + i) fits 64 bits for n <= 62.
+    result = result * static_cast<uint64_t>(n - k + i) /
+             static_cast<uint64_t>(i);
+  }
+  return result;
+}
+
+uint64_t DownwardSavingFactor(int m) {
+  uint64_t sum = 0;
+  for (int i = 1; i <= m - 1; ++i) {
+    sum += Binomial(m, i) * static_cast<uint64_t>(i);
+  }
+  return sum;
+}
+
+uint64_t UpwardSavingFactor(int m, int d) {
+  assert(m <= d);
+  uint64_t sum = 0;
+  for (int i = 1; i <= d - m; ++i) {
+    sum += Binomial(d - m, i) * static_cast<uint64_t>(m + i);
+  }
+  return sum;
+}
+
+uint64_t TotalWorkloadBelow(int m, int d) {
+  uint64_t sum = 0;
+  for (int i = 1; i < m; ++i) {
+    sum += Binomial(d, i) * static_cast<uint64_t>(i);
+  }
+  return sum;
+}
+
+uint64_t TotalWorkloadAbove(int m, int d) {
+  uint64_t sum = 0;
+  for (int i = m + 1; i <= d; ++i) {
+    sum += Binomial(d, i) * static_cast<uint64_t>(i);
+  }
+  return sum;
+}
+
+std::vector<uint64_t> MasksOfLevel(int d, int m) {
+  assert(d >= 1 && d <= 62);
+  assert(m >= 0 && m <= d);
+  std::vector<uint64_t> out;
+  if (m == 0) {
+    out.push_back(0);
+    return out;
+  }
+  out.reserve(Binomial(d, m));
+  uint64_t mask = (uint64_t{1} << m) - 1;
+  const uint64_t limit = uint64_t{1} << d;
+  while (mask < limit) {
+    out.push_back(mask);
+    // Gosper's hack: next integer with the same popcount.
+    uint64_t c = mask & (~mask + 1);
+    uint64_t r = mask + c;
+    mask = (((r ^ mask) >> 2) / c) | r;
+  }
+  return out;
+}
+
+int PopCount(uint64_t mask) { return std::popcount(mask); }
+
+}  // namespace hos

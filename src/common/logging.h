@@ -1,0 +1,50 @@
+// Minimal leveled logging. Off by default at Debug level; controlled
+// programmatically (no environment magic) so tests stay quiet.
+
+#ifndef HOS_COMMON_LOGGING_H_
+#define HOS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace hos {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log configuration.
+class Logger {
+ public:
+  /// Messages below this level are discarded. Default: kWarning.
+  static void SetMinLevel(LogLevel level);
+  static LogLevel min_level();
+
+  /// Emits one line to stderr with a level prefix.
+  static void Log(LogLevel level, const std::string& message);
+};
+
+namespace internal {
+
+/// Stream-style single-line log statement; flushes on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace hos
+
+#define HOS_LOG(level) \
+  ::hos::internal::LogMessage(::hos::LogLevel::k##level)
+
+#endif  // HOS_COMMON_LOGGING_H_

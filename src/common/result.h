@@ -1,0 +1,79 @@
+// Result<T>: a value-or-Status carrier (StatusOr/arrow::Result idiom).
+
+#ifndef HOS_COMMON_RESULT_H_
+#define HOS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace hos {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Accessing the value of an errored Result is a
+/// programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error Status. Constructing from an OK status is a
+  /// programming error and is converted to Internal.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : status_;
+  }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace hos
+
+/// Evaluates an expression producing Result<T>; on error returns the Status,
+/// otherwise assigns the value to `lhs`.
+#define HOS_ASSIGN_OR_RETURN(lhs, expr)                \
+  HOS_ASSIGN_OR_RETURN_IMPL_(                          \
+      HOS_RESULT_CONCAT_(_hos_result_, __LINE__), lhs, expr)
+
+#define HOS_RESULT_CONCAT_INNER_(a, b) a##b
+#define HOS_RESULT_CONCAT_(a, b) HOS_RESULT_CONCAT_INNER_(a, b)
+#define HOS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+#endif  // HOS_COMMON_RESULT_H_

@@ -1,0 +1,22 @@
+#include "src/common/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace hos {
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t count) {
+  assert(count <= n);
+  std::vector<size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), size_t{0});
+  for (size_t i = 0; i < count; ++i) {
+    size_t j = static_cast<size_t>(UniformInt(static_cast<int64_t>(i),
+                                              static_cast<int64_t>(n - 1)));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  return pool;
+}
+
+}  // namespace hos

@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation for workloads and sampling.
+//
+// All stochastic components of the library (generators, sampling-based
+// learning, the evolutionary baseline) draw from an explicitly seeded Rng so
+// experiments are reproducible run-to-run.
+
+#ifndef HOS_COMMON_RNG_H_
+#define HOS_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace hos {
+
+/// Seedable PRNG wrapper (Mersenne Twister) with convenience draws.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Gaussian draw.
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Samples `count` distinct indices from [0, n) (count <= n).
+  /// Uses partial Fisher-Yates; O(n) memory, O(count) swaps.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t count);
+
+  /// Shuffles a vector in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  /// Underlying engine, for std distributions not wrapped here.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace hos
+
+#endif  // HOS_COMMON_RNG_H_

@@ -1,0 +1,132 @@
+// Status: lightweight error-reporting value type, modelled after the
+// RocksDB / Arrow Status idiom. The HOS-Miner public API does not throw;
+// every fallible operation returns a Status (or Result<T>, see result.h).
+
+#ifndef HOS_COMMON_STATUS_H_
+#define HOS_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hos {
+
+/// Error category carried by a non-OK Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kAlreadyExists = 4,
+  kIoError = 5,
+  kNotSupported = 6,
+  kInternal = 7,
+  kFailedPrecondition = 8,
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: a code plus an optional message.
+///
+/// An OK Status carries no allocation; error states allocate a small
+/// state block. Statuses are cheap to move and to test.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_unique<State>(State{code, std::move(msg)});
+    }
+  }
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+  /// Message attached at construction; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ == nullptr ? kEmpty : state_->msg;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+
+  void CopyFrom(const Status& other) {
+    state_ = other.state_ == nullptr ? nullptr
+                                     : std::make_unique<State>(*other.state_);
+  }
+
+  std::unique_ptr<State> state_;  // nullptr means OK
+};
+
+}  // namespace hos
+
+/// Propagates a non-OK Status to the caller.
+#define HOS_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::hos::Status _hos_status = (expr);           \
+    if (!_hos_status.ok()) return _hos_status;    \
+  } while (0)
+
+#endif  // HOS_COMMON_STATUS_H_

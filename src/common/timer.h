@@ -1,0 +1,59 @@
+// Wall-clock timing utilities for the benchmark harness and counters.
+
+#ifndef HOS_COMMON_TIMER_H_
+#define HOS_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace hos {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across multiple start/stop intervals.
+class AccumulatingTimer {
+ public:
+  void Start() { timer_.Reset(); running_ = true; }
+  void Stop() {
+    if (running_) {
+      total_seconds_ += timer_.ElapsedSeconds();
+      running_ = false;
+    }
+  }
+  double TotalSeconds() const { return total_seconds_; }
+  void Reset() {
+    total_seconds_ = 0.0;
+    running_ = false;
+  }
+
+ private:
+  Timer timer_;
+  double total_seconds_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace hos
+
+#endif  // HOS_COMMON_TIMER_H_

@@ -1,0 +1,184 @@
+#include "src/core/hos_miner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/core/threshold.h"
+#include "src/search/od_evaluator.h"
+
+namespace hos::core {
+
+HosMiner::HosMiner(HosMinerConfig config,
+                   std::unique_ptr<data::Dataset> dataset,
+                   data::Normalizer normalizer)
+    : config_(std::move(config)),
+      dataset_(std::move(dataset)),
+      normalizer_(std::move(normalizer)) {}
+
+Result<HosMiner> HosMiner::Build(data::Dataset dataset,
+                                 HosMinerConfig config) {
+  const int d = dataset.num_dims();
+  if (d < 1 || d > 22) {
+    return Status::InvalidArgument(
+        "HOS-Miner supports 1..22 dimensions (lattice has 2^d subspaces); "
+        "got d=" + std::to_string(d));
+  }
+  if (dataset.empty()) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (config.k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (static_cast<size_t>(config.k) >= dataset.size()) {
+    return Status::InvalidArgument(
+        "k must be smaller than the dataset size");
+  }
+
+  // 1. Normalise (a fitted, invertible transform shared with queries).
+  data::Normalizer normalizer =
+      data::Normalizer::Fit(dataset, config.normalization);
+  auto owned = std::make_unique<data::Dataset>(std::move(dataset));
+  normalizer.Apply(owned.get());
+
+  HosMiner miner(std::move(config), std::move(owned), std::move(normalizer));
+
+  // 2. Index (paper module 1).
+  if (miner.config_.index == IndexKind::kXTree) {
+    auto built = miner.config_.bulk_load
+                     ? index::XTree::BulkLoad(*miner.dataset_,
+                                              miner.config_.metric,
+                                              miner.config_.xtree)
+                     : index::XTree::BuildByInsertion(*miner.dataset_,
+                                                      miner.config_.metric,
+                                                      miner.config_.xtree);
+    if (!built.ok()) return built.status();
+    miner.xtree_ =
+        std::make_unique<index::XTree>(std::move(built).value());
+    miner.engine_ = std::make_unique<index::XTreeKnn>(*miner.xtree_);
+  } else if (miner.config_.index == IndexKind::kVaFile) {
+    auto built = index::VaFile::Build(*miner.dataset_, miner.config_.metric,
+                                      miner.config_.va_file);
+    if (!built.ok()) return built.status();
+    miner.va_file_ =
+        std::make_unique<index::VaFile>(std::move(built).value());
+    miner.engine_ = std::make_unique<index::VaFileKnn>(*miner.va_file_);
+  } else {
+    miner.engine_ = std::make_unique<knn::LinearScanKnn>(
+        *miner.dataset_, miner.config_.metric);
+  }
+
+  Rng rng(miner.config_.seed);
+
+  // 3. Threshold T.
+  if (miner.config_.threshold > 0.0) {
+    miner.threshold_ = miner.config_.threshold;
+  } else {
+    ThresholdOptions threshold_options;
+    threshold_options.percentile = miner.config_.threshold_percentile;
+    threshold_options.k = miner.config_.k;
+    HOS_ASSIGN_OR_RETURN(
+        miner.threshold_,
+        EstimateThreshold(*miner.dataset_, *miner.engine_, threshold_options,
+                          &rng));
+  }
+
+  // 4. Sampling-based learning (paper module 2).
+  learning::LearnerOptions learner_options;
+  learner_options.sample_size = miner.config_.sample_size;
+  learner_options.k = miner.config_.k;
+  learner_options.threshold = miner.threshold_;
+  miner.learning_report_ = learning::LearnPruningPriors(
+      *miner.dataset_, *miner.engine_, learner_options, &rng);
+
+  miner.query_search_ = std::make_unique<search::DynamicSubspaceSearch>(
+      d, miner.learning_report_.priors);
+  return miner;
+}
+
+Result<QueryResult> HosMiner::Query(data::PointId id) const {
+  if (id >= dataset_->size()) {
+    return Status::OutOfRange("point id " + std::to_string(id) +
+                              " outside dataset of size " +
+                              std::to_string(dataset_->size()));
+  }
+  return RunSearch(dataset_->Row(id), id);
+}
+
+Result<QueryResult> HosMiner::QueryPoint(std::vector<double> raw_point) const {
+  if (static_cast<int>(raw_point.size()) != dataset_->num_dims()) {
+    return Status::InvalidArgument(
+        "query point has " + std::to_string(raw_point.size()) +
+        " dimensions, dataset has " + std::to_string(dataset_->num_dims()));
+  }
+  normalizer_.ApplyToPoint(&raw_point);
+  return RunSearch(raw_point, std::nullopt);
+}
+
+Result<std::vector<QueryResult>> HosMiner::QueryAll(
+    const std::vector<data::PointId>& ids) const {
+  std::vector<QueryResult> results;
+  results.reserve(ids.size());
+  for (data::PointId id : ids) {
+    HOS_ASSIGN_OR_RETURN(QueryResult result, Query(id));
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+std::vector<HosMiner::ScreenedOutlier> HosMiner::ScreenOutliers() const {
+  std::vector<ScreenedOutlier> out;
+  const Subspace full = Subspace::Full(dataset_->num_dims());
+  for (data::PointId id = 0; id < dataset_->size(); ++id) {
+    knn::KnnQuery query;
+    query.point = dataset_->Row(id);
+    query.subspace = full;
+    query.k = config_.k;
+    query.exclude = id;
+    double od = knn::OutlyingDegree(*engine_, query);
+    if (od >= threshold_) out.push_back({id, od});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ScreenedOutlier& a, const ScreenedOutlier& b) {
+              if (a.full_space_od != b.full_space_od) {
+                return a.full_space_od > b.full_space_od;
+              }
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::vector<HosMiner::ScreenedOutlier> HosMiner::TopOutliers(
+    int top_n) const {
+  std::vector<ScreenedOutlier> all;
+  all.reserve(dataset_->size());
+  const Subspace full = Subspace::Full(dataset_->num_dims());
+  for (data::PointId id = 0; id < dataset_->size(); ++id) {
+    knn::KnnQuery query;
+    query.point = dataset_->Row(id);
+    query.subspace = full;
+    query.k = config_.k;
+    query.exclude = id;
+    all.push_back({id, knn::OutlyingDegree(*engine_, query)});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const ScreenedOutlier& a, const ScreenedOutlier& b) {
+              if (a.full_space_od != b.full_space_od) {
+                return a.full_space_od > b.full_space_od;
+              }
+              return a.id < b.id;
+            });
+  all.resize(std::min<size_t>(all.size(),
+                              static_cast<size_t>(std::max(top_n, 0))));
+  return all;
+}
+
+Result<QueryResult> HosMiner::RunSearch(
+    std::span<const double> point,
+    std::optional<data::PointId> exclude) const {
+  search::OdEvaluator od(*engine_, point, config_.k, exclude);
+  QueryResult result;
+  result.outcome = query_search_->Run(&od, threshold_);
+  return result;
+}
+
+}  // namespace hos::core

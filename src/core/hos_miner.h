@@ -1,0 +1,151 @@
+// HosMiner: the system facade wiring together the four modules of the
+// paper's Figure 2 — X-tree indexing, sampling-based learning, dynamic
+// subspace search, and the result-refinement filter.
+//
+// Typical use:
+//
+//   hos::core::HosMinerConfig config;
+//   config.k = 5;
+//   auto miner = hos::core::HosMiner::Build(std::move(dataset), config);
+//   auto result = miner->Query(point_id);
+//   for (const hos::Subspace& s : result->outlying_subspaces()) { ... }
+
+#ifndef HOS_CORE_HOS_MINER_H_
+#define HOS_CORE_HOS_MINER_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/data/dataset.h"
+#include "src/data/normalizer.h"
+#include "src/index/va_file.h"
+#include "src/index/xtree.h"
+#include "src/knn/knn_engine.h"
+#include "src/knn/linear_scan.h"
+#include "src/learning/learner.h"
+#include "src/search/search_result.h"
+#include "src/search/subspace_search.h"
+
+namespace hos::core {
+
+/// Which kNN backend serves the OD computations. All three are exact; they
+/// differ only in cost.
+enum class IndexKind {
+  kXTree,       ///< the paper's indexing module
+  kVaFile,      ///< vector-approximation file (Weber et al., VLDB'98)
+  kLinearScan,  ///< brute force; O(n) per query
+};
+
+struct HosMinerConfig {
+  /// k of the OD measure (paper §2).
+  int k = 5;
+  /// Outlier threshold T. <= 0 requests automatic estimation via
+  /// EstimateThreshold with `threshold_percentile`.
+  double threshold = 0.0;
+  double threshold_percentile = 0.95;
+  knn::MetricKind metric = knn::MetricKind::kL2;
+  /// Applied to the dataset at Build; query points given in raw coordinates
+  /// are transformed with the same fitted parameters.
+  data::NormalizationKind normalization = data::NormalizationKind::kMinMax;
+  IndexKind index = IndexKind::kXTree;
+  index::XTreeConfig xtree;
+  index::VaFileConfig va_file;
+  /// Bulk-load the X-tree (fast) instead of repeated insertion.
+  bool bulk_load = true;
+  /// Sample size S of the learning process; 0 disables learning and uses
+  /// flat priors.
+  int sample_size = 20;
+  /// Seed for sampling and threshold estimation.
+  uint64_t seed = 42;
+};
+
+/// Answer for one query point.
+struct QueryResult {
+  search::SearchOutcome outcome;
+
+  /// The refined answer set (paper §3.4): minimal outlying subspaces.
+  const std::vector<Subspace>& outlying_subspaces() const {
+    return outcome.minimal_outlying_subspaces;
+  }
+  bool is_outlier_anywhere() const { return outcome.IsOutlierAnywhere(); }
+};
+
+class HosMiner {
+ public:
+  /// Builds the whole system: normalises `dataset`, constructs the index,
+  /// estimates T when requested, and runs the learning process.
+  static Result<HosMiner> Build(data::Dataset dataset,
+                                HosMinerConfig config = {});
+
+  HosMiner(HosMiner&&) noexcept = default;
+  HosMiner& operator=(HosMiner&&) noexcept = default;
+
+  /// Finds the outlying subspaces of dataset row `id` (the row itself is
+  /// excluded from its neighbour sets).
+  Result<QueryResult> Query(data::PointId id) const;
+
+  /// Finds the outlying subspaces of an external point given in *raw*
+  /// (pre-normalisation) coordinates.
+  Result<QueryResult> QueryPoint(std::vector<double> raw_point) const;
+
+  /// Batch form of Query.
+  Result<std::vector<QueryResult>> QueryAll(
+      const std::vector<data::PointId>& ids) const;
+
+  /// A dataset point with its full-space OD.
+  struct ScreenedOutlier {
+    data::PointId id;
+    double full_space_od;
+  };
+
+  /// Screens the whole dataset: by OD monotonicity (paper §2) a point has
+  /// at least one outlying subspace iff its full-space OD >= T, so one kNN
+  /// query per point decides who is worth a lattice search at all.
+  /// Returns the qualifying points, descending by full-space OD.
+  std::vector<ScreenedOutlier> ScreenOutliers() const;
+
+  /// The top-n points by full-space OD (Ramaswamy-style ranking with the
+  /// OD measure), regardless of the threshold.
+  std::vector<ScreenedOutlier> TopOutliers(int top_n) const;
+
+  double threshold() const { return threshold_; }
+  int num_dims() const { return dataset_->num_dims(); }
+  const HosMinerConfig& config() const { return config_; }
+  /// The normalised dataset the system operates on.
+  const data::Dataset& dataset() const { return *dataset_; }
+  const knn::KnnEngine& engine() const { return *engine_; }
+  const learning::LearningReport& learning_report() const {
+    return learning_report_;
+  }
+  const lattice::PruningPriors& priors() const {
+    return learning_report_.priors;
+  }
+  /// Non-null when config().index == kXTree.
+  const index::XTree* xtree() const { return xtree_.get(); }
+  /// Non-null when config().index == kVaFile.
+  const index::VaFile* va_file() const { return va_file_.get(); }
+
+ private:
+  HosMiner(HosMinerConfig config, std::unique_ptr<data::Dataset> dataset,
+           data::Normalizer normalizer);
+
+  Result<QueryResult> RunSearch(std::span<const double> point,
+                                std::optional<data::PointId> exclude) const;
+
+  HosMinerConfig config_;
+  std::unique_ptr<data::Dataset> dataset_;  // normalised copy
+  data::Normalizer normalizer_;
+  std::unique_ptr<index::XTree> xtree_;      // when index == kXTree
+  std::unique_ptr<index::VaFile> va_file_;   // when index == kVaFile
+  std::unique_ptr<knn::KnnEngine> engine_;
+  double threshold_ = 0.0;
+  learning::LearningReport learning_report_;
+  std::unique_ptr<search::DynamicSubspaceSearch> query_search_;
+};
+
+}  // namespace hos::core
+
+#endif  // HOS_CORE_HOS_MINER_H_

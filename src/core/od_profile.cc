@@ -1,0 +1,56 @@
+#include "src/core/od_profile.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/combinatorics.h"
+
+namespace hos::core {
+
+std::vector<int> OdProfile::DominantDimensions() const {
+  std::vector<int> dims(dimension_votes.size());
+  std::iota(dims.begin(), dims.end(), 0);
+  std::sort(dims.begin(), dims.end(), [&](int a, int b) {
+    if (dimension_votes[a] != dimension_votes[b]) {
+      return dimension_votes[a] > dimension_votes[b];
+    }
+    return a < b;
+  });
+  return dims;
+}
+
+Result<OdProfile> ComputeOdProfile(search::OdEvaluator* od, int num_dims) {
+  if (num_dims < 1 || num_dims > 16) {
+    return Status::InvalidArgument(
+        "OD profile supports 1..16 dimensions, got " +
+        std::to_string(num_dims));
+  }
+  OdProfile profile;
+  profile.levels.resize(num_dims + 1);
+  profile.dimension_votes.assign(num_dims, 0);
+
+  for (int m = 1; m <= num_dims; ++m) {
+    LevelProfile& level = profile.levels[m];
+    level.level = m;
+    bool first = true;
+    for (uint64_t mask : MasksOfLevel(num_dims, m)) {
+      Subspace s(mask);
+      double value = od->Evaluate(s);
+      if (first || value > level.max_od) {
+        level.max_od = value;
+        level.argmax = s;
+      }
+      if (first || value < level.min_od) {
+        level.min_od = value;
+        level.argmin = s;
+      }
+      first = false;
+    }
+    for (int dim : level.argmax.Dims()) {
+      ++profile.dimension_votes[dim];
+    }
+  }
+  return profile;
+}
+
+}  // namespace hos::core

@@ -1,0 +1,52 @@
+// OD profile: the per-level structure of a point's outlying degree across
+// the whole lattice. This generalises the "intentional knowledge" idea of
+// Knorr & Ng [6] (which spaces explain WHY a point is an outlier) to the
+// OD measure: per level, where is the point most/least deviant, and which
+// dimensions keep appearing in its most-deviant subspaces.
+//
+// The profile is exhaustive by nature (it reports per-level extremes, which
+// pruning cannot skip), so it is limited to modest dimensionalities and
+// meant as a diagnostic / explanation tool, not as the search path.
+
+#ifndef HOS_CORE_OD_PROFILE_H_
+#define HOS_CORE_OD_PROFILE_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/subspace.h"
+#include "src/search/od_evaluator.h"
+
+namespace hos::core {
+
+/// Extremes of OD(p, ·) over one lattice level.
+struct LevelProfile {
+  int level = 0;
+  double min_od = 0.0;
+  double max_od = 0.0;
+  /// The level's most deviant subspace (argmax OD).
+  Subspace argmax;
+  /// The level's least deviant subspace (argmin OD).
+  Subspace argmin;
+};
+
+struct OdProfile {
+  /// Index m in 1..d (index 0 unused).
+  std::vector<LevelProfile> levels;
+
+  /// How often each dimension (0-based) appears across the per-level argmax
+  /// subspaces — the dimensions that drive the point's deviance.
+  std::vector<int> dimension_votes;
+
+  /// Dimensions sorted by descending vote count (ties: ascending index).
+  std::vector<int> DominantDimensions() const;
+};
+
+/// Evaluates OD over the full lattice of `num_dims` dimensions and builds
+/// the profile. InvalidArgument when num_dims > 16 (65535 evaluations is
+/// the sensible ceiling for a diagnostic).
+Result<OdProfile> ComputeOdProfile(search::OdEvaluator* od, int num_dims);
+
+}  // namespace hos::core
+
+#endif  // HOS_CORE_OD_PROFILE_H_

@@ -1,0 +1,32 @@
+// JSON export of query results and learned priors — the data-exchange
+// format of the demo front end (paper §4: "the audience will be encouraged
+// to play the demo interactively"). Hand-rolled writer, no dependencies.
+
+#ifndef HOS_CORE_RESULT_JSON_H_
+#define HOS_CORE_RESULT_JSON_H_
+
+#include <string>
+
+#include "src/core/hos_miner.h"
+
+namespace hos::core {
+
+/// Serialises one query answer:
+/// {
+///   "threshold": 1.5,
+///   "is_outlier": true,
+///   "minimal_outlying_subspaces": [[1,3],[2,4]],   // 1-based dims
+///   "total_outlying_subspaces": 7,
+///   "counters": {"od_evaluations": 18, "pruned_upward": 3, ...}
+/// }
+std::string QueryResultToJson(const QueryResult& result);
+
+/// Serialises the learning report: sample ids and per-level p_up/p_down.
+std::string LearningReportToJson(const learning::LearningReport& report);
+
+/// Serialises a subspace as a 1-based dimension array, e.g. [1,3].
+std::string SubspaceToJson(const Subspace& subspace);
+
+}  // namespace hos::core
+
+#endif  // HOS_CORE_RESULT_JSON_H_

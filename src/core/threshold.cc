@@ -1,0 +1,44 @@
+#include "src/core/threshold.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hos::core {
+
+Result<double> EstimateThreshold(const data::Dataset& dataset,
+                                 const knn::KnnEngine& engine,
+                                 const ThresholdOptions& options, Rng* rng) {
+  if (dataset.empty()) {
+    return Status::FailedPrecondition("cannot estimate T on empty dataset");
+  }
+  if (options.percentile <= 0.0 || options.percentile > 1.0) {
+    return Status::InvalidArgument("percentile must be in (0, 1]");
+  }
+  if (options.sample_size <= 0) {
+    return Status::InvalidArgument("sample_size must be positive");
+  }
+  const size_t sample_size =
+      std::min<size_t>(static_cast<size_t>(options.sample_size),
+                       dataset.size());
+  const Subspace full = Subspace::Full(dataset.num_dims());
+
+  std::vector<double> od_values;
+  od_values.reserve(sample_size);
+  for (size_t idx :
+       rng->SampleWithoutReplacement(dataset.size(), sample_size)) {
+    auto id = static_cast<data::PointId>(idx);
+    knn::KnnQuery query;
+    query.point = dataset.Row(id);
+    query.subspace = full;
+    query.k = options.k;
+    query.exclude = id;
+    od_values.push_back(knn::OutlyingDegree(engine, query));
+  }
+  std::sort(od_values.begin(), od_values.end());
+  size_t rank = static_cast<size_t>(
+      std::ceil(options.percentile * static_cast<double>(od_values.size())));
+  rank = std::min(std::max<size_t>(rank, 1), od_values.size());
+  return od_values[rank - 1];
+}
+
+}  // namespace hos::core

@@ -1,0 +1,85 @@
+#include "src/data/dataset.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace hos::data {
+
+Dataset::Dataset(int num_dims) : num_dims_(num_dims) {
+  assert(num_dims >= 1);
+  names_.reserve(num_dims);
+  for (int i = 0; i < num_dims; ++i) {
+    names_.push_back("dim" + std::to_string(i + 1));
+  }
+}
+
+Result<Dataset> Dataset::FromRows(
+    const std::vector<std::vector<double>>& rows, int num_dims) {
+  if (num_dims < 1) {
+    return Status::InvalidArgument("num_dims must be >= 1");
+  }
+  Dataset out(num_dims);
+  out.values_.reserve(rows.size() * static_cast<size_t>(num_dims));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (static_cast<int>(rows[i].size()) != num_dims) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(i) + " has " +
+          std::to_string(rows[i].size()) + " values, expected " +
+          std::to_string(num_dims));
+    }
+    out.Append(rows[i]);
+  }
+  return out;
+}
+
+PointId Dataset::Append(std::span<const double> row) {
+  assert(static_cast<int>(row.size()) == num_dims_);
+  values_.insert(values_.end(), row.begin(), row.end());
+  return static_cast<PointId>(num_points_++);
+}
+
+std::vector<double> Dataset::RowCopy(PointId id) const {
+  auto view = Row(id);
+  return {view.begin(), view.end()};
+}
+
+Status Dataset::SetColumnNames(std::vector<std::string> names) {
+  if (static_cast<int>(names.size()) != num_dims_) {
+    return Status::InvalidArgument("expected " + std::to_string(num_dims_) +
+                                   " column names, got " +
+                                   std::to_string(names.size()));
+  }
+  names_ = std::move(names);
+  return Status::OK();
+}
+
+std::vector<ColumnStats> ComputeColumnStats(const Dataset& dataset) {
+  const int d = dataset.num_dims();
+  std::vector<ColumnStats> stats(d);
+  if (dataset.empty()) return stats;
+
+  std::vector<double> sum(d, 0.0), sum_sq(d, 0.0);
+  for (int j = 0; j < d; ++j) {
+    stats[j].min = dataset.At(0, j);
+    stats[j].max = dataset.At(0, j);
+  }
+  for (PointId i = 0; i < dataset.size(); ++i) {
+    auto row = dataset.Row(i);
+    for (int j = 0; j < d; ++j) {
+      double v = row[j];
+      stats[j].min = std::min(stats[j].min, v);
+      stats[j].max = std::max(stats[j].max, v);
+      sum[j] += v;
+      sum_sq[j] += v * v;
+    }
+  }
+  const double n = static_cast<double>(dataset.size());
+  for (int j = 0; j < d; ++j) {
+    stats[j].mean = sum[j] / n;
+    double var = sum_sq[j] / n - stats[j].mean * stats[j].mean;
+    stats[j].stddev = var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+  return stats;
+}
+
+}  // namespace hos::data

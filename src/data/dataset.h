@@ -1,0 +1,86 @@
+// Dataset: an in-memory, row-major collection of d-dimensional points.
+// This is the single data representation shared by the index, the kNN
+// engines, the search algorithms and the baselines.
+
+#ifndef HOS_DATA_DATASET_H_
+#define HOS_DATA_DATASET_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace hos::data {
+
+/// Identifier of a point within a Dataset (its row index).
+using PointId = uint32_t;
+
+/// Dense row-major matrix of doubles with named columns.
+///
+/// Rows are points, columns are dimensions/attributes. The storage is one
+/// contiguous buffer so scans are cache-friendly; `Row(i)` returns a span
+/// view with no copies.
+class Dataset {
+ public:
+  /// Empty dataset with `num_dims` columns. Column names default to
+  /// "dim1".."dimD" (1-based, matching the paper's notation).
+  explicit Dataset(int num_dims);
+
+  /// Builds from pre-existing rows; every row must have `num_dims` entries.
+  static Result<Dataset> FromRows(const std::vector<std::vector<double>>& rows,
+                                  int num_dims);
+
+  int num_dims() const { return num_dims_; }
+  size_t size() const { return num_points_; }
+  bool empty() const { return num_points_ == 0; }
+
+  /// Appends a point; returns its id. `row.size()` must equal num_dims().
+  PointId Append(std::span<const double> row);
+
+  /// Read-only view of a row.
+  std::span<const double> Row(PointId id) const {
+    return {&values_[static_cast<size_t>(id) * num_dims_],
+            static_cast<size_t>(num_dims_)};
+  }
+
+  /// Single cell access.
+  double At(PointId id, int dim) const {
+    return values_[static_cast<size_t>(id) * num_dims_ + dim];
+  }
+  void Set(PointId id, int dim, double value) {
+    values_[static_cast<size_t>(id) * num_dims_ + dim] = value;
+  }
+
+  /// Copies a row out (for callers that need to mutate a query point).
+  std::vector<double> RowCopy(PointId id) const;
+
+  const std::vector<std::string>& column_names() const { return names_; }
+  Status SetColumnNames(std::vector<std::string> names);
+
+  /// Raw contiguous storage (row-major), mostly for the index bulk-loader.
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  int num_dims_;
+  size_t num_points_ = 0;
+  std::vector<double> values_;
+  std::vector<std::string> names_;
+};
+
+/// Per-column summary statistics.
+struct ColumnStats {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Computes min/max/mean/stddev for every column in one pass.
+std::vector<ColumnStats> ComputeColumnStats(const Dataset& dataset);
+
+}  // namespace hos::data
+
+#endif  // HOS_DATA_DATASET_H_

@@ -1,0 +1,196 @@
+#include "src/data/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hos::data {
+namespace {
+
+/// Draws a random unit vector in R^q whose components all have magnitude
+/// in [0.5, 1] before normalisation, so every dimension of the planted
+/// subspace contributes materially to the displacement direction.
+std::vector<double> RandomNormalVector(int q, Rng* rng) {
+  std::vector<double> w(q);
+  double norm_sq = 0.0;
+  for (int i = 0; i < q; ++i) {
+    double magnitude = rng->Uniform(0.5, 1.0);
+    w[i] = rng->Bernoulli(0.5) ? magnitude : -magnitude;
+    norm_sq += w[i] * w[i];
+  }
+  double inv_norm = 1.0 / std::sqrt(norm_sq);
+  for (double& v : w) v *= inv_norm;
+  return w;
+}
+
+/// Validates a planted-subspace list: in-range dimensions, pairwise
+/// disjoint dimension sets.
+Status ValidatePlanted(const std::vector<Subspace>& planted, int num_dims) {
+  uint64_t used = 0;
+  for (const Subspace& s : planted) {
+    if (s.Empty()) {
+      return Status::InvalidArgument("planted subspace must be non-empty");
+    }
+    for (int dim : s.Dims()) {
+      if (dim >= num_dims) {
+        return Status::InvalidArgument(
+            "planted subspace " + s.ToString() + " exceeds num_dims=" +
+            std::to_string(num_dims));
+      }
+    }
+    if ((used & s.mask()) != 0) {
+      return Status::InvalidArgument(
+          "planted subspaces must use pairwise disjoint dimensions; " +
+          s.ToString() + " overlaps a previous one");
+    }
+    used |= s.mask();
+  }
+  return Status::OK();
+}
+
+/// Projects `u` onto the hyperplane through `center` with unit normal `w`,
+/// then offsets it by `offset` along the normal:
+///   x = u - ((u - center)·w) w + offset·w
+std::vector<double> PlaceOnHyperplane(const std::vector<double>& u,
+                                      double center,
+                                      const std::vector<double>& w,
+                                      double offset) {
+  const int q = static_cast<int>(u.size());
+  double dot = 0.0;
+  for (int i = 0; i < q; ++i) dot += (u[i] - center) * w[i];
+  std::vector<double> x(q);
+  for (int i = 0; i < q; ++i) x[i] = u[i] - (dot - offset) * w[i];
+  return x;
+}
+
+}  // namespace
+
+Dataset GenerateUniform(size_t num_points, int num_dims, Rng* rng) {
+  Dataset out(num_dims);
+  std::vector<double> row(num_dims);
+  for (size_t i = 0; i < num_points; ++i) {
+    for (int j = 0; j < num_dims; ++j) row[j] = rng->Uniform();
+    out.Append(row);
+  }
+  return out;
+}
+
+Dataset GenerateGaussianMixture(const GaussianMixtureSpec& spec, Rng* rng) {
+  Dataset out(spec.num_dims);
+  std::vector<std::vector<double>> centers(spec.num_clusters);
+  for (auto& center : centers) {
+    center.resize(spec.num_dims);
+    for (double& c : center) {
+      c = rng->Uniform(spec.center_margin, 1.0 - spec.center_margin);
+    }
+  }
+  std::vector<double> row(spec.num_dims);
+  for (size_t i = 0; i < spec.num_points; ++i) {
+    const auto& center =
+        centers[static_cast<size_t>(rng->UniformInt(0, spec.num_clusters - 1))];
+    for (int j = 0; j < spec.num_dims; ++j) {
+      row[j] = std::clamp(rng->Gaussian(center[j], spec.cluster_stddev),
+                          0.0, 1.0);
+    }
+    out.Append(row);
+  }
+  return out;
+}
+
+Result<GeneratedData> GenerateSubspaceOutliers(const SubspaceOutlierSpec& spec,
+                                               Rng* rng) {
+  HOS_RETURN_IF_ERROR(ValidatePlanted(spec.planted_subspaces, spec.num_dims));
+  if (spec.displacement <= 4.0 * spec.noise) {
+    return Status::InvalidArgument(
+        "displacement must clearly exceed background noise");
+  }
+
+  // One hyperplane (normal vector) per planted subspace; all hyperplanes
+  // pass through the centre of the unit box.
+  constexpr double kCenter = 0.5;
+  std::vector<std::vector<int>> planted_dims;
+  std::vector<std::vector<double>> normals;
+  planted_dims.reserve(spec.planted_subspaces.size());
+  for (const Subspace& s : spec.planted_subspaces) {
+    planted_dims.push_back(s.Dims());
+    normals.push_back(RandomNormalVector(s.Dimensionality(), rng));
+  }
+
+  GeneratedData out{Dataset(spec.num_dims), {}};
+  std::vector<double> row(spec.num_dims);
+
+  auto fill_background_row = [&](std::vector<double>* r) {
+    // Unstructured dimensions: dense uniform background.
+    for (int j = 0; j < spec.num_dims; ++j) (*r)[j] = rng->Uniform();
+    // Structured dimensions: on-hyperplane with small normal noise.
+    for (size_t p = 0; p < planted_dims.size(); ++p) {
+      const auto& dims = planted_dims[p];
+      std::vector<double> u(dims.size());
+      for (size_t i = 0; i < dims.size(); ++i) u[i] = rng->Uniform();
+      auto x = PlaceOnHyperplane(u, kCenter, normals[p],
+                                 rng->Gaussian(0.0, spec.noise));
+      for (size_t i = 0; i < dims.size(); ++i) (*r)[dims[i]] = x[i];
+    }
+  };
+
+  for (size_t i = 0; i < spec.num_points; ++i) {
+    fill_background_row(&row);
+    out.dataset.Append(row);
+  }
+
+  // Planted outliers: background-like everywhere except displaced off the
+  // hyperplane of their own subspace.
+  for (size_t p = 0; p < spec.planted_subspaces.size(); ++p) {
+    for (int rep = 0; rep < spec.outliers_per_subspace; ++rep) {
+      fill_background_row(&row);
+      const auto& dims = planted_dims[p];
+      std::vector<double> u(dims.size());
+      // Keep marginals central so the point looks ordinary per-dimension.
+      for (size_t i = 0; i < dims.size(); ++i) u[i] = rng->Uniform(0.3, 0.7);
+      double side = rng->Bernoulli(0.5) ? 1.0 : -1.0;
+      auto x = PlaceOnHyperplane(u, kCenter, normals[p],
+                                 side * spec.displacement);
+      for (size_t i = 0; i < dims.size(); ++i) row[dims[i]] = x[i];
+      PointId id = out.dataset.Append(row);
+      out.outliers.push_back({id, spec.planted_subspaces[p]});
+    }
+  }
+  return out;
+}
+
+Result<GeneratedData> GenerateShiftOutliers(const ShiftOutlierSpec& spec,
+                                            Rng* rng) {
+  HOS_RETURN_IF_ERROR(ValidatePlanted(spec.planted_subspaces, spec.num_dims));
+  GaussianMixtureSpec background = spec.background;
+  background.num_points = spec.num_points;
+  background.num_dims = spec.num_dims;
+  GeneratedData out{GenerateGaussianMixture(background, rng), {}};
+
+  for (const Subspace& s : spec.planted_subspaces) {
+    // Start from an ordinary background point, then push it out of range in
+    // the planted dimensions.
+    PointId donor =
+        static_cast<PointId>(rng->UniformInt(0, out.dataset.size() - 1));
+    std::vector<double> row = out.dataset.RowCopy(donor);
+    for (int dim : s.Dims()) row[dim] += spec.shift;
+    PointId id = out.dataset.Append(row);
+    out.outliers.push_back({id, s});
+  }
+  return out;
+}
+
+Result<GeneratedData> GenerateFigure1Scenario(size_t num_points, int num_dims,
+                                              Rng* rng) {
+  if (num_dims < 4) {
+    return Status::InvalidArgument(
+        "Figure 1 scenario needs at least 4 dimensions for contrasting views");
+  }
+  SubspaceOutlierSpec spec;
+  spec.num_points = num_points;
+  spec.num_dims = num_dims;
+  spec.planted_subspaces = {Subspace::FromOneBased({1, 2})};
+  spec.outliers_per_subspace = 1;
+  return GenerateSubspaceOutliers(spec, rng);
+}
+
+}  // namespace hos::data

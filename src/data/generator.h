@@ -1,0 +1,107 @@
+// Synthetic workload generators with planted ground truth.
+//
+// The paper evaluates HOS-Miner on synthetic and (unavailable) real-life
+// datasets. These generators replace both (see DESIGN.md §5): they produce
+// high-dimensional data where specific points are outliers in specific,
+// *known* minimal subspaces, which additionally enables the quantitative
+// effectiveness metrics (precision/recall) the demo could only show
+// pictorially.
+//
+// The key construction is the hyperplane trick: inside a planted subspace
+// s* with q = dim(s*) dimensions, the background population lies on a
+// (q-1)-dimensional hyperplane (plus small noise). Projecting onto any
+// proper subset of s* collapses the hyperplane onto the full box, so a
+// planted point displaced off the hyperplane is close to the data in every
+// proper subset of s* but far from all of it in s* itself — making s* its
+// unique minimal outlying subspace.
+
+#ifndef HOS_DATA_GENERATOR_H_
+#define HOS_DATA_GENERATOR_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/subspace.h"
+#include "src/data/dataset.h"
+
+namespace hos::data {
+
+/// Ground-truth record: point `id` was planted to have `subspace` as its
+/// unique minimal outlying subspace.
+struct PlantedOutlier {
+  PointId id;
+  Subspace subspace;
+};
+
+/// A generated dataset together with its planted ground truth.
+struct GeneratedData {
+  Dataset dataset;
+  std::vector<PlantedOutlier> outliers;
+};
+
+/// Uniform noise over [0,1]^d.
+Dataset GenerateUniform(size_t num_points, int num_dims, Rng* rng);
+
+struct GaussianMixtureSpec {
+  size_t num_points = 1000;
+  int num_dims = 8;
+  int num_clusters = 4;
+  /// Per-dimension standard deviation of each cluster.
+  double cluster_stddev = 0.05;
+  /// Cluster centres are drawn uniformly from [margin, 1-margin]^d.
+  double center_margin = 0.15;
+};
+
+/// Mixture of axis-aligned Gaussian clusters in [0,1]^d (values clamped).
+Dataset GenerateGaussianMixture(const GaussianMixtureSpec& spec, Rng* rng);
+
+struct SubspaceOutlierSpec {
+  size_t num_points = 1000;
+  int num_dims = 8;
+  /// Subspaces to plant. Dimension sets should be pairwise disjoint so each
+  /// planted point's minimal outlying subspace is unambiguous; Generate
+  /// rejects overlapping subspaces.
+  std::vector<Subspace> planted_subspaces;
+  /// Number of outlier points planted per subspace.
+  int outliers_per_subspace = 1;
+  /// Distance of a planted point from the background hyperplane, in the
+  /// normalised [0,1] coordinate frame. Must comfortably exceed `noise`.
+  double displacement = 0.35;
+  /// Noise of background points around their hyperplane.
+  double noise = 0.01;
+};
+
+/// Background filling [0,1]^d, with hyperplane structure inside every
+/// planted subspace and displaced outlier points (the construction described
+/// in the header comment). Outlier rows are appended after background rows.
+Result<GeneratedData> GenerateSubspaceOutliers(const SubspaceOutlierSpec& spec,
+                                               Rng* rng);
+
+struct ShiftOutlierSpec {
+  size_t num_points = 1000;
+  int num_dims = 8;
+  GaussianMixtureSpec background;
+  /// Each planted point is shifted out of range in exactly these dimensions
+  /// (one subspace per outlier; singletons give trivially-detectable
+  /// outliers useful for smoke tests).
+  std::vector<Subspace> planted_subspaces;
+  double shift = 2.0;
+};
+
+/// Gaussian-mixture background plus points shifted far out of range in the
+/// planted dimensions. The minimal outlying subspaces of a shifted point
+/// are the singletons of its shifted dimensions.
+Result<GeneratedData> GenerateShiftOutliers(const ShiftOutlierSpec& spec,
+                                            Rng* rng);
+
+/// Regenerates the situation of the paper's Figure 1: a d-dimensional
+/// dataset where one distinguished point p is a clear outlier in the 2-D
+/// view [1,2] but unremarkable in the other 2-D views. Returns the data and
+/// the id of p (as a single planted outlier with subspace [1,2]).
+Result<GeneratedData> GenerateFigure1Scenario(size_t num_points, int num_dims,
+                                              Rng* rng);
+
+}  // namespace hos::data
+
+#endif  // HOS_DATA_GENERATOR_H_

@@ -1,0 +1,85 @@
+#include "src/eval/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+
+namespace hos::eval {
+namespace {
+
+void FillRates(SetMetrics* m) {
+  const double tp = static_cast<double>(m->true_positives);
+  const double fp = static_cast<double>(m->false_positives);
+  const double fn = static_cast<double>(m->false_negatives);
+  m->precision = (tp + fp) == 0.0 ? 1.0 : tp / (tp + fp);
+  m->recall = (tp + fn) == 0.0 ? 1.0 : tp / (tp + fn);
+  m->f1 = (m->precision + m->recall) == 0.0
+              ? 0.0
+              : 2.0 * m->precision * m->recall / (m->precision + m->recall);
+}
+
+}  // namespace
+
+SetMetrics CompareSubspaceSets(const std::vector<Subspace>& predicted,
+                               const std::vector<Subspace>& truth) {
+  std::set<uint64_t> predicted_set, truth_set;
+  for (const Subspace& s : predicted) predicted_set.insert(s.mask());
+  for (const Subspace& s : truth) truth_set.insert(s.mask());
+
+  SetMetrics m;
+  for (uint64_t mask : predicted_set) {
+    if (truth_set.count(mask) != 0) {
+      ++m.true_positives;
+    } else {
+      ++m.false_positives;
+    }
+  }
+  for (uint64_t mask : truth_set) {
+    if (predicted_set.count(mask) == 0) ++m.false_negatives;
+  }
+  FillRates(&m);
+  return m;
+}
+
+double DimensionJaccard(const Subspace& a, const Subspace& b) {
+  const uint64_t inter = a.mask() & b.mask();
+  const uint64_t uni = a.mask() | b.mask();
+  if (uni == 0) return 1.0;
+  return static_cast<double>(std::popcount(inter)) /
+         static_cast<double>(std::popcount(uni));
+}
+
+double BestMatchJaccard(const std::vector<Subspace>& predicted,
+                        const std::vector<Subspace>& truth) {
+  if (truth.empty()) return 1.0;
+  double total = 0.0;
+  for (const Subspace& t : truth) {
+    double best = 0.0;
+    for (const Subspace& p : predicted) {
+      best = std::max(best, DimensionJaccard(p, t));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+SetMetrics ComparePointSets(const std::vector<uint32_t>& predicted,
+                            const std::vector<uint32_t>& truth) {
+  std::set<uint32_t> predicted_set(predicted.begin(), predicted.end());
+  std::set<uint32_t> truth_set(truth.begin(), truth.end());
+  SetMetrics m;
+  for (uint32_t id : predicted_set) {
+    if (truth_set.count(id) != 0) {
+      ++m.true_positives;
+    } else {
+      ++m.false_positives;
+    }
+  }
+  for (uint32_t id : truth_set) {
+    if (predicted_set.count(id) == 0) ++m.false_negatives;
+  }
+  FillRates(&m);
+  return m;
+}
+
+}  // namespace hos::eval

@@ -1,0 +1,43 @@
+// Effectiveness metrics for subspace detection: compare a detector's
+// predicted (minimal) outlying subspaces against planted ground truth.
+
+#ifndef HOS_EVAL_METRICS_H_
+#define HOS_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "src/common/subspace.h"
+
+namespace hos::eval {
+
+/// Exact set-comparison counts and derived rates.
+struct SetMetrics {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+  double precision = 0.0;  ///< tp / (tp + fp); 1 when nothing predicted
+  double recall = 0.0;     ///< tp / (tp + fn); 1 when truth is empty
+  double f1 = 0.0;
+};
+
+/// Exact-match precision/recall/F1 between two subspace sets.
+SetMetrics CompareSubspaceSets(const std::vector<Subspace>& predicted,
+                               const std::vector<Subspace>& truth);
+
+/// Partial-credit score: for each truth subspace, the best Jaccard
+/// similarity of its dimension set against any predicted subspace,
+/// averaged. 1.0 = every truth subspace predicted exactly.
+double BestMatchJaccard(const std::vector<Subspace>& predicted,
+                        const std::vector<Subspace>& truth);
+
+/// Jaccard similarity of two dimension sets.
+double DimensionJaccard(const Subspace& a, const Subspace& b);
+
+/// Binary classification metrics over point ids (e.g. "detector flagged
+/// these points" vs "these points were planted").
+SetMetrics ComparePointSets(const std::vector<uint32_t>& predicted,
+                            const std::vector<uint32_t>& truth);
+
+}  // namespace hos::eval
+
+#endif  // HOS_EVAL_METRICS_H_

@@ -1,0 +1,38 @@
+// Plain-text table rendering for the benchmark harness: every experiment
+// binary prints the rows/series the paper's evaluation would report,
+// aligned for eyeballing and trivially machine-parseable.
+
+#ifndef HOS_EVAL_REPORT_H_
+#define HOS_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace hos::eval {
+
+/// Column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Adds one row; must have as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with a header rule, two-space column gaps.
+  std::string ToString() const;
+
+  /// Convenience: renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("0.123").
+std::string FormatDouble(double value, int precision = 3);
+
+}  // namespace hos::eval
+
+#endif  // HOS_EVAL_REPORT_H_

@@ -1,0 +1,29 @@
+#include "src/filter/minimal_filter.h"
+
+#include <algorithm>
+
+namespace hos::filter {
+
+std::vector<Subspace> MinimalSubspaces(std::vector<Subspace> subspaces) {
+  std::sort(subspaces.begin(), subspaces.end(),
+            [](const Subspace& a, const Subspace& b) {
+              int da = a.Dimensionality(), db = b.Dimensionality();
+              if (da != db) return da < db;
+              return a.mask() < b.mask();
+            });
+  std::vector<Subspace> selected;
+  for (const Subspace& s : subspaces) {
+    // Duplicates are covered by their earlier occurrence (subset-of-self).
+    if (!IsCoveredBy(s, selected)) selected.push_back(s);
+  }
+  return selected;
+}
+
+bool IsCoveredBy(const Subspace& s, const std::vector<Subspace>& minimal) {
+  for (const Subspace& m : minimal) {
+    if (m.IsSubsetOf(s)) return true;
+  }
+  return false;
+}
+
+}  // namespace hos::filter

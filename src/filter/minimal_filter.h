@@ -1,0 +1,27 @@
+// Result refinement (paper §3.4): of all outlying subspaces, only the ones
+// with the lowest possible number of dimensions are returned, because every
+// superset of an outlying subspace is also outlying and would overwhelm the
+// user. E.g. from {[1,3], [2,4], [1,2,3], [1,2,4], [1,3,4], [2,3,4],
+// [1,2,3,4]} only [1,3] and [2,4] survive.
+
+#ifndef HOS_FILTER_MINIMAL_FILTER_H_
+#define HOS_FILTER_MINIMAL_FILTER_H_
+
+#include <vector>
+
+#include "src/common/subspace.h"
+
+namespace hos::filter {
+
+/// Implements the paper's upward selection: subspaces are examined in
+/// ascending dimensionality and one is discarded iff it is a superset of an
+/// already-selected subspace. Returns the minimal antichain sorted by
+/// (dimensionality, mask). Duplicates are dropped.
+std::vector<Subspace> MinimalSubspaces(std::vector<Subspace> subspaces);
+
+/// True iff `s` is a superset of (or equal to) some member of `minimal`.
+bool IsCoveredBy(const Subspace& s, const std::vector<Subspace>& minimal);
+
+}  // namespace hos::filter
+
+#endif  // HOS_FILTER_MINIMAL_FILTER_H_

@@ -1,0 +1,258 @@
+// In-memory B+-tree: sorted keys in the leaves, separator keys in the
+// directory, leaves chained for range scans. This is the one-dimensional
+// ordered-index substrate of the iDistance high-dimensional index
+// (idistance.h), mirroring the original iDistance design, which stores the
+// scalar keys in a B+-tree.
+//
+// Duplicate keys are allowed (equal keys preserve insertion order within a
+// leaf run). Header-only because it is templated on key/value.
+
+#ifndef HOS_INDEX_BPLUS_TREE_H_
+#define HOS_INDEX_BPLUS_TREE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace hos::index {
+
+/// B+-tree with configurable fan-out. Key must be totally ordered by <.
+template <typename Key, typename Value>
+class BPlusTree {
+ public:
+  /// `order` = maximum number of keys per node (>= 4).
+  explicit BPlusTree(int order = 64) : order_(order) {
+    assert(order_ >= 4);
+    root_ = std::make_unique<Node>(/*leaf=*/true);
+  }
+
+  size_t size() const { return size_; }
+
+  /// Inserts one entry; duplicates allowed.
+  void Insert(const Key& key, const Value& value) {
+    auto split = InsertRecursive(root_.get(), key, value);
+    if (split.has_value()) {
+      auto new_root = std::make_unique<Node>(/*leaf=*/false);
+      new_root->keys.push_back(split->separator);
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(split->right));
+      root_ = std::move(new_root);
+    }
+    ++size_;
+  }
+
+  /// Visits every entry with lo <= key <= hi in ascending key order.
+  /// The visitor returns false to stop early.
+  template <typename Visitor>
+  void Scan(const Key& lo, const Key& hi, Visitor&& visit) const {
+    const Node* leaf = FindLeaf(lo);
+    while (leaf != nullptr) {
+      // First position with key >= lo (only relevant in the first leaf).
+      size_t begin = std::lower_bound(leaf->keys.begin(), leaf->keys.end(),
+                                      lo) -
+                     leaf->keys.begin();
+      for (size_t i = begin; i < leaf->keys.size(); ++i) {
+        if (hi < leaf->keys[i]) return;
+        if (!visit(leaf->keys[i], leaf->values[i])) return;
+      }
+      leaf = leaf->next;
+    }
+  }
+
+  /// Materialised range query.
+  std::vector<std::pair<Key, Value>> Range(const Key& lo,
+                                           const Key& hi) const {
+    std::vector<std::pair<Key, Value>> out;
+    Scan(lo, hi, [&](const Key& k, const Value& v) {
+      out.emplace_back(k, v);
+      return true;
+    });
+    return out;
+  }
+
+  int height() const {
+    int h = 1;
+    const Node* node = root_.get();
+    while (!node->is_leaf) {
+      node = node->children.front().get();
+      ++h;
+    }
+    return h;
+  }
+
+  /// Structural validation: sortedness, separator bounds, uniform leaf
+  /// depth, fill factors, leaf-chain completeness, entry count.
+  Status CheckInvariants() const {
+    size_t counted = 0;
+    int leaf_depth = -1;
+    HOS_RETURN_IF_ERROR(
+        Validate(root_.get(), 1, nullptr, nullptr, &leaf_depth, &counted));
+    if (counted != size_) {
+      return Status::Internal("entry count mismatch");
+    }
+    // The leaf chain must visit exactly the same number of entries.
+    const Node* leaf = LeftmostLeaf();
+    size_t chained = 0;
+    const Key* prev = nullptr;
+    while (leaf != nullptr) {
+      for (const Key& k : leaf->keys) {
+        if (prev != nullptr && k < *prev) {
+          return Status::Internal("leaf chain out of order");
+        }
+        prev = &k;
+        ++chained;
+      }
+      leaf = leaf->next;
+    }
+    if (chained != size_) {
+      return Status::Internal("leaf chain misses entries");
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct Node {
+    explicit Node(bool leaf) : is_leaf(leaf) {}
+    bool is_leaf;
+    std::vector<Key> keys;
+    // Directory: children.size() == keys.size() + 1.
+    std::vector<std::unique_ptr<Node>> children;
+    // Leaf: values.size() == keys.size(); `next` chains leaves.
+    std::vector<Value> values;
+    Node* next = nullptr;
+  };
+
+  struct Split {
+    Key separator;
+    std::unique_ptr<Node> right;
+  };
+
+  std::optional<Split> InsertRecursive(Node* node, const Key& key,
+                                       const Value& value) {
+    if (node->is_leaf) {
+      // upper_bound keeps equal keys in insertion order.
+      size_t pos = std::upper_bound(node->keys.begin(), node->keys.end(),
+                                    key) -
+                   node->keys.begin();
+      node->keys.insert(node->keys.begin() + pos, key);
+      node->values.insert(node->values.begin() + pos, value);
+      if (static_cast<int>(node->keys.size()) <= order_) return std::nullopt;
+      return SplitLeaf(node);
+    }
+    size_t child_index = std::upper_bound(node->keys.begin(),
+                                          node->keys.end(), key) -
+                         node->keys.begin();
+    auto split = InsertRecursive(node->children[child_index].get(), key,
+                                 value);
+    if (!split.has_value()) return std::nullopt;
+    node->keys.insert(node->keys.begin() + child_index, split->separator);
+    node->children.insert(node->children.begin() + child_index + 1,
+                          std::move(split->right));
+    if (static_cast<int>(node->keys.size()) <= order_) return std::nullopt;
+    return SplitDirectory(node);
+  }
+
+  Split SplitLeaf(Node* leaf) {
+    const size_t mid = leaf->keys.size() / 2;
+    auto right = std::make_unique<Node>(/*leaf=*/true);
+    right->keys.assign(leaf->keys.begin() + mid, leaf->keys.end());
+    right->values.assign(leaf->values.begin() + mid, leaf->values.end());
+    leaf->keys.resize(mid);
+    leaf->values.resize(mid);
+    right->next = leaf->next;
+    leaf->next = right.get();
+    // B+-tree: the separator is copied up; the right leaf keeps it.
+    return Split{right->keys.front(), std::move(right)};
+  }
+
+  Split SplitDirectory(Node* node) {
+    const size_t mid = node->keys.size() / 2;
+    Key separator = node->keys[mid];
+    auto right = std::make_unique<Node>(/*leaf=*/false);
+    right->keys.assign(node->keys.begin() + mid + 1, node->keys.end());
+    for (size_t i = mid + 1; i < node->children.size(); ++i) {
+      right->children.push_back(std::move(node->children[i]));
+    }
+    node->keys.resize(mid);
+    node->children.resize(mid + 1);
+    // Directory split: the separator moves up (not kept in either half).
+    return Split{std::move(separator), std::move(right)};
+  }
+
+  /// Leaf that contains the *leftmost* occurrence of `key` (or where it
+  /// would go). Uses lower_bound so duplicate runs spanning several leaves
+  /// are scanned from their beginning; insertion uses upper_bound instead
+  /// to keep duplicates in arrival order.
+  const Node* FindLeaf(const Key& key) const {
+    const Node* node = root_.get();
+    while (!node->is_leaf) {
+      size_t child_index = std::lower_bound(node->keys.begin(),
+                                            node->keys.end(), key) -
+                           node->keys.begin();
+      node = node->children[child_index].get();
+    }
+    return node;
+  }
+
+  const Node* LeftmostLeaf() const {
+    const Node* node = root_.get();
+    while (!node->is_leaf) node = node->children.front().get();
+    return node;
+  }
+
+  Status Validate(const Node* node, int depth, const Key* lower,
+                  const Key* upper, int* leaf_depth, size_t* counted) const {
+    if (!std::is_sorted(node->keys.begin(), node->keys.end())) {
+      return Status::Internal("unsorted keys in node");
+    }
+    for (const Key& k : node->keys) {
+      if (lower != nullptr && k < *lower) {
+        return Status::Internal("key below subtree lower bound");
+      }
+      if (upper != nullptr && *upper < k) {
+        return Status::Internal("key above subtree upper bound");
+      }
+    }
+    const int min_keys = order_ / 2 - 1;
+    if (node != root_.get() &&
+        static_cast<int>(node->keys.size()) < std::max(1, min_keys)) {
+      return Status::Internal("underfull node");
+    }
+    if (node->is_leaf) {
+      if (node->keys.size() != node->values.size()) {
+        return Status::Internal("leaf key/value size mismatch");
+      }
+      if (*leaf_depth == -1) *leaf_depth = depth;
+      if (depth != *leaf_depth) {
+        return Status::Internal("non-uniform leaf depth");
+      }
+      *counted += node->keys.size();
+      return Status::OK();
+    }
+    if (node->children.size() != node->keys.size() + 1) {
+      return Status::Internal("directory fan-out mismatch");
+    }
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      const Key* child_lower = i == 0 ? lower : &node->keys[i - 1];
+      const Key* child_upper =
+          i == node->keys.size() ? upper : &node->keys[i];
+      HOS_RETURN_IF_ERROR(Validate(node->children[i].get(), depth + 1,
+                                   child_lower, child_upper, leaf_depth,
+                                   counted));
+    }
+    return Status::OK();
+  }
+
+  int order_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace hos::index
+
+#endif  // HOS_INDEX_BPLUS_TREE_H_

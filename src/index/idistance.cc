@@ -1,0 +1,203 @@
+#include "src/index/idistance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "src/data/kmeans.h"
+
+namespace hos::index {
+namespace {
+
+struct WorstFirst {
+  bool operator()(const knn::Neighbor& a, const knn::Neighbor& b) const {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  }
+};
+
+}  // namespace
+
+Result<IDistance> IDistance::Build(const data::Dataset& dataset,
+                                   knn::MetricKind metric,
+                                   IDistanceConfig config, Rng* rng) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot build iDistance on empty dataset");
+  }
+  if (config.num_partitions < 1) {
+    return Status::InvalidArgument("num_partitions must be >= 1");
+  }
+  config.num_partitions = std::min<int>(
+      config.num_partitions, static_cast<int>(dataset.size()));
+
+  IDistance index(dataset, metric, config);
+
+  // 1. Reference points by k-means (always L2 for the clustering itself;
+  //    the index metric is used for the keys, which is what correctness
+  //    depends on).
+  data::KMeansOptions kmeans_options;
+  kmeans_options.num_clusters = config.num_partitions;
+  kmeans_options.max_iterations = config.kmeans_iterations;
+  HOS_ASSIGN_OR_RETURN(data::KMeansResult clusters,
+                       data::KMeans(dataset, kmeans_options, rng));
+
+  index.partitions_.resize(config.num_partitions);
+  for (int p = 0; p < config.num_partitions; ++p) {
+    index.partitions_[p].center = std::move(clusters.centroids[p]);
+  }
+  index.assignment_ = std::move(clusters.assignment);
+
+  // 2. Partition radii under the index metric. A point stays in its k-means
+  //    partition; only the distance is re-measured with `metric`.
+  const Subspace full = Subspace::Full(dataset.num_dims());
+  std::vector<double> key_distance(dataset.size());
+  double max_radius = 0.0;
+  for (data::PointId i = 0; i < dataset.size(); ++i) {
+    int p = index.assignment_[i];
+    double dist = knn::SubspaceDistance(dataset.Row(i),
+                                        index.partitions_[p].center, full,
+                                        metric);
+    key_distance[i] = dist;
+    index.partitions_[p].radius =
+        std::max(index.partitions_[p].radius, dist);
+    ++index.partitions_[p].num_points;
+  }
+  for (const auto& partition : index.partitions_) {
+    max_radius = std::max(max_radius, partition.radius);
+    index.mean_radius_ += partition.radius;
+  }
+  index.mean_radius_ /= index.partitions_.size();
+  // Disjoint stripes: wider than any radius can ever reach.
+  index.stripe_width_ = 2.0 * max_radius + 1.0;
+
+  // 3. Keys into the B+-tree.
+  for (data::PointId i = 0; i < dataset.size(); ++i) {
+    index.tree_.Insert(index.Key(index.assignment_[i], key_distance[i]), i);
+  }
+  return index;
+}
+
+std::vector<knn::Neighbor> IDistance::Knn(
+    std::span<const double> point, int k,
+    std::optional<data::PointId> exclude) const {
+  const size_t want = static_cast<size_t>(std::max(k, 0));
+  if (want == 0 || dataset_->empty()) return {};
+  const Subspace full = Subspace::Full(dataset_->num_dims());
+
+  // Distances from the query to every partition centre.
+  std::vector<double> center_dist(partitions_.size());
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    center_dist[p] = knn::SubspaceDistance(point, partitions_[p].center,
+                                           full, metric_);
+  }
+
+  std::priority_queue<knn::Neighbor, std::vector<knn::Neighbor>, WorstFirst>
+      best;
+  std::vector<char> visited(dataset_->size(), 0);
+  const double step = std::max(mean_radius_ *
+                                   config_.initial_radius_fraction,
+                               1e-9);
+  double r = step;
+
+  while (true) {
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      // Query ball misses this partition's sphere entirely?
+      if (center_dist[p] - r > partitions_[p].radius) continue;
+      const double lo =
+          Key(static_cast<int>(p), std::max(0.0, center_dist[p] - r));
+      const double hi = Key(
+          static_cast<int>(p),
+          std::min(partitions_[p].radius, center_dist[p] + r));
+      tree_.Scan(lo, hi, [&](double /*key*/, data::PointId id) {
+        if (!visited[id]) {
+          visited[id] = 1;
+          if (!exclude || *exclude != id) {
+            double dist = knn::SubspaceDistance(point, dataset_->Row(id),
+                                                full, metric_);
+            ++distance_count_;
+            if (best.size() < want) {
+              best.push({id, dist});
+            } else if (WorstFirst{}(knn::Neighbor{id, dist}, best.top())) {
+              best.pop();
+              best.push({id, dist});
+            }
+          }
+        }
+        return true;
+      });
+    }
+    // Stop when k found and nothing unseen can beat the k-th distance, or
+    // when the radius has grown past every partition.
+    const size_t reachable =
+        dataset_->size() - (exclude.has_value() ? 1 : 0);
+    if (best.size() >= std::min(want, reachable) &&
+        (best.empty() || best.top().distance <= r)) {
+      break;
+    }
+    bool any_left = false;
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      if (center_dist[p] - r <= partitions_[p].radius) any_left = true;
+    }
+    if (!any_left && best.size() >= std::min(want, reachable)) break;
+    r += step;
+  }
+
+  std::vector<knn::Neighbor> out(best.size());
+  for (size_t i = best.size(); i-- > 0;) {
+    out[i] = best.top();
+    best.pop();
+  }
+  return out;
+}
+
+std::vector<knn::Neighbor> IDistance::RangeSearch(
+    std::span<const double> point, double radius) const {
+  const Subspace full = Subspace::Full(dataset_->num_dims());
+  std::vector<knn::Neighbor> out;
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    double center_dist = knn::SubspaceDistance(point, partitions_[p].center,
+                                               full, metric_);
+    if (center_dist - radius > partitions_[p].radius) continue;
+    const double lo =
+        Key(static_cast<int>(p), std::max(0.0, center_dist - radius));
+    const double hi =
+        Key(static_cast<int>(p),
+            std::min(partitions_[p].radius, center_dist + radius));
+    tree_.Scan(lo, hi, [&](double /*key*/, data::PointId id) {
+      double dist =
+          knn::SubspaceDistance(point, dataset_->Row(id), full, metric_);
+      ++distance_count_;
+      if (dist <= radius) out.push_back({id, dist});
+      return true;
+    });
+  }
+  std::sort(out.begin(), out.end(),
+            [](const knn::Neighbor& a, const knn::Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  return out;
+}
+
+Status IDistance::CheckInvariants() const {
+  HOS_RETURN_IF_ERROR(tree_.CheckInvariants());
+  if (tree_.size() != dataset_->size()) {
+    return Status::Internal("B+-tree entry count != dataset size");
+  }
+  const Subspace full = Subspace::Full(dataset_->num_dims());
+  for (data::PointId i = 0; i < dataset_->size(); ++i) {
+    int p = assignment_[i];
+    if (p < 0 || p >= static_cast<int>(partitions_.size())) {
+      return Status::Internal("point assigned to invalid partition");
+    }
+    double dist = knn::SubspaceDistance(dataset_->Row(i),
+                                        partitions_[p].center, full,
+                                        metric_);
+    if (dist > partitions_[p].radius + 1e-9) {
+      return Status::Internal("point outside its partition radius");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hos::index

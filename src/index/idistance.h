@@ -1,0 +1,108 @@
+// iDistance (Yu, Ooi, Tan, Jagadish): high-dimensional kNN through a
+// one-dimensional B+-tree. The data is partitioned around reference points
+// (k-means centroids); every point is keyed by
+//
+//     key(p) = partition(p) * c + dist(p, O_partition(p))
+//
+// with c larger than any partition's radius, so partitions occupy disjoint
+// key stripes. A kNN query grows a search radius r: in every partition
+// whose sphere intersects the query ball, the triangle inequality confines
+// candidates to the key interval
+//
+//     [ i*c + dist(q, O_i) - r ,  i*c + min(radius_i, dist(q, O_i) + r) ]
+//
+// which the B+-tree scans directly. The search stops when the k-th best
+// exact distance is <= r (every unseen point is then provably farther).
+//
+// Unlike the X-tree and VA-file, the key embeds *full-space* distances, so
+// iDistance serves full-space queries only — exactly what the HOS-Miner
+// screening stage (ScreenOutliers) needs. Experiment E15 compares the three
+// backends on that stage.
+
+#ifndef HOS_INDEX_IDISTANCE_H_
+#define HOS_INDEX_IDISTANCE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/data/dataset.h"
+#include "src/index/bplus_tree.h"
+#include "src/knn/knn_engine.h"
+
+namespace hos::index {
+
+struct IDistanceConfig {
+  /// Number of reference points (k-means clusters).
+  int num_partitions = 16;
+  int kmeans_iterations = 20;
+  /// Fan-out of the underlying B+-tree.
+  int bplus_order = 64;
+  /// Initial search radius as a fraction of the mean partition radius, and
+  /// the growth step per round.
+  double initial_radius_fraction = 0.1;
+};
+
+/// Per-partition metadata.
+struct IDistancePartition {
+  std::vector<double> center;
+  double radius = 0.0;  ///< max distance of a member from the centre
+  size_t num_points = 0;
+};
+
+class IDistance {
+ public:
+  /// Builds partitions (k-means), keys and the B+-tree over all current
+  /// dataset rows. The dataset must outlive the index.
+  static Result<IDistance> Build(const data::Dataset& dataset,
+                                 knn::MetricKind metric,
+                                 IDistanceConfig config, Rng* rng);
+
+  /// Exact full-space kNN; ordering matches LinearScanKnn
+  /// (ascending distance, then id).
+  std::vector<knn::Neighbor> Knn(std::span<const double> point, int k,
+                                 std::optional<data::PointId> exclude =
+                                     std::nullopt) const;
+
+  /// Exact full-space range query, ascending (distance, id).
+  std::vector<knn::Neighbor> RangeSearch(std::span<const double> point,
+                                         double radius) const;
+
+  size_t size() const { return dataset_->size(); }
+  knn::MetricKind metric() const { return metric_; }
+  const std::vector<IDistancePartition>& partitions() const {
+    return partitions_;
+  }
+  int tree_height() const { return tree_.height(); }
+  uint64_t distance_computations() const { return distance_count_; }
+
+  /// Structural check: every point's key lies inside its partition stripe
+  /// and the B+-tree invariants hold.
+  Status CheckInvariants() const;
+
+ private:
+  IDistance(const data::Dataset& dataset, knn::MetricKind metric,
+            IDistanceConfig config)
+      : dataset_(&dataset), metric_(metric), config_(config),
+        tree_(config.bplus_order) {}
+
+  double Key(int partition, double distance_to_center) const {
+    return partition * stripe_width_ + distance_to_center;
+  }
+
+  const data::Dataset* dataset_;
+  knn::MetricKind metric_;
+  IDistanceConfig config_;
+  std::vector<IDistancePartition> partitions_;
+  std::vector<int> assignment_;  ///< partition per point
+  double stripe_width_ = 0.0;    ///< the constant c
+  double mean_radius_ = 0.0;
+  BPlusTree<double, data::PointId> tree_;
+  mutable uint64_t distance_count_ = 0;
+};
+
+}  // namespace hos::index
+
+#endif  // HOS_INDEX_IDISTANCE_H_

@@ -1,0 +1,159 @@
+#include "src/index/mbr.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace hos::index {
+
+Mbr::Mbr(int num_dims)
+    : min_(num_dims, std::numeric_limits<double>::infinity()),
+      max_(num_dims, -std::numeric_limits<double>::infinity()) {}
+
+Mbr Mbr::OfPoint(std::span<const double> point) {
+  Mbr box(static_cast<int>(point.size()));
+  box.Expand(point);
+  return box;
+}
+
+void Mbr::Expand(std::span<const double> point) {
+  assert(static_cast<int>(point.size()) == num_dims());
+  for (int i = 0; i < num_dims(); ++i) {
+    min_[i] = std::min(min_[i], point[i]);
+    max_[i] = std::max(max_[i], point[i]);
+  }
+  empty_ = false;
+}
+
+void Mbr::Expand(const Mbr& other) {
+  assert(other.num_dims() == num_dims());
+  if (other.empty_) return;
+  for (int i = 0; i < num_dims(); ++i) {
+    min_[i] = std::min(min_[i], other.min_[i]);
+    max_[i] = std::max(max_[i], other.max_[i]);
+  }
+  empty_ = false;
+}
+
+double Mbr::Margin() const {
+  if (empty_) return 0.0;
+  double sum = 0.0;
+  for (int i = 0; i < num_dims(); ++i) sum += Extent(i);
+  return sum;
+}
+
+double Mbr::Area() const {
+  if (empty_) return 0.0;
+  double area = 1.0;
+  for (int i = 0; i < num_dims(); ++i) area *= Extent(i);
+  return area;
+}
+
+double Mbr::IntersectionArea(const Mbr& other) const {
+  if (empty_ || other.empty_) return 0.0;
+  double area = 1.0;
+  for (int i = 0; i < num_dims(); ++i) {
+    double lo = std::max(min_[i], other.min_[i]);
+    double hi = std::min(max_[i], other.max_[i]);
+    if (hi < lo) return 0.0;
+    area *= hi - lo;
+  }
+  return area;
+}
+
+bool Mbr::Intersects(const Mbr& other) const {
+  if (empty_ || other.empty_) return false;
+  for (int i = 0; i < num_dims(); ++i) {
+    if (other.max_[i] < min_[i] || max_[i] < other.min_[i]) return false;
+  }
+  return true;
+}
+
+bool Mbr::ContainsPoint(std::span<const double> point) const {
+  if (empty_) return false;
+  for (int i = 0; i < num_dims(); ++i) {
+    if (point[i] < min_[i] || point[i] > max_[i]) return false;
+  }
+  return true;
+}
+
+bool Mbr::ContainsMbr(const Mbr& other) const {
+  if (empty_) return false;
+  if (other.empty_) return true;
+  for (int i = 0; i < num_dims(); ++i) {
+    if (other.min_[i] < min_[i] || other.max_[i] > max_[i]) return false;
+  }
+  return true;
+}
+
+double Mbr::MinDistance(std::span<const double> point,
+                        const Subspace& subspace,
+                        knn::MetricKind metric) const {
+  assert(!empty_);
+  uint64_t mask = subspace.mask();
+  double acc = 0.0;
+  while (mask != 0) {
+    int dim = std::countr_zero(mask);
+    mask &= mask - 1;
+    double gap = 0.0;
+    if (point[dim] < min_[dim]) {
+      gap = min_[dim] - point[dim];
+    } else if (point[dim] > max_[dim]) {
+      gap = point[dim] - max_[dim];
+    }
+    switch (metric) {
+      case knn::MetricKind::kL1:
+        acc += gap;
+        break;
+      case knn::MetricKind::kL2:
+        acc += gap * gap;
+        break;
+      case knn::MetricKind::kLInf:
+        acc = std::max(acc, gap);
+        break;
+    }
+  }
+  return metric == knn::MetricKind::kL2 ? std::sqrt(acc) : acc;
+}
+
+double Mbr::MaxDistance(std::span<const double> point,
+                        const Subspace& subspace,
+                        knn::MetricKind metric) const {
+  assert(!empty_);
+  uint64_t mask = subspace.mask();
+  double acc = 0.0;
+  while (mask != 0) {
+    int dim = std::countr_zero(mask);
+    mask &= mask - 1;
+    double gap = std::max(std::abs(point[dim] - min_[dim]),
+                          std::abs(point[dim] - max_[dim]));
+    switch (metric) {
+      case knn::MetricKind::kL1:
+        acc += gap;
+        break;
+      case knn::MetricKind::kL2:
+        acc += gap * gap;
+        break;
+      case knn::MetricKind::kLInf:
+        acc = std::max(acc, gap);
+        break;
+    }
+  }
+  return metric == knn::MetricKind::kL2 ? std::sqrt(acc) : acc;
+}
+
+std::string Mbr::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  for (int i = 0; i < num_dims(); ++i) {
+    if (i > 0) out << ", ";
+    out << "[" << min_[i] << "," << max_[i] << "]";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace hos::index

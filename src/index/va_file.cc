@@ -1,0 +1,194 @@
+#include "src/index/va_file.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+namespace hos::index {
+namespace {
+
+/// Max-heap ordering identical to LinearScanKnn's: farthest (then highest
+/// id) on top, so the retained set is the k smallest under (distance, id).
+struct WorstFirst {
+  bool operator()(const knn::Neighbor& a, const knn::Neighbor& b) const {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  }
+};
+
+}  // namespace
+
+VaFile::VaFile(const data::Dataset& dataset, knn::MetricKind metric,
+               VaFileConfig config)
+    : dataset_(&dataset),
+      metric_(metric),
+      config_(config),
+      cells_per_dim_(1 << config.bits_per_dim) {}
+
+Result<VaFile> VaFile::Build(const data::Dataset& dataset,
+                             knn::MetricKind metric, VaFileConfig config) {
+  if (config.bits_per_dim < 1 || config.bits_per_dim > 8) {
+    return Status::InvalidArgument("bits_per_dim must be in 1..8");
+  }
+  VaFile file(dataset, metric, config);
+  const int d = dataset.num_dims();
+  auto stats = data::ComputeColumnStats(dataset);
+  file.dim_lo_.resize(d);
+  file.dim_width_.resize(d);
+  for (int dim = 0; dim < d; ++dim) {
+    file.dim_lo_[dim] = stats[dim].min;
+    double extent = stats[dim].max - stats[dim].min;
+    file.dim_width_[dim] =
+        extent > 0.0 ? extent / file.cells_per_dim_ : 1.0;
+  }
+  file.cells_.resize(dataset.size() * static_cast<size_t>(d));
+  for (data::PointId i = 0; i < dataset.size(); ++i) {
+    auto row = dataset.Row(i);
+    for (int dim = 0; dim < d; ++dim) {
+      file.cells_[static_cast<size_t>(i) * d + dim] =
+          static_cast<uint8_t>(file.CellOf(dim, row[dim]));
+    }
+  }
+  return file;
+}
+
+int VaFile::CellOf(int dim, double value) const {
+  double offset = (value - dim_lo_[dim]) / dim_width_[dim];
+  int cell = static_cast<int>(std::floor(offset));
+  return std::clamp(cell, 0, cells_per_dim_ - 1);
+}
+
+void VaFile::Bounds(data::PointId id, std::span<const double> point,
+                    const Subspace& subspace, double* lower,
+                    double* upper) const {
+  const int d = dataset_->num_dims();
+  const uint8_t* cells = &cells_[static_cast<size_t>(id) * d];
+  uint64_t mask = subspace.mask();
+  double lo_acc = 0.0, hi_acc = 0.0;
+  while (mask != 0) {
+    int dim = std::countr_zero(mask);
+    mask &= mask - 1;
+    const double cell_lo = dim_lo_[dim] + cells[dim] * dim_width_[dim];
+    const double cell_hi = cell_lo + dim_width_[dim];
+    const double p = point[dim];
+    double gap = 0.0;
+    if (p < cell_lo) {
+      gap = cell_lo - p;
+    } else if (p > cell_hi) {
+      gap = p - cell_hi;
+    }
+    const double reach = std::max(std::abs(p - cell_lo),
+                                  std::abs(p - cell_hi));
+    switch (metric_) {
+      case knn::MetricKind::kL1:
+        lo_acc += gap;
+        hi_acc += reach;
+        break;
+      case knn::MetricKind::kL2:
+        lo_acc += gap * gap;
+        hi_acc += reach * reach;
+        break;
+      case knn::MetricKind::kLInf:
+        lo_acc = std::max(lo_acc, gap);
+        hi_acc = std::max(hi_acc, reach);
+        break;
+    }
+  }
+  if (metric_ == knn::MetricKind::kL2) {
+    lo_acc = std::sqrt(lo_acc);
+    hi_acc = std::sqrt(hi_acc);
+  }
+  *lower = lo_acc;
+  *upper = hi_acc;
+}
+
+std::vector<knn::Neighbor> VaFile::Knn(const knn::KnnQuery& query) const {
+  const size_t n = dataset_->size();
+  const size_t k = static_cast<size_t>(std::max(query.k, 0));
+  last_candidates_ = 0;
+  if (n == 0 || k == 0) return {};
+
+  // Phase 1: bounds from the approximation file. tau = k-th smallest upper
+  // bound; anything with lower > tau cannot be in the answer.
+  struct Approx {
+    double lower;
+    data::PointId id;
+  };
+  std::vector<Approx> approx;
+  approx.reserve(n);
+  std::priority_queue<double> upper_heap;  // max-heap of k smallest uppers
+  for (data::PointId id = 0; id < n; ++id) {
+    if (query.exclude && *query.exclude == id) continue;
+    double lower, upper;
+    Bounds(id, query.point, query.subspace, &lower, &upper);
+    approx.push_back({lower, id});
+    if (upper_heap.size() < k) {
+      upper_heap.push(upper);
+    } else if (upper < upper_heap.top()) {
+      upper_heap.pop();
+      upper_heap.push(upper);
+    }
+  }
+  const double tau = upper_heap.top();
+
+  // Phase 2: exact distances for survivors, visited in ascending
+  // lower-bound order so the running k-th distance prunes early.
+  std::vector<Approx> candidates;
+  candidates.reserve(approx.size() / 4 + 1);
+  for (const Approx& a : approx) {
+    if (a.lower <= tau) candidates.push_back(a);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Approx& a, const Approx& b) {
+              if (a.lower != b.lower) return a.lower < b.lower;
+              return a.id < b.id;
+            });
+
+  std::priority_queue<knn::Neighbor, std::vector<knn::Neighbor>, WorstFirst>
+      best;
+  for (const Approx& a : candidates) {
+    if (best.size() == k && a.lower > best.top().distance) break;
+    double dist = knn::SubspaceDistance(query.point, dataset_->Row(a.id),
+                                        query.subspace, metric_);
+    ++distance_count_;
+    ++last_candidates_;
+    if (best.size() < k) {
+      best.push({a.id, dist});
+    } else if (WorstFirst{}(knn::Neighbor{a.id, dist}, best.top())) {
+      best.pop();
+      best.push({a.id, dist});
+    }
+  }
+
+  std::vector<knn::Neighbor> out(best.size());
+  for (size_t i = best.size(); i-- > 0;) {
+    out[i] = best.top();
+    best.pop();
+  }
+  return out;
+}
+
+std::vector<knn::Neighbor> VaFile::RangeSearch(std::span<const double> point,
+                                               const Subspace& subspace,
+                                               double radius) const {
+  std::vector<knn::Neighbor> out;
+  for (data::PointId id = 0; id < dataset_->size(); ++id) {
+    double lower, upper;
+    Bounds(id, point, subspace, &lower, &upper);
+    if (lower > radius) continue;
+    double dist =
+        knn::SubspaceDistance(point, dataset_->Row(id), subspace, metric_);
+    ++distance_count_;
+    if (dist <= radius) out.push_back({id, dist});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const knn::Neighbor& a, const knn::Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  return out;
+}
+
+}  // namespace hos::index

@@ -1,0 +1,105 @@
+// VA-file (Weber, Schek, Blott — VLDB'98): the vector-approximation file,
+// the classic alternative to tree indexes for high-dimensional kNN. Every
+// point is compressed to a few bits per dimension (its grid cell); a kNN
+// query first scans the tiny approximation file computing lower/upper
+// distance bounds, then fetches exact coordinates only for candidates whose
+// lower bound beats the current k-th upper bound.
+//
+// Included as a second index backend for the paper's kNN module: like the
+// X-tree, one full-dimensional VA-file answers exact kNN in any subspace
+// (per-dimension bounds restricted to the subspace's dimensions remain
+// valid), and the E8 experiment compares the two.
+
+#ifndef HOS_INDEX_VA_FILE_H_
+#define HOS_INDEX_VA_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/data/dataset.h"
+#include "src/knn/knn_engine.h"
+
+namespace hos::index {
+
+struct VaFileConfig {
+  /// Bits per dimension; 2^bits cells per dimension. 4-8 are typical.
+  int bits_per_dim = 4;
+};
+
+/// The approximation file plus query machinery. Bound to a Dataset (not
+/// owned); rebuild after the dataset changes.
+class VaFile {
+ public:
+  /// Builds approximations for all current dataset rows. Cell boundaries
+  /// are equi-width over each dimension's observed [min, max].
+  static Result<VaFile> Build(const data::Dataset& dataset,
+                              knn::MetricKind metric,
+                              VaFileConfig config = {});
+
+  /// Exact kNN via the two-phase VA-file algorithm. Result ordering matches
+  /// LinearScanKnn: ascending (distance, id).
+  std::vector<knn::Neighbor> Knn(const knn::KnnQuery& query) const;
+
+  /// All points within `radius`, ascending (distance, id).
+  std::vector<knn::Neighbor> RangeSearch(std::span<const double> point,
+                                         const Subspace& subspace,
+                                         double radius) const;
+
+  size_t size() const { return dataset_->size(); }
+  knn::MetricKind metric() const { return metric_; }
+
+  /// Exact (phase-2) distance computations so far.
+  uint64_t distance_computations() const { return distance_count_; }
+  /// Points surviving the approximation filter in the last query.
+  uint64_t last_candidate_count() const { return last_candidates_; }
+
+ private:
+  VaFile(const data::Dataset& dataset, knn::MetricKind metric,
+         VaFileConfig config);
+
+  /// Lower/upper bound of dist(query, any point in the cell of `id`),
+  /// over `subspace`.
+  void Bounds(data::PointId id, std::span<const double> point,
+              const Subspace& subspace, double* lower, double* upper) const;
+  int CellOf(int dim, double value) const;
+
+  const data::Dataset* dataset_;
+  knn::MetricKind metric_;
+  VaFileConfig config_;
+  int cells_per_dim_;
+  /// Per-dimension cell boundaries: lo + i * width.
+  std::vector<double> dim_lo_;
+  std::vector<double> dim_width_;  // width of one cell
+  /// Row-major n x d matrix of cell indices (uint8 => bits_per_dim <= 8).
+  std::vector<uint8_t> cells_;
+  mutable uint64_t distance_count_ = 0;
+  mutable uint64_t last_candidates_ = 0;
+};
+
+/// KnnEngine adapter.
+class VaFileKnn : public knn::KnnEngine {
+ public:
+  explicit VaFileKnn(const VaFile& file) : file_(file) {}
+
+  std::vector<knn::Neighbor> Search(const knn::KnnQuery& query) const override {
+    return file_.Knn(query);
+  }
+  std::vector<knn::Neighbor> RangeSearch(std::span<const double> point,
+                                         const Subspace& subspace,
+                                         double radius) const override {
+    return file_.RangeSearch(point, subspace, radius);
+  }
+  size_t size() const override { return file_.size(); }
+  knn::MetricKind metric() const override { return file_.metric(); }
+  uint64_t distance_computations() const override {
+    return file_.distance_computations();
+  }
+
+ private:
+  const VaFile& file_;
+};
+
+}  // namespace hos::index
+
+#endif  // HOS_INDEX_VA_FILE_H_

@@ -1,0 +1,13 @@
+#include "src/knn/knn_engine.h"
+
+namespace hos::knn {
+
+double OutlyingDegree(const KnnEngine& engine, const KnnQuery& query) {
+  double sum = 0.0;
+  for (const Neighbor& n : engine.Search(query)) {
+    sum += n.distance;
+  }
+  return sum;
+}
+
+}  // namespace hos::knn

@@ -1,0 +1,73 @@
+// KnnEngine: the abstract k-nearest-neighbour service consumed by the OD
+// evaluator. Two implementations exist: LinearScanKnn (exact oracle) and
+// index::XTreeKnn (the paper's X-tree-backed module). An engine is bound to
+// one dataset and one metric at construction.
+
+#ifndef HOS_KNN_KNN_ENGINE_H_
+#define HOS_KNN_KNN_ENGINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/common/subspace.h"
+#include "src/data/dataset.h"
+#include "src/knn/metric.h"
+
+namespace hos::knn {
+
+/// One nearest-neighbour hit.
+struct Neighbor {
+  data::PointId id;
+  double distance;
+
+  bool operator==(const Neighbor&) const = default;
+};
+
+/// Parameters of a kNN query.
+struct KnnQuery {
+  /// The query point, in full dimensionality.
+  std::span<const double> point;
+  /// Subspace the distance is computed in.
+  Subspace subspace;
+  /// Number of neighbours requested.
+  int k = 5;
+  /// When set, this dataset point id is excluded from the result — used so
+  /// a query point drawn from the dataset is not its own neighbour.
+  std::optional<data::PointId> exclude;
+};
+
+/// Abstract kNN service over a fixed dataset with a fixed metric.
+class KnnEngine {
+ public:
+  virtual ~KnnEngine() = default;
+
+  /// Returns up to k nearest neighbours ordered by ascending distance
+  /// (ties broken by ascending id). Fewer than k when the dataset is small.
+  virtual std::vector<Neighbor> Search(const KnnQuery& query) const = 0;
+
+  /// All points within `radius` (inclusive) of the query in the subspace,
+  /// ordered by ascending distance.
+  virtual std::vector<Neighbor> RangeSearch(std::span<const double> point,
+                                            const Subspace& subspace,
+                                            double radius) const = 0;
+
+  /// Number of points served.
+  virtual size_t size() const = 0;
+
+  /// Metric the engine was constructed with.
+  virtual MetricKind metric() const = 0;
+
+  /// Monotonically increasing count of point-to-point distance computations
+  /// performed, for the efficiency experiments.
+  virtual uint64_t distance_computations() const = 0;
+};
+
+/// OD(p, s) = sum of distances to the k nearest neighbours of p in s
+/// (paper §2). The core measure of the whole system.
+double OutlyingDegree(const KnnEngine& engine, const KnnQuery& query);
+
+}  // namespace hos::knn
+
+#endif  // HOS_KNN_KNN_ENGINE_H_

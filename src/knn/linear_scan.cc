@@ -1,0 +1,63 @@
+#include "src/knn/linear_scan.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace hos::knn {
+namespace {
+
+/// Max-heap ordering: farthest (then highest id) on top, so the heap root
+/// is the first entry to evict and the final ascending order is
+/// (distance, id).
+struct WorstFirst {
+  bool operator()(const Neighbor& a, const Neighbor& b) const {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  }
+};
+
+}  // namespace
+
+std::vector<Neighbor> LinearScanKnn::Search(const KnnQuery& query) const {
+  std::priority_queue<Neighbor, std::vector<Neighbor>, WorstFirst> heap;
+  const size_t k = static_cast<size_t>(std::max(query.k, 0));
+  if (k == 0) return {};
+
+  for (data::PointId id = 0; id < dataset_.size(); ++id) {
+    if (query.exclude && *query.exclude == id) continue;
+    double dist = SubspaceDistance(query.point, dataset_.Row(id),
+                                   query.subspace, metric_);
+    ++distance_count_;
+    if (heap.size() < k) {
+      heap.push({id, dist});
+    } else if (WorstFirst{}(Neighbor{id, dist}, heap.top())) {
+      heap.pop();
+      heap.push({id, dist});
+    }
+  }
+
+  std::vector<Neighbor> out(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    out[i] = heap.top();
+    heap.pop();
+  }
+  return out;
+}
+
+std::vector<Neighbor> LinearScanKnn::RangeSearch(std::span<const double> point,
+                                                 const Subspace& subspace,
+                                                 double radius) const {
+  std::vector<Neighbor> out;
+  for (data::PointId id = 0; id < dataset_.size(); ++id) {
+    double dist = SubspaceDistance(point, dataset_.Row(id), subspace, metric_);
+    ++distance_count_;
+    if (dist <= radius) out.push_back({id, dist});
+  }
+  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+}  // namespace hos::knn

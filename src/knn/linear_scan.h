@@ -1,0 +1,37 @@
+// LinearScanKnn: exact brute-force kNN. Serves as the correctness oracle
+// for the X-tree and as the "no index" baseline in the efficiency
+// experiments (E8).
+
+#ifndef HOS_KNN_LINEAR_SCAN_H_
+#define HOS_KNN_LINEAR_SCAN_H_
+
+#include "src/knn/knn_engine.h"
+
+namespace hos::knn {
+
+/// Scans all points for every query. O(n·dim(s)) per query. The referenced
+/// dataset must outlive the engine.
+class LinearScanKnn : public KnnEngine {
+ public:
+  LinearScanKnn(const data::Dataset& dataset, MetricKind metric)
+      : dataset_(dataset), metric_(metric) {}
+
+  std::vector<Neighbor> Search(const KnnQuery& query) const override;
+
+  std::vector<Neighbor> RangeSearch(std::span<const double> point,
+                                    const Subspace& subspace,
+                                    double radius) const override;
+
+  size_t size() const override { return dataset_.size(); }
+  MetricKind metric() const override { return metric_; }
+  uint64_t distance_computations() const override { return distance_count_; }
+
+ private:
+  const data::Dataset& dataset_;
+  MetricKind metric_;
+  mutable uint64_t distance_count_ = 0;
+};
+
+}  // namespace hos::knn
+
+#endif  // HOS_KNN_LINEAR_SCAN_H_

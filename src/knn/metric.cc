@@ -1,0 +1,60 @@
+#include "src/knn/metric.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace hos::knn {
+
+std::string_view MetricKindToString(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kL1:
+      return "L1";
+    case MetricKind::kL2:
+      return "L2";
+    case MetricKind::kLInf:
+      return "LInf";
+  }
+  return "?";
+}
+
+double SubspaceDistance(std::span<const double> a, std::span<const double> b,
+                        const Subspace& subspace, MetricKind kind) {
+  assert(a.size() == b.size());
+  uint64_t mask = subspace.mask();
+  double acc = 0.0;
+  switch (kind) {
+    case MetricKind::kL1:
+      while (mask != 0) {
+        int dim = std::countr_zero(mask);
+        acc += std::abs(a[dim] - b[dim]);
+        mask &= mask - 1;
+      }
+      return acc;
+    case MetricKind::kL2:
+      while (mask != 0) {
+        int dim = std::countr_zero(mask);
+        double diff = a[dim] - b[dim];
+        acc += diff * diff;
+        mask &= mask - 1;
+      }
+      return std::sqrt(acc);
+    case MetricKind::kLInf:
+      while (mask != 0) {
+        int dim = std::countr_zero(mask);
+        acc = std::max(acc, std::abs(a[dim] - b[dim]));
+        mask &= mask - 1;
+      }
+      return acc;
+  }
+  return acc;
+}
+
+double FullDistance(std::span<const double> a, std::span<const double> b,
+                    MetricKind kind) {
+  return SubspaceDistance(a, b,
+                          Subspace::Full(static_cast<int>(a.size())), kind);
+}
+
+}  // namespace hos::knn

@@ -1,0 +1,34 @@
+// Distance metrics with subspace projection.
+//
+// The OD monotonicity that powers both pruning strategies (paper §2)
+// requires that adding a dimension can only increase a distance. All three
+// metrics here (L1, L2, L∞) satisfy that, which tests/metric_test.cc and the
+// property suite verify.
+
+#ifndef HOS_KNN_METRIC_H_
+#define HOS_KNN_METRIC_H_
+
+#include <span>
+#include <string_view>
+
+#include "src/common/subspace.h"
+
+namespace hos::knn {
+
+enum class MetricKind { kL1, kL2, kLInf };
+
+std::string_view MetricKindToString(MetricKind kind);
+
+/// Distance between two full-dimensional points, computed only over the
+/// dimensions of `subspace`. Points must have equal size covering every
+/// subspace dimension.
+double SubspaceDistance(std::span<const double> a, std::span<const double> b,
+                        const Subspace& subspace, MetricKind kind);
+
+/// Distance over all dimensions.
+double FullDistance(std::span<const double> a, std::span<const double> b,
+                    MetricKind kind);
+
+}  // namespace hos::knn
+
+#endif  // HOS_KNN_METRIC_H_

@@ -1,0 +1,155 @@
+#include "src/lattice/lattice_state.h"
+
+#include <cassert>
+
+#include "src/common/combinatorics.h"
+
+namespace hos::lattice {
+
+bool IsOutlierState(SubspaceState s) {
+  return s == SubspaceState::kEvaluatedOutlier ||
+         s == SubspaceState::kInferredOutlier;
+}
+
+bool IsDecided(SubspaceState s) { return s != SubspaceState::kUndecided; }
+
+LatticeState::LatticeState(int num_dims) : num_dims_(num_dims) {
+  assert(num_dims >= 1 && num_dims <= 22);
+  state_.assign(uint64_t{1} << num_dims, 0);
+  undecided_.resize(num_dims + 1);
+  undecided_count_.assign(num_dims + 1, 0);
+  evaluated_outliers_.assign(num_dims + 1, 0);
+  evaluated_non_outliers_.assign(num_dims + 1, 0);
+  inferred_outliers_.assign(num_dims + 1, 0);
+  inferred_non_outliers_.assign(num_dims + 1, 0);
+  for (int m = 1; m <= num_dims; ++m) {
+    undecided_[m] = MasksOfLevel(num_dims, m);
+    undecided_count_[m] = undecided_[m].size();
+  }
+}
+
+void LatticeState::MarkEvaluated(const Subspace& s, bool outlier) {
+  assert(StateOf(s) == SubspaceState::kUndecided);
+  const int m = s.Dimensionality();
+  if (outlier) {
+    state_[s.mask()] = static_cast<uint8_t>(SubspaceState::kEvaluatedOutlier);
+    ++evaluated_outliers_[m];
+    evaluated_outlier_list_.push_back(s);
+    // Keep the outlier seed set minimal: skip if a known seed is already a
+    // subset; drop known seeds that are supersets of the new one.
+    bool dominated = false;
+    for (const Subspace& seed : minimal_outlier_seeds_) {
+      if (seed.IsSubsetOf(s)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      std::erase_if(minimal_outlier_seeds_, [&](const Subspace& seed) {
+        return s.IsProperSubsetOf(seed);
+      });
+      minimal_outlier_seeds_.push_back(s);
+    }
+    pending_outlier_seeds_.push_back(s.mask());
+  } else {
+    state_[s.mask()] =
+        static_cast<uint8_t>(SubspaceState::kEvaluatedNonOutlier);
+    ++evaluated_non_outliers_[m];
+    bool dominated = false;
+    for (const Subspace& seed : maximal_non_outlier_seeds_) {
+      if (s.IsSubsetOf(seed)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      std::erase_if(maximal_non_outlier_seeds_, [&](const Subspace& seed) {
+        return seed.IsProperSubsetOf(s);
+      });
+      maximal_non_outlier_seeds_.push_back(s);
+    }
+    pending_non_outlier_seeds_.push_back(s.mask());
+  }
+  --undecided_count_[m];
+}
+
+void LatticeState::Propagate() {
+  if (pending_outlier_seeds_.empty() && pending_non_outlier_seeds_.empty()) {
+    return;
+  }
+  for (int m = 1; m <= num_dims_; ++m) {
+    auto& masks = undecided_[m];
+    size_t write = 0;
+    for (size_t read = 0; read < masks.size(); ++read) {
+      const uint64_t mask = masks[read];
+      if (state_[mask] != 0) continue;  // decided elsewhere; drop lazily
+      bool decided = false;
+      // Upward pruning: superset of an outlying seed => outlier.
+      for (uint64_t seed : pending_outlier_seeds_) {
+        if ((mask & seed) == seed && mask != seed) {
+          state_[mask] =
+              static_cast<uint8_t>(SubspaceState::kInferredOutlier);
+          ++inferred_outliers_[m];
+          decided = true;
+          break;
+        }
+      }
+      if (!decided) {
+        // Downward pruning: subset of a non-outlying seed => non-outlier.
+        for (uint64_t seed : pending_non_outlier_seeds_) {
+          if ((mask & seed) == mask && mask != seed) {
+            state_[mask] =
+                static_cast<uint8_t>(SubspaceState::kInferredNonOutlier);
+            ++inferred_non_outliers_[m];
+            decided = true;
+            break;
+          }
+        }
+      }
+      if (decided) {
+        --undecided_count_[m];
+      } else {
+        masks[write++] = mask;
+      }
+    }
+    masks.resize(write);
+  }
+  pending_outlier_seeds_.clear();
+  pending_non_outlier_seeds_.clear();
+}
+
+const std::vector<uint64_t>& LatticeState::Undecided(int m) {
+  // Compact out entries decided since the last call.
+  auto& masks = undecided_[m];
+  size_t write = 0;
+  for (size_t read = 0; read < masks.size(); ++read) {
+    if (state_[masks[read]] == 0) masks[write++] = masks[read];
+  }
+  masks.resize(write);
+  return masks;
+}
+
+bool LatticeState::AllDecided() const {
+  for (int m = 1; m <= num_dims_; ++m) {
+    if (undecided_count_[m] != 0) return false;
+  }
+  return true;
+}
+
+uint64_t LatticeState::RemainingWorkloadBelow(int m) const {
+  uint64_t sum = 0;
+  for (int i = 1; i < m; ++i) {
+    sum += undecided_count_[i] * static_cast<uint64_t>(i);
+  }
+  return sum;
+}
+
+uint64_t LatticeState::RemainingWorkloadAbove(int m) const {
+  uint64_t sum = 0;
+  for (int i = m + 1; i <= num_dims_; ++i) {
+    sum += undecided_count_[i] * static_cast<uint64_t>(i);
+  }
+  return sum;
+}
+
+}  // namespace hos::lattice

@@ -1,0 +1,130 @@
+// LatticeState: bookkeeping for a search over the subspace lattice of a
+// d-dimensional space (2^d - 1 non-empty subspaces).
+//
+// Every subspace is in one of five states. Evaluated states come from
+// actually computing OD; inferred states come from the paper's two pruning
+// strategies (§3.1): a subspace is an *inferred outlier* when it is a
+// superset of a known outlying subspace (Property 2 / upward pruning), and
+// an *inferred non-outlier* when it is a subset of a known non-outlying
+// subspace (Property 1 / downward pruning).
+//
+// The implementation keeps a flat 2^d state array (practical d <= ~22), a
+// per-level list of undecided masks, and two *seed* sets: minimal known
+// outliers and maximal known non-outliers. Propagate() resolves undecided
+// masks against seeds added since the last call; per-level undecided counts
+// feed the f_down / f_up fractions of the TSF formula.
+
+#ifndef HOS_LATTICE_LATTICE_STATE_H_
+#define HOS_LATTICE_LATTICE_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/subspace.h"
+
+namespace hos::lattice {
+
+enum class SubspaceState : uint8_t {
+  kUndecided = 0,
+  kEvaluatedOutlier,
+  kEvaluatedNonOutlier,
+  kInferredOutlier,     ///< pruned by the upward strategy
+  kInferredNonOutlier,  ///< pruned by the downward strategy
+};
+
+/// True for the two outlier states.
+bool IsOutlierState(SubspaceState s);
+/// False only for kUndecided.
+bool IsDecided(SubspaceState s);
+
+class LatticeState {
+ public:
+  /// Fresh lattice over d dimensions, everything undecided. d <= 22 keeps
+  /// the flat state array small.
+  explicit LatticeState(int num_dims);
+
+  int num_dims() const { return num_dims_; }
+
+  SubspaceState StateOf(const Subspace& s) const {
+    return static_cast<SubspaceState>(state_[s.mask()]);
+  }
+
+  /// Records an OD evaluation verdict for `s` and queues it for
+  /// propagation. `s` must currently be undecided.
+  void MarkEvaluated(const Subspace& s, bool outlier);
+
+  /// Applies pending seeds to every undecided subspace: supersets of
+  /// outlier seeds become inferred outliers, subsets of non-outlier seeds
+  /// become inferred non-outliers. Call after each batch of evaluations.
+  void Propagate();
+
+  /// Undecided masks at level m, filtered of decided entries. The returned
+  /// reference is invalidated by MarkEvaluated/Propagate.
+  const std::vector<uint64_t>& Undecided(int m);
+
+  /// Number of undecided subspaces at level m.
+  size_t UndecidedCount(int m) const { return undecided_count_[m]; }
+
+  /// True when every subspace of every level is decided.
+  bool AllDecided() const;
+
+  /// C_down_left(m) of Definition 3: sum of dim(s) over undecided s with
+  /// dim(s) < m.
+  uint64_t RemainingWorkloadBelow(int m) const;
+  /// C_up_left(m): sum of dim(s) over undecided s with dim(s) > m.
+  uint64_t RemainingWorkloadAbove(int m) const;
+
+  // Per-level tallies (index by level m in 1..d).
+  size_t EvaluatedOutliers(int m) const { return evaluated_outliers_[m]; }
+  size_t EvaluatedNonOutliers(int m) const {
+    return evaluated_non_outliers_[m];
+  }
+  size_t InferredOutliers(int m) const { return inferred_outliers_[m]; }
+  size_t InferredNonOutliers(int m) const {
+    return inferred_non_outliers_[m];
+  }
+  /// Total outlying subspaces decided at level m (evaluated + inferred).
+  size_t OutliersAtLevel(int m) const {
+    return evaluated_outliers_[m] + inferred_outliers_[m];
+  }
+
+  /// Minimal outlying seeds discovered so far (no seed is a superset of
+  /// another). When the search is complete these generate the full outlying
+  /// set as their up-closure.
+  const std::vector<Subspace>& minimal_outlier_seeds() const {
+    return minimal_outlier_seeds_;
+  }
+  /// Maximal non-outlying seeds (no seed is a subset of another).
+  const std::vector<Subspace>& maximal_non_outlier_seeds() const {
+    return maximal_non_outlier_seeds_;
+  }
+
+  /// All subspaces evaluated as outliers, in evaluation order.
+  const std::vector<Subspace>& evaluated_outlier_list() const {
+    return evaluated_outlier_list_;
+  }
+
+  /// True iff `s` is decided outlying (evaluated or inferred).
+  bool IsOutlying(const Subspace& s) const {
+    return IsOutlierState(StateOf(s));
+  }
+
+ private:
+  int num_dims_;
+  std::vector<uint8_t> state_;                    // indexed by mask
+  std::vector<std::vector<uint64_t>> undecided_;  // per level, lazily filtered
+  std::vector<size_t> undecided_count_;           // per level
+  std::vector<size_t> evaluated_outliers_;
+  std::vector<size_t> evaluated_non_outliers_;
+  std::vector<size_t> inferred_outliers_;
+  std::vector<size_t> inferred_non_outliers_;
+  std::vector<Subspace> minimal_outlier_seeds_;
+  std::vector<Subspace> maximal_non_outlier_seeds_;
+  std::vector<Subspace> evaluated_outlier_list_;
+  std::vector<uint64_t> pending_outlier_seeds_;
+  std::vector<uint64_t> pending_non_outlier_seeds_;
+};
+
+}  // namespace hos::lattice
+
+#endif  // HOS_LATTICE_LATTICE_STATE_H_

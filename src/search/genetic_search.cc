@@ -1,0 +1,130 @@
+#include "src/search/genetic_search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "src/filter/minimal_filter.h"
+
+namespace hos::search {
+
+GeneticSubspaceSearch::GeneticSubspaceSearch(int num_dims,
+                                             GeneticSearchOptions options)
+    : num_dims_(num_dims), options_(options) {
+  assert(num_dims >= 1 && num_dims <= kMaxDims);
+  assert(options_.population_size >= 4);
+}
+
+Subspace GeneticSubspaceSearch::Minimise(Subspace s, OdEvaluator* od,
+                                         double threshold) const {
+  bool shrunk = true;
+  while (shrunk && s.Dimensionality() > 1) {
+    shrunk = false;
+    for (int dim : s.Dims()) {
+      Subspace candidate = s.Without(dim);
+      if (od->Evaluate(candidate) >= threshold) {
+        s = candidate;
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+std::vector<Subspace> GeneticSubspaceSearch::Run(OdEvaluator* od,
+                                                 double threshold,
+                                                 Rng* rng) const {
+  const uint64_t full = Subspace::Full(num_dims_).mask();
+  auto random_mask = [&]() -> uint64_t {
+    uint64_t mask = static_cast<uint64_t>(
+                        rng->UniformInt(1, static_cast<int64_t>(full))) &
+                    full;
+    return mask == 0 ? 1 : mask;
+  };
+
+  std::vector<uint64_t> population;
+  population.reserve(options_.population_size);
+  for (int i = 0; i < options_.population_size; ++i) {
+    population.push_back(random_mask());
+  }
+
+  std::set<uint64_t> found;  // minimal outlying subspaces discovered
+  int stagnant = 0;
+
+  for (int gen = 0; gen < options_.max_generations &&
+                    stagnant < options_.stagnation_limit;
+       ++gen) {
+    // Fitness: outlying individuals score best when low-dimensional;
+    // non-outlying ones score by how close their OD is to the threshold.
+    std::vector<double> fitness(population.size());
+    bool improved = false;
+    for (size_t i = 0; i < population.size(); ++i) {
+      Subspace s(population[i]);
+      double od_value = od->Evaluate(s);
+      if (od_value >= threshold) {
+        fitness[i] =
+            1.0 + static_cast<double>(num_dims_ - s.Dimensionality()) /
+                      num_dims_;
+        Subspace minimal = Minimise(s, od, threshold);
+        improved |= found.insert(minimal.mask()).second;
+      } else {
+        fitness[i] = 0.5 * std::min(od_value / threshold, 1.0);
+      }
+    }
+    stagnant = improved ? 0 : stagnant + 1;
+
+    // Roulette selection (uniform fallback when all fitness is zero).
+    double total = 0.0;
+    for (double f : fitness) total += f;
+    auto select = [&]() -> uint64_t {
+      if (total <= 0.0) {
+        return population[static_cast<size_t>(
+            rng->UniformInt(0, static_cast<int64_t>(population.size()) - 1))];
+      }
+      double target = rng->Uniform(0.0, total);
+      double acc = 0.0;
+      for (size_t i = 0; i < population.size(); ++i) {
+        acc += fitness[i];
+        if (target <= acc) return population[i];
+      }
+      return population.back();
+    };
+
+    // Elitism: keep the two fittest.
+    std::vector<size_t> by_fitness(population.size());
+    for (size_t i = 0; i < by_fitness.size(); ++i) by_fitness[i] = i;
+    std::partial_sort(by_fitness.begin(), by_fitness.begin() + 2,
+                      by_fitness.end(), [&](size_t a, size_t b) {
+                        return fitness[a] > fitness[b];
+                      });
+    std::vector<uint64_t> next;
+    next.reserve(population.size());
+    next.push_back(population[by_fitness[0]]);
+    next.push_back(population[by_fitness[1]]);
+
+    while (next.size() < population.size()) {
+      uint64_t a = select();
+      uint64_t child = a;
+      if (rng->Bernoulli(options_.crossover_prob)) {
+        uint64_t b = select();
+        uint64_t blend = random_mask();
+        child = ((a & blend) | (b & ~blend)) & full;
+      }
+      if (rng->Bernoulli(options_.mutation_prob)) {
+        child ^= uint64_t{1} << rng->UniformInt(0, num_dims_ - 1);
+        child &= full;
+      }
+      if (child == 0) child = random_mask();
+      next.push_back(child);
+    }
+    population = std::move(next);
+  }
+
+  std::vector<Subspace> result;
+  result.reserve(found.size());
+  for (uint64_t mask : found) result.push_back(Subspace(mask));
+  return filter::MinimalSubspaces(std::move(result));
+}
+
+}  // namespace hos::search

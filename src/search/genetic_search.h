@@ -1,0 +1,58 @@
+// GeneticSubspaceSearch: an *approximate* per-point outlying-subspace
+// finder, evolving subspace bitmasks toward low-dimensional outlying
+// subspaces. It exists as an ablation (experiment E14): the paper's
+// dynamic search is exact and complete thanks to OD monotonicity; this GA
+// answers how well a randomised heuristic does at the same task, in the
+// spirit of the evolutionary method [1] but applied per query point.
+//
+// Every outlying individual encountered is greedily minimised (dimensions
+// dropped while OD stays >= T — each such local optimum IS a genuinely
+// minimal outlying subspace by Property 1), so the returned antichain
+// contains only true minimal outlying subspaces; what the heuristic cannot
+// guarantee is finding *all* of them.
+
+#ifndef HOS_SEARCH_GENETIC_SEARCH_H_
+#define HOS_SEARCH_GENETIC_SEARCH_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/subspace.h"
+#include "src/search/od_evaluator.h"
+
+namespace hos::search {
+
+struct GeneticSearchOptions {
+  int population_size = 40;
+  int max_generations = 60;
+  /// Stop after this many generations without a new outlying subspace.
+  int stagnation_limit = 15;
+  double crossover_prob = 0.9;
+  double mutation_prob = 0.3;
+};
+
+class GeneticSubspaceSearch {
+ public:
+  explicit GeneticSubspaceSearch(int num_dims,
+                                 GeneticSearchOptions options = {});
+
+  /// Runs the GA for the evaluator's query point and returns the minimal
+  /// outlying subspaces found (an antichain of true positives; possibly
+  /// incomplete). Work is visible via od->num_evaluations().
+  std::vector<Subspace> Run(OdEvaluator* od, double threshold,
+                            Rng* rng) const;
+
+ private:
+  /// Greedily drops dimensions while the subspace stays outlying; the
+  /// result is a minimal outlying subspace (no single dimension can be
+  /// removed — and by monotonicity no subset can be outlying unless a
+  /// single-step drop was).
+  Subspace Minimise(Subspace s, OdEvaluator* od, double threshold) const;
+
+  int num_dims_;
+  GeneticSearchOptions options_;
+};
+
+}  // namespace hos::search
+
+#endif  // HOS_SEARCH_GENETIC_SEARCH_H_

@@ -1,0 +1,19 @@
+#include "src/search/od_evaluator.h"
+
+namespace hos::search {
+
+double OdEvaluator::Evaluate(const Subspace& subspace) {
+  auto it = cache_.find(subspace.mask());
+  if (it != cache_.end()) return it->second;
+  knn::KnnQuery query;
+  query.point = point_;
+  query.subspace = subspace;
+  query.k = k_;
+  query.exclude = exclude_;
+  double od = knn::OutlyingDegree(engine_, query);
+  cache_.emplace(subspace.mask(), od);
+  ++num_evaluations_;
+  return od;
+}
+
+}  // namespace hos::search

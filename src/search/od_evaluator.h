@@ -1,0 +1,51 @@
+// OdEvaluator: computes and caches OD(p, s) for one query point across the
+// many subspaces a lattice search touches.
+
+#ifndef HOS_SEARCH_OD_EVALUATOR_H_
+#define HOS_SEARCH_OD_EVALUATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/subspace.h"
+#include "src/knn/knn_engine.h"
+
+namespace hos::search {
+
+/// Bound to one query point; caches OD values by subspace mask so repeated
+/// probes of the same subspace (e.g. by different search strategies in
+/// tests) cost one kNN query only.
+class OdEvaluator {
+ public:
+  /// `point` and `engine` must outlive the evaluator. `exclude` removes the
+  /// query point itself from its neighbour sets when it is a dataset row.
+  OdEvaluator(const knn::KnnEngine& engine, std::span<const double> point,
+              int k, std::optional<data::PointId> exclude = std::nullopt)
+      : engine_(engine), point_(point), k_(k), exclude_(exclude) {}
+
+  /// OD(p, s): sum of distances to the k nearest neighbours in s (paper §2).
+  double Evaluate(const Subspace& subspace);
+
+  /// Number of distinct subspaces actually evaluated (cache misses) — the
+  /// primary work counter of the efficiency experiments.
+  uint64_t num_evaluations() const { return num_evaluations_; }
+
+  int k() const { return k_; }
+  std::span<const double> point() const { return point_; }
+  const knn::KnnEngine& engine() const { return engine_; }
+
+ private:
+  const knn::KnnEngine& engine_;
+  std::span<const double> point_;
+  int k_;
+  std::optional<data::PointId> exclude_;
+  std::unordered_map<uint64_t, double> cache_;
+  uint64_t num_evaluations_ = 0;
+};
+
+}  // namespace hos::search
+
+#endif  // HOS_SEARCH_OD_EVALUATOR_H_

@@ -1,0 +1,18 @@
+#include "src/search/search_result.h"
+
+#include <cmath>
+
+#include "src/common/combinatorics.h"
+
+namespace hos::search {
+
+uint64_t SearchOutcome::TotalOutlyingCount() const {
+  uint64_t total = 0;
+  for (int m = 1; m <= num_dims; ++m) {
+    total += static_cast<uint64_t>(std::llround(
+        outlier_fraction[m] * static_cast<double>(Binomial(num_dims, m))));
+  }
+  return total;
+}
+
+}  // namespace hos::search

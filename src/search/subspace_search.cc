@@ -1,0 +1,147 @@
+#include "src/search/subspace_search.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/combinatorics.h"
+#include "src/common/timer.h"
+#include "src/filter/minimal_filter.h"
+
+namespace hos::search {
+namespace {
+
+/// Evaluates every currently-undecided subspace of level m and records the
+/// verdicts. Same-level subspaces cannot prune each other (pruning only
+/// crosses levels), so the whole batch is evaluated before Propagate().
+void EvaluateLevel(int m, lattice::LatticeState* state, OdEvaluator* od,
+                   double threshold) {
+  // Copy: MarkEvaluated invalidates the Undecided() reference.
+  std::vector<uint64_t> batch = state->Undecided(m);
+  for (uint64_t mask : batch) {
+    Subspace s(mask);
+    double value = od->Evaluate(s);
+    state->MarkEvaluated(s, value >= threshold);
+  }
+  state->Propagate();
+}
+
+/// Assembles the SearchOutcome once the lattice is fully decided.
+SearchOutcome Finalize(const lattice::LatticeState& state, double threshold,
+                       const OdEvaluator& od, uint64_t od_evals_before,
+                       uint64_t dist_before, uint64_t steps,
+                       const Timer& timer) {
+  assert(state.AllDecided());
+  const int d = state.num_dims();
+  SearchOutcome outcome;
+  outcome.num_dims = d;
+  outcome.threshold = threshold;
+  outcome.evaluated_outliers = state.evaluated_outlier_list();
+  outcome.minimal_outlying_subspaces =
+      filter::MinimalSubspaces(state.minimal_outlier_seeds());
+  outcome.outlier_fraction.assign(d + 1, 0.0);
+  for (int m = 1; m <= d; ++m) {
+    outcome.outlier_fraction[m] =
+        static_cast<double>(state.OutliersAtLevel(m)) /
+        static_cast<double>(Binomial(d, m));
+    outcome.counters.pruned_upward += state.InferredOutliers(m);
+    outcome.counters.pruned_downward += state.InferredNonOutliers(m);
+  }
+  outcome.counters.od_evaluations = od.num_evaluations() - od_evals_before;
+  outcome.counters.distance_computations =
+      od.engine().distance_computations() - dist_before;
+  outcome.counters.steps = steps;
+  outcome.counters.elapsed_seconds = timer.ElapsedSeconds();
+  return outcome;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DynamicSubspaceSearch
+// ---------------------------------------------------------------------------
+
+DynamicSubspaceSearch::DynamicSubspaceSearch(int num_dims,
+                                             lattice::PruningPriors priors)
+    : num_dims_(num_dims), priors_(std::move(priors)) {
+  assert(priors_.num_dims() == num_dims);
+}
+
+SearchOutcome DynamicSubspaceSearch::Run(OdEvaluator* od,
+                                         double threshold) const {
+  Timer timer;
+  const uint64_t od_before = od->num_evaluations();
+  const uint64_t dist_before = od->engine().distance_computations();
+  lattice::LatticeState state(num_dims_);
+  uint64_t steps = 0;
+
+  // Paper §3.3: start at the level with the highest TSF; after each batch
+  // the remaining-workload fractions change, so TSF is recomputed and the
+  // next-best level is chosen, until everything is evaluated or pruned.
+  while (true) {
+    int m = lattice::BestLevel(priors_, state);
+    if (m == 0) break;
+    EvaluateLevel(m, &state, od, threshold);
+    ++steps;
+  }
+  return Finalize(state, threshold, *od, od_before, dist_before, steps,
+                  timer);
+}
+
+// ---------------------------------------------------------------------------
+// ExhaustiveSearch
+// ---------------------------------------------------------------------------
+
+SearchOutcome ExhaustiveSearch::Run(OdEvaluator* od, double threshold) const {
+  Timer timer;
+  const uint64_t od_before = od->num_evaluations();
+  const uint64_t dist_before = od->engine().distance_computations();
+  lattice::LatticeState state(num_dims_);
+  uint64_t steps = 0;
+  for (int m = 1; m <= num_dims_; ++m) {
+    // No Propagate(): every subspace is evaluated explicitly.
+    std::vector<uint64_t> batch = state.Undecided(m);
+    for (uint64_t mask : batch) {
+      Subspace s(mask);
+      state.MarkEvaluated(s, od->Evaluate(s) >= threshold);
+    }
+    ++steps;
+  }
+  return Finalize(state, threshold, *od, od_before, dist_before, steps,
+                  timer);
+}
+
+// ---------------------------------------------------------------------------
+// Static level orders
+// ---------------------------------------------------------------------------
+
+SearchOutcome BottomUpSearch::Run(OdEvaluator* od, double threshold) const {
+  Timer timer;
+  const uint64_t od_before = od->num_evaluations();
+  const uint64_t dist_before = od->engine().distance_computations();
+  lattice::LatticeState state(num_dims_);
+  uint64_t steps = 0;
+  for (int m = 1; m <= num_dims_; ++m) {
+    if (state.UndecidedCount(m) == 0) continue;
+    EvaluateLevel(m, &state, od, threshold);
+    ++steps;
+  }
+  return Finalize(state, threshold, *od, od_before, dist_before, steps,
+                  timer);
+}
+
+SearchOutcome TopDownSearch::Run(OdEvaluator* od, double threshold) const {
+  Timer timer;
+  const uint64_t od_before = od->num_evaluations();
+  const uint64_t dist_before = od->engine().distance_computations();
+  lattice::LatticeState state(num_dims_);
+  uint64_t steps = 0;
+  for (int m = num_dims_; m >= 1; --m) {
+    if (state.UndecidedCount(m) == 0) continue;
+    EvaluateLevel(m, &state, od, threshold);
+    ++steps;
+  }
+  return Finalize(state, threshold, *od, od_before, dist_before, steps,
+                  timer);
+}
+
+}  // namespace hos::search

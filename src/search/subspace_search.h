@@ -1,0 +1,96 @@
+// The lattice search strategies.
+//
+//  * DynamicSubspaceSearch — the paper's §3.3 algorithm: repeatedly pick
+//    the level with the highest Total Saving Factor, evaluate its remaining
+//    subspaces, apply both pruning strategies, update TSF, repeat.
+//  * ExhaustiveSearch     — evaluates every one of the 2^d - 1 subspaces;
+//    the correctness oracle and the "no pruning" efficiency baseline.
+//  * BottomUpSearch       — static level order 1..d with pruning (ablation).
+//  * TopDownSearch        — static level order d..1 with pruning (ablation).
+//
+// All strategies produce identical answer sets (tested); they differ only
+// in how much work they perform.
+
+#ifndef HOS_SEARCH_SUBSPACE_SEARCH_H_
+#define HOS_SEARCH_SUBSPACE_SEARCH_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/lattice/saving_factors.h"
+#include "src/search/od_evaluator.h"
+#include "src/search/search_result.h"
+
+namespace hos::search {
+
+/// Interface shared by every strategy so experiments can sweep them.
+class SubspaceSearch {
+ public:
+  virtual ~SubspaceSearch() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Runs a complete search for the evaluator's query point: on return
+  /// every subspace is decided. `threshold` is the paper's T; a subspace s
+  /// is outlying iff OD(p, s) >= T.
+  virtual SearchOutcome Run(OdEvaluator* od, double threshold) const = 0;
+};
+
+/// The HOS-Miner dynamic subspace search (paper §3.3), guided by TSF with
+/// the given pruning-probability priors (flat for sample points, learned
+/// for query points — §3.2).
+class DynamicSubspaceSearch : public SubspaceSearch {
+ public:
+  DynamicSubspaceSearch(int num_dims, lattice::PruningPriors priors);
+
+  std::string_view name() const override { return "dynamic"; }
+  SearchOutcome Run(OdEvaluator* od, double threshold) const override;
+
+  const lattice::PruningPriors& priors() const { return priors_; }
+
+ private:
+  int num_dims_;
+  lattice::PruningPriors priors_;
+};
+
+/// Evaluates all 2^d - 1 subspaces. No pruning.
+class ExhaustiveSearch : public SubspaceSearch {
+ public:
+  explicit ExhaustiveSearch(int num_dims) : num_dims_(num_dims) {}
+
+  std::string_view name() const override { return "exhaustive"; }
+  SearchOutcome Run(OdEvaluator* od, double threshold) const override;
+
+ private:
+  int num_dims_;
+};
+
+/// Static levelwise search from 1-dimensional subspaces upward, with both
+/// pruning strategies active.
+class BottomUpSearch : public SubspaceSearch {
+ public:
+  explicit BottomUpSearch(int num_dims) : num_dims_(num_dims) {}
+
+  std::string_view name() const override { return "bottom-up"; }
+  SearchOutcome Run(OdEvaluator* od, double threshold) const override;
+
+ private:
+  int num_dims_;
+};
+
+/// Static levelwise search from the full space downward, with both pruning
+/// strategies active.
+class TopDownSearch : public SubspaceSearch {
+ public:
+  explicit TopDownSearch(int num_dims) : num_dims_(num_dims) {}
+
+  std::string_view name() const override { return "top-down"; }
+  SearchOutcome Run(OdEvaluator* od, double threshold) const override;
+
+ private:
+  int num_dims_;
+};
+
+}  // namespace hos::search
+
+#endif  // HOS_SEARCH_SUBSPACE_SEARCH_H_

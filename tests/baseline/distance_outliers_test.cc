@@ -1,0 +1,139 @@
+#include "src/baseline/distance_outliers.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/data/generator.h"
+#include "src/knn/linear_scan.h"
+
+namespace hos::baseline {
+namespace {
+
+data::Dataset ClusterPlusOutlier(data::PointId* outlier_id) {
+  Rng rng(1);
+  data::GaussianMixtureSpec spec;
+  spec.num_points = 200;
+  spec.num_dims = 2;
+  spec.num_clusters = 1;
+  spec.cluster_stddev = 0.02;
+  data::Dataset ds = data::GenerateGaussianMixture(spec, &rng);
+  *outlier_id = ds.Append(std::vector<double>{3.0, 3.0});
+  return ds;
+}
+
+TEST(DbOutlierTest, ValidatesOptions) {
+  data::PointId outlier;
+  data::Dataset ds = ClusterPlusOutlier(&outlier);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  DbOutlierOptions options;
+  options.pct = 0.0;
+  EXPECT_FALSE(FindDbOutliers(ds, engine, options).ok());
+  options.pct = 1.0;
+  EXPECT_FALSE(FindDbOutliers(ds, engine, options).ok());
+  options = DbOutlierOptions{};
+  options.distance = 0.0;
+  EXPECT_FALSE(FindDbOutliers(ds, engine, options).ok());
+}
+
+TEST(DbOutlierTest, DetectsIsolatedPoint) {
+  data::PointId outlier;
+  data::Dataset ds = ClusterPlusOutlier(&outlier);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  DbOutlierOptions options;
+  options.pct = 0.95;
+  options.distance = 1.0;
+  auto result = FindDbOutliers(ds, engine, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0], outlier);
+}
+
+TEST(DbOutlierTest, HugeRadiusFindsNothing) {
+  data::PointId outlier;
+  data::Dataset ds = ClusterPlusOutlier(&outlier);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  DbOutlierOptions options;
+  options.distance = 100.0;
+  auto result = FindDbOutliers(ds, engine, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(DbOutlierTest, TinyRadiusFlagsEveryone) {
+  Rng rng(2);
+  data::Dataset ds = data::GenerateUniform(100, 2, &rng);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  DbOutlierOptions options;
+  options.distance = 1e-9;
+  options.pct = 0.99;
+  auto result = FindDbOutliers(ds, engine, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 100u);
+}
+
+TEST(KthNnOutlierTest, ValidatesOptions) {
+  data::PointId outlier;
+  data::Dataset ds = ClusterPlusOutlier(&outlier);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  KthNnOutlierOptions options;
+  options.k = 0;
+  EXPECT_FALSE(FindKthNnOutliers(ds, engine, options).ok());
+  options.k = 100000;
+  EXPECT_FALSE(FindKthNnOutliers(ds, engine, options).ok());
+}
+
+TEST(KthNnOutlierTest, RanksIsolatedPointFirst) {
+  data::PointId outlier;
+  data::Dataset ds = ClusterPlusOutlier(&outlier);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  KthNnOutlierOptions options;
+  options.k = 5;
+  options.top_n = 3;
+  auto result = FindKthNnOutliers(ds, engine, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 3u);
+  EXPECT_EQ((*result)[0].id, outlier);
+  EXPECT_GT((*result)[0].score, (*result)[1].score);
+}
+
+TEST(KthNnOutlierTest, ScoresDescending) {
+  Rng rng(3);
+  data::Dataset ds = data::GenerateUniform(150, 3, &rng);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  KthNnOutlierOptions options;
+  options.k = 4;
+  options.top_n = 10;
+  auto result = FindKthNnOutliers(ds, engine, options);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->size(); ++i) {
+    EXPECT_GE((*result)[i - 1].score, (*result)[i].score);
+  }
+}
+
+// The paper's motivation again, with the distance-based definitions: the
+// planted subspace outlier is NOT flagged in the full space, but it is the
+// top outlier when the detector is restricted to the planted subspace.
+TEST(DistanceOutliersTest, SubspaceRestrictionRevealsPlantedOutlier) {
+  Rng rng(4);
+  data::SubspaceOutlierSpec spec;
+  spec.num_points = 400;
+  spec.num_dims = 8;
+  spec.planted_subspaces = {Subspace::FromOneBased({1, 2})};
+  auto generated = data::GenerateSubspaceOutliers(spec, &rng);
+  ASSERT_TRUE(generated.ok());
+  const data::PointId planted = generated->outliers[0].id;
+  knn::LinearScanKnn engine(generated->dataset, knn::MetricKind::kL2);
+
+  KthNnOutlierOptions options;
+  options.k = 5;
+  options.top_n = 1;
+  auto full = FindKthNnOutliers(generated->dataset, engine, options);
+  options.subspace = generated->outliers[0].subspace;
+  auto sub = FindKthNnOutliers(generated->dataset, engine, options);
+  ASSERT_TRUE(full.ok() && sub.ok());
+  EXPECT_EQ((*sub)[0].id, planted);
+  EXPECT_NE((*full)[0].id, planted);
+}
+
+}  // namespace
+}  // namespace hos::baseline

@@ -1,0 +1,205 @@
+#include "src/baseline/evolutionary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/data/generator.h"
+
+namespace hos::baseline {
+namespace {
+
+TEST(ProjectionTest, SubspaceAndCount) {
+  Projection p;
+  p.cells = {2, Projection::kWildcard, 0, Projection::kWildcard};
+  EXPECT_EQ(p.subspace(), Subspace::FromOneBased({1, 3}));
+  EXPECT_EQ(p.NumSpecified(), 2);
+  EXPECT_EQ(p.ToString(), "2 * 0 *");
+}
+
+TEST(EvolutionaryTest, CreateValidatesOptions) {
+  Rng rng(1);
+  data::Dataset ds = data::GenerateUniform(100, 4, &rng);
+  EvolutionaryOptions options;
+  options.target_dims = 5;  // > num_dims
+  EXPECT_FALSE(EvolutionaryOutlierSearch::Create(ds, options).ok());
+  options = EvolutionaryOptions{};
+  options.population_size = 2;
+  EXPECT_FALSE(EvolutionaryOutlierSearch::Create(ds, options).ok());
+  options = EvolutionaryOptions{};
+  options.top_m = 0;
+  EXPECT_FALSE(EvolutionaryOutlierSearch::Create(ds, options).ok());
+}
+
+TEST(EvolutionaryTest, SparsityOfEmptyCubeIsNegative) {
+  Rng rng(2);
+  data::Dataset ds = data::GenerateUniform(1000, 3, &rng);
+  EvolutionaryOptions options;
+  options.phi = 4;
+  options.target_dims = 2;
+  auto search = EvolutionaryOutlierSearch::Create(ds, options);
+  ASSERT_TRUE(search.ok());
+  // A cube covering no points has S = -sqrt(N f^k / (1 - f^k)) < 0; verify
+  // against the closed form with n(D) = 0.
+  // Build an impossible candidate by checking one and computing expectation.
+  std::vector<int> cells = {0, 1, Projection::kWildcard};
+  double s = search->SparsityOf(cells);
+  const double f2 = 1.0 / 16.0;
+  const double expected_floor =
+      (0.0 - 1000 * f2) / std::sqrt(1000 * f2 * (1 - f2));
+  EXPECT_GE(s, expected_floor - 1e-9);
+}
+
+TEST(EvolutionaryTest, SparsityMatchesClosedForm) {
+  Rng rng(3);
+  data::Dataset ds = data::GenerateUniform(800, 2, &rng);
+  EvolutionaryOptions options;
+  options.phi = 4;
+  options.target_dims = 1;
+  auto search = EvolutionaryOutlierSearch::Create(ds, options);
+  ASSERT_TRUE(search.ok());
+  // With equi-depth cells on one dimension, each cell holds ~n/phi points,
+  // so sparsity of any 1-dim cube is near 0.
+  for (int c = 0; c < 4; ++c) {
+    std::vector<int> cells = {c, Projection::kWildcard};
+    EXPECT_NEAR(search->SparsityOf(cells), 0.0, 1.0);
+  }
+}
+
+TEST(EvolutionaryTest, PointsInMatchesBruteForce) {
+  Rng rng(4);
+  data::Dataset ds = data::GenerateUniform(300, 3, &rng);
+  EvolutionaryOptions options;
+  options.phi = 3;
+  auto search = EvolutionaryOutlierSearch::Create(ds, options);
+  ASSERT_TRUE(search.ok());
+  Projection p;
+  p.cells = {1, Projection::kWildcard, 2};
+  auto inside = search->PointsIn(p);
+  size_t brute = 0;
+  for (data::PointId i = 0; i < ds.size(); ++i) {
+    brute += (search->grid().CellOf(0, ds.At(i, 0)) == 1 &&
+              search->grid().CellOf(2, ds.At(i, 2)) == 2);
+  }
+  EXPECT_EQ(inside.size(), brute);
+}
+
+TEST(EvolutionaryTest, RunReturnsSortedTopM) {
+  Rng data_rng(5);
+  data::Dataset ds = data::GenerateUniform(500, 4, &data_rng);
+  EvolutionaryOptions options;
+  options.phi = 3;
+  options.target_dims = 2;
+  options.population_size = 30;
+  options.max_generations = 20;
+  options.top_m = 5;
+  auto search = EvolutionaryOutlierSearch::Create(ds, options);
+  ASSERT_TRUE(search.ok());
+  Rng rng(5);
+  auto result = search->Run(&rng);
+  ASSERT_LE(result.size(), 5u);
+  ASSERT_GE(result.size(), 1u);
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1].sparsity, result[i].sparsity);  // ascending
+  }
+  for (const auto& p : result) {
+    EXPECT_EQ(p.NumSpecified(), 2);
+  }
+  EXPECT_GT(search->fitness_evaluations(), 0u);
+}
+
+TEST(EvolutionaryTest, FindsPlantedSparseRegion) {
+  // Construct data where one grid cube in dims (1,2) is empty: background
+  // correlated so that cell combinations off the diagonal are sparse.
+  Rng rng(6);
+  data::Dataset ds(4);
+  for (int i = 0; i < 2000; ++i) {
+    double t = rng.Uniform();
+    // dims 1,2 strongly correlated; dims 3,4 uniform noise.
+    ds.Append(std::vector<double>{t, std::clamp(t + rng.Gaussian(0, 0.02),
+                                                0.0, 1.0),
+                                  rng.Uniform(), rng.Uniform()});
+  }
+  EvolutionaryOptions options;
+  options.phi = 4;
+  options.target_dims = 2;
+  options.population_size = 60;
+  options.max_generations = 60;
+  options.top_m = 8;
+  auto search = EvolutionaryOutlierSearch::Create(ds, options);
+  ASSERT_TRUE(search.ok());
+  Rng ga_rng(6);
+  auto result = search->Run(&ga_rng);
+  ASSERT_FALSE(result.empty());
+  // The sparsest projections should constrain the correlated pair {1,2}:
+  // off-diagonal cells there are nearly empty (sparsity << 0).
+  EXPECT_LT(result[0].sparsity, -5.0);
+  EXPECT_EQ(result[0].subspace(), Subspace::FromOneBased({1, 2}));
+}
+
+TEST(EvolutionaryTest, ExhaustiveReferenceEnumeratesAll) {
+  Rng rng(8);
+  data::Dataset ds = data::GenerateUniform(300, 4, &rng);
+  EvolutionaryOptions options;
+  options.phi = 3;
+  options.target_dims = 2;
+  options.top_m = 1000;  // keep everything
+  auto search = EvolutionaryOutlierSearch::Create(ds, options);
+  ASSERT_TRUE(search.ok());
+  auto all = search->RunExhaustive();
+  // C(4,2) * 3^2 = 54 projections.
+  EXPECT_EQ(all.size(), 54u);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i - 1].sparsity, all[i].sparsity);
+  }
+}
+
+TEST(EvolutionaryTest, GaFindsNearOptimalSparsity) {
+  // Correlated pair => one clearly sparsest projection; the GA must find a
+  // solution whose sparsity is close to the exhaustive optimum.
+  Rng rng(9);
+  data::Dataset ds(5);
+  for (int i = 0; i < 1500; ++i) {
+    double t = rng.Uniform();
+    ds.Append(std::vector<double>{
+        t, std::clamp(t + rng.Gaussian(0, 0.03), 0.0, 1.0), rng.Uniform(),
+        rng.Uniform(), rng.Uniform()});
+  }
+  EvolutionaryOptions options;
+  options.phi = 4;
+  options.target_dims = 2;
+  options.population_size = 60;
+  options.max_generations = 80;
+  options.top_m = 5;
+  auto search = EvolutionaryOutlierSearch::Create(ds, options);
+  ASSERT_TRUE(search.ok());
+  auto optimum = search->RunExhaustive();
+  Rng ga_rng(9);
+  auto ga = search->Run(&ga_rng);
+  ASSERT_FALSE(optimum.empty());
+  ASSERT_FALSE(ga.empty());
+  EXPECT_LE(ga[0].sparsity, optimum[0].sparsity * 0.8)
+      << "GA best " << ga[0].sparsity << " vs optimum "
+      << optimum[0].sparsity;
+}
+
+TEST(EvolutionaryTest, DeterministicGivenSeed) {
+  Rng data_rng(7);
+  data::Dataset ds = data::GenerateUniform(300, 4, &data_rng);
+  EvolutionaryOptions options;
+  options.population_size = 20;
+  options.max_generations = 10;
+  auto search_a = EvolutionaryOutlierSearch::Create(ds, options);
+  auto search_b = EvolutionaryOutlierSearch::Create(ds, options);
+  ASSERT_TRUE(search_a.ok() && search_b.ok());
+  Rng rng_a(7), rng_b(7);
+  auto ra = search_a->Run(&rng_a);
+  auto rb = search_b->Run(&rng_b);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].cells, rb[i].cells);
+  }
+}
+
+}  // namespace
+}  // namespace hos::baseline

@@ -1,0 +1,93 @@
+#include "src/baseline/grid.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/data/generator.h"
+
+namespace hos::baseline {
+namespace {
+
+TEST(EquiDepthGridTest, RejectsBadInput) {
+  data::Dataset empty(2);
+  EXPECT_FALSE(EquiDepthGrid::Build(empty, 4).ok());
+  Rng rng(1);
+  data::Dataset ds = data::GenerateUniform(10, 2, &rng);
+  EXPECT_FALSE(EquiDepthGrid::Build(ds, 1).ok());
+}
+
+TEST(EquiDepthGridTest, CellsCoverAllValues) {
+  Rng rng(2);
+  data::Dataset ds = data::GenerateUniform(500, 3, &rng);
+  auto grid = EquiDepthGrid::Build(ds, 5);
+  ASSERT_TRUE(grid.ok());
+  for (data::PointId i = 0; i < ds.size(); ++i) {
+    auto cells = grid->Discretize(ds.Row(i));
+    for (int c : cells) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, 5);
+    }
+  }
+}
+
+TEST(EquiDepthGridTest, EquiDepthOnUniformData) {
+  Rng rng(3);
+  data::Dataset ds = data::GenerateUniform(2000, 1, &rng);
+  const int phi = 4;
+  auto grid = EquiDepthGrid::Build(ds, phi);
+  ASSERT_TRUE(grid.ok());
+  std::vector<int> counts(phi, 0);
+  for (data::PointId i = 0; i < ds.size(); ++i) {
+    ++counts[grid->CellOf(0, ds.At(i, 0))];
+  }
+  // Each of the phi cells holds ~ n/phi points.
+  for (int c = 0; c < phi; ++c) {
+    EXPECT_NEAR(counts[c], 500, 60) << "cell " << c;
+  }
+}
+
+TEST(EquiDepthGridTest, SkewedDataStillBalanced) {
+  // Equi-depth (not equi-width): skew must not empty any cell.
+  Rng rng(4);
+  data::Dataset ds(1);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform();
+    ds.Append(std::vector<double>{v * v * v});  // heavy skew toward 0
+  }
+  const int phi = 8;
+  auto grid = EquiDepthGrid::Build(ds, phi);
+  ASSERT_TRUE(grid.ok());
+  std::vector<int> counts(phi, 0);
+  for (data::PointId i = 0; i < ds.size(); ++i) {
+    ++counts[grid->CellOf(0, ds.At(i, 0))];
+  }
+  for (int c = 0; c < phi; ++c) {
+    EXPECT_GT(counts[c], 1000 / phi / 2) << "cell " << c;
+  }
+}
+
+TEST(EquiDepthGridTest, OutOfRangeValuesClampToEdgeCells) {
+  Rng rng(5);
+  data::Dataset ds = data::GenerateUniform(100, 1, &rng);
+  auto grid = EquiDepthGrid::Build(ds, 4);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->CellOf(0, -100.0), 0);
+  EXPECT_EQ(grid->CellOf(0, +100.0), 3);
+}
+
+TEST(EquiDepthGridTest, CutsAreAscending) {
+  Rng rng(6);
+  data::Dataset ds = data::GenerateUniform(300, 2, &rng);
+  auto grid = EquiDepthGrid::Build(ds, 6);
+  ASSERT_TRUE(grid.ok());
+  for (int dim = 0; dim < 2; ++dim) {
+    const auto& cuts = grid->Cuts(dim);
+    ASSERT_EQ(cuts.size(), 5u);
+    for (size_t i = 1; i < cuts.size(); ++i) {
+      EXPECT_LE(cuts[i - 1], cuts[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hos::baseline

@@ -1,0 +1,98 @@
+#include "src/baseline/loci.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/data/generator.h"
+#include "src/knn/linear_scan.h"
+
+namespace hos::baseline {
+namespace {
+
+TEST(LociTest, ValidatesOptions) {
+  Rng rng(1);
+  data::Dataset ds = data::GenerateUniform(50, 2, &rng);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  LociOptions options;
+  options.alpha = 0.0;
+  EXPECT_FALSE(ComputeLociScores(ds, engine, options).ok());
+  options = LociOptions{};
+  options.alpha = 1.0;
+  EXPECT_FALSE(ComputeLociScores(ds, engine, options).ok());
+  options = LociOptions{};
+  options.k_sigma = 0.0;
+  EXPECT_FALSE(ComputeLociScores(ds, engine, options).ok());
+  options = LociOptions{};
+  options.num_radii = 0;
+  EXPECT_FALSE(ComputeLociScores(ds, engine, options).ok());
+  data::Dataset empty(2);
+  EXPECT_FALSE(ComputeLociScores(empty, engine, LociOptions{}).ok());
+}
+
+TEST(LociTest, UniformDataMostlyClean) {
+  Rng rng(2);
+  data::Dataset ds = data::GenerateUniform(400, 2, &rng);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  auto scores = ComputeLociScores(ds, engine, LociOptions{});
+  ASSERT_TRUE(scores.ok());
+  int flagged = 0;
+  for (const auto& s : *scores) flagged += s.is_outlier;
+  // LOCI on homogeneous data flags at most a few boundary artefacts.
+  EXPECT_LE(flagged, 400 / 20);
+}
+
+TEST(LociTest, DetectsIsolatedPoint) {
+  Rng rng(3);
+  data::GaussianMixtureSpec spec;
+  spec.num_points = 300;
+  spec.num_dims = 2;
+  spec.num_clusters = 2;
+  spec.cluster_stddev = 0.03;
+  data::Dataset ds = data::GenerateGaussianMixture(spec, &rng);
+  data::PointId outlier = ds.Append(std::vector<double>{3.0, 3.0});
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  auto scores = ComputeLociScores(ds, engine, LociOptions{});
+  ASSERT_TRUE(scores.ok());
+  EXPECT_TRUE((*scores)[outlier].is_outlier);
+  EXPECT_GT((*scores)[outlier].max_deviation_ratio, 1.0);
+}
+
+TEST(LociTest, DegenerateDataDoesNotCrash) {
+  data::Dataset ds(2);
+  for (int i = 0; i < 60; ++i) ds.Append(std::vector<double>{1.0, 1.0});
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  auto scores = ComputeLociScores(ds, engine, LociOptions{});
+  ASSERT_TRUE(scores.ok());
+  for (const auto& s : *scores) {
+    EXPECT_FALSE(s.is_outlier);
+  }
+}
+
+TEST(LociTest, SubspaceRestrictionRevealsPlantedOutlier) {
+  Rng rng(4);
+  data::SubspaceOutlierSpec spec;
+  spec.num_points = 400;
+  spec.num_dims = 8;
+  spec.planted_subspaces = {Subspace::FromOneBased({1, 2})};
+  spec.displacement = 0.45;
+  auto generated = data::GenerateSubspaceOutliers(spec, &rng);
+  ASSERT_TRUE(generated.ok());
+  const data::PointId planted = generated->outliers[0].id;
+  knn::LinearScanKnn engine(generated->dataset, knn::MetricKind::kL2);
+
+  LociOptions sub;
+  sub.subspace = generated->outliers[0].subspace;
+  auto sub_scores = ComputeLociScores(generated->dataset, engine, sub);
+  ASSERT_TRUE(sub_scores.ok());
+  EXPECT_TRUE((*sub_scores)[planted].is_outlier);
+
+  LociOptions full;
+  auto full_scores = ComputeLociScores(generated->dataset, engine, full);
+  ASSERT_TRUE(full_scores.ok());
+  // In the full space the deviation is diluted across 6 noise dimensions.
+  EXPECT_LT((*full_scores)[planted].max_deviation_ratio,
+            (*sub_scores)[planted].max_deviation_ratio);
+}
+
+}  // namespace
+}  // namespace hos::baseline

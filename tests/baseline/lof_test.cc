@@ -1,0 +1,114 @@
+#include "src/baseline/lof.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/data/generator.h"
+#include "src/knn/linear_scan.h"
+
+namespace hos::baseline {
+namespace {
+
+TEST(LofTest, ValidatesOptions) {
+  Rng rng(1);
+  data::Dataset ds = data::GenerateUniform(5, 2, &rng);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  LofOptions options;
+  options.min_pts = 0;
+  EXPECT_FALSE(ComputeLofScores(ds, engine, options).ok());
+  options.min_pts = 10;  // > dataset size
+  EXPECT_FALSE(ComputeLofScores(ds, engine, options).ok());
+}
+
+TEST(LofTest, UniformDataScoresNearOne) {
+  Rng rng(2);
+  data::Dataset ds = data::GenerateUniform(400, 2, &rng);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  LofOptions options;
+  options.min_pts = 10;
+  auto scores = ComputeLofScores(ds, engine, options);
+  ASSERT_TRUE(scores.ok());
+  double mean = 0.0;
+  for (double s : *scores) mean += s;
+  mean /= static_cast<double>(scores->size());
+  EXPECT_NEAR(mean, 1.0, 0.15);
+}
+
+TEST(LofTest, IsolatedPointScoresHigh) {
+  Rng rng(3);
+  data::GaussianMixtureSpec spec;
+  spec.num_points = 300;
+  spec.num_dims = 2;
+  spec.num_clusters = 2;
+  spec.cluster_stddev = 0.03;
+  data::Dataset ds = data::GenerateGaussianMixture(spec, &rng);
+  // Plant one far-away point.
+  data::PointId outlier = ds.Append(std::vector<double>{5.0, 5.0});
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  LofOptions options;
+  options.min_pts = 10;
+  auto scores = ComputeLofScores(ds, engine, options);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT((*scores)[outlier], 2.0);
+  auto top = TopLofOutliers(*scores, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], outlier);
+}
+
+TEST(LofTest, DuplicateClusterDoesNotDivideByZero) {
+  data::Dataset ds(2);
+  for (int i = 0; i < 50; ++i) ds.Append(std::vector<double>{1.0, 1.0});
+  ds.Append(std::vector<double>{2.0, 2.0});
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  LofOptions options;
+  options.min_pts = 5;
+  auto scores = ComputeLofScores(ds, engine, options);
+  ASSERT_TRUE(scores.ok());
+  for (double s : *scores) {
+    EXPECT_TRUE(std::isfinite(s));
+  }
+}
+
+// The motivating claim of the paper: a subspace outlier is invisible to a
+// full-space detector but visible when LOF is scored in the right subspace.
+TEST(LofTest, SubspaceOutlierInvisibleInFullSpace) {
+  Rng rng(4);
+  data::SubspaceOutlierSpec spec;
+  spec.num_points = 500;
+  spec.num_dims = 8;
+  spec.planted_subspaces = {Subspace::FromOneBased({1, 2})};
+  auto generated = data::GenerateSubspaceOutliers(spec, &rng);
+  ASSERT_TRUE(generated.ok());
+  const data::PointId planted = generated->outliers[0].id;
+  knn::LinearScanKnn engine(generated->dataset, knn::MetricKind::kL2);
+
+  LofOptions full;
+  full.min_pts = 10;
+  auto full_scores = ComputeLofScores(generated->dataset, engine, full);
+  ASSERT_TRUE(full_scores.ok());
+
+  LofOptions sub;
+  sub.min_pts = 10;
+  sub.subspace = generated->outliers[0].subspace;
+  auto sub_scores = ComputeLofScores(generated->dataset, engine, sub);
+  ASSERT_TRUE(sub_scores.ok());
+
+  // Scored in the planted subspace the point stands out far more than in
+  // the full space (6 noisy dimensions wash the deviation out).
+  EXPECT_GT((*sub_scores)[planted], (*full_scores)[planted]);
+  auto top_sub = TopLofOutliers(*sub_scores, 3);
+  EXPECT_NE(std::find(top_sub.begin(), top_sub.end(), planted),
+            top_sub.end());
+}
+
+TEST(TopLofOutliersTest, OrdersDescending) {
+  std::vector<double> scores{1.0, 5.0, 3.0, 5.0};
+  auto top = TopLofOutliers(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);  // score 5, lower id first on tie
+  EXPECT_EQ(top[1], 3u);
+  EXPECT_EQ(top[2], 2u);
+}
+
+}  // namespace
+}  // namespace hos::baseline

@@ -1,0 +1,46 @@
+#include "src/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace hos {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Logger::SetMinLevel(LogLevel::kWarning); }
+};
+
+TEST_F(LoggingTest, DefaultMinLevelIsWarning) {
+  EXPECT_EQ(Logger::min_level(), LogLevel::kWarning);
+}
+
+TEST_F(LoggingTest, SetMinLevelRoundTrips) {
+  Logger::SetMinLevel(LogLevel::kDebug);
+  EXPECT_EQ(Logger::min_level(), LogLevel::kDebug);
+  Logger::SetMinLevel(LogLevel::kError);
+  EXPECT_EQ(Logger::min_level(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, StreamMacroComposesMessage) {
+  // Captures stderr around an emitted line.
+  Logger::SetMinLevel(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  HOS_LOG(Info) << "value=" << 42 << " name=" << "x";
+  std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("[INFO]"), std::string::npos);
+  EXPECT_NE(output.find("value=42 name=x"), std::string::npos);
+}
+
+TEST_F(LoggingTest, BelowThresholdIsSuppressed) {
+  Logger::SetMinLevel(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  HOS_LOG(Debug) << "invisible";
+  HOS_LOG(Warning) << "also invisible";
+  HOS_LOG(Error) << "visible";
+  std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(output.find("invisible"), std::string::npos);
+  EXPECT_NE(output.find("[ERROR] visible"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hos

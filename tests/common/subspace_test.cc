@@ -1,0 +1,112 @@
+#include "src/common/subspace.h"
+
+#include <gtest/gtest.h>
+
+namespace hos {
+namespace {
+
+TEST(SubspaceTest, EmptyByDefault) {
+  Subspace s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Dimensionality(), 0);
+  EXPECT_EQ(s.ToString(), "[]");
+}
+
+TEST(SubspaceTest, FromDimsAndBack) {
+  Subspace s = Subspace::FromDims({0, 2, 5});
+  EXPECT_EQ(s.Dimensionality(), 3);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_FALSE(s.Contains(1));
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_EQ(s.Dims(), (std::vector<int>{0, 2, 5}));
+}
+
+TEST(SubspaceTest, OneBasedNotationMatchesPaper) {
+  // The paper writes subspaces like [1,3]: dimensions 1 and 3, 1-based.
+  Subspace s = Subspace::FromOneBased({1, 3});
+  EXPECT_EQ(s.mask(), 0b101u);
+  EXPECT_EQ(s.ToString(), "[1,3]");
+}
+
+TEST(SubspaceTest, FullSpace) {
+  Subspace s = Subspace::Full(4);
+  EXPECT_EQ(s.mask(), 0b1111u);
+  EXPECT_EQ(s.Dimensionality(), 4);
+  EXPECT_EQ(s.ToString(), "[1,2,3,4]");
+}
+
+TEST(SubspaceTest, SubsetSuperset) {
+  Subspace small = Subspace::FromOneBased({1, 3});
+  Subspace big = Subspace::FromOneBased({1, 2, 3});
+  Subspace other = Subspace::FromOneBased({2, 4});
+
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+  EXPECT_TRUE(small.IsProperSubsetOf(big));
+  EXPECT_FALSE(small.IsProperSubsetOf(small));
+  EXPECT_TRUE(big.IsSupersetOf(small));
+  EXPECT_TRUE(big.IsProperSupersetOf(small));
+  EXPECT_FALSE(small.IsSubsetOf(other));
+  EXPECT_FALSE(other.IsSubsetOf(small));
+}
+
+TEST(SubspaceTest, SetAlgebra) {
+  Subspace a = Subspace::FromOneBased({1, 2});
+  Subspace b = Subspace::FromOneBased({2, 3});
+  EXPECT_EQ(a.Union(b), Subspace::FromOneBased({1, 2, 3}));
+  EXPECT_EQ(a.Intersect(b), Subspace::FromOneBased({2}));
+  EXPECT_EQ(a.Minus(b), Subspace::FromOneBased({1}));
+}
+
+TEST(SubspaceTest, WithWithout) {
+  Subspace s = Subspace::FromOneBased({2});
+  EXPECT_EQ(s.With(0), Subspace::FromOneBased({1, 2}));
+  EXPECT_EQ(s.Without(1), Subspace());
+  // Removing an absent dim is a no-op.
+  EXPECT_EQ(s.Without(5), s);
+}
+
+TEST(SubspaceTest, OrderingByMask) {
+  EXPECT_LT(Subspace(0b001), Subspace(0b010));
+  EXPECT_LT(Subspace(0b011), Subspace(0b100));
+}
+
+TEST(AllSubspacesTest, EnumeratesEverything) {
+  auto all = AllSubspaces(4);
+  EXPECT_EQ(all.size(), 15u);  // 2^4 - 1
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].mask(), i + 1);
+  }
+}
+
+TEST(ImmediateSubsetsTest, DropsOneDimension) {
+  Subspace s = Subspace::FromOneBased({1, 3, 4});
+  auto subs = ImmediateSubsets(s);
+  ASSERT_EQ(subs.size(), 3u);
+  for (const Subspace& child : subs) {
+    EXPECT_EQ(child.Dimensionality(), 2);
+    EXPECT_TRUE(child.IsProperSubsetOf(s));
+  }
+}
+
+TEST(ImmediateSubsetsTest, SingletonHasNoNonEmptySubsets) {
+  EXPECT_TRUE(ImmediateSubsets(Subspace::FromOneBased({2})).empty());
+}
+
+TEST(ImmediateSupersetsTest, AddsOneDimension) {
+  Subspace s = Subspace::FromOneBased({1, 3});
+  auto supers = ImmediateSupersets(s, 4);
+  ASSERT_EQ(supers.size(), 2u);  // dims 2 and 4 can be added
+  for (const Subspace& parent : supers) {
+    EXPECT_EQ(parent.Dimensionality(), 3);
+    EXPECT_TRUE(parent.IsProperSupersetOf(s));
+  }
+}
+
+TEST(ImmediateSupersetsTest, FullSpaceHasNone) {
+  EXPECT_TRUE(ImmediateSupersets(Subspace::Full(4), 4).empty());
+}
+
+}  // namespace
+}  // namespace hos

@@ -1,0 +1,77 @@
+#include "src/common/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace hos {
+namespace {
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double elapsed = timer.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);  // generous upper bound for loaded CI machines
+}
+
+TEST(TimerTest, UnitConversionsConsistent) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  double seconds = timer.ElapsedSeconds();
+  double millis = timer.ElapsedMillis();
+  double micros = timer.ElapsedMicros();
+  // Within an order of tolerance (separate now() calls).
+  EXPECT_NEAR(millis / 1e3, seconds, 0.05);
+  EXPECT_NEAR(micros / 1e6, seconds, 0.05);
+}
+
+TEST(TimerTest, ResetRestarts) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.015);
+}
+
+TEST(AccumulatingTimerTest, AccumulatesIntervals) {
+  AccumulatingTimer timer;
+  EXPECT_DOUBLE_EQ(timer.TotalSeconds(), 0.0);
+  timer.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  timer.Stop();
+  double after_first = timer.TotalSeconds();
+  EXPECT_GE(after_first, 0.008);
+  timer.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  timer.Stop();
+  EXPECT_GE(timer.TotalSeconds(), after_first + 0.008);
+}
+
+TEST(AccumulatingTimerTest, StopWithoutStartIsNoop) {
+  AccumulatingTimer timer;
+  timer.Stop();
+  EXPECT_DOUBLE_EQ(timer.TotalSeconds(), 0.0);
+}
+
+TEST(AccumulatingTimerTest, DoubleStopCountsOnce) {
+  AccumulatingTimer timer;
+  timer.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.Stop();
+  double total = timer.TotalSeconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.Stop();  // no-op: not running
+  EXPECT_DOUBLE_EQ(timer.TotalSeconds(), total);
+}
+
+TEST(AccumulatingTimerTest, ResetClears) {
+  AccumulatingTimer timer;
+  timer.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.Stop();
+  timer.Reset();
+  EXPECT_DOUBLE_EQ(timer.TotalSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace hos

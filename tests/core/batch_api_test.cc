@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "src/core/hos_miner.h"
+#include "src/core/result_json.h"
+#include "src/data/generator.h"
+
+namespace hos::core {
+namespace {
+
+data::GeneratedData MakePlanted(uint64_t seed) {
+  Rng rng(seed);
+  data::SubspaceOutlierSpec spec;
+  spec.num_points = 300;
+  spec.num_dims = 6;
+  spec.planted_subspaces = {Subspace::FromOneBased({1, 2})};
+  spec.displacement = 0.5;
+  auto generated = data::GenerateSubspaceOutliers(spec, &rng);
+  EXPECT_TRUE(generated.ok());
+  return std::move(generated).value();
+}
+
+TEST(QueryAllTest, MatchesIndividualQueries) {
+  auto generated = MakePlanted(1);
+  const data::PointId planted = generated.outliers[0].id;
+  auto miner = HosMiner::Build(std::move(generated.dataset), {});
+  ASSERT_TRUE(miner.ok());
+
+  std::vector<data::PointId> ids = {0, 1, planted};
+  auto batch = miner->QueryAll(ids);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 3u);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto single = miner->Query(ids[i]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ((*batch)[i].outlying_subspaces(),
+              single->outlying_subspaces());
+  }
+}
+
+TEST(QueryAllTest, PropagatesErrors) {
+  auto generated = MakePlanted(2);
+  auto miner = HosMiner::Build(std::move(generated.dataset), {});
+  ASSERT_TRUE(miner.ok());
+  auto batch = miner->QueryAll({0, 999999});
+  EXPECT_TRUE(batch.status().IsOutOfRange());
+}
+
+TEST(ScreenOutliersTest, ScreenAgreesWithPerPointSearch) {
+  auto generated = MakePlanted(3);
+  auto miner = HosMiner::Build(std::move(generated.dataset), {});
+  ASSERT_TRUE(miner.ok());
+
+  auto screened = miner->ScreenOutliers();
+  std::vector<bool> is_screened(miner->dataset().size(), false);
+  for (const auto& s : screened) {
+    is_screened[s.id] = true;
+    EXPECT_GE(s.full_space_od, miner->threshold());
+  }
+  // Monotonicity: screened <=> non-empty answer set. Verify on a sample.
+  for (data::PointId id = 0; id < 30; ++id) {
+    auto result = miner->Query(id);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->is_outlier_anywhere(), is_screened[id]) << "id " << id;
+  }
+  // The planted point must be screened in.
+  EXPECT_TRUE(is_screened[generated.outliers[0].id]);
+  // Descending order by OD.
+  for (size_t i = 1; i < screened.size(); ++i) {
+    EXPECT_GE(screened[i - 1].full_space_od, screened[i].full_space_od);
+  }
+}
+
+TEST(TopOutliersTest, SizeAndOrder) {
+  auto generated = MakePlanted(4);
+  auto miner = HosMiner::Build(std::move(generated.dataset), {});
+  ASSERT_TRUE(miner.ok());
+  auto top = miner->TopOutliers(5);
+  ASSERT_EQ(top.size(), 5u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].full_space_od, top[i].full_space_od);
+  }
+  EXPECT_TRUE(miner->TopOutliers(0).empty());
+  // top_n larger than the dataset clips.
+  EXPECT_EQ(miner->TopOutliers(1 << 20).size(), miner->dataset().size());
+}
+
+TEST(ResultJsonTest, SubspaceSerialisation) {
+  EXPECT_EQ(SubspaceToJson(Subspace::FromOneBased({1, 3})), "[1,3]");
+  EXPECT_EQ(SubspaceToJson(Subspace()), "[]");
+}
+
+TEST(ResultJsonTest, QueryResultRoundTripsKeyFields) {
+  auto generated = MakePlanted(5);
+  const data::PointId planted = generated.outliers[0].id;
+  auto miner = HosMiner::Build(std::move(generated.dataset), {});
+  ASSERT_TRUE(miner.ok());
+  auto result = miner->Query(planted);
+  ASSERT_TRUE(result.ok());
+  std::string json = QueryResultToJson(*result);
+  // Structural sanity: contains the expected keys and the planted subspace.
+  EXPECT_NE(json.find("\"is_outlier\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"minimal_outlying_subspaces\":"), std::string::npos);
+  EXPECT_NE(json.find("[1,2]"), std::string::npos);
+  EXPECT_NE(json.find("\"od_evaluations\":"), std::string::npos);
+  // Balanced braces (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ResultJsonTest, LearningReportSerialisation) {
+  auto generated = MakePlanted(6);
+  HosMinerConfig config;
+  config.sample_size = 5;
+  auto miner = HosMiner::Build(std::move(generated.dataset), config);
+  ASSERT_TRUE(miner.ok());
+  std::string json = LearningReportToJson(miner->learning_report());
+  EXPECT_NE(json.find("\"sample_ids\":["), std::string::npos);
+  EXPECT_NE(json.find("\"p_up\":["), std::string::npos);
+  EXPECT_NE(json.find("\"p_down\":["), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+}  // namespace
+}  // namespace hos::core

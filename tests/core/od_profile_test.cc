@@ -1,0 +1,82 @@
+#include "src/core/od_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/generator.h"
+#include "src/knn/linear_scan.h"
+
+namespace hos::core {
+namespace {
+
+TEST(OdProfileTest, RejectsTooManyDims) {
+  Rng rng(1);
+  data::Dataset ds = data::GenerateUniform(50, 4, &rng);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  auto row = ds.Row(0);
+  search::OdEvaluator od(engine, row, 3, data::PointId{0});
+  EXPECT_TRUE(ComputeOdProfile(&od, 17).status().IsInvalidArgument());
+  EXPECT_TRUE(ComputeOdProfile(&od, 0).status().IsInvalidArgument());
+}
+
+TEST(OdProfileTest, LevelExtremesAreMonotoneAcrossLevels) {
+  Rng rng(2);
+  data::Dataset ds = data::GenerateUniform(150, 6, &rng);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  auto row = ds.Row(5);
+  search::OdEvaluator od(engine, row, 4, data::PointId{5});
+  auto profile = ComputeOdProfile(&od, 6);
+  ASSERT_TRUE(profile.ok());
+  // By OD monotonicity the per-level max and min are non-decreasing in m:
+  // every level-m subspace extends some (m-1)-subspace.
+  for (int m = 2; m <= 6; ++m) {
+    EXPECT_GE(profile->levels[m].max_od + 1e-12,
+              profile->levels[m - 1].max_od);
+    EXPECT_GE(profile->levels[m].min_od + 1e-12,
+              profile->levels[m - 1].min_od);
+  }
+  // Level d has exactly one subspace: extremes coincide.
+  EXPECT_DOUBLE_EQ(profile->levels[6].min_od, profile->levels[6].max_od);
+  EXPECT_EQ(profile->levels[6].argmax, Subspace::Full(6));
+}
+
+TEST(OdProfileTest, PlantedDimensionsDominate) {
+  Rng rng(3);
+  data::SubspaceOutlierSpec spec;
+  spec.num_points = 400;
+  spec.num_dims = 6;
+  spec.planted_subspaces = {Subspace::FromOneBased({1, 2})};
+  spec.displacement = 0.5;
+  auto generated = data::GenerateSubspaceOutliers(spec, &rng);
+  ASSERT_TRUE(generated.ok());
+  const data::PointId planted = generated->outliers[0].id;
+  knn::LinearScanKnn engine(generated->dataset, knn::MetricKind::kL2);
+  auto row = generated->dataset.Row(planted);
+  search::OdEvaluator od(engine, row, 5, planted);
+  auto profile = ComputeOdProfile(&od, 6);
+  ASSERT_TRUE(profile.ok());
+
+  // The most deviant subspace at level 2 is exactly the planted one.
+  EXPECT_EQ(profile->levels[2].argmax, Subspace::FromOneBased({1, 2}));
+  // Dimensions 1 and 2 (0-based 0 and 1) collect the most argmax votes.
+  auto dominant = profile->DominantDimensions();
+  ASSERT_GE(dominant.size(), 2u);
+  EXPECT_TRUE((dominant[0] == 0 && dominant[1] == 1) ||
+              (dominant[0] == 1 && dominant[1] == 0));
+}
+
+TEST(OdProfileTest, VotesSumMatchesLevels) {
+  Rng rng(4);
+  data::Dataset ds = data::GenerateUniform(100, 5, &rng);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  auto row = ds.Row(0);
+  search::OdEvaluator od(engine, row, 3, data::PointId{0});
+  auto profile = ComputeOdProfile(&od, 5);
+  ASSERT_TRUE(profile.ok());
+  // Each level m contributes exactly m votes (its argmax has m dims).
+  int total = 0;
+  for (int v : profile->dimension_votes) total += v;
+  EXPECT_EQ(total, 1 + 2 + 3 + 4 + 5);
+}
+
+}  // namespace
+}  // namespace hos::core

@@ -1,0 +1,98 @@
+#include "src/core/threshold.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/generator.h"
+#include "src/knn/linear_scan.h"
+
+namespace hos::core {
+namespace {
+
+TEST(ThresholdTest, RejectsEmptyDataset) {
+  data::Dataset ds(2);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  Rng rng(1);
+  EXPECT_TRUE(EstimateThreshold(ds, engine, {}, &rng)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(ThresholdTest, RejectsBadOptions) {
+  Rng rng(1);
+  data::Dataset ds = data::GenerateUniform(20, 2, &rng);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  ThresholdOptions options;
+  options.percentile = 0.0;
+  EXPECT_TRUE(
+      EstimateThreshold(ds, engine, options, &rng).status().IsInvalidArgument());
+  options.percentile = 1.5;
+  EXPECT_FALSE(EstimateThreshold(ds, engine, options, &rng).ok());
+  options.percentile = 0.9;
+  options.sample_size = 0;
+  EXPECT_FALSE(EstimateThreshold(ds, engine, options, &rng).ok());
+}
+
+TEST(ThresholdTest, PercentileOrdering) {
+  Rng rng(2);
+  data::Dataset ds = data::GenerateUniform(300, 4, &rng);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  ThresholdOptions options;
+  options.sample_size = 300;
+  options.percentile = 0.5;
+  auto median = EstimateThreshold(ds, engine, options, &rng);
+  options.percentile = 0.95;
+  auto high = EstimateThreshold(ds, engine, options, &rng);
+  ASSERT_TRUE(median.ok() && high.ok());
+  EXPECT_GT(*high, *median);
+  EXPECT_GT(*median, 0.0);
+}
+
+TEST(ThresholdTest, PercentileOneIsMaximum) {
+  Rng rng(3);
+  data::Dataset ds = data::GenerateUniform(50, 3, &rng);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  ThresholdOptions options;
+  options.sample_size = 50;
+  options.percentile = 1.0;
+  auto t = EstimateThreshold(ds, engine, options, &rng);
+  ASSERT_TRUE(t.ok());
+  // No sampled OD exceeds the 100th percentile.
+  const Subspace full = Subspace::Full(3);
+  for (data::PointId i = 0; i < ds.size(); ++i) {
+    knn::KnnQuery q;
+    auto row = ds.Row(i);
+    q.point = row;
+    q.subspace = full;
+    q.k = options.k;
+    q.exclude = i;
+    EXPECT_LE(knn::OutlyingDegree(engine, q), *t + 1e-12);
+  }
+}
+
+TEST(ThresholdTest, PlantedOutlierExceedsEstimatedThreshold) {
+  Rng rng(4);
+  data::SubspaceOutlierSpec spec;
+  spec.num_points = 400;
+  spec.num_dims = 5;
+  spec.planted_subspaces = {Subspace::FromOneBased({1, 2})};
+  auto generated = data::GenerateSubspaceOutliers(spec, &rng);
+  ASSERT_TRUE(generated.ok());
+  knn::LinearScanKnn engine(generated->dataset, knn::MetricKind::kL2);
+  ThresholdOptions options;
+  options.percentile = 0.95;
+  options.sample_size = 200;
+  auto t = EstimateThreshold(generated->dataset, engine, options, &rng);
+  ASSERT_TRUE(t.ok());
+  // The planted point's OD in its subspace should clear the threshold.
+  const data::PointId planted = generated->outliers[0].id;
+  knn::KnnQuery q;
+  auto row = generated->dataset.Row(planted);
+  q.point = row;
+  q.subspace = generated->outliers[0].subspace;
+  q.k = options.k;
+  q.exclude = planted;
+  EXPECT_GT(knn::OutlyingDegree(engine, q), *t);
+}
+
+}  // namespace
+}  // namespace hos::core

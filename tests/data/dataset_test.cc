@@ -1,0 +1,92 @@
+#include "src/data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hos::data {
+namespace {
+
+TEST(DatasetTest, EmptyConstruction) {
+  Dataset ds(3);
+  EXPECT_EQ(ds.num_dims(), 3);
+  EXPECT_EQ(ds.size(), 0u);
+  EXPECT_TRUE(ds.empty());
+  EXPECT_EQ(ds.column_names(),
+            (std::vector<std::string>{"dim1", "dim2", "dim3"}));
+}
+
+TEST(DatasetTest, AppendAndAccess) {
+  Dataset ds(2);
+  PointId a = ds.Append(std::vector<double>{1.0, 2.0});
+  PointId b = ds.Append(std::vector<double>{3.0, 4.0});
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_DOUBLE_EQ(ds.At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(ds.At(1, 0), 3.0);
+  auto row = ds.Row(1);
+  EXPECT_DOUBLE_EQ(row[0], 3.0);
+  EXPECT_DOUBLE_EQ(row[1], 4.0);
+}
+
+TEST(DatasetTest, SetMutatesCell) {
+  Dataset ds(2);
+  ds.Append(std::vector<double>{1.0, 2.0});
+  ds.Set(0, 0, 9.0);
+  EXPECT_DOUBLE_EQ(ds.At(0, 0), 9.0);
+}
+
+TEST(DatasetTest, RowCopyIsIndependent) {
+  Dataset ds(2);
+  ds.Append(std::vector<double>{1.0, 2.0});
+  auto copy = ds.RowCopy(0);
+  copy[0] = 100.0;
+  EXPECT_DOUBLE_EQ(ds.At(0, 0), 1.0);
+}
+
+TEST(DatasetTest, FromRowsValidatesShape) {
+  auto ok = Dataset::FromRows({{1.0, 2.0}, {3.0, 4.0}}, 2);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 2u);
+
+  auto bad = Dataset::FromRows({{1.0, 2.0}, {3.0}}, 2);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+
+  auto bad_dims = Dataset::FromRows({}, 0);
+  EXPECT_FALSE(bad_dims.ok());
+}
+
+TEST(DatasetTest, SetColumnNamesValidated) {
+  Dataset ds(2);
+  EXPECT_TRUE(ds.SetColumnNames({"x", "y"}).ok());
+  EXPECT_EQ(ds.column_names()[0], "x");
+  EXPECT_FALSE(ds.SetColumnNames({"only-one"}).ok());
+}
+
+TEST(ColumnStatsTest, ComputesMinMaxMeanStddev) {
+  Dataset ds(2);
+  ds.Append(std::vector<double>{1.0, 10.0});
+  ds.Append(std::vector<double>{2.0, 10.0});
+  ds.Append(std::vector<double>{3.0, 10.0});
+  auto stats = ComputeColumnStats(ds);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(stats[0].max, 3.0);
+  EXPECT_DOUBLE_EQ(stats[0].mean, 2.0);
+  EXPECT_NEAR(stats[0].stddev, std::sqrt(2.0 / 3.0), 1e-12);
+  // Constant column: zero spread.
+  EXPECT_DOUBLE_EQ(stats[1].stddev, 0.0);
+  EXPECT_DOUBLE_EQ(stats[1].mean, 10.0);
+}
+
+TEST(ColumnStatsTest, EmptyDatasetYieldsZeros) {
+  Dataset ds(2);
+  auto stats = ComputeColumnStats(ds);
+  EXPECT_EQ(stats.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats[0].mean, 0.0);
+}
+
+}  // namespace
+}  // namespace hos::data

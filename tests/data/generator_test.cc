@@ -1,0 +1,184 @@
+#include "src/data/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/knn/linear_scan.h"
+
+namespace hos::data {
+namespace {
+
+TEST(GenerateUniformTest, ShapeAndRange) {
+  Rng rng(1);
+  Dataset ds = GenerateUniform(100, 5, &rng);
+  EXPECT_EQ(ds.size(), 100u);
+  EXPECT_EQ(ds.num_dims(), 5);
+  for (PointId i = 0; i < ds.size(); ++i) {
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_GE(ds.At(i, j), 0.0);
+      EXPECT_LT(ds.At(i, j), 1.0);
+    }
+  }
+}
+
+TEST(GenerateGaussianMixtureTest, StaysInUnitBox) {
+  Rng rng(2);
+  GaussianMixtureSpec spec;
+  spec.num_points = 500;
+  spec.num_dims = 4;
+  Dataset ds = GenerateGaussianMixture(spec, &rng);
+  EXPECT_EQ(ds.size(), 500u);
+  for (PointId i = 0; i < ds.size(); ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_GE(ds.At(i, j), 0.0);
+      EXPECT_LE(ds.At(i, j), 1.0);
+    }
+  }
+}
+
+TEST(GenerateGaussianMixtureTest, ClustersAreTight) {
+  Rng rng(3);
+  GaussianMixtureSpec spec;
+  spec.num_points = 400;
+  spec.num_dims = 2;
+  spec.num_clusters = 1;
+  spec.cluster_stddev = 0.01;
+  Dataset ds = GenerateGaussianMixture(spec, &rng);
+  auto stats = ComputeColumnStats(ds);
+  // Single tight cluster: column stddev close to the cluster stddev.
+  EXPECT_LT(stats[0].stddev, 0.05);
+}
+
+TEST(GenerateSubspaceOutliersTest, ValidatesOverlap) {
+  Rng rng(4);
+  SubspaceOutlierSpec spec;
+  spec.num_dims = 6;
+  spec.planted_subspaces = {Subspace::FromOneBased({1, 2}),
+                            Subspace::FromOneBased({2, 3})};
+  auto result = GenerateSubspaceOutliers(spec, &rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(GenerateSubspaceOutliersTest, ValidatesDimRange) {
+  Rng rng(4);
+  SubspaceOutlierSpec spec;
+  spec.num_dims = 4;
+  spec.planted_subspaces = {Subspace::FromOneBased({4, 5})};
+  EXPECT_FALSE(GenerateSubspaceOutliers(spec, &rng).ok());
+}
+
+TEST(GenerateSubspaceOutliersTest, ValidatesDisplacementVsNoise) {
+  Rng rng(4);
+  SubspaceOutlierSpec spec;
+  spec.num_dims = 4;
+  spec.planted_subspaces = {Subspace::FromOneBased({1, 2})};
+  spec.displacement = 0.01;
+  spec.noise = 0.01;
+  EXPECT_FALSE(GenerateSubspaceOutliers(spec, &rng).ok());
+}
+
+TEST(GenerateSubspaceOutliersTest, PlantsRequestedOutliers) {
+  Rng rng(5);
+  SubspaceOutlierSpec spec;
+  spec.num_points = 300;
+  spec.num_dims = 6;
+  spec.planted_subspaces = {Subspace::FromOneBased({1, 2}),
+                            Subspace::FromOneBased({4, 5, 6})};
+  spec.outliers_per_subspace = 2;
+  auto result = GenerateSubspaceOutliers(spec, &rng);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->dataset.size(), 304u);  // 300 background + 4 planted
+  ASSERT_EQ(result->outliers.size(), 4u);
+  EXPECT_EQ(result->outliers[0].subspace, spec.planted_subspaces[0]);
+  EXPECT_EQ(result->outliers[2].subspace, spec.planted_subspaces[1]);
+  // Planted rows are appended after the background.
+  EXPECT_GE(result->outliers[0].id, 300u);
+}
+
+// The core property of the hyperplane construction: the planted point is
+// far from everything in its subspace but ordinary in proper sub-subspaces.
+TEST(GenerateSubspaceOutliersTest, PlantedPointIsSubspaceOutlier) {
+  Rng rng(6);
+  SubspaceOutlierSpec spec;
+  spec.num_points = 600;
+  spec.num_dims = 5;
+  spec.planted_subspaces = {Subspace::FromOneBased({1, 2})};
+  spec.displacement = 0.35;
+  auto result = GenerateSubspaceOutliers(spec, &rng);
+  ASSERT_TRUE(result.ok());
+  const Dataset& ds = result->dataset;
+  const PointId planted = result->outliers[0].id;
+  const Subspace target = result->outliers[0].subspace;
+
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  const int k = 5;
+  auto od = [&](const Subspace& s) {
+    knn::KnnQuery q;
+    auto row = ds.Row(planted);
+    q.point = row;
+    q.subspace = s;
+    q.k = k;
+    q.exclude = planted;
+    return knn::OutlyingDegree(engine, q);
+  };
+
+  double od_target = od(target);
+  // In the planted subspace the point sits ~displacement from the
+  // hyperplane holding all background points.
+  EXPECT_GT(od_target, 0.25 * k);
+  // In each singleton dimension it is unremarkable.
+  for (int dim : target.Dims()) {
+    EXPECT_LT(od(Subspace::FromDims({dim})), 0.1 * k)
+        << "dim " << dim;
+  }
+  // In an unrelated subspace it is unremarkable.
+  EXPECT_LT(od(Subspace::FromOneBased({3, 4})), 0.2 * k);
+}
+
+TEST(GenerateShiftOutliersTest, ShiftedDimsOutOfRange) {
+  Rng rng(7);
+  ShiftOutlierSpec spec;
+  spec.num_points = 200;
+  spec.num_dims = 4;
+  spec.planted_subspaces = {Subspace::FromOneBased({2})};
+  spec.shift = 2.0;
+  auto result = GenerateShiftOutliers(spec, &rng);
+  ASSERT_TRUE(result.ok());
+  const PointId planted = result->outliers[0].id;
+  // Background lives in [0,1]; the shifted dim exceeds it.
+  EXPECT_GT(result->dataset.At(planted, 1), 1.5);
+  EXPECT_LE(result->dataset.At(planted, 0), 1.0);
+}
+
+TEST(GenerateFigure1ScenarioTest, NeedsFourDims) {
+  Rng rng(8);
+  EXPECT_FALSE(GenerateFigure1Scenario(100, 3, &rng).ok());
+}
+
+TEST(GenerateFigure1ScenarioTest, PlantsInView12) {
+  Rng rng(8);
+  auto result = GenerateFigure1Scenario(300, 6, &rng);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->outliers.size(), 1u);
+  EXPECT_EQ(result->outliers[0].subspace, Subspace::FromOneBased({1, 2}));
+}
+
+TEST(GeneratorsAreDeterministicTest, SameSeedSameData) {
+  Rng rng_a(99), rng_b(99);
+  SubspaceOutlierSpec spec;
+  spec.num_points = 50;
+  spec.num_dims = 4;
+  spec.planted_subspaces = {Subspace::FromOneBased({1, 2})};
+  auto a = GenerateSubspaceOutliers(spec, &rng_a);
+  auto b = GenerateSubspaceOutliers(spec, &rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->dataset.size(), b->dataset.size());
+  for (PointId i = 0; i < a->dataset.size(); ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(a->dataset.At(i, j), b->dataset.At(i, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hos::data

@@ -1,0 +1,118 @@
+#include "src/data/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/generator.h"
+
+namespace hos::data {
+namespace {
+
+TEST(KMeansTest, ValidatesInput) {
+  Rng rng(1);
+  Dataset ds = GenerateUniform(5, 2, &rng);
+  KMeansOptions options;
+  options.num_clusters = 0;
+  EXPECT_FALSE(KMeans(ds, options, &rng).ok());
+  options.num_clusters = 10;  // more clusters than points
+  EXPECT_FALSE(KMeans(ds, options, &rng).ok());
+}
+
+TEST(KMeansTest, SingleClusterIsCentroid) {
+  Dataset ds(2);
+  ds.Append(std::vector<double>{0.0, 0.0});
+  ds.Append(std::vector<double>{2.0, 0.0});
+  ds.Append(std::vector<double>{1.0, 3.0});
+  Rng rng(2);
+  KMeansOptions options;
+  options.num_clusters = 1;
+  auto result = KMeans(ds, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->centroids[0][0], 1.0, 1e-9);
+  EXPECT_NEAR(result->centroids[0][1], 1.0, 1e-9);
+  for (int a : result->assignment) EXPECT_EQ(a, 0);
+}
+
+TEST(KMeansTest, RecoversWellSeparatedClusters) {
+  Rng rng(3);
+  Dataset ds(2);
+  // Three tight blobs far apart.
+  const std::vector<std::pair<double, double>> centers = {
+      {0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  for (const auto& [cx, cy] : centers) {
+    for (int i = 0; i < 50; ++i) {
+      ds.Append(std::vector<double>{cx + rng.Gaussian(0, 0.1),
+                                    cy + rng.Gaussian(0, 0.1)});
+    }
+  }
+  KMeansOptions options;
+  options.num_clusters = 3;
+  auto result = KMeans(ds, options, &rng);
+  ASSERT_TRUE(result.ok());
+  // Points of each blob share a label, and labels differ across blobs.
+  std::vector<int> blob_label(3);
+  for (int b = 0; b < 3; ++b) {
+    blob_label[b] = result->assignment[b * 50];
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_EQ(result->assignment[b * 50 + i], blob_label[b]);
+    }
+  }
+  EXPECT_NE(blob_label[0], blob_label[1]);
+  EXPECT_NE(blob_label[1], blob_label[2]);
+  EXPECT_NE(blob_label[0], blob_label[2]);
+  // Tight blobs: inertia tiny relative to the blob separation.
+  EXPECT_LT(result->inertia, 50.0);
+}
+
+TEST(KMeansTest, InertiaNeverWorseThanSingleCluster) {
+  Rng rng(4);
+  Dataset ds = GenerateUniform(300, 4, &rng);
+  KMeansOptions one;
+  one.num_clusters = 1;
+  KMeansOptions eight;
+  eight.num_clusters = 8;
+  Rng rng_a(4), rng_b(4);
+  auto r1 = KMeans(ds, one, &rng_a);
+  auto r8 = KMeans(ds, eight, &rng_b);
+  ASSERT_TRUE(r1.ok() && r8.ok());
+  EXPECT_LE(r8->inertia, r1->inertia);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  Rng data_rng(5);
+  Dataset ds = GenerateUniform(200, 3, &data_rng);
+  KMeansOptions options;
+  options.num_clusters = 4;
+  Rng rng_a(5), rng_b(5);
+  auto a = KMeans(ds, options, &rng_a);
+  auto b = KMeans(ds, options, &rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+}
+
+TEST(KMeansTest, AssignmentIsNearestCentroid) {
+  Rng rng(6);
+  Dataset ds = GenerateUniform(150, 3, &rng);
+  KMeansOptions options;
+  options.num_clusters = 5;
+  auto result = KMeans(ds, options, &rng);
+  ASSERT_TRUE(result.ok());
+  for (PointId i = 0; i < ds.size(); ++i) {
+    auto row = ds.Row(i);
+    double assigned_sq = 0.0;
+    for (int j = 0; j < 3; ++j) {
+      double diff = row[j] - result->centroids[result->assignment[i]][j];
+      assigned_sq += diff * diff;
+    }
+    for (int c = 0; c < 5; ++c) {
+      double sq = 0.0;
+      for (int j = 0; j < 3; ++j) {
+        double diff = row[j] - result->centroids[c][j];
+        sq += diff * diff;
+      }
+      EXPECT_GE(sq + 1e-9, assigned_sq) << "point " << i << " cluster " << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hos::data

@@ -1,0 +1,82 @@
+#include "src/data/normalizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hos::data {
+namespace {
+
+Dataset MakeData() {
+  Dataset ds(2);
+  ds.Append(std::vector<double>{0.0, 100.0});
+  ds.Append(std::vector<double>{5.0, 200.0});
+  ds.Append(std::vector<double>{10.0, 300.0});
+  return ds;
+}
+
+TEST(NormalizerTest, MinMaxMapsToUnitInterval) {
+  Dataset ds = MakeData();
+  auto norm = Normalizer::Fit(ds, NormalizationKind::kMinMax);
+  norm.Apply(&ds);
+  EXPECT_DOUBLE_EQ(ds.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ds.At(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(ds.At(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ds.At(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(ds.At(2, 1), 1.0);
+}
+
+TEST(NormalizerTest, ZScoreZeroMeanUnitVariance) {
+  Dataset ds = MakeData();
+  auto norm = Normalizer::Fit(ds, NormalizationKind::kZScore);
+  norm.Apply(&ds);
+  for (int j = 0; j < 2; ++j) {
+    double mean = 0.0;
+    for (PointId i = 0; i < ds.size(); ++i) mean += ds.At(i, j);
+    mean /= static_cast<double>(ds.size());
+    EXPECT_NEAR(mean, 0.0, 1e-12);
+  }
+  auto stats = ComputeColumnStats(ds);
+  EXPECT_NEAR(stats[0].stddev, 1.0, 1e-12);
+}
+
+TEST(NormalizerTest, NoneIsIdentity) {
+  Dataset ds = MakeData();
+  auto norm = Normalizer::Fit(ds, NormalizationKind::kNone);
+  norm.Apply(&ds);
+  EXPECT_DOUBLE_EQ(ds.At(1, 0), 5.0);
+}
+
+TEST(NormalizerTest, PointTransformMatchesDatasetTransform) {
+  Dataset ds = MakeData();
+  auto norm = Normalizer::Fit(ds, NormalizationKind::kMinMax);
+  std::vector<double> point = ds.RowCopy(1);
+  norm.Apply(&ds);
+  norm.ApplyToPoint(&point);
+  EXPECT_DOUBLE_EQ(point[0], ds.At(1, 0));
+  EXPECT_DOUBLE_EQ(point[1], ds.At(1, 1));
+}
+
+TEST(NormalizerTest, InvertRoundTrips) {
+  Dataset ds = MakeData();
+  auto norm = Normalizer::Fit(ds, NormalizationKind::kMinMax);
+  std::vector<double> point{7.0, 250.0};
+  auto original = point;
+  norm.ApplyToPoint(&point);
+  norm.Invert(&point);
+  EXPECT_NEAR(point[0], original[0], 1e-12);
+  EXPECT_NEAR(point[1], original[1], 1e-12);
+}
+
+TEST(NormalizerTest, ConstantColumnDoesNotDivideByZero) {
+  Dataset ds(1);
+  ds.Append(std::vector<double>{5.0});
+  ds.Append(std::vector<double>{5.0});
+  auto norm = Normalizer::Fit(ds, NormalizationKind::kMinMax);
+  norm.Apply(&ds);
+  EXPECT_TRUE(std::isfinite(ds.At(0, 0)));
+  EXPECT_DOUBLE_EQ(ds.At(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace hos::data

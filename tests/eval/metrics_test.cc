@@ -1,0 +1,83 @@
+#include "src/eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace hos::eval {
+namespace {
+
+Subspace S(std::initializer_list<int> one_based) {
+  return Subspace::FromOneBased(std::vector<int>(one_based));
+}
+
+TEST(CompareSubspaceSetsTest, PerfectMatch) {
+  auto m = CompareSubspaceSets({S({1, 2}), S({3})}, {S({3}), S({1, 2})});
+  EXPECT_EQ(m.true_positives, 2u);
+  EXPECT_EQ(m.false_positives, 0u);
+  EXPECT_EQ(m.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(CompareSubspaceSetsTest, PartialMatch) {
+  auto m = CompareSubspaceSets({S({1, 2}), S({4})}, {S({1, 2}), S({3})});
+  EXPECT_EQ(m.true_positives, 1u);
+  EXPECT_EQ(m.false_positives, 1u);
+  EXPECT_EQ(m.false_negatives, 1u);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  EXPECT_DOUBLE_EQ(m.f1, 0.5);
+}
+
+TEST(CompareSubspaceSetsTest, EmptyPrediction) {
+  auto m = CompareSubspaceSets({}, {S({1})});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);  // vacuous
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(CompareSubspaceSetsTest, EmptyTruth) {
+  auto m = CompareSubspaceSets({S({1})}, {});
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);  // vacuous
+}
+
+TEST(CompareSubspaceSetsTest, DuplicatesDoNotInflate) {
+  auto m = CompareSubspaceSets({S({1}), S({1}), S({1})}, {S({1})});
+  EXPECT_EQ(m.true_positives, 1u);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+}
+
+TEST(DimensionJaccardTest, Values) {
+  EXPECT_DOUBLE_EQ(DimensionJaccard(S({1, 2}), S({1, 2})), 1.0);
+  EXPECT_DOUBLE_EQ(DimensionJaccard(S({1, 2}), S({2, 3})), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(DimensionJaccard(S({1}), S({2})), 0.0);
+  EXPECT_DOUBLE_EQ(DimensionJaccard(Subspace(), Subspace()), 1.0);
+}
+
+TEST(BestMatchJaccardTest, AveragesBestMatches) {
+  // Truth {1,2}: best match {1,2} → 1.0. Truth {3,4}: best is {3} → 0.5.
+  double score =
+      BestMatchJaccard({S({1, 2}), S({3})}, {S({1, 2}), S({3, 4})});
+  EXPECT_DOUBLE_EQ(score, 0.75);
+}
+
+TEST(BestMatchJaccardTest, EmptyTruthIsPerfect) {
+  EXPECT_DOUBLE_EQ(BestMatchJaccard({S({1})}, {}), 1.0);
+}
+
+TEST(BestMatchJaccardTest, EmptyPredictionIsZero) {
+  EXPECT_DOUBLE_EQ(BestMatchJaccard({}, {S({1})}), 0.0);
+}
+
+TEST(ComparePointSetsTest, Basics) {
+  auto m = ComparePointSets({1, 2, 3}, {2, 3, 4});
+  EXPECT_EQ(m.true_positives, 2u);
+  EXPECT_EQ(m.false_positives, 1u);
+  EXPECT_EQ(m.false_negatives, 1u);
+  EXPECT_DOUBLE_EQ(m.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.recall, 2.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace hos::eval

@@ -1,0 +1,43 @@
+#include "src/eval/report.h"
+
+#include <gtest/gtest.h>
+
+namespace hos::eval {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  Table table({"name", "value"});
+  table.AddRow({"short", "1"});
+  table.AddRow({"a-much-longer-name", "23456"});
+  std::string text = table.ToString();
+  // Header present, separator line present, all rows present.
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  EXPECT_NE(text.find("a-much-longer-name"), std::string::npos);
+  // Column 2 starts at the same offset in every data line.
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t next = text.find('\n', pos);
+    lines.push_back(text.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  ASSERT_GE(lines.size(), 4u);
+  size_t col = lines[2].find('1');
+  EXPECT_EQ(lines[3].find("23456"), col);
+}
+
+TEST(TableTest, EmptyTableRendersHeaderOnly) {
+  Table table({"a"});
+  std::string text = table.ToString();
+  EXPECT_NE(text.find('a'), std::string::npos);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(1.0, 3), "1.000");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace hos::eval

@@ -1,0 +1,106 @@
+#include "src/filter/minimal_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/subspace.h"
+
+namespace hos::filter {
+namespace {
+
+Subspace S(std::initializer_list<int> one_based) {
+  return Subspace::FromOneBased(std::vector<int>(one_based));
+}
+
+// The paper's §3.4 worked example: outlying subspaces [1,3], [2,4],
+// [1,2,3], [1,2,4], [1,3,4], [2,3,4], [1,2,3,4] reduce to [1,3] and [2,4].
+TEST(MinimalFilterTest, PaperExample) {
+  std::vector<Subspace> input = {S({1, 3}),    S({2, 4}),    S({1, 2, 3}),
+                                 S({1, 2, 4}), S({1, 3, 4}), S({2, 3, 4}),
+                                 S({1, 2, 3, 4})};
+  auto result = MinimalSubspaces(input);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0], S({1, 3}));
+  EXPECT_EQ(result[1], S({2, 4}));
+}
+
+TEST(MinimalFilterTest, EmptyInput) {
+  EXPECT_TRUE(MinimalSubspaces({}).empty());
+}
+
+TEST(MinimalFilterTest, SingleSubspace) {
+  auto result = MinimalSubspaces({S({2, 3})});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], S({2, 3}));
+}
+
+TEST(MinimalFilterTest, IncomparableSetUnchanged) {
+  std::vector<Subspace> input = {S({1}), S({2}), S({3, 4})};
+  auto result = MinimalSubspaces(input);
+  EXPECT_EQ(result.size(), 3u);
+}
+
+TEST(MinimalFilterTest, DuplicatesCollapse) {
+  auto result = MinimalSubspaces({S({1, 2}), S({1, 2}), S({1, 2})});
+  EXPECT_EQ(result.size(), 1u);
+}
+
+TEST(MinimalFilterTest, OrderIndependent) {
+  std::vector<Subspace> forward = {S({1}), S({1, 2}), S({1, 2, 3})};
+  std::vector<Subspace> backward = {S({1, 2, 3}), S({1, 2}), S({1})};
+  auto a = MinimalSubspaces(forward);
+  auto b = MinimalSubspaces(backward);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a[0], S({1}));
+}
+
+TEST(MinimalFilterTest, OutputSortedByDimThenMask) {
+  auto result = MinimalSubspaces({S({3, 4}), S({2}), S({1, 2})});
+  // [1,2] ⊇ [2] is dropped; output sorted: [2] before [3,4].
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0], S({2}));
+  EXPECT_EQ(result[1], S({3, 4}));
+}
+
+TEST(IsCoveredByTest, Basics) {
+  std::vector<Subspace> minimal = {S({1, 3})};
+  EXPECT_TRUE(IsCoveredBy(S({1, 3}), minimal));
+  EXPECT_TRUE(IsCoveredBy(S({1, 2, 3}), minimal));
+  EXPECT_FALSE(IsCoveredBy(S({1, 2}), minimal));
+  EXPECT_FALSE(IsCoveredBy(S({1}), minimal));
+  EXPECT_FALSE(IsCoveredBy(S({2}), {}));
+}
+
+// Property: the result is an antichain whose up-closure equals the
+// up-closure of the input.
+TEST(MinimalFilterTest, PropertyAntichainAndClosurePreserved) {
+  Rng rng(31);
+  const int d = 8;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Subspace> input;
+    const int n = 1 + static_cast<int>(rng.UniformInt(0, 30));
+    for (int i = 0; i < n; ++i) {
+      input.push_back(Subspace(rng.UniformInt(1, (1 << d) - 1)));
+    }
+    auto minimal = MinimalSubspaces(input);
+    // Antichain: no member covers another.
+    for (size_t i = 0; i < minimal.size(); ++i) {
+      for (size_t j = 0; j < minimal.size(); ++j) {
+        if (i != j) {
+          EXPECT_FALSE(minimal[i].IsSubsetOf(minimal[j]));
+        }
+      }
+    }
+    // Same up-closure: every input is covered, every minimal is an input.
+    for (const Subspace& s : input) {
+      EXPECT_TRUE(IsCoveredBy(s, minimal));
+    }
+    for (const Subspace& m : minimal) {
+      EXPECT_NE(std::find(input.begin(), input.end(), m), input.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hos::filter

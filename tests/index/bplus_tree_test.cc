@@ -1,0 +1,125 @@
+#include "src/index/bplus_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/rng.h"
+
+namespace hos::index {
+namespace {
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree<double, int> tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.Range(0.0, 100.0).empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BPlusTreeTest, InsertAndRangeBasics) {
+  BPlusTree<double, int> tree(4);
+  tree.Insert(3.0, 30);
+  tree.Insert(1.0, 10);
+  tree.Insert(2.0, 20);
+  EXPECT_EQ(tree.size(), 3u);
+  auto all = tree.Range(0.0, 10.0);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], std::make_pair(1.0, 10));
+  EXPECT_EQ(all[1], std::make_pair(2.0, 20));
+  EXPECT_EQ(all[2], std::make_pair(3.0, 30));
+  // Inclusive bounds.
+  EXPECT_EQ(tree.Range(1.0, 2.0).size(), 2u);
+  EXPECT_EQ(tree.Range(1.5, 1.9).size(), 0u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BPlusTreeTest, SplitsKeepOrderSmallFanout) {
+  BPlusTree<int, int> tree(4);
+  for (int i = 0; i < 200; ++i) {
+    tree.Insert(i, i * 10);
+    ASSERT_TRUE(tree.CheckInvariants().ok()) << "after insert " << i;
+  }
+  EXPECT_GT(tree.height(), 2);
+  auto all = tree.Range(0, 199);
+  ASSERT_EQ(all.size(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(all[i].first, i);
+    EXPECT_EQ(all[i].second, i * 10);
+  }
+}
+
+TEST(BPlusTreeTest, ReverseAndRandomInsertionOrders) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    BPlusTree<int, int> tree(6);
+    std::vector<int> keys(500);
+    for (int i = 0; i < 500; ++i) keys[i] = i;
+    Rng rng(seed);
+    rng.Shuffle(&keys);
+    for (int k : keys) tree.Insert(k, -k);
+    ASSERT_TRUE(tree.CheckInvariants().ok());
+    auto all = tree.Range(-1000, 1000);
+    ASSERT_EQ(all.size(), 500u);
+    EXPECT_TRUE(std::is_sorted(
+        all.begin(), all.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; }));
+  }
+}
+
+TEST(BPlusTreeTest, DuplicateKeys) {
+  BPlusTree<double, int> tree(4);
+  for (int i = 0; i < 50; ++i) tree.Insert(7.0, i);
+  tree.Insert(6.0, -1);
+  tree.Insert(8.0, -2);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  auto dup = tree.Range(7.0, 7.0);
+  EXPECT_EQ(dup.size(), 50u);
+  EXPECT_EQ(tree.Range(6.0, 8.0).size(), 52u);
+}
+
+TEST(BPlusTreeTest, ScanEarlyStop) {
+  BPlusTree<int, int> tree;
+  for (int i = 0; i < 100; ++i) tree.Insert(i, i);
+  int visited = 0;
+  tree.Scan(0, 99, [&](int /*k*/, int /*v*/) {
+    ++visited;
+    return visited < 10;
+  });
+  EXPECT_EQ(visited, 10);
+}
+
+TEST(BPlusTreeTest, MatchesStdMultimapOnRandomWorkload) {
+  BPlusTree<double, int> tree(8);
+  std::multimap<double, int> reference;
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    double key = rng.Uniform(0.0, 100.0);
+    tree.Insert(key, i);
+    reference.emplace(key, i);
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (int trial = 0; trial < 50; ++trial) {
+    double a = rng.Uniform(0.0, 100.0), b = rng.Uniform(0.0, 100.0);
+    double lo = std::min(a, b), hi = std::max(a, b);
+    auto got = tree.Range(lo, hi);
+    size_t want = std::distance(reference.lower_bound(lo),
+                                reference.upper_bound(hi));
+    EXPECT_EQ(got.size(), want) << "[" << lo << ", " << hi << "]";
+    // Keys ascending.
+    for (size_t i = 1; i < got.size(); ++i) {
+      EXPECT_LE(got[i - 1].first, got[i].first);
+    }
+  }
+}
+
+TEST(BPlusTreeTest, LargeFanoutShallowTree) {
+  BPlusTree<int, int> tree(128);
+  for (int i = 0; i < 10000; ++i) tree.Insert(i, i);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_LE(tree.height(), 3);
+  EXPECT_EQ(tree.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace hos::index

@@ -1,0 +1,135 @@
+#include "src/index/idistance.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/generator.h"
+#include "src/knn/linear_scan.h"
+
+namespace hos::index {
+namespace {
+
+using knn::MetricKind;
+
+TEST(IDistanceTest, ValidatesInput) {
+  data::Dataset empty(2);
+  Rng rng(1);
+  EXPECT_FALSE(IDistance::Build(empty, MetricKind::kL2, {}, &rng).ok());
+  data::Dataset ds = data::GenerateUniform(10, 2, &rng);
+  IDistanceConfig config;
+  config.num_partitions = 0;
+  EXPECT_FALSE(IDistance::Build(ds, MetricKind::kL2, config, &rng).ok());
+}
+
+TEST(IDistanceTest, PartitionsCappedAtDatasetSize) {
+  Rng rng(2);
+  data::Dataset ds = data::GenerateUniform(5, 2, &rng);
+  IDistanceConfig config;
+  config.num_partitions = 50;
+  auto index = IDistance::Build(ds, MetricKind::kL2, config, &rng);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->partitions().size(), 5u);
+  EXPECT_TRUE(index->CheckInvariants().ok());
+}
+
+struct Param {
+  MetricKind metric;
+  int partitions;
+};
+
+class IDistanceEquivalenceTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(IDistanceEquivalenceTest, FullSpaceKnnMatchesLinearScan) {
+  const Param param = GetParam();
+  Rng rng(3);
+  data::GaussianMixtureSpec spec;
+  spec.num_points = 700;
+  spec.num_dims = 8;
+  data::Dataset ds = data::GenerateGaussianMixture(spec, &rng);
+  IDistanceConfig config;
+  config.num_partitions = param.partitions;
+  auto index = IDistance::Build(ds, param.metric, config, &rng);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index->CheckInvariants().ok());
+  knn::LinearScanKnn oracle(ds, param.metric);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    auto id = static_cast<data::PointId>(rng.UniformInt(0, ds.size() - 1));
+    int k = 1 + static_cast<int>(rng.UniformInt(0, 9));
+    auto got = index->Knn(ds.Row(id), k, id);
+
+    knn::KnnQuery query;
+    query.point = ds.Row(id);
+    query.subspace = Subspace::Full(8);
+    query.k = k;
+    query.exclude = id;
+    auto want = oracle.Search(query);
+    ASSERT_EQ(got.size(), want.size()) << "trial " << trial;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id) << "trial " << trial << " i " << i;
+      EXPECT_NEAR(got[i].distance, want[i].distance, 1e-9);
+    }
+  }
+}
+
+TEST_P(IDistanceEquivalenceTest, RangeSearchMatchesLinearScan) {
+  const Param param = GetParam();
+  Rng rng(4);
+  data::Dataset ds = data::GenerateUniform(400, 6, &rng);
+  IDistanceConfig config;
+  config.num_partitions = param.partitions;
+  auto index = IDistance::Build(ds, param.metric, config, &rng);
+  ASSERT_TRUE(index.ok());
+  knn::LinearScanKnn oracle(ds, param.metric);
+  const Subspace full = Subspace::Full(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> q(6);
+    for (auto& v : q) v = rng.Uniform();
+    double radius = rng.Uniform(0.1, 0.6);
+    auto got = index->RangeSearch(q, radius);
+    auto want = oracle.RangeSearch(q, full, radius);
+    ASSERT_EQ(got.size(), want.size()) << "trial " << trial;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MetricsAndPartitions, IDistanceEquivalenceTest,
+    ::testing::Values(Param{MetricKind::kL2, 16}, Param{MetricKind::kL2, 1},
+                      Param{MetricKind::kL2, 64}, Param{MetricKind::kL1, 16},
+                      Param{MetricKind::kLInf, 16}),
+    [](const auto& info) {
+      return std::string(knn::MetricKindToString(info.param.metric)) + "_p" +
+             std::to_string(info.param.partitions);
+    });
+
+TEST(IDistanceTest, PrunesDistanceComputationsOnClusteredData) {
+  Rng rng(5);
+  data::GaussianMixtureSpec spec;
+  spec.num_points = 5000;
+  spec.num_dims = 8;
+  spec.num_clusters = 8;
+  spec.cluster_stddev = 0.04;
+  data::Dataset ds = data::GenerateGaussianMixture(spec, &rng);
+  auto index = IDistance::Build(ds, MetricKind::kL2, {}, &rng);
+  ASSERT_TRUE(index.ok());
+  auto row = ds.Row(0);
+  index->Knn(row, 5, data::PointId{0});
+  EXPECT_LT(index->distance_computations(), 5000u / 2);
+}
+
+TEST(IDistanceTest, KLargerThanDataset) {
+  Rng rng(6);
+  data::Dataset ds = data::GenerateUniform(20, 3, &rng);
+  auto index = IDistance::Build(ds, MetricKind::kL2, {}, &rng);
+  ASSERT_TRUE(index.ok());
+  std::vector<double> q{0.5, 0.5, 0.5};
+  auto result = index->Knn(q, 100);
+  EXPECT_EQ(result.size(), 20u);
+  // With exclusion, one fewer.
+  EXPECT_EQ(index->Knn(ds.Row(3), 100, data::PointId{3}).size(), 19u);
+}
+
+}  // namespace
+}  // namespace hos::index

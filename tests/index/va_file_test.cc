@@ -1,0 +1,192 @@
+#include "src/index/va_file.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/data/generator.h"
+#include "src/knn/linear_scan.h"
+
+namespace hos::index {
+namespace {
+
+using knn::KnnQuery;
+using knn::MetricKind;
+
+TEST(VaFileTest, ValidatesBits) {
+  Rng rng(1);
+  data::Dataset ds = data::GenerateUniform(10, 2, &rng);
+  VaFileConfig config;
+  config.bits_per_dim = 0;
+  EXPECT_FALSE(VaFile::Build(ds, MetricKind::kL2, config).ok());
+  config.bits_per_dim = 9;
+  EXPECT_FALSE(VaFile::Build(ds, MetricKind::kL2, config).ok());
+}
+
+TEST(VaFileTest, EmptyAndTinyDatasets) {
+  data::Dataset empty(2);
+  auto file = VaFile::Build(empty, MetricKind::kL2);
+  ASSERT_TRUE(file.ok());
+  std::vector<double> q{0.0, 0.0};
+  KnnQuery query;
+  query.point = q;
+  query.subspace = Subspace::Full(2);
+  query.k = 3;
+  EXPECT_TRUE(file->Knn(query).empty());
+
+  data::Dataset one(2);
+  one.Append(std::vector<double>{0.5, 0.5});
+  auto single = VaFile::Build(one, MetricKind::kL2);
+  ASSERT_TRUE(single.ok());
+  auto result = single->Knn(query);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].id, 0u);
+}
+
+TEST(VaFileTest, ConstantColumnHandled) {
+  data::Dataset ds(2);
+  for (int i = 0; i < 20; ++i) {
+    ds.Append(std::vector<double>{1.0, i * 0.1});
+  }
+  auto file = VaFile::Build(ds, MetricKind::kL2);
+  ASSERT_TRUE(file.ok());
+  std::vector<double> q{1.0, 0.55};
+  KnnQuery query;
+  query.point = q;
+  query.subspace = Subspace::Full(2);
+  query.k = 2;
+  auto result = file->Knn(query);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_TRUE((result[0].id == 5 || result[0].id == 6));
+}
+
+struct Param {
+  MetricKind metric;
+  int bits;
+};
+
+class VaFileEquivalenceTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(VaFileEquivalenceTest, MatchesLinearScanInRandomSubspaces) {
+  const Param param = GetParam();
+  Rng rng(7);
+  const int d = 7;
+  data::GaussianMixtureSpec spec;
+  spec.num_points = 600;
+  spec.num_dims = d;
+  data::Dataset ds = data::GenerateGaussianMixture(spec, &rng);
+  VaFileConfig config;
+  config.bits_per_dim = param.bits;
+  auto file = VaFile::Build(ds, param.metric, config);
+  ASSERT_TRUE(file.ok());
+  knn::LinearScanKnn oracle(ds, param.metric);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    data::PointId id =
+        static_cast<data::PointId>(rng.UniformInt(0, ds.size() - 1));
+    KnnQuery query;
+    query.point = ds.Row(id);
+    query.subspace = Subspace(rng.UniformInt(1, (1 << d) - 1));
+    query.k = 1 + static_cast<int>(rng.UniformInt(0, 9));
+    query.exclude = id;
+    auto got = file->Knn(query);
+    auto want = oracle.Search(query);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id) << "trial " << trial;
+      EXPECT_NEAR(got[i].distance, want[i].distance, 1e-9);
+    }
+  }
+}
+
+TEST_P(VaFileEquivalenceTest, RangeSearchMatchesLinearScan) {
+  const Param param = GetParam();
+  Rng rng(8);
+  data::Dataset ds = data::GenerateUniform(400, 5, &rng);
+  VaFileConfig config;
+  config.bits_per_dim = param.bits;
+  auto file = VaFile::Build(ds, param.metric, config);
+  ASSERT_TRUE(file.ok());
+  knn::LinearScanKnn oracle(ds, param.metric);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> q(5);
+    for (auto& v : q) v = rng.Uniform();
+    Subspace s(rng.UniformInt(1, 31));
+    double radius = rng.Uniform(0.05, 0.4);
+    auto got = file->RangeSearch(q, s, radius);
+    auto want = oracle.RangeSearch(q, s, radius);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MetricsAndBits, VaFileEquivalenceTest,
+    ::testing::Values(Param{MetricKind::kL2, 4}, Param{MetricKind::kL2, 2},
+                      Param{MetricKind::kL2, 8}, Param{MetricKind::kL1, 4},
+                      Param{MetricKind::kLInf, 4}),
+    [](const auto& info) {
+      return std::string(knn::MetricKindToString(info.param.metric)) + "_b" +
+             std::to_string(info.param.bits);
+    });
+
+TEST(VaFileTest, ApproximationFiltersCandidates) {
+  Rng rng(9);
+  data::GaussianMixtureSpec spec;
+  spec.num_points = 5000;
+  spec.num_dims = 8;
+  data::Dataset ds = data::GenerateGaussianMixture(spec, &rng);
+  auto file = VaFile::Build(ds, MetricKind::kL2);
+  ASSERT_TRUE(file.ok());
+  KnnQuery query;
+  auto row = ds.Row(0);
+  query.point = row;
+  query.subspace = Subspace::Full(8);
+  query.k = 5;
+  query.exclude = data::PointId{0};
+  file->Knn(query);
+  // The filter must discard the vast majority of the 5000 points.
+  EXPECT_LT(file->last_candidate_count(), 5000u / 4);
+  EXPECT_EQ(file->distance_computations(), file->last_candidate_count());
+}
+
+TEST(VaFileTest, MoreBitsTightenTheFilter) {
+  Rng rng(10);
+  data::Dataset ds = data::GenerateUniform(3000, 6, &rng);
+  VaFileConfig coarse_config;
+  coarse_config.bits_per_dim = 2;
+  VaFileConfig fine_config;
+  fine_config.bits_per_dim = 8;
+  auto coarse = VaFile::Build(ds, MetricKind::kL2, coarse_config);
+  auto fine = VaFile::Build(ds, MetricKind::kL2, fine_config);
+  ASSERT_TRUE(coarse.ok() && fine.ok());
+  KnnQuery query;
+  auto row = ds.Row(42);
+  query.point = row;
+  query.subspace = Subspace::Full(6);
+  query.k = 5;
+  query.exclude = data::PointId{42};
+  coarse->Knn(query);
+  fine->Knn(query);
+  EXPECT_LT(fine->last_candidate_count(), coarse->last_candidate_count());
+}
+
+TEST(VaFileKnnAdapterTest, WorksAsEngine) {
+  Rng rng(11);
+  data::Dataset ds = data::GenerateUniform(200, 4, &rng);
+  auto file = VaFile::Build(ds, MetricKind::kL2);
+  ASSERT_TRUE(file.ok());
+  VaFileKnn engine(*file);
+  EXPECT_EQ(engine.size(), 200u);
+  EXPECT_EQ(engine.metric(), MetricKind::kL2);
+  KnnQuery query;
+  auto row = ds.Row(0);
+  query.point = row;
+  query.subspace = Subspace::Full(4);
+  query.k = 3;
+  EXPECT_EQ(engine.Search(query).size(), 3u);
+}
+
+}  // namespace
+}  // namespace hos::index

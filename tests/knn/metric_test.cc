@@ -1,0 +1,116 @@
+#include "src/knn/metric.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace hos::knn {
+namespace {
+
+TEST(MetricTest, L2SubspaceDistance) {
+  std::vector<double> a{0.0, 0.0, 0.0};
+  std::vector<double> b{3.0, 4.0, 100.0};
+  Subspace s = Subspace::FromDims({0, 1});
+  EXPECT_DOUBLE_EQ(SubspaceDistance(a, b, s, MetricKind::kL2), 5.0);
+}
+
+TEST(MetricTest, L1SubspaceDistance) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{2.0, 0.0, 3.0};
+  EXPECT_DOUBLE_EQ(
+      SubspaceDistance(a, b, Subspace::FromDims({0, 1}), MetricKind::kL1),
+      3.0);
+}
+
+TEST(MetricTest, LInfSubspaceDistance) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{2.0, 5.0, 3.5};
+  EXPECT_DOUBLE_EQ(
+      SubspaceDistance(a, b, Subspace::Full(3), MetricKind::kLInf), 3.0);
+}
+
+TEST(MetricTest, EmptySubspaceIsZero) {
+  std::vector<double> a{1.0}, b{9.0};
+  EXPECT_DOUBLE_EQ(SubspaceDistance(a, b, Subspace(), MetricKind::kL2), 0.0);
+}
+
+TEST(MetricTest, IgnoresExcludedDimensions) {
+  std::vector<double> a{1.0, 5.0};
+  std::vector<double> b{1.0, -100.0};
+  EXPECT_DOUBLE_EQ(
+      SubspaceDistance(a, b, Subspace::FromDims({0}), MetricKind::kL2), 0.0);
+}
+
+TEST(MetricTest, FullDistanceEqualsFullSubspace) {
+  std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b{0.0, 1.0, 5.0, 2.0};
+  for (MetricKind m : {MetricKind::kL1, MetricKind::kL2, MetricKind::kLInf}) {
+    EXPECT_DOUBLE_EQ(FullDistance(a, b, m),
+                     SubspaceDistance(a, b, Subspace::Full(4), m));
+  }
+}
+
+TEST(MetricTest, Names) {
+  EXPECT_EQ(MetricKindToString(MetricKind::kL1), "L1");
+  EXPECT_EQ(MetricKindToString(MetricKind::kL2), "L2");
+  EXPECT_EQ(MetricKindToString(MetricKind::kLInf), "LInf");
+}
+
+// --- Property suite: the monotonicity underpinning the paper's pruning ---
+
+class MetricPropertyTest : public ::testing::TestWithParam<MetricKind> {};
+
+// dist_{s1}(a,b) >= dist_{s2}(a,b) whenever s1 ⊇ s2 (paper §2): verified
+// on random points and random nested subspace pairs.
+TEST_P(MetricPropertyTest, DistanceMonotoneInSubspaceInclusion) {
+  const MetricKind metric = GetParam();
+  Rng rng(42);
+  const int d = 8;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> a(d), b(d);
+    for (int j = 0; j < d; ++j) {
+      a[j] = rng.Uniform(-5.0, 5.0);
+      b[j] = rng.Uniform(-5.0, 5.0);
+    }
+    uint64_t sub_mask = rng.UniformInt(1, (1 << d) - 1);
+    // Build a superset by adding random bits.
+    uint64_t super_mask =
+        sub_mask | static_cast<uint64_t>(rng.UniformInt(0, (1 << d) - 1));
+    double d_sub = SubspaceDistance(a, b, Subspace(sub_mask), metric);
+    double d_super = SubspaceDistance(a, b, Subspace(super_mask), metric);
+    EXPECT_GE(d_super, d_sub);
+  }
+}
+
+TEST_P(MetricPropertyTest, MetricAxiomsOnRandomPoints) {
+  const MetricKind metric = GetParam();
+  Rng rng(7);
+  const int d = 6;
+  const Subspace full = Subspace::Full(d);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> a(d), b(d), c(d);
+    for (int j = 0; j < d; ++j) {
+      a[j] = rng.Uniform(-1.0, 1.0);
+      b[j] = rng.Uniform(-1.0, 1.0);
+      c[j] = rng.Uniform(-1.0, 1.0);
+    }
+    double ab = SubspaceDistance(a, b, full, metric);
+    double ba = SubspaceDistance(b, a, full, metric);
+    double ac = SubspaceDistance(a, c, full, metric);
+    double cb = SubspaceDistance(c, b, full, metric);
+    EXPECT_DOUBLE_EQ(ab, ba);                      // symmetry
+    EXPECT_GE(ab, 0.0);                            // non-negativity
+    EXPECT_LE(ab, ac + cb + 1e-12);                // triangle inequality
+    EXPECT_DOUBLE_EQ(SubspaceDistance(a, a, full, metric), 0.0);  // identity
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricPropertyTest,
+                         ::testing::Values(MetricKind::kL1, MetricKind::kL2,
+                                           MetricKind::kLInf),
+                         [](const auto& info) {
+                           return std::string(MetricKindToString(info.param));
+                         });
+
+}  // namespace
+}  // namespace hos::knn

@@ -1,0 +1,99 @@
+// Randomised consistency check of the lattice bookkeeping: feed a random
+// but monotone ground truth (an up-closed outlier set) to LatticeState in a
+// random evaluation order and verify that the inferred states always agree
+// with the ground truth, whatever the order of MarkEvaluated/Propagate.
+
+#include <gtest/gtest.h>
+
+#include "src/common/combinatorics.h"
+#include "src/common/rng.h"
+#include "src/lattice/lattice_state.h"
+
+namespace hos::lattice {
+namespace {
+
+/// Builds a random monotone (up-closed) outlier predicate over d dims:
+/// picks random seed subspaces; everything that contains a seed is an
+/// outlier. `num_seeds` == 0 yields the all-non-outlier lattice.
+std::vector<bool> RandomUpClosedTruth(int d, int num_seeds, Rng* rng) {
+  const uint64_t size = uint64_t{1} << d;
+  std::vector<uint64_t> seeds;
+  for (int i = 0; i < num_seeds; ++i) {
+    seeds.push_back(rng->UniformInt(1, static_cast<int64_t>(size - 1)));
+  }
+  std::vector<bool> outlier(size, false);
+  for (uint64_t mask = 1; mask < size; ++mask) {
+    for (uint64_t seed : seeds) {
+      if ((mask & seed) == seed) {
+        outlier[mask] = true;
+        break;
+      }
+    }
+  }
+  return outlier;
+}
+
+class LatticeFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LatticeFuzzTest, RandomOrderEvaluationNeverContradictsTruth) {
+  const int d = 6;
+  const int num_seeds = GetParam();
+  Rng rng(1000 + num_seeds);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    auto truth = RandomUpClosedTruth(d, num_seeds, &rng);
+    LatticeState state(d);
+
+    // Random evaluation order over all masks; skip already-decided ones and
+    // propagate at random batch boundaries.
+    std::vector<uint64_t> order;
+    for (uint64_t mask = 1; mask < (uint64_t{1} << d); ++mask) {
+      order.push_back(mask);
+    }
+    rng.Shuffle(&order);
+    for (uint64_t mask : order) {
+      Subspace s(mask);
+      if (IsDecided(state.StateOf(s))) {
+        // Inferred states must match the truth.
+        EXPECT_EQ(state.IsOutlying(s), truth[mask])
+            << "mask " << mask << " seeds " << num_seeds;
+        continue;
+      }
+      state.MarkEvaluated(s, truth[mask]);
+      if (rng.Bernoulli(0.3)) state.Propagate();
+    }
+    state.Propagate();
+    EXPECT_TRUE(state.AllDecided());
+
+    // Final states all agree with the ground truth; per-level counts too.
+    for (int m = 1; m <= d; ++m) {
+      uint64_t outliers_at_level = 0;
+      for (uint64_t mask : MasksOfLevel(d, m)) {
+        EXPECT_EQ(state.IsOutlying(Subspace(mask)), truth[mask]);
+        outliers_at_level += truth[mask];
+      }
+      EXPECT_EQ(state.OutliersAtLevel(m), outliers_at_level) << "m=" << m;
+    }
+
+    // The minimal seeds generate exactly the truth's up-closure.
+    for (uint64_t mask = 1; mask < (uint64_t{1} << d); ++mask) {
+      bool covered = false;
+      for (const Subspace& seed : state.minimal_outlier_seeds()) {
+        if ((mask & seed.mask()) == seed.mask()) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_EQ(covered, truth[mask]) << "mask " << mask;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedCounts, LatticeFuzzTest,
+                         ::testing::Values(0, 1, 2, 4, 8),
+                         [](const auto& info) {
+                           return "seeds" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace hos::lattice

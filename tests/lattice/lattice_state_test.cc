@@ -1,0 +1,156 @@
+#include "src/lattice/lattice_state.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/combinatorics.h"
+
+namespace hos::lattice {
+namespace {
+
+Subspace S(std::initializer_list<int> one_based) {
+  return Subspace::FromOneBased(std::vector<int>(one_based));
+}
+
+TEST(LatticeStateTest, FreshStateAllUndecided) {
+  LatticeState state(4);
+  EXPECT_EQ(state.num_dims(), 4);
+  for (int m = 1; m <= 4; ++m) {
+    EXPECT_EQ(state.UndecidedCount(m), Binomial(4, m));
+  }
+  EXPECT_FALSE(state.AllDecided());
+  EXPECT_EQ(state.StateOf(S({1, 2})), SubspaceState::kUndecided);
+}
+
+TEST(LatticeStateTest, MarkEvaluatedOutlier) {
+  LatticeState state(4);
+  state.MarkEvaluated(S({1, 3}), /*outlier=*/true);
+  EXPECT_EQ(state.StateOf(S({1, 3})), SubspaceState::kEvaluatedOutlier);
+  EXPECT_TRUE(state.IsOutlying(S({1, 3})));
+  EXPECT_EQ(state.EvaluatedOutliers(2), 1u);
+  EXPECT_EQ(state.UndecidedCount(2), Binomial(4, 2) - 1);
+  ASSERT_EQ(state.minimal_outlier_seeds().size(), 1u);
+}
+
+TEST(LatticeStateTest, UpwardPruningMarksSupersets) {
+  LatticeState state(4);
+  state.MarkEvaluated(S({1, 3}), true);
+  state.Propagate();
+  // Supersets of [1,3]: [1,2,3], [1,3,4], [1,2,3,4].
+  EXPECT_EQ(state.StateOf(S({1, 2, 3})), SubspaceState::kInferredOutlier);
+  EXPECT_EQ(state.StateOf(S({1, 3, 4})), SubspaceState::kInferredOutlier);
+  EXPECT_EQ(state.StateOf(S({1, 2, 3, 4})), SubspaceState::kInferredOutlier);
+  // Non-supersets untouched.
+  EXPECT_EQ(state.StateOf(S({1, 2})), SubspaceState::kUndecided);
+  EXPECT_EQ(state.StateOf(S({2, 3, 4})), SubspaceState::kUndecided);
+  EXPECT_EQ(state.InferredOutliers(3), 2u);
+  EXPECT_EQ(state.InferredOutliers(4), 1u);
+}
+
+TEST(LatticeStateTest, DownwardPruningMarksSubsets) {
+  LatticeState state(4);
+  state.MarkEvaluated(S({1, 2, 3}), false);
+  state.Propagate();
+  EXPECT_EQ(state.StateOf(S({1, 2})), SubspaceState::kInferredNonOutlier);
+  EXPECT_EQ(state.StateOf(S({1, 3})), SubspaceState::kInferredNonOutlier);
+  EXPECT_EQ(state.StateOf(S({2, 3})), SubspaceState::kInferredNonOutlier);
+  EXPECT_EQ(state.StateOf(S({1})), SubspaceState::kInferredNonOutlier);
+  EXPECT_EQ(state.StateOf(S({2})), SubspaceState::kInferredNonOutlier);
+  EXPECT_EQ(state.StateOf(S({3})), SubspaceState::kInferredNonOutlier);
+  // [4] and everything containing 4 untouched.
+  EXPECT_EQ(state.StateOf(S({4})), SubspaceState::kUndecided);
+  EXPECT_EQ(state.StateOf(S({1, 4})), SubspaceState::kUndecided);
+}
+
+TEST(LatticeStateTest, PrioritisesOutlierOverNonOutlierResolution) {
+  // A subspace can be superset of an outlier seed and subset of a
+  // non-outlier seed only if the lattice is inconsistent; with consistent
+  // OD monotonicity this cannot happen. Here we merely check both pending
+  // lists apply in one Propagate call.
+  LatticeState state(4);
+  state.MarkEvaluated(S({1}), true);       // prunes supersets upward
+  state.MarkEvaluated(S({2, 3}), false);   // prunes subsets downward
+  state.Propagate();
+  EXPECT_TRUE(state.IsOutlying(S({1, 4})));
+  EXPECT_EQ(state.StateOf(S({2})), SubspaceState::kInferredNonOutlier);
+  EXPECT_EQ(state.StateOf(S({3})), SubspaceState::kInferredNonOutlier);
+}
+
+TEST(LatticeStateTest, MinimalSeedSetStaysMinimal) {
+  LatticeState state(4);
+  state.MarkEvaluated(S({1, 2, 3}), true);
+  EXPECT_EQ(state.minimal_outlier_seeds().size(), 1u);
+  // A subset seed replaces the superset.
+  state.MarkEvaluated(S({1, 2}), true);
+  ASSERT_EQ(state.minimal_outlier_seeds().size(), 1u);
+  EXPECT_EQ(state.minimal_outlier_seeds()[0], S({1, 2}));
+  // An incomparable seed is added.
+  state.MarkEvaluated(S({3, 4}), true);
+  EXPECT_EQ(state.minimal_outlier_seeds().size(), 2u);
+  // A superset of an existing seed is not added.
+  state.MarkEvaluated(S({1, 2, 4}), true);
+  EXPECT_EQ(state.minimal_outlier_seeds().size(), 2u);
+}
+
+TEST(LatticeStateTest, MaximalNonOutlierSeedsStayMaximal) {
+  LatticeState state(4);
+  state.MarkEvaluated(S({1, 2}), false);
+  state.MarkEvaluated(S({1, 2, 3}), false);  // superset replaces subset
+  ASSERT_EQ(state.maximal_non_outlier_seeds().size(), 1u);
+  EXPECT_EQ(state.maximal_non_outlier_seeds()[0], S({1, 2, 3}));
+  state.MarkEvaluated(S({1, 4}), false);  // incomparable
+  EXPECT_EQ(state.maximal_non_outlier_seeds().size(), 2u);
+}
+
+TEST(LatticeStateTest, UndecidedFiltersDecidedMasks) {
+  LatticeState state(3);
+  state.MarkEvaluated(S({1}), true);
+  state.Propagate();
+  const auto& level2 = state.Undecided(2);
+  // [1,2] and [1,3] are inferred outliers; only [2,3] remains.
+  ASSERT_EQ(level2.size(), 1u);
+  EXPECT_EQ(level2[0], S({2, 3}).mask());
+  EXPECT_EQ(state.UndecidedCount(2), 1u);
+}
+
+TEST(LatticeStateTest, WorkloadCounters) {
+  LatticeState state(4);
+  // Initially: C_down_left(3) = C(4,1)*1 + C(4,2)*2 = 16,
+  //            C_up_left(3)   = C(4,4)*4 = 4.
+  EXPECT_EQ(state.RemainingWorkloadBelow(3), 16u);
+  EXPECT_EQ(state.RemainingWorkloadAbove(3), 4u);
+  state.MarkEvaluated(S({1}), true);
+  state.Propagate();  // prunes upward: 3 of level 2, 3 of level 3, 1 of 4
+  EXPECT_EQ(state.RemainingWorkloadBelow(3),
+            3u * 1 + 3u * 2);  // 3 singles + 3 pairs left
+  EXPECT_EQ(state.RemainingWorkloadAbove(3), 0u);
+}
+
+TEST(LatticeStateTest, FullyDecidedLattice) {
+  LatticeState state(3);
+  state.MarkEvaluated(S({1}), true);
+  state.MarkEvaluated(S({2}), false);
+  state.MarkEvaluated(S({3}), false);
+  state.Propagate();
+  // Remaining undecided: [2,3].
+  EXPECT_FALSE(state.AllDecided());
+  state.MarkEvaluated(S({2, 3}), false);
+  state.Propagate();
+  EXPECT_TRUE(state.AllDecided());
+  // Outliers at each level: level 1: [1]; level 2: [1,2],[1,3]; level 3: all.
+  EXPECT_EQ(state.OutliersAtLevel(1), 1u);
+  EXPECT_EQ(state.OutliersAtLevel(2), 2u);
+  EXPECT_EQ(state.OutliersAtLevel(3), 1u);
+}
+
+TEST(IsOutlierStateTest, Classification) {
+  EXPECT_TRUE(IsOutlierState(SubspaceState::kEvaluatedOutlier));
+  EXPECT_TRUE(IsOutlierState(SubspaceState::kInferredOutlier));
+  EXPECT_FALSE(IsOutlierState(SubspaceState::kEvaluatedNonOutlier));
+  EXPECT_FALSE(IsOutlierState(SubspaceState::kInferredNonOutlier));
+  EXPECT_FALSE(IsOutlierState(SubspaceState::kUndecided));
+  EXPECT_FALSE(IsDecided(SubspaceState::kUndecided));
+  EXPECT_TRUE(IsDecided(SubspaceState::kInferredOutlier));
+}
+
+}  // namespace
+}  // namespace hos::lattice

@@ -1,0 +1,125 @@
+#include "src/lattice/saving_factors.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/combinatorics.h"
+
+namespace hos::lattice {
+namespace {
+
+TEST(PruningPriorsTest, FlatMatchesPaperSection32) {
+  auto priors = PruningPriors::Flat(5);
+  EXPECT_EQ(priors.num_dims(), 5);
+  // Boundary level 1: p_up = 1, p_down = 0.
+  EXPECT_DOUBLE_EQ(priors.up[1], 1.0);
+  EXPECT_DOUBLE_EQ(priors.down[1], 0.0);
+  // Boundary level d: p_up = 0, p_down = 1.
+  EXPECT_DOUBLE_EQ(priors.up[5], 0.0);
+  EXPECT_DOUBLE_EQ(priors.down[5], 1.0);
+  // Interior levels: 0.5 each.
+  for (int m = 2; m <= 4; ++m) {
+    EXPECT_DOUBLE_EQ(priors.up[m], 0.5);
+    EXPECT_DOUBLE_EQ(priors.down[m], 0.5);
+  }
+}
+
+TEST(TsfTest, FreshLatticeUsesFullFractions) {
+  // On a fresh lattice f_down = f_up = 1, so Definition 3 reduces to
+  // p_down*DSF + p_up*USF with the boundary cases at m = 1 and m = d.
+  const int d = 4;
+  LatticeState state(d);
+  auto priors = PruningPriors::Flat(d);
+
+  // m = 1: only the upward term, p_up(1) = 1.
+  EXPECT_DOUBLE_EQ(TotalSavingFactor(1, priors, state),
+                   1.0 * static_cast<double>(UpwardSavingFactor(1, d)));
+  // m = d: only the downward term, p_down(d) = 1.
+  EXPECT_DOUBLE_EQ(TotalSavingFactor(d, priors, state),
+                   1.0 * static_cast<double>(DownwardSavingFactor(d)));
+  // Interior m: both terms at probability 0.5.
+  for (int m = 2; m < d; ++m) {
+    double expected = 0.5 * static_cast<double>(DownwardSavingFactor(m)) +
+                      0.5 * static_cast<double>(UpwardSavingFactor(m, d));
+    EXPECT_DOUBLE_EQ(TotalSavingFactor(m, priors, state), expected);
+  }
+}
+
+TEST(TsfTest, DecidedLevelScoresZero) {
+  const int d = 3;
+  LatticeState state(d);
+  for (uint64_t mask : MasksOfLevel(d, 2)) {
+    state.MarkEvaluated(Subspace(mask), false);
+  }
+  auto priors = PruningPriors::Flat(d);
+  EXPECT_DOUBLE_EQ(TotalSavingFactor(2, priors, state), 0.0);
+}
+
+TEST(TsfTest, FractionsShrinkAsLatticeResolves) {
+  const int d = 4;
+  LatticeState state(d);
+  auto priors = PruningPriors::Flat(d);
+  double before = TotalSavingFactor(2, priors, state);
+  // Decide all of level 1 as non-outliers: C_down_left(2) drops to 0.
+  for (uint64_t mask : MasksOfLevel(d, 1)) {
+    state.MarkEvaluated(Subspace(mask), false);
+  }
+  state.Propagate();
+  double after = TotalSavingFactor(2, priors, state);
+  EXPECT_LT(after, before);
+  // Now the downward term of level 2 is zero; only the upward term remains.
+  EXPECT_DOUBLE_EQ(after,
+                   0.5 * static_cast<double>(UpwardSavingFactor(2, d)));
+}
+
+TEST(BestLevelTest, FreshLatticePrefersExpectedLevel) {
+  // With flat priors the best level maximises the Definition-3 mix; verify
+  // BestLevel agrees with a direct argmax.
+  for (int d = 2; d <= 10; ++d) {
+    LatticeState state(d);
+    auto priors = PruningPriors::Flat(d);
+    int best = BestLevel(priors, state);
+    ASSERT_GE(best, 1);
+    double best_tsf = TotalSavingFactor(best, priors, state);
+    for (int m = 1; m <= d; ++m) {
+      EXPECT_LE(TotalSavingFactor(m, priors, state), best_tsf);
+    }
+  }
+}
+
+TEST(BestLevelTest, SkipsDecidedLevels) {
+  const int d = 3;
+  LatticeState state(d);
+  auto priors = PruningPriors::Flat(d);
+  int first = BestLevel(priors, state);
+  for (uint64_t mask : MasksOfLevel(d, first)) {
+    state.MarkEvaluated(Subspace(mask), false);
+  }
+  state.Propagate();
+  int second = BestLevel(priors, state);
+  EXPECT_NE(second, first);
+}
+
+TEST(BestLevelTest, ReturnsZeroWhenAllDecided) {
+  const int d = 2;
+  LatticeState state(d);
+  auto priors = PruningPriors::Flat(d);
+  state.MarkEvaluated(Subspace::FromOneBased({1}), false);
+  state.MarkEvaluated(Subspace::FromOneBased({2}), false);
+  state.MarkEvaluated(Subspace::FromOneBased({1, 2}), false);
+  EXPECT_EQ(BestLevel(priors, state), 0);
+}
+
+TEST(BestLevelTest, LearnedPriorsSteerTheChoice) {
+  // Push all upward probability to level 2: it should win on a fresh
+  // 5-d lattice against interior levels with zero priors.
+  const int d = 5;
+  LatticeState state(d);
+  PruningPriors priors;
+  priors.up.assign(d + 1, 0.0);
+  priors.down.assign(d + 1, 0.0);
+  priors.up[2] = 1.0;
+  EXPECT_EQ(BestLevel(priors, state), 2);
+}
+
+}  // namespace
+}  // namespace hos::lattice

@@ -1,0 +1,133 @@
+#include "src/learning/learner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/generator.h"
+#include "src/knn/linear_scan.h"
+
+namespace hos::learning {
+namespace {
+
+data::Dataset MakeUniform(uint64_t seed, size_t n, int d) {
+  Rng rng(seed);
+  return data::GenerateUniform(n, d, &rng);
+}
+
+TEST(LearnerTest, ZeroSamplesYieldsFlatPriors) {
+  data::Dataset ds = MakeUniform(1, 100, 4);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  LearnerOptions options;
+  options.sample_size = 0;
+  Rng rng(1);
+  auto report = LearnPruningPriors(ds, engine, options, &rng);
+  auto flat = lattice::PruningPriors::Flat(4);
+  EXPECT_EQ(report.priors.up, flat.up);
+  EXPECT_EQ(report.priors.down, flat.down);
+  EXPECT_TRUE(report.sample_ids.empty());
+}
+
+TEST(LearnerTest, SamplesRequestedCount) {
+  data::Dataset ds = MakeUniform(2, 100, 4);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  LearnerOptions options;
+  options.sample_size = 7;
+  options.threshold = 0.5;
+  Rng rng(2);
+  auto report = LearnPruningPriors(ds, engine, options, &rng);
+  EXPECT_EQ(report.sample_ids.size(), 7u);
+  EXPECT_GT(report.total_counters.od_evaluations, 0u);
+}
+
+TEST(LearnerTest, SampleSizeCappedAtDatasetSize) {
+  data::Dataset ds = MakeUniform(3, 10, 3);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  LearnerOptions options;
+  options.sample_size = 50;
+  options.k = 3;
+  options.threshold = 0.5;
+  Rng rng(3);
+  auto report = LearnPruningPriors(ds, engine, options, &rng);
+  EXPECT_EQ(report.sample_ids.size(), 10u);
+}
+
+TEST(LearnerTest, BoundaryOverridesApplied) {
+  data::Dataset ds = MakeUniform(4, 120, 5);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  LearnerOptions options;
+  options.sample_size = 10;
+  options.threshold = 0.8;
+  Rng rng(4);
+  auto report = LearnPruningPriors(ds, engine, options, &rng);
+  // Paper §3.2: p_down(1) = p_up(d) = 0 in the averaged priors.
+  EXPECT_DOUBLE_EQ(report.priors.down[1], 0.0);
+  EXPECT_DOUBLE_EQ(report.priors.up[5], 0.0);
+}
+
+TEST(LearnerTest, PriorsAreComplementary) {
+  data::Dataset ds = MakeUniform(5, 150, 5);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  LearnerOptions options;
+  options.sample_size = 8;
+  options.threshold = 1.0;
+  Rng rng(5);
+  auto report = LearnPruningPriors(ds, engine, options, &rng);
+  for (int m = 2; m <= 4; ++m) {  // interior levels
+    EXPECT_NEAR(report.priors.up[m] + report.priors.down[m], 1.0, 1e-12);
+    EXPECT_GE(report.priors.up[m], 0.0);
+    EXPECT_LE(report.priors.up[m], 1.0);
+  }
+}
+
+TEST(LearnerTest, MonotonicityShowsInFractions) {
+  // By OD monotonicity the per-level outlying fraction is non-decreasing
+  // in m for any single point, hence also after averaging.
+  data::Dataset ds = MakeUniform(6, 200, 6);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  LearnerOptions options;
+  options.sample_size = 12;
+  options.threshold = 0.9;
+  Rng rng(6);
+  auto report = LearnPruningPriors(ds, engine, options, &rng);
+  for (int m = 2; m <= 6; ++m) {
+    EXPECT_GE(report.mean_outlier_fraction[m] + 1e-12,
+              report.mean_outlier_fraction[m - 1])
+        << "m=" << m;
+  }
+}
+
+TEST(LearnerTest, DeterministicGivenSeed) {
+  data::Dataset ds = MakeUniform(7, 100, 4);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  LearnerOptions options;
+  options.sample_size = 5;
+  options.threshold = 0.7;
+  Rng rng_a(7), rng_b(7);
+  auto a = LearnPruningPriors(ds, engine, options, &rng_a);
+  auto b = LearnPruningPriors(ds, engine, options, &rng_b);
+  EXPECT_EQ(a.sample_ids, b.sample_ids);
+  EXPECT_EQ(a.priors.up, b.priors.up);
+  EXPECT_EQ(a.priors.down, b.priors.down);
+}
+
+TEST(LearnerTest, ExtremeThresholds) {
+  data::Dataset ds = MakeUniform(8, 80, 4);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  Rng rng(8);
+  LearnerOptions options;
+  options.sample_size = 5;
+
+  options.threshold = 0.0;  // everything outlying
+  auto low = LearnPruningPriors(ds, engine, options, &rng);
+  for (int m = 1; m <= 4; ++m) {
+    EXPECT_DOUBLE_EQ(low.mean_outlier_fraction[m], 1.0);
+  }
+
+  options.threshold = 1e18;  // nothing outlying
+  auto high = LearnPruningPriors(ds, engine, options, &rng);
+  for (int m = 1; m <= 4; ++m) {
+    EXPECT_DOUBLE_EQ(high.mean_outlier_fraction[m], 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace hos::learning

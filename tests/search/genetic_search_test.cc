@@ -1,0 +1,114 @@
+#include "src/search/genetic_search.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/generator.h"
+#include "src/knn/linear_scan.h"
+#include "src/search/subspace_search.h"
+
+namespace hos::search {
+namespace {
+
+struct Fixture {
+  data::Dataset dataset;
+  std::unique_ptr<knn::LinearScanKnn> engine;
+  data::PointId query;
+  Subspace truth;
+};
+
+Fixture MakeFixture(uint64_t seed, int d) {
+  Rng rng(seed);
+  data::SubspaceOutlierSpec spec;
+  spec.num_points = 300;
+  spec.num_dims = d;
+  spec.planted_subspaces = {Subspace::FromOneBased({1, 2})};
+  spec.displacement = 0.5;
+  auto generated = data::GenerateSubspaceOutliers(spec, &rng);
+  EXPECT_TRUE(generated.ok());
+  Fixture f{std::move(generated->dataset), nullptr,
+            generated->outliers[0].id, generated->outliers[0].subspace};
+  f.engine =
+      std::make_unique<knn::LinearScanKnn>(f.dataset, knn::MetricKind::kL2);
+  return f;
+}
+
+constexpr double kThreshold = 1.0;
+constexpr int kK = 5;
+
+TEST(GeneticSearchTest, EveryReturnedSubspaceIsTrulyMinimalOutlying) {
+  Fixture f = MakeFixture(1, 7);
+  OdEvaluator od(*f.engine, f.dataset.Row(f.query), kK, f.query);
+  GeneticSubspaceSearch ga(7);
+  Rng rng(1);
+  auto result = ga.Run(&od, kThreshold, &rng);
+  for (const Subspace& s : result) {
+    // Outlying...
+    EXPECT_GE(od.Evaluate(s), kThreshold) << s.ToString();
+    // ...and minimal: every immediate subset is below the threshold.
+    for (const Subspace& child : ImmediateSubsets(s)) {
+      EXPECT_LT(od.Evaluate(child), kThreshold)
+          << s.ToString() << " child " << child.ToString();
+    }
+  }
+  // Antichain.
+  for (size_t i = 0; i < result.size(); ++i) {
+    for (size_t j = 0; j < result.size(); ++j) {
+      if (i != j) {
+        EXPECT_FALSE(result[i].IsSubsetOf(result[j]));
+      }
+    }
+  }
+}
+
+TEST(GeneticSearchTest, FindsThePlantedSubspace) {
+  Fixture f = MakeFixture(2, 6);
+  OdEvaluator od(*f.engine, f.dataset.Row(f.query), kK, f.query);
+  GeneticSubspaceSearch ga(6);
+  Rng rng(2);
+  auto result = ga.Run(&od, kThreshold, &rng);
+  bool found = false;
+  for (const Subspace& s : result) found |= (s == f.truth);
+  EXPECT_TRUE(found);
+}
+
+TEST(GeneticSearchTest, ResultsAreSubsetOfExactMinimalSet) {
+  Fixture f = MakeFixture(3, 7);
+  OdEvaluator od(*f.engine, f.dataset.Row(f.query), kK, f.query);
+  ExhaustiveSearch oracle(7);
+  auto exact = oracle.Run(&od, kThreshold);
+
+  GeneticSubspaceSearch ga(7);
+  Rng rng(3);
+  auto heuristic = ga.Run(&od, kThreshold, &rng);
+  // Soundness: every GA answer appears in the exact minimal set
+  // (completeness is NOT guaranteed — that is the point of E14).
+  for (const Subspace& s : heuristic) {
+    EXPECT_NE(std::find(exact.minimal_outlying_subspaces.begin(),
+                        exact.minimal_outlying_subspaces.end(), s),
+              exact.minimal_outlying_subspaces.end())
+        << s.ToString();
+  }
+}
+
+TEST(GeneticSearchTest, InlierPointYieldsEmptyResult) {
+  Fixture f = MakeFixture(4, 6);
+  // Query a background point instead of the planted one.
+  OdEvaluator od(*f.engine, f.dataset.Row(0), kK, data::PointId{0});
+  GeneticSubspaceSearch ga(6);
+  Rng rng(4);
+  auto result = ga.Run(&od, /*threshold=*/5.0, &rng);
+  EXPECT_TRUE(result.empty());
+}
+
+TEST(GeneticSearchTest, DeterministicGivenSeed) {
+  Fixture f = MakeFixture(5, 6);
+  OdEvaluator od(*f.engine, f.dataset.Row(f.query), kK, f.query);
+  GeneticSubspaceSearch ga(6);
+  Rng rng_a(5), rng_b(5);
+  auto a = ga.Run(&od, kThreshold, &rng_a);
+  auto b = ga.Run(&od, kThreshold, &rng_b);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace hos::search

@@ -1,0 +1,84 @@
+#include "src/search/od_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/data/generator.h"
+#include "src/knn/linear_scan.h"
+
+namespace hos::search {
+namespace {
+
+TEST(OdEvaluatorTest, MatchesDirectComputation) {
+  Rng rng(1);
+  data::Dataset ds = data::GenerateUniform(100, 4, &rng);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  auto row = ds.Row(0);
+  OdEvaluator od(engine, row, 5, data::PointId{0});
+
+  knn::KnnQuery query;
+  query.point = row;
+  query.subspace = Subspace::FromDims({0, 2});
+  query.k = 5;
+  query.exclude = data::PointId{0};
+  EXPECT_DOUBLE_EQ(od.Evaluate(Subspace::FromDims({0, 2})),
+                   knn::OutlyingDegree(engine, query));
+}
+
+TEST(OdEvaluatorTest, CachesRepeatEvaluations) {
+  Rng rng(2);
+  data::Dataset ds = data::GenerateUniform(50, 3, &rng);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  auto row = ds.Row(1);
+  OdEvaluator od(engine, row, 3, data::PointId{1});
+  Subspace s = Subspace::Full(3);
+  double first = od.Evaluate(s);
+  uint64_t dist_after_first = engine.distance_computations();
+  double second = od.Evaluate(s);
+  EXPECT_DOUBLE_EQ(first, second);
+  EXPECT_EQ(engine.distance_computations(), dist_after_first);
+  EXPECT_EQ(od.num_evaluations(), 1u);
+}
+
+TEST(OdEvaluatorTest, DistinctSubspacesCountSeparately) {
+  Rng rng(3);
+  data::Dataset ds = data::GenerateUniform(50, 3, &rng);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  auto row = ds.Row(0);
+  OdEvaluator od(engine, row, 3, data::PointId{0});
+  od.Evaluate(Subspace::FromDims({0}));
+  od.Evaluate(Subspace::FromDims({1}));
+  od.Evaluate(Subspace::FromDims({0, 1}));
+  EXPECT_EQ(od.num_evaluations(), 3u);
+}
+
+TEST(OdEvaluatorTest, ExternalPointWithoutExclusion) {
+  data::Dataset ds(1);
+  ds.Append(std::vector<double>{0.0});
+  ds.Append(std::vector<double>{1.0});
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  std::vector<double> q{0.25};
+  OdEvaluator od(engine, q, 2);
+  // Neighbours: 0 at 0.25, 1 at 0.75 → OD = 1.0.
+  EXPECT_DOUBLE_EQ(od.Evaluate(Subspace::Full(1)), 1.0);
+}
+
+TEST(OdEvaluatorTest, MonotonicityAcrossChain) {
+  Rng rng(4);
+  data::Dataset ds = data::GenerateUniform(200, 5, &rng);
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  auto row = ds.Row(7);
+  OdEvaluator od(engine, row, 4, data::PointId{7});
+  // OD along a chain of nested subspaces must be non-decreasing.
+  double prev = 0.0;
+  Subspace s;
+  for (int dim = 0; dim < 5; ++dim) {
+    s = s.With(dim);
+    double value = od.Evaluate(s);
+    EXPECT_GE(value + 1e-12, prev);
+    prev = value;
+  }
+}
+
+}  // namespace
+}  // namespace hos::search
