@@ -1,0 +1,166 @@
+// Serving-path throughput baseline: queries/sec through QueryService at
+// 1, 4 and 8 worker threads, with the shared OD cache off and on. The
+// workload replays a hot query set (each point queried several times, as a
+// production mix with popular keys would), so the cache-on rows show the
+// memoisation win and the thread sweep shows batch scaling.
+//
+// Writes machine-readable results to BENCH_service.json (or argv[1]) so
+// future PRs can track the serving-path trajectory.
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/timer.h"
+#include "src/core/hos_miner.h"
+#include "src/eval/report.h"
+#include "src/service/query_service.h"
+
+namespace {
+
+using namespace hos;  // NOLINT
+
+constexpr size_t kNumPoints = 1200;
+constexpr int kNumDims = 8;
+constexpr int kHotSetSize = 48;   // distinct query points
+constexpr int kRepetitions = 6;   // times each hot point is queried
+
+core::HosMiner BuildMiner(uint64_t seed) {
+  auto workload = bench::MakeWorkload(kNumPoints, kNumDims, seed);
+  core::HosMinerConfig config;
+  config.seed = seed;
+  auto miner = core::HosMiner::Build(std::move(workload.dataset), config);
+  if (!miner.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 miner.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(miner).value();
+}
+
+struct Row {
+  int threads;
+  bool cache;
+  double qps;
+  double seconds;
+  double p50;
+  double p99;
+  double hit_rate;
+};
+
+Row RunConfig(int threads, bool cache_on) {
+  service::QueryServiceConfig config;
+  config.num_threads = threads;
+  config.enable_od_cache = cache_on;
+  service::QueryService service(BuildMiner(/*seed=*/99), config);
+
+  // Hot query mix: kHotSetSize distinct ids, each repeated, interleaved so
+  // repeats land while earlier queries may still be in flight.
+  std::vector<data::PointId> ids;
+  ids.reserve(kHotSetSize * kRepetitions);
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    for (int i = 0; i < kHotSetSize; ++i) {
+      ids.push_back(static_cast<data::PointId>(
+          (i * 17) % static_cast<int>(service.miner().dataset().size())));
+    }
+  }
+
+  Timer timer;
+  auto results = service.QueryBatch(ids);
+  const double seconds = timer.ElapsedSeconds();
+  if (!results.ok()) {
+    std::fprintf(stderr, "batch failed: %s\n",
+                 results.status().ToString().c_str());
+    std::abort();
+  }
+
+  auto stats = service.Stats();
+  Row row;
+  row.threads = threads;
+  row.cache = cache_on;
+  row.seconds = seconds;
+  row.qps = static_cast<double>(ids.size()) / seconds;
+  row.p50 = stats.p50_latency_seconds;
+  row.p99 = stats.p99_latency_seconds;
+  row.hit_rate = stats.cache_hit_rate;
+  return row;
+}
+
+void WriteJson(const std::vector<Row>& rows, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"service_throughput\",\n"
+               "  \"num_points\": %zu,\n  \"num_dims\": %d,\n"
+               "  \"queries\": %d,\n  \"results\": [\n",
+               kNumPoints, kNumDims, kHotSetSize * kRepetitions);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"cache\": %s, \"qps\": %.2f, "
+                 "\"seconds\": %.4f, \"p50_latency_seconds\": %.6g, "
+                 "\"p99_latency_seconds\": %.6g, \"cache_hit_rate\": %.4f}%s\n",
+                 r.threads, r.cache ? "true" : "false", r.qps, r.seconds,
+                 r.p50, r.p99, r.hit_rate, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+void Run(const std::string& json_path) {
+  bench::Banner("S1", "concurrent query service throughput");
+  std::printf("n=%zu d=%d, %d queries (%d hot points x %d repetitions)\n",
+              kNumPoints, kNumDims, kHotSetSize * kRepetitions, kHotSetSize,
+              kRepetitions);
+
+  std::vector<Row> rows;
+  for (bool cache_on : {false, true}) {
+    for (int threads : {1, 4, 8}) {
+      rows.push_back(RunConfig(threads, cache_on));
+    }
+  }
+
+  eval::Table table({"threads", "od cache", "qps", "batch s", "p50 ms",
+                     "p99 ms", "hit rate"});
+  for (const Row& r : rows) {
+    table.AddRow({std::to_string(r.threads), r.cache ? "on" : "off",
+                  eval::FormatDouble(r.qps, 1),
+                  eval::FormatDouble(r.seconds, 3),
+                  eval::FormatDouble(r.p50 * 1e3, 3),
+                  eval::FormatDouble(r.p99 * 1e3, 3),
+                  eval::FormatDouble(r.hit_rate, 3)});
+  }
+  table.Print();
+
+  // Headline ratios for the roadmap: cache win at fixed threads, thread
+  // scaling at fixed cache setting.
+  const Row* t1_on = nullptr;
+  const Row* t4_on = nullptr;
+  const Row* t1_off = nullptr;
+  for (const Row& r : rows) {
+    if (r.cache && r.threads == 1) t1_on = &r;
+    if (r.cache && r.threads == 4) t4_on = &r;
+    if (!r.cache && r.threads == 1) t1_off = &r;
+  }
+  if (t1_on && t4_on && t1_off) {
+    std::printf("\ncache on vs off at 1 thread: %.2fx qps\n",
+                t1_on->qps / t1_off->qps);
+    std::printf("4 threads vs 1 thread (cache on): %.2fx qps\n",
+                t4_on->qps / t1_on->qps);
+  }
+
+  WriteJson(rows, json_path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Run(argc > 1 ? argv[1] : "BENCH_service.json");
+  return 0;
+}

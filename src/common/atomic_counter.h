@@ -1,0 +1,59 @@
+// RelaxedCounter: a monotonically increasing statistics counter that is
+// safe to bump from concurrent const query paths (the kNN engines are
+// shared read-only across service worker threads, but still tally distance
+// computations and node accesses through `mutable` members).
+//
+// Increments and reads use relaxed atomic ordering: the counters order
+// nothing, they only need freedom from data races and torn reads. Unlike a
+// raw std::atomic the wrapper is copyable and movable (value-copying), so
+// classes holding one keep their implicit move constructors.
+
+#ifndef HOS_COMMON_ATOMIC_COUNTER_H_
+#define HOS_COMMON_ATOMIC_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace hos {
+
+class RelaxedCounter {
+ public:
+  constexpr RelaxedCounter(uint64_t value = 0) : value_(value) {}  // NOLINT
+
+  RelaxedCounter(const RelaxedCounter& other) : value_(other.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) {
+    store(other.load());
+    return *this;
+  }
+  RelaxedCounter& operator=(uint64_t value) {
+    store(value);
+    return *this;
+  }
+
+  uint64_t load() const { return value_.load(std::memory_order_relaxed); }
+  void store(uint64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  /// Conversion so getters can return the wrapper where a uint64_t is
+  /// expected.
+  operator uint64_t() const { return load(); }  // NOLINT(runtime/explicit)
+
+  uint64_t operator++() {
+    return value_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  uint64_t operator++(int) {
+    return value_.fetch_add(1, std::memory_order_relaxed);
+  }
+  RelaxedCounter& operator+=(uint64_t n) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<uint64_t> value_;
+};
+
+}  // namespace hos
+
+#endif  // HOS_COMMON_ATOMIC_COUNTER_H_

@@ -95,13 +95,14 @@ Result<HosMiner> HosMiner::Build(data::Dataset dataset,
   return miner;
 }
 
-Result<QueryResult> HosMiner::Query(data::PointId id) const {
+Result<QueryResult> HosMiner::Query(data::PointId id,
+                                    const QueryOptions& options) const {
   if (id >= dataset_->size()) {
     return Status::OutOfRange("point id " + std::to_string(id) +
                               " outside dataset of size " +
                               std::to_string(dataset_->size()));
   }
-  return RunSearch(dataset_->Row(id), id);
+  return RunSearch(dataset_->Row(id), id, options);
 }
 
 Result<QueryResult> HosMiner::QueryPoint(std::vector<double> raw_point) const {
@@ -111,7 +112,7 @@ Result<QueryResult> HosMiner::QueryPoint(std::vector<double> raw_point) const {
         " dimensions, dataset has " + std::to_string(dataset_->num_dims()));
   }
   normalizer_.ApplyToPoint(&raw_point);
-  return RunSearch(raw_point, std::nullopt);
+  return RunSearch(raw_point, std::nullopt, QueryOptions{});
 }
 
 Result<std::vector<QueryResult>> HosMiner::QueryAll(
@@ -173,9 +174,10 @@ std::vector<HosMiner::ScreenedOutlier> HosMiner::TopOutliers(
 }
 
 Result<QueryResult> HosMiner::RunSearch(
-    std::span<const double> point,
-    std::optional<data::PointId> exclude) const {
-  search::OdEvaluator od(*engine_, point, config_.k, exclude);
+    std::span<const double> point, std::optional<data::PointId> exclude,
+    const QueryOptions& options) const {
+  search::OdEvaluator od(*engine_, point, config_.k, exclude,
+                         options.od_store);
   QueryResult result;
   result.outcome = query_search_->Run(&od, threshold_);
   return result;

@@ -62,6 +62,14 @@ struct HosMinerConfig {
   uint64_t seed = 42;
 };
 
+/// Per-query knobs that do not change answers, only how they are computed.
+struct QueryOptions {
+  /// Optional cross-query OD memo (the service layer's shared cache).
+  /// Memoised values are bit-identical to fresh evaluations, so results
+  /// with and without a store are the same.
+  search::SharedOdStore* od_store = nullptr;
+};
+
 /// Answer for one query point.
 struct QueryResult {
   search::SearchOutcome outcome;
@@ -85,7 +93,16 @@ class HosMiner {
 
   /// Finds the outlying subspaces of dataset row `id` (the row itself is
   /// excluded from its neighbour sets).
-  Result<QueryResult> Query(data::PointId id) const;
+  ///
+  /// Thread safety: after Build returns, a HosMiner is immutable; Query,
+  /// QueryPoint, QueryAll, ScreenOutliers and TopOutliers may be called
+  /// concurrently from any number of threads (the engines' work counters
+  /// are relaxed atomics; all per-query state lives on the caller's stack).
+  Result<QueryResult> Query(data::PointId id) const {
+    return Query(id, QueryOptions{});
+  }
+  Result<QueryResult> Query(data::PointId id,
+                            const QueryOptions& options) const;
 
   /// Finds the outlying subspaces of an external point given in *raw*
   /// (pre-normalisation) coordinates.
@@ -133,7 +150,8 @@ class HosMiner {
            data::Normalizer normalizer);
 
   Result<QueryResult> RunSearch(std::span<const double> point,
-                                std::optional<data::PointId> exclude) const;
+                                std::optional<data::PointId> exclude,
+                                const QueryOptions& options) const;
 
   HosMinerConfig config_;
   std::unique_ptr<data::Dataset> dataset_;  // normalised copy

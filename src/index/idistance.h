@@ -26,6 +26,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/atomic_counter.h"
 #include "src/common/result.h"
 #include "src/common/rng.h"
 #include "src/data/dataset.h"
@@ -100,7 +101,7 @@ class IDistance {
   double stripe_width_ = 0.0;    ///< the constant c
   double mean_radius_ = 0.0;
   BPlusTree<double, data::PointId> tree_;
-  mutable uint64_t distance_count_ = 0;
+  mutable RelaxedCounter distance_count_;  // race-free under concurrent queries
 };
 
 }  // namespace hos::index

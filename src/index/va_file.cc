@@ -107,8 +107,10 @@ void VaFile::Bounds(data::PointId id, std::span<const double> point,
 std::vector<knn::Neighbor> VaFile::Knn(const knn::KnnQuery& query) const {
   const size_t n = dataset_->size();
   const size_t k = static_cast<size_t>(std::max(query.k, 0));
-  last_candidates_ = 0;
-  if (n == 0 || k == 0) return {};
+  if (n == 0 || k == 0) {
+    last_candidates_ = 0;
+    return {};
+  }
 
   // Phase 1: bounds from the approximation file. tau = k-th smallest upper
   // bound; anything with lower > tau cannot be in the answer.
@@ -148,12 +150,15 @@ std::vector<knn::Neighbor> VaFile::Knn(const knn::KnnQuery& query) const {
 
   std::priority_queue<knn::Neighbor, std::vector<knn::Neighbor>, WorstFirst>
       best;
+  uint64_t candidates_visited = 0;  // published once at the end, so
+                                    // last_candidate_count() is one whole
+                                    // query's tally even under concurrency
   for (const Approx& a : candidates) {
     if (best.size() == k && a.lower > best.top().distance) break;
     double dist = knn::SubspaceDistance(query.point, dataset_->Row(a.id),
                                         query.subspace, metric_);
     ++distance_count_;
-    ++last_candidates_;
+    ++candidates_visited;
     if (best.size() < k) {
       best.push({a.id, dist});
     } else if (WorstFirst{}(knn::Neighbor{a.id, dist}, best.top())) {
@@ -161,6 +166,8 @@ std::vector<knn::Neighbor> VaFile::Knn(const knn::KnnQuery& query) const {
       best.push({a.id, dist});
     }
   }
+
+  last_candidates_ = candidates_visited;
 
   std::vector<knn::Neighbor> out(best.size());
   for (size_t i = best.size(); i-- > 0;) {

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/atomic_counter.h"
 #include "src/common/result.h"
 #include "src/data/dataset.h"
 #include "src/knn/knn_engine.h"
@@ -73,8 +74,11 @@ class VaFile {
   std::vector<double> dim_width_;  // width of one cell
   /// Row-major n x d matrix of cell indices (uint8 => bits_per_dim <= 8).
   std::vector<uint8_t> cells_;
-  mutable uint64_t distance_count_ = 0;
-  mutable uint64_t last_candidates_ = 0;
+  // Relaxed atomics: safe under concurrent const queries. last_candidates_
+  // is written once per Knn call (a whole query's tally), so under
+  // concurrency it holds the count of whichever query published last.
+  mutable RelaxedCounter distance_count_;
+  mutable RelaxedCounter last_candidates_;
 };
 
 /// KnnEngine adapter.

@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/atomic_counter.h"
 #include "src/common/result.h"
 #include "src/common/status.h"
 #include "src/common/subspace.h"
@@ -146,8 +147,10 @@ class XTree {
   XTreeConfig config_;
   std::unique_ptr<Node> root_;
   size_t num_points_ = 0;
-  mutable uint64_t distance_count_ = 0;
-  mutable uint64_t node_access_count_ = 0;
+  // Query-path tallies; relaxed atomics so concurrent read-only Knn /
+  // RangeSearch calls from service worker threads are race-free.
+  mutable RelaxedCounter distance_count_;
+  mutable RelaxedCounter node_access_count_;
 };
 
 /// KnnEngine adapter so the OD evaluator can use the X-tree

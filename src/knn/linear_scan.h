@@ -5,6 +5,7 @@
 #ifndef HOS_KNN_LINEAR_SCAN_H_
 #define HOS_KNN_LINEAR_SCAN_H_
 
+#include "src/common/atomic_counter.h"
 #include "src/knn/knn_engine.h"
 
 namespace hos::knn {
@@ -29,7 +30,7 @@ class LinearScanKnn : public KnnEngine {
  private:
   const data::Dataset& dataset_;
   MetricKind metric_;
-  mutable uint64_t distance_count_ = 0;
+  mutable RelaxedCounter distance_count_;  // race-free under concurrent Search
 };
 
 }  // namespace hos::knn

@@ -5,14 +5,26 @@ namespace hos::search {
 double OdEvaluator::Evaluate(const Subspace& subspace) {
   auto it = cache_.find(subspace.mask());
   if (it != cache_.end()) return it->second;
+
+  // The shared store only applies to dataset-row query points; `exclude_`
+  // holds the row id exactly in that case.
+  const bool shareable = shared_store_ != nullptr && exclude_.has_value();
+  double od;
+  if (shareable && shared_store_->Lookup(*exclude_, subspace.mask(), &od)) {
+    cache_.emplace(subspace.mask(), od);
+    ++num_shared_hits_;
+    return od;
+  }
+
   knn::KnnQuery query;
   query.point = point_;
   query.subspace = subspace;
   query.k = k_;
   query.exclude = exclude_;
-  double od = knn::OutlyingDegree(engine_, query);
+  od = knn::OutlyingDegree(engine_, query);
   cache_.emplace(subspace.mask(), od);
   ++num_evaluations_;
+  if (shareable) shared_store_->Store(*exclude_, subspace.mask(), od);
   return od;
 }
 

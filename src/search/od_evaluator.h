@@ -15,6 +15,23 @@
 
 namespace hos::search {
 
+/// Cross-query OD memo keyed by (dataset row, subspace mask). The service
+/// layer implements this with a sharded LRU cache shared by all worker
+/// threads; implementations must therefore be safe for concurrent Lookup
+/// and Store. OD(p, s) is a pure function of the dataset, k and the metric,
+/// so a stored value is exactly the double a fresh evaluation would
+/// produce — memoisation never changes answers.
+class SharedOdStore {
+ public:
+  virtual ~SharedOdStore() = default;
+
+  /// True and fills `*od` when a value for (id, mask) is present.
+  virtual bool Lookup(data::PointId id, uint64_t mask, double* od) = 0;
+
+  /// Records OD(id, mask) = od.
+  virtual void Store(data::PointId id, uint64_t mask, double od) = 0;
+};
+
 /// Bound to one query point; caches OD values by subspace mask so repeated
 /// probes of the same subspace (e.g. by different search strategies in
 /// tests) cost one kNN query only.
@@ -22,9 +39,14 @@ class OdEvaluator {
  public:
   /// `point` and `engine` must outlive the evaluator. `exclude` removes the
   /// query point itself from its neighbour sets when it is a dataset row.
+  /// When `shared_store` is non-null and the query point is a dataset row
+  /// (i.e. `exclude` is set, whose value doubles as the row id), evaluations
+  /// are memoised across queries through the store.
   OdEvaluator(const knn::KnnEngine& engine, std::span<const double> point,
-              int k, std::optional<data::PointId> exclude = std::nullopt)
-      : engine_(engine), point_(point), k_(k), exclude_(exclude) {}
+              int k, std::optional<data::PointId> exclude = std::nullopt,
+              SharedOdStore* shared_store = nullptr)
+      : engine_(engine), point_(point), k_(k), exclude_(exclude),
+        shared_store_(shared_store) {}
 
   /// OD(p, s): sum of distances to the k nearest neighbours in s (paper §2).
   double Evaluate(const Subspace& subspace);
@@ -32,6 +54,9 @@ class OdEvaluator {
   /// Number of distinct subspaces actually evaluated (cache misses) — the
   /// primary work counter of the efficiency experiments.
   uint64_t num_evaluations() const { return num_evaluations_; }
+
+  /// Subspaces answered from the cross-query SharedOdStore (no kNN work).
+  uint64_t num_shared_hits() const { return num_shared_hits_; }
 
   int k() const { return k_; }
   std::span<const double> point() const { return point_; }
@@ -42,8 +67,10 @@ class OdEvaluator {
   std::span<const double> point_;
   int k_;
   std::optional<data::PointId> exclude_;
+  SharedOdStore* shared_store_;
   std::unordered_map<uint64_t, double> cache_;
   uint64_t num_evaluations_ = 0;
+  uint64_t num_shared_hits_ = 0;
 };
 
 }  // namespace hos::search

@@ -21,7 +21,10 @@ struct SearchCounters {
   uint64_t pruned_upward = 0;
   /// Subspaces decided by downward pruning (inferred non-outliers).
   uint64_t pruned_downward = 0;
-  /// Point-to-point distance computations inside the kNN engine.
+  /// Point-to-point distance computations inside the kNN engine. Measured
+  /// as a before/after delta of the engine's process-wide counter, so it is
+  /// exact only when the engine serves one query at a time; concurrent
+  /// queries (service::QueryService) bleed into each other's deltas.
   uint64_t distance_computations = 0;
   /// Wall-clock seconds.
   double elapsed_seconds = 0.0;

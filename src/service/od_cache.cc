@@ -1,0 +1,89 @@
+#include "src/service/od_cache.h"
+
+#include <algorithm>
+
+namespace hos::service {
+
+namespace {
+
+size_t RoundUpToPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+OdCache::OdCache(OdCacheConfig config) {
+  const size_t num_shards =
+      RoundUpToPowerOfTwo(std::max(config.num_shards, 1));
+  shard_mask_ = num_shards - 1;
+  capacity_ = std::max<size_t>(config.capacity, num_shards);
+  per_shard_capacity_ = std::max<size_t>(capacity_ / num_shards, 1);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool OdCache::Lookup(data::PointId id, uint64_t mask, double* od) {
+  const Key key{id, mask};
+  const size_t hash = KeyHash{}(key);
+  Shard& shard = ShardFor(key, hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++misses_;
+    return false;
+  }
+  // Move to the front of the recency list.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *od = it->second->second;
+  ++hits_;
+  return true;
+}
+
+void OdCache::Store(data::PointId id, uint64_t mask, double od) {
+  const Key key{id, mask};
+  const size_t hash = KeyHash{}(key);
+  Shard& shard = ShardFor(key, hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = od;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, od);
+  shard.index.emplace(key, shard.lru.begin());
+  if (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++evictions_;
+  }
+}
+
+size_t OdCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+void OdCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->index.clear();
+    shard->lru.clear();
+  }
+}
+
+double OdCache::hit_rate() const {
+  const uint64_t h = hits_;
+  const uint64_t total = h + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(h) / total;
+}
+
+}  // namespace hos::service

@@ -1,0 +1,115 @@
+// OdCache: a sharded, mutex-striped LRU cache memoising OD(point, subspace)
+// values across queries — the cross-query analogue of OdEvaluator's
+// per-query memo. Repeated queries for the same point (hot keys in a
+// serving workload) and overlapping screening sweeps hit the cache instead
+// of re-running kNN searches.
+//
+// Concurrency: the key space is hashed over `num_shards` independent
+// shards, each protected by its own mutex, so threads touching different
+// shards never contend. Implements search::SharedOdStore, the hook
+// OdEvaluator consults for dataset-row query points.
+//
+// Correctness: OD(p, s) is a pure function of the immutable dataset, k and
+// metric, so serving a cached double is bit-identical to recomputing it —
+// the cache can never change query answers, only skip work.
+
+#ifndef HOS_SERVICE_OD_CACHE_H_
+#define HOS_SERVICE_OD_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/atomic_counter.h"
+#include "src/data/dataset.h"
+#include "src/search/od_evaluator.h"
+
+namespace hos::service {
+
+struct OdCacheConfig {
+  /// Total capacity in entries across all shards. One entry is one
+  /// (point, subspace) → OD double, ~48 bytes with bookkeeping.
+  size_t capacity = 1 << 20;
+  /// Number of independent mutex-striped shards; rounded up to a power of
+  /// two. More shards, less contention.
+  int num_shards = 16;
+};
+
+class OdCache : public search::SharedOdStore {
+ public:
+  explicit OdCache(OdCacheConfig config = {});
+
+  // SharedOdStore:
+  bool Lookup(data::PointId id, uint64_t mask, double* od) override;
+  void Store(data::PointId id, uint64_t mask, double od) override;
+
+  /// Entries currently resident (sums shard sizes; approximate under
+  /// concurrent mutation).
+  size_t size() const;
+
+  /// Drops every entry; counters are preserved.
+  void Clear();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+  /// hits / (hits + misses); 0 when no lookups happened.
+  double hit_rate() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  /// (point id, subspace mask) packed for hashing. The subspace mask of a
+  /// lattice search fits 22 bits but masks up to 62 bits are legal, so both
+  /// fields are kept whole.
+  struct Key {
+    data::PointId id;
+    uint64_t mask;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      // splitmix64 over the packed fields: cheap and well distributed for
+      // the dense id / sparse mask structure of the key space.
+      uint64_t x = (static_cast<uint64_t>(key.id) << 1) ^ key.mask ^
+                   (key.mask << 23);
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 27;
+      x *= 0x94d049bb133111ebULL;
+      x ^= x >> 31;
+      return static_cast<size_t>(x);
+    }
+  };
+
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<Key, double>> lru;
+    std::unordered_map<Key, std::list<std::pair<Key, double>>::iterator,
+                       KeyHash>
+        index;
+  };
+
+  Shard& ShardFor(const Key& key, size_t hash) const {
+    return *shards_[hash & shard_mask_];
+  }
+
+  size_t capacity_;
+  size_t per_shard_capacity_;
+  size_t shard_mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable RelaxedCounter hits_;
+  mutable RelaxedCounter misses_;
+  mutable RelaxedCounter evictions_;
+};
+
+}  // namespace hos::service
+
+#endif  // HOS_SERVICE_OD_CACHE_H_

@@ -1,0 +1,76 @@
+#include "src/service/query_service.h"
+
+#include <optional>
+#include <utility>
+
+#include "src/common/timer.h"
+
+namespace hos::service {
+
+QueryService::QueryService(core::HosMiner miner, QueryServiceConfig config)
+    : miner_(std::move(miner)),
+      config_(config),
+      cache_(config.enable_od_cache ? std::make_unique<OdCache>(config.cache)
+                                    : nullptr),
+      pool_(config.num_threads) {}
+
+Result<core::QueryResult> QueryService::RunTimedQuery(data::PointId id) {
+  Timer timer;
+  Result<core::QueryResult> result = miner_.Query(id, MakeOptions());
+  stats_.RecordQuery(timer.ElapsedSeconds());
+  return result;
+}
+
+Result<core::QueryResult> QueryService::Query(data::PointId id) {
+  return RunTimedQuery(id);
+}
+
+std::future<Result<core::QueryResult>> QueryService::QueryAsync(
+    data::PointId id) {
+  return pool_.SubmitWithResult(
+      [this, id]() { return RunTimedQuery(id); });
+}
+
+Result<std::vector<core::QueryResult>> QueryService::QueryBatch(
+    std::span<const data::PointId> ids) {
+  stats_.RecordBatch();
+
+  // One slot per id, written by whichever worker runs it; slot order (not
+  // completion order) defines the output, so the batch is deterministic.
+  std::vector<std::optional<Result<core::QueryResult>>> slots(ids.size());
+  {
+    std::vector<std::future<void>> done;
+    done.reserve(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const data::PointId id = ids[i];
+      done.push_back(pool_.SubmitWithResult([this, id, &slots, i]() {
+        slots[i] = RunTimedQuery(id);
+      }));
+    }
+    // Wait for every task before collecting: get() can rethrow a task's
+    // exception, and unwinding with workers still writing into `slots`
+    // would be a use-after-free. wait() never throws.
+    for (std::future<void>& f : done) f.wait();
+    for (std::future<void>& f : done) f.get();
+  }
+
+  std::vector<core::QueryResult> results;
+  results.reserve(ids.size());
+  for (std::optional<Result<core::QueryResult>>& slot : slots) {
+    if (!slot->ok()) return slot->status();  // first error in id order
+    results.push_back(std::move(slot->value()));
+  }
+  return results;
+}
+
+ServiceStatsSnapshot QueryService::Stats() const {
+  ServiceStatsSnapshot snapshot = stats_.Snapshot();
+  if (cache_ != nullptr) {
+    snapshot.cache_hits = cache_->hits();
+    snapshot.cache_misses = cache_->misses();
+    snapshot.cache_hit_rate = cache_->hit_rate();
+  }
+  return snapshot;
+}
+
+}  // namespace hos::service

@@ -1,0 +1,100 @@
+// QueryService: the concurrent serving facade over an immutable HosMiner
+// snapshot. Where HosMiner answers one query on the caller's thread, the
+// service executes batches across a fixed-size worker pool, memoises
+// OD(point, subspace) values in a shared sharded LRU cache, and exports
+// serving metrics (QPS counters, cache hit rate, p50/p99 latency).
+//
+//   auto miner = hos::core::HosMiner::Build(std::move(dataset), config);
+//   hos::service::QueryServiceConfig service_config;
+//   service_config.num_threads = 8;
+//   hos::service::QueryService service(std::move(miner).value(),
+//                                      service_config);
+//   auto results = service.QueryBatch(ids);        // parallel, in id order
+//   auto future = service.QueryAsync(some_id);     // fire-and-collect
+//   auto stats = service.Stats();                  // snapshot for /varz
+//
+// Determinism: the *answers* (outlying subspaces, per-level fractions,
+// threshold) are identical to running HosMiner::Query serially — per-query
+// state is stack-local, the OD cache stores pure-function values, and
+// QueryBatch writes each answer into its id's slot regardless of
+// completion order. The work counters inside SearchCounters are not: they
+// are deltas of the engine's process-wide tallies, so under concurrent
+// execution they include other in-flight queries' work, and with the cache
+// on they shrink as hits replace evaluations. Treat them as monitoring
+// data, not per-query measurements, when going through the service.
+
+#ifndef HOS_SERVICE_QUERY_SERVICE_H_
+#define HOS_SERVICE_QUERY_SERVICE_H_
+
+#include <future>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/core/hos_miner.h"
+#include "src/service/od_cache.h"
+#include "src/service/service_stats.h"
+#include "src/service/thread_pool.h"
+
+namespace hos::service {
+
+struct QueryServiceConfig {
+  /// Worker threads executing queries.
+  int num_threads = 4;
+  /// When false, no cross-query OD cache is attached (each query still has
+  /// OdEvaluator's per-query memo).
+  bool enable_od_cache = true;
+  OdCacheConfig cache;
+};
+
+class QueryService {
+ public:
+  /// Takes ownership of the miner snapshot; the service (and every worker)
+  /// treats it as strictly read-only from here on.
+  explicit QueryService(core::HosMiner miner, QueryServiceConfig config = {});
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Executes all ids across the worker pool. results[i] answers ids[i];
+  /// identical to calling Query(ids[i]) serially. On any per-query error
+  /// the first error in id order is returned instead.
+  Result<std::vector<core::QueryResult>> QueryBatch(
+      std::span<const data::PointId> ids);
+
+  /// Schedules a single query on the pool.
+  std::future<Result<core::QueryResult>> QueryAsync(data::PointId id);
+
+  /// One query executed on the calling thread (still cache-assisted and
+  /// counted in the stats).
+  Result<core::QueryResult> Query(data::PointId id);
+
+  /// Counters plus cache hit rate and latency percentiles.
+  ServiceStatsSnapshot Stats() const;
+
+  const core::HosMiner& miner() const { return miner_; }
+  /// The configuration the service was constructed with.
+  const QueryServiceConfig& config() const { return config_; }
+  /// Null when the cache is disabled.
+  const OdCache* cache() const { return cache_.get(); }
+  int num_threads() const { return pool_.num_threads(); }
+
+ private:
+  core::QueryOptions MakeOptions() {
+    core::QueryOptions options;
+    options.od_store = cache_.get();
+    return options;
+  }
+
+  Result<core::QueryResult> RunTimedQuery(data::PointId id);
+
+  core::HosMiner miner_;
+  QueryServiceConfig config_;
+  std::unique_ptr<OdCache> cache_;  // null when disabled
+  ServiceStats stats_;
+  ThreadPool pool_;  // last member: workers must die before what they touch
+};
+
+}  // namespace hos::service
+
+#endif  // HOS_SERVICE_QUERY_SERVICE_H_

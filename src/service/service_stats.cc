@@ -1,0 +1,72 @@
+#include "src/service/service_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace hos::service {
+
+double LatencyHistogram::UpperBound(int bucket) {
+  return kMinSeconds * std::pow(2.0, 0.25 * bucket);
+}
+
+int LatencyHistogram::BucketFor(double seconds) {
+  if (!(seconds > kMinSeconds)) return 0;
+  const int bucket =
+      static_cast<int>(std::ceil(4.0 * std::log2(seconds / kMinSeconds)));
+  return std::clamp(bucket, 0, kNumBuckets - 1);
+}
+
+void LatencyHistogram::Record(double seconds) {
+  buckets_[BucketFor(seconds)].fetch_add(1, std::memory_order_relaxed);
+  ++count_;
+}
+
+double LatencyHistogram::Percentile(double q) const {
+  uint64_t total = 0;
+  std::array<uint64_t, kNumBuckets> counts;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const double rank = std::clamp(q, 0.0, 1.0) * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= rank) return UpperBound(i);
+  }
+  return UpperBound(kNumBuckets - 1);
+}
+
+void ServiceStats::RecordQuery(double latency_seconds) {
+  ++queries_served_;
+  latencies_.Record(latency_seconds);
+}
+
+ServiceStatsSnapshot ServiceStats::Snapshot() const {
+  ServiceStatsSnapshot snapshot;
+  snapshot.queries_served = queries_served_;
+  snapshot.batches_served = batches_served_;
+  snapshot.p50_latency_seconds = latencies_.Percentile(0.50);
+  snapshot.p99_latency_seconds = latencies_.Percentile(0.99);
+  return snapshot;
+}
+
+std::string ServiceStatsSnapshot::ToJson() const {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"queries_served\": %llu, \"batches_served\": %llu, "
+      "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+      "\"cache_hit_rate\": %.4f, \"p50_latency_seconds\": %.6g, "
+      "\"p99_latency_seconds\": %.6g}",
+      static_cast<unsigned long long>(queries_served),
+      static_cast<unsigned long long>(batches_served),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses), cache_hit_rate,
+      p50_latency_seconds, p99_latency_seconds);
+  return buffer;
+}
+
+}  // namespace hos::service

@@ -1,0 +1,86 @@
+// ServiceStats: per-service counters and latency percentiles for the
+// query-serving path — queries served, batches, OD-cache hit rate, and
+// p50/p99 latency from a log-bucketed histogram.
+//
+// Everything is lock-free: counters are relaxed atomics and the histogram
+// is an array of atomic buckets, so recording from many worker threads
+// costs one fetch_add. Snapshots are approximate under concurrent writes,
+// which is the right trade for monitoring data.
+
+#ifndef HOS_SERVICE_SERVICE_STATS_H_
+#define HOS_SERVICE_SERVICE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/common/atomic_counter.h"
+
+namespace hos::service {
+
+/// Thread-safe latency histogram with geometric buckets spanning
+/// 1 microsecond .. ~17 minutes (ratio 2^(1/4) per bucket, so percentile
+/// error is bounded by ~19% of the value — plenty for p50/p99 monitoring).
+class LatencyHistogram {
+ public:
+  void Record(double seconds);
+
+  /// The q-quantile (q in [0, 1]) as the upper bound of the bucket holding
+  /// that rank. 0 when nothing was recorded.
+  double Percentile(double q) const;
+
+  uint64_t count() const { return count_; }
+
+ private:
+  static constexpr int kNumBuckets = 128;
+  static constexpr double kMinSeconds = 1e-6;
+  // Bucket width ratio 2^(1/4): bucket i covers
+  // [kMinSeconds * r^(i-1), kMinSeconds * r^i).
+  static double UpperBound(int bucket);
+  static int BucketFor(double seconds);
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  RelaxedCounter count_;
+};
+
+/// Point-in-time view of a service's counters.
+struct ServiceStatsSnapshot {
+  uint64_t queries_served = 0;
+  uint64_t batches_served = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  double cache_hit_rate = 0.0;
+  double p50_latency_seconds = 0.0;
+  double p99_latency_seconds = 0.0;
+
+  std::string ToJson() const;
+};
+
+class ServiceStats {
+ public:
+  ServiceStats() = default;
+  ServiceStats(const ServiceStats&) = delete;
+  ServiceStats& operator=(const ServiceStats&) = delete;
+
+  /// Records one completed query and its wall-clock latency.
+  void RecordQuery(double latency_seconds);
+  void RecordBatch() { ++batches_served_; }
+
+  uint64_t queries_served() const { return queries_served_; }
+  uint64_t batches_served() const { return batches_served_; }
+  const LatencyHistogram& latencies() const { return latencies_; }
+
+  /// Snapshot without cache numbers (QueryService fills those in from its
+  /// OdCache).
+  ServiceStatsSnapshot Snapshot() const;
+
+ private:
+  RelaxedCounter queries_served_;
+  RelaxedCounter batches_served_;
+  LatencyHistogram latencies_;
+};
+
+}  // namespace hos::service
+
+#endif  // HOS_SERVICE_SERVICE_STATS_H_

@@ -1,0 +1,69 @@
+// ThreadPool: a fixed-size worker pool with a single locked task queue.
+// The serving layer's unit of concurrency: QueryService submits one task
+// per query and the workers drain them against the shared, read-only
+// HosMiner snapshot.
+//
+// Lifecycle: workers start in the constructor; the destructor lets already
+// queued tasks finish, then joins. Submitting after destruction has begun
+// is a programming error.
+
+#ifndef HOS_SERVICE_THREAD_POOL_H_
+#define HOS_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace hos::service {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Finishes all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Enqueues a callable and returns a future for its result (exceptions
+  /// propagate through the future).
+  template <typename F>
+  auto SubmitWithResult(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Submit([task]() { (*task)(); });
+    return future;
+  }
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Tasks queued but not yet picked up by a worker.
+  size_t pending() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;  // guarded by mu_
+  bool stopping_ = false;                    // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hos::service
+
+#endif  // HOS_SERVICE_THREAD_POOL_H_

@@ -1,0 +1,134 @@
+#include "src/service/od_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace hos::service {
+namespace {
+
+TEST(OdCacheTest, MissThenHit) {
+  OdCache cache;
+  double od = 0.0;
+  EXPECT_FALSE(cache.Lookup(7, 0b101, &od));
+  cache.Store(7, 0b101, 3.25);
+  ASSERT_TRUE(cache.Lookup(7, 0b101, &od));
+  EXPECT_EQ(od, 3.25);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(OdCacheTest, KeysAreDistinctPerPointAndSubspace) {
+  OdCache cache;
+  cache.Store(1, 0b01, 1.0);
+  cache.Store(1, 0b10, 2.0);
+  cache.Store(2, 0b01, 3.0);
+  double od = 0.0;
+  ASSERT_TRUE(cache.Lookup(1, 0b01, &od));
+  EXPECT_EQ(od, 1.0);
+  ASSERT_TRUE(cache.Lookup(1, 0b10, &od));
+  EXPECT_EQ(od, 2.0);
+  ASSERT_TRUE(cache.Lookup(2, 0b01, &od));
+  EXPECT_EQ(od, 3.0);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(OdCacheTest, EvictsLeastRecentlyUsedWithinShard) {
+  OdCacheConfig config;
+  config.num_shards = 1;  // single shard makes eviction order observable
+  config.capacity = 3;
+  OdCache cache(config);
+
+  cache.Store(1, 1, 1.0);
+  cache.Store(2, 1, 2.0);
+  cache.Store(3, 1, 3.0);
+
+  // Touch key 1 so key 2 becomes the LRU victim.
+  double od = 0.0;
+  ASSERT_TRUE(cache.Lookup(1, 1, &od));
+  cache.Store(4, 1, 4.0);  // evicts (2, 1)
+
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.Lookup(2, 1, &od));
+  EXPECT_TRUE(cache.Lookup(1, 1, &od));
+  EXPECT_TRUE(cache.Lookup(3, 1, &od));
+  EXPECT_TRUE(cache.Lookup(4, 1, &od));
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(OdCacheTest, StoreOfExistingKeyUpdatesAndRefreshes) {
+  OdCacheConfig config;
+  config.num_shards = 1;
+  config.capacity = 2;
+  OdCache cache(config);
+
+  cache.Store(1, 1, 1.0);
+  cache.Store(2, 1, 2.0);
+  cache.Store(1, 1, 10.0);  // refresh: key 2 is now LRU
+  cache.Store(3, 1, 3.0);   // evicts (2, 1)
+
+  double od = 0.0;
+  ASSERT_TRUE(cache.Lookup(1, 1, &od));
+  EXPECT_EQ(od, 10.0);
+  EXPECT_FALSE(cache.Lookup(2, 1, &od));
+}
+
+TEST(OdCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  OdCacheConfig config;
+  config.num_shards = 5;
+  OdCache cache(config);
+  EXPECT_EQ(cache.num_shards(), 8);
+}
+
+TEST(OdCacheTest, ClearEmptiesButKeepsCounters) {
+  OdCache cache;
+  cache.Store(1, 1, 1.0);
+  double od = 0.0;
+  ASSERT_TRUE(cache.Lookup(1, 1, &od));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(1, 1, &od));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+// Striping smoke test: hammer one cache from many threads across a key
+// space larger than capacity; under TSan this exercises the per-shard
+// locking, and every successful lookup must return the stored value.
+TEST(OdCacheTest, ConcurrentMixedWorkloadIsConsistent) {
+  OdCacheConfig config;
+  config.capacity = 256;
+  config.num_shards = 8;
+  OdCache cache(config);
+
+  auto value_for = [](data::PointId id, uint64_t mask) {
+    return static_cast<double>(id) * 1000.0 + static_cast<double>(mask);
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, &value_for, t]() {
+      for (int round = 0; round < 200; ++round) {
+        for (uint64_t key = 0; key < 64; ++key) {
+          const data::PointId id = static_cast<data::PointId>((t + key) % 32);
+          const uint64_t mask = key % 16 + 1;
+          double od = 0.0;
+          if (cache.Lookup(id, mask, &od)) {
+            EXPECT_EQ(od, value_for(id, mask));
+          } else {
+            cache.Store(id, mask, value_for(id, mask));
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(cache.size(), 256u);
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+}  // namespace
+}  // namespace hos::service
