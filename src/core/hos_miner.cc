@@ -42,34 +42,42 @@ Result<HosMiner> HosMiner::Build(data::Dataset dataset,
 
   HosMiner miner(std::move(config), std::move(owned), std::move(normalizer));
 
-  // 2. Index (paper module 1).
+  // 2. One SoA snapshot of the normalised data, shared by whichever kNN
+  //    backend is built below (and so by every QueryService worker).
+  miner.soa_view_ = std::make_shared<const kernels::DatasetView>(
+      kernels::DatasetView::Build(*miner.dataset_));
+
+  // 3. Index (paper module 1).
   if (miner.config_.index == IndexKind::kXTree) {
     auto built = miner.config_.bulk_load
                      ? index::XTree::BulkLoad(*miner.dataset_,
                                               miner.config_.metric,
-                                              miner.config_.xtree)
+                                              miner.config_.xtree,
+                                              miner.soa_view_)
                      : index::XTree::BuildByInsertion(*miner.dataset_,
                                                       miner.config_.metric,
-                                                      miner.config_.xtree);
+                                                      miner.config_.xtree,
+                                                      miner.soa_view_);
     if (!built.ok()) return built.status();
     miner.xtree_ =
         std::make_unique<index::XTree>(std::move(built).value());
     miner.engine_ = std::make_unique<index::XTreeKnn>(*miner.xtree_);
   } else if (miner.config_.index == IndexKind::kVaFile) {
     auto built = index::VaFile::Build(*miner.dataset_, miner.config_.metric,
-                                      miner.config_.va_file);
+                                      miner.config_.va_file,
+                                      miner.soa_view_);
     if (!built.ok()) return built.status();
     miner.va_file_ =
         std::make_unique<index::VaFile>(std::move(built).value());
     miner.engine_ = std::make_unique<index::VaFileKnn>(*miner.va_file_);
   } else {
     miner.engine_ = std::make_unique<knn::LinearScanKnn>(
-        *miner.dataset_, miner.config_.metric);
+        *miner.dataset_, miner.config_.metric, miner.soa_view_);
   }
 
   Rng rng(miner.config_.seed);
 
-  // 3. Threshold T.
+  // 4. Threshold T.
   if (miner.config_.threshold > 0.0) {
     miner.threshold_ = miner.config_.threshold;
   } else {
@@ -82,7 +90,7 @@ Result<HosMiner> HosMiner::Build(data::Dataset dataset,
                           &rng));
   }
 
-  // 4. Sampling-based learning (paper module 2).
+  // 5. Sampling-based learning (paper module 2).
   learning::LearnerOptions learner_options;
   learner_options.sample_size = miner.config_.sample_size;
   learner_options.k = miner.config_.k;

@@ -23,6 +23,7 @@
 #include "src/data/normalizer.h"
 #include "src/index/va_file.h"
 #include "src/index/xtree.h"
+#include "src/kernels/dataset_view.h"
 #include "src/knn/knn_engine.h"
 #include "src/knn/linear_scan.h"
 #include "src/learning/learner.h"
@@ -133,6 +134,10 @@ class HosMiner {
   const HosMinerConfig& config() const { return config_; }
   /// The normalised dataset the system operates on.
   const data::Dataset& dataset() const { return *dataset_; }
+  /// The column-major SoA snapshot of dataset() that the batched distance
+  /// kernel sweeps; built once at Build and shared by the kNN backend (and
+  /// so by every QueryService worker serving this miner snapshot).
+  const kernels::DatasetView& soa_view() const { return *soa_view_; }
   const knn::KnnEngine& engine() const { return *engine_; }
   const learning::LearningReport& learning_report() const {
     return learning_report_;
@@ -155,6 +160,7 @@ class HosMiner {
 
   HosMinerConfig config_;
   std::unique_ptr<data::Dataset> dataset_;  // normalised copy
+  std::shared_ptr<const kernels::DatasetView> soa_view_;
   data::Normalizer normalizer_;
   std::unique_ptr<index::XTree> xtree_;      // when index == kXTree
   std::unique_ptr<index::VaFile> va_file_;   // when index == kVaFile

@@ -2,25 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 #include "src/data/kmeans.h"
+#include "src/kernels/batched_distance.h"
 
 namespace hos::index {
-namespace {
 
-struct WorstFirst {
-  bool operator()(const knn::Neighbor& a, const knn::Neighbor& b) const {
-    if (a.distance != b.distance) return a.distance < b.distance;
-    return a.id < b.id;
-  }
-};
-
-}  // namespace
-
-Result<IDistance> IDistance::Build(const data::Dataset& dataset,
-                                   knn::MetricKind metric,
-                                   IDistanceConfig config, Rng* rng) {
+Result<IDistance> IDistance::Build(
+    const data::Dataset& dataset, knn::MetricKind metric,
+    IDistanceConfig config, Rng* rng,
+    std::shared_ptr<const kernels::DatasetView> view) {
   if (dataset.empty()) {
     return Status::InvalidArgument("cannot build iDistance on empty dataset");
   }
@@ -31,6 +22,10 @@ Result<IDistance> IDistance::Build(const data::Dataset& dataset,
       config.num_partitions, static_cast<int>(dataset.size()));
 
   IDistance index(dataset, metric, config);
+  index.view_ = view != nullptr
+                    ? std::move(view)
+                    : std::make_shared<const kernels::DatasetView>(
+                          kernels::DatasetView::Build(dataset));
 
   // 1. Reference points by k-means (always L2 for the clustering itself;
   //    the index metric is used for the keys, which is what correctness
@@ -91,9 +86,10 @@ std::vector<knn::Neighbor> IDistance::Knn(
                                            full, metric_);
   }
 
-  std::priority_queue<knn::Neighbor, std::vector<knn::Neighbor>, WorstFirst>
-      best;
+  kernels::TopKCollector best(want);
+  const kernels::DatasetView* view = kernel_view();
   std::vector<char> visited(dataset_->size(), 0);
+  std::vector<data::PointId> batch;  // refinement candidates per stripe scan
   const double step = std::max(mean_radius_ *
                                    config_.initial_radius_fraction,
                                1e-9);
@@ -108,30 +104,41 @@ std::vector<knn::Neighbor> IDistance::Knn(
       const double hi = Key(
           static_cast<int>(p),
           std::min(partitions_[p].radius, center_dist[p] + r));
-      tree_.Scan(lo, hi, [&](double /*key*/, data::PointId id) {
-        if (!visited[id]) {
-          visited[id] = 1;
-          if (!exclude || *exclude != id) {
-            double dist = knn::SubspaceDistance(point, dataset_->Row(id),
-                                                full, metric_);
-            ++distance_count_;
-            if (best.size() < want) {
-              best.push({id, dist});
-            } else if (WorstFirst{}(knn::Neighbor{id, dist}, best.top())) {
-              best.pop();
-              best.push({id, dist});
+      if (view != nullptr) {
+        // Batched refinement: collect the stripe's unseen candidates, then
+        // one kernel sweep with the collector's evolving k-th bound.
+        batch.clear();
+        tree_.Scan(lo, hi, [&](double /*key*/, data::PointId id) {
+          if (!visited[id]) {
+            visited[id] = 1;
+            if (!exclude || *exclude != id) batch.push_back(id);
+          }
+          return true;
+        });
+        distance_count_ +=
+            kernels::ScanIdsForTopK(*view, point, full, metric_, batch,
+                                    &best);
+      } else {
+        tree_.Scan(lo, hi, [&](double /*key*/, data::PointId id) {
+          if (!visited[id]) {
+            visited[id] = 1;
+            if (!exclude || *exclude != id) {
+              double dist = knn::SubspaceDistance(point, dataset_->Row(id),
+                                                  full, metric_);
+              ++distance_count_;
+              best.Offer(id, dist);
             }
           }
-        }
-        return true;
-      });
+          return true;
+        });
+      }
     }
     // Stop when k found and nothing unseen can beat the k-th distance, or
     // when the radius has grown past every partition.
     const size_t reachable =
         dataset_->size() - (exclude.has_value() ? 1 : 0);
     if (best.size() >= std::min(want, reachable) &&
-        (best.empty() || best.top().distance <= r)) {
+        (best.empty() || best.worst() <= r)) {
       break;
     }
     bool any_left = false;
@@ -142,18 +149,16 @@ std::vector<knn::Neighbor> IDistance::Knn(
     r += step;
   }
 
-  std::vector<knn::Neighbor> out(best.size());
-  for (size_t i = best.size(); i-- > 0;) {
-    out[i] = best.top();
-    best.pop();
-  }
-  return out;
+  return best.TakeSorted();
 }
 
 std::vector<knn::Neighbor> IDistance::RangeSearch(
     std::span<const double> point, double radius) const {
   const Subspace full = Subspace::Full(dataset_->num_dims());
+  const kernels::DatasetView* view = kernel_view();
   std::vector<knn::Neighbor> out;
+  std::vector<data::PointId> batch;
+  std::vector<double> dist;
   for (size_t p = 0; p < partitions_.size(); ++p) {
     double center_dist = knn::SubspaceDistance(point, partitions_[p].center,
                                                full, metric_);
@@ -163,13 +168,28 @@ std::vector<knn::Neighbor> IDistance::RangeSearch(
     const double hi =
         Key(static_cast<int>(p),
             std::min(partitions_[p].radius, center_dist + radius));
-    tree_.Scan(lo, hi, [&](double /*key*/, data::PointId id) {
-      double dist =
-          knn::SubspaceDistance(point, dataset_->Row(id), full, metric_);
-      ++distance_count_;
-      if (dist <= radius) out.push_back({id, dist});
-      return true;
-    });
+    if (view != nullptr) {
+      batch.clear();
+      tree_.Scan(lo, hi, [&](double /*key*/, data::PointId id) {
+        batch.push_back(id);
+        return true;
+      });
+      dist.resize(batch.size());
+      kernels::BatchedSubspaceDistance(*view, point, full, metric_, batch,
+                                       radius, dist);
+      distance_count_ += batch.size();
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (dist[i] <= radius) out.push_back({batch[i], dist[i]});
+      }
+    } else {
+      tree_.Scan(lo, hi, [&](double /*key*/, data::PointId id) {
+        double d =
+            knn::SubspaceDistance(point, dataset_->Row(id), full, metric_);
+        ++distance_count_;
+        if (d <= radius) out.push_back({id, d});
+        return true;
+      });
+    }
   }
   std::sort(out.begin(), out.end(),
             [](const knn::Neighbor& a, const knn::Neighbor& b) {

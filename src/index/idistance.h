@@ -26,11 +26,14 @@
 #include <optional>
 #include <vector>
 
+#include <memory>
+
 #include "src/common/atomic_counter.h"
 #include "src/common/result.h"
 #include "src/common/rng.h"
 #include "src/data/dataset.h"
 #include "src/index/bplus_tree.h"
+#include "src/kernels/dataset_view.h"
 #include "src/knn/knn_engine.h"
 
 namespace hos::index {
@@ -56,10 +59,13 @@ struct IDistancePartition {
 class IDistance {
  public:
   /// Builds partitions (k-means), keys and the B+-tree over all current
-  /// dataset rows. The dataset must outlive the index.
-  static Result<IDistance> Build(const data::Dataset& dataset,
-                                 knn::MetricKind metric,
-                                 IDistanceConfig config, Rng* rng);
+  /// dataset rows. The dataset must outlive the index. `view` optionally
+  /// shares a prebuilt SoA snapshot for the batched refinement kernel; when
+  /// null a private one is built.
+  static Result<IDistance> Build(
+      const data::Dataset& dataset, knn::MetricKind metric,
+      IDistanceConfig config, Rng* rng,
+      std::shared_ptr<const kernels::DatasetView> view = nullptr);
 
   /// Exact full-space kNN; ordering matches LinearScanKnn
   /// (ascending distance, then id).
@@ -93,6 +99,11 @@ class IDistance {
     return partition * stripe_width_ + distance_to_center;
   }
 
+  /// The SoA snapshot, or null when stale (scalar refinement serves).
+  const kernels::DatasetView* kernel_view() const {
+    return kernels::IfFresh(view_, dataset_->size());
+  }
+
   const data::Dataset* dataset_;
   knn::MetricKind metric_;
   IDistanceConfig config_;
@@ -100,6 +111,7 @@ class IDistance {
   std::vector<int> assignment_;  ///< partition per point
   double stripe_width_ = 0.0;    ///< the constant c
   double mean_radius_ = 0.0;
+  std::shared_ptr<const kernels::DatasetView> view_;
   BPlusTree<double, data::PointId> tree_;
   mutable RelaxedCounter distance_count_;  // race-free under concurrent queries
 };

@@ -6,19 +6,9 @@
 #include <cmath>
 #include <queue>
 
+#include "src/kernels/batched_distance.h"
+
 namespace hos::index {
-namespace {
-
-/// Max-heap ordering identical to LinearScanKnn's: farthest (then highest
-/// id) on top, so the retained set is the k smallest under (distance, id).
-struct WorstFirst {
-  bool operator()(const knn::Neighbor& a, const knn::Neighbor& b) const {
-    if (a.distance != b.distance) return a.distance < b.distance;
-    return a.id < b.id;
-  }
-};
-
-}  // namespace
 
 VaFile::VaFile(const data::Dataset& dataset, knn::MetricKind metric,
                VaFileConfig config)
@@ -28,11 +18,16 @@ VaFile::VaFile(const data::Dataset& dataset, knn::MetricKind metric,
       cells_per_dim_(1 << config.bits_per_dim) {}
 
 Result<VaFile> VaFile::Build(const data::Dataset& dataset,
-                             knn::MetricKind metric, VaFileConfig config) {
+                             knn::MetricKind metric, VaFileConfig config,
+                             std::shared_ptr<const kernels::DatasetView> view) {
   if (config.bits_per_dim < 1 || config.bits_per_dim > 8) {
     return Status::InvalidArgument("bits_per_dim must be in 1..8");
   }
   VaFile file(dataset, metric, config);
+  file.view_ = view != nullptr
+                   ? std::move(view)
+                   : std::make_shared<const kernels::DatasetView>(
+                         kernels::DatasetView::Build(dataset));
   const int d = dataset.num_dims();
   auto stats = data::ComputeColumnStats(dataset);
   file.dim_lo_.resize(d);
@@ -133,6 +128,10 @@ std::vector<knn::Neighbor> VaFile::Knn(const knn::KnnQuery& query) const {
       upper_heap.push(upper);
     }
   }
+  if (upper_heap.empty()) {  // every point excluded — nothing to rank
+    last_candidates_ = 0;
+    return {};
+  }
   const double tau = upper_heap.top();
 
   // Phase 2: exact distances for survivors, visited in ascending
@@ -148,47 +147,86 @@ std::vector<knn::Neighbor> VaFile::Knn(const knn::KnnQuery& query) const {
               return a.id < b.id;
             });
 
-  std::priority_queue<knn::Neighbor, std::vector<knn::Neighbor>, WorstFirst>
-      best;
+  kernels::TopKCollector best(k);
   uint64_t candidates_visited = 0;  // published once at the end, so
                                     // last_candidate_count() is one whole
                                     // query's tally even under concurrency
-  for (const Approx& a : candidates) {
-    if (best.size() == k && a.lower > best.top().distance) break;
-    double dist = knn::SubspaceDistance(query.point, dataset_->Row(a.id),
-                                        query.subspace, metric_);
-    ++distance_count_;
-    ++candidates_visited;
-    if (best.size() < k) {
-      best.push({a.id, dist});
-    } else if (WorstFirst{}(knn::Neighbor{a.id, dist}, best.top())) {
-      best.pop();
-      best.push({a.id, dist});
+  const kernels::DatasetView* view = kernel_view();
+  if (view != nullptr) {
+    // Batched refinement: blocks of candidates through the shared kernel
+    // with the block-start k-th bound. A block may reach a few candidates
+    // past where the scalar loop would break, but those provably fail
+    // admission, so answers are unchanged (only the visited tally grows by
+    // at most one block).
+    const std::vector<int> dims = query.subspace.Dims();
+    std::vector<data::PointId> block_ids;
+    double dist[kernels::kDistanceBlock];
+    size_t i = 0;
+    while (i < candidates.size()) {
+      const double bound = best.bound();
+      if (best.full() && candidates[i].lower > bound) break;
+      const size_t block_end =
+          std::min(i + kernels::kDistanceBlock, candidates.size());
+      block_ids.clear();
+      for (size_t j = i; j < block_end; ++j) {
+        block_ids.push_back(candidates[j].id);
+      }
+      kernels::BatchedSubspaceDistance(*view, query.point, dims, metric_,
+                                       block_ids, bound,
+                                       {dist, block_ids.size()});
+      distance_count_ += block_ids.size();
+      candidates_visited += block_ids.size();
+      for (size_t j = 0; j < block_ids.size(); ++j) {
+        if (dist[j] != kernels::kPrunedDistance) {
+          best.Offer(block_ids[j], dist[j]);
+        }
+      }
+      i = block_end;
+    }
+  } else {
+    for (const Approx& a : candidates) {
+      if (best.full() && a.lower > best.worst()) break;
+      double dist = knn::SubspaceDistance(query.point, dataset_->Row(a.id),
+                                          query.subspace, metric_);
+      ++distance_count_;
+      ++candidates_visited;
+      best.Offer(a.id, dist);
     }
   }
 
   last_candidates_ = candidates_visited;
-
-  std::vector<knn::Neighbor> out(best.size());
-  for (size_t i = best.size(); i-- > 0;) {
-    out[i] = best.top();
-    best.pop();
-  }
-  return out;
+  return best.TakeSorted();
 }
 
 std::vector<knn::Neighbor> VaFile::RangeSearch(std::span<const double> point,
                                                const Subspace& subspace,
                                                double radius) const {
   std::vector<knn::Neighbor> out;
-  for (data::PointId id = 0; id < dataset_->size(); ++id) {
-    double lower, upper;
-    Bounds(id, point, subspace, &lower, &upper);
-    if (lower > radius) continue;
-    double dist =
-        knn::SubspaceDistance(point, dataset_->Row(id), subspace, metric_);
-    ++distance_count_;
-    if (dist <= radius) out.push_back({id, dist});
+  const kernels::DatasetView* view = kernel_view();
+  if (view != nullptr) {
+    std::vector<data::PointId> survivors;
+    for (data::PointId id = 0; id < dataset_->size(); ++id) {
+      double lower, upper;
+      Bounds(id, point, subspace, &lower, &upper);
+      if (lower <= radius) survivors.push_back(id);
+    }
+    std::vector<double> dist(survivors.size());
+    kernels::BatchedSubspaceDistance(*view, point, subspace, metric_,
+                                     survivors, radius, dist);
+    distance_count_ += survivors.size();
+    for (size_t i = 0; i < survivors.size(); ++i) {
+      if (dist[i] <= radius) out.push_back({survivors[i], dist[i]});
+    }
+  } else {
+    for (data::PointId id = 0; id < dataset_->size(); ++id) {
+      double lower, upper;
+      Bounds(id, point, subspace, &lower, &upper);
+      if (lower > radius) continue;
+      double dist =
+          knn::SubspaceDistance(point, dataset_->Row(id), subspace, metric_);
+      ++distance_count_;
+      if (dist <= radius) out.push_back({id, dist});
+    }
   }
   std::sort(out.begin(), out.end(),
             [](const knn::Neighbor& a, const knn::Neighbor& b) {

@@ -14,11 +14,13 @@
 #define HOS_INDEX_VA_FILE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/common/atomic_counter.h"
 #include "src/common/result.h"
 #include "src/data/dataset.h"
+#include "src/kernels/dataset_view.h"
 #include "src/knn/knn_engine.h"
 
 namespace hos::index {
@@ -33,10 +35,13 @@ struct VaFileConfig {
 class VaFile {
  public:
   /// Builds approximations for all current dataset rows. Cell boundaries
-  /// are equi-width over each dimension's observed [min, max].
-  static Result<VaFile> Build(const data::Dataset& dataset,
-                              knn::MetricKind metric,
-                              VaFileConfig config = {});
+  /// are equi-width over each dimension's observed [min, max]. `view`
+  /// optionally shares a prebuilt SoA snapshot for the batched exact phase;
+  /// when null a private one is built.
+  static Result<VaFile> Build(
+      const data::Dataset& dataset, knn::MetricKind metric,
+      VaFileConfig config = {},
+      std::shared_ptr<const kernels::DatasetView> view = nullptr);
 
   /// Exact kNN via the two-phase VA-file algorithm. Result ordering matches
   /// LinearScanKnn: ascending (distance, id).
@@ -65,6 +70,11 @@ class VaFile {
               const Subspace& subspace, double* lower, double* upper) const;
   int CellOf(int dim, double value) const;
 
+  /// The SoA snapshot, or null when stale (scalar exact phase serves).
+  const kernels::DatasetView* kernel_view() const {
+    return kernels::IfFresh(view_, dataset_->size());
+  }
+
   const data::Dataset* dataset_;
   knn::MetricKind metric_;
   VaFileConfig config_;
@@ -74,6 +84,7 @@ class VaFile {
   std::vector<double> dim_width_;  // width of one cell
   /// Row-major n x d matrix of cell indices (uint8 => bits_per_dim <= 8).
   std::vector<uint8_t> cells_;
+  std::shared_ptr<const kernels::DatasetView> view_;
   // Relaxed atomics: safe under concurrent const queries. last_candidates_
   // is written once per Knn call (a whole query's tally), so under
   // concurrency it holds the count of whichever query published last.

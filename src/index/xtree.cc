@@ -7,6 +7,8 @@
 #include <limits>
 #include <queue>
 
+#include "src/kernels/batched_distance.h"
+
 namespace hos::index {
 
 // ---------------------------------------------------------------------------
@@ -201,6 +203,7 @@ Status XTree::Insert(data::PointId id) {
                               " outside dataset of size " +
                               std::to_string(dataset_->size()));
   }
+  view_.reset();  // snapshot may no longer cover the inserted row
   auto point = dataset_->Row(id);
   if (root_ == nullptr) {
     root_ = std::make_unique<Node>(/*leaf=*/true, dataset_->num_dims());
@@ -271,6 +274,7 @@ Status XTree::Remove(data::PointId id) {
     return Status::NotFound("point " + std::to_string(id) +
                             " is not in the tree");
   }
+  view_.reset();
   auto point = dataset_->Row(id);
   bool found = false;
   std::vector<data::PointId> orphans;
@@ -440,12 +444,22 @@ std::unique_ptr<XTree::Node> XTree::SplitDirectory(Node* node) {
   return sibling;
 }
 
-Result<XTree> XTree::BuildByInsertion(const data::Dataset& dataset,
-                                      knn::MetricKind metric,
-                                      XTreeConfig config) {
+void XTree::RefreshKernelView() {
+  view_ = std::make_shared<const kernels::DatasetView>(
+      kernels::DatasetView::Build(*dataset_));
+}
+
+Result<XTree> XTree::BuildByInsertion(
+    const data::Dataset& dataset, knn::MetricKind metric, XTreeConfig config,
+    std::shared_ptr<const kernels::DatasetView> view) {
   XTree tree(dataset, metric, config);
   for (data::PointId id = 0; id < dataset.size(); ++id) {
     HOS_RETURN_IF_ERROR(tree.Insert(id));
+  }
+  if (view != nullptr) {
+    tree.view_ = std::move(view);
+  } else {
+    tree.RefreshKernelView();
   }
   return tree;
 }
@@ -495,8 +509,14 @@ void StrTile(std::vector<size_t> ids, int dim, int num_dims, size_t cap,
 }  // namespace
 
 Result<XTree> XTree::BulkLoad(const data::Dataset& dataset,
-                              knn::MetricKind metric, XTreeConfig config) {
+                              knn::MetricKind metric, XTreeConfig config,
+                              std::shared_ptr<const kernels::DatasetView> view) {
   XTree tree(dataset, metric, config);
+  if (view != nullptr) {
+    tree.view_ = std::move(view);
+  } else {
+    tree.RefreshKernelView();
+  }
   const size_t n = dataset.size();
   tree.num_points_ = n;
   if (n == 0) return tree;
@@ -586,6 +606,18 @@ std::vector<knn::Neighbor> XTree::Knn(const knn::KnnQuery& query) const {
   heap.push({root_->mbr.MinDistance(query.point, query.subspace, metric_),
              false, 0, root_.get()});
 
+  // Kernel path state: leaf points flow through the batched kernel, with
+  // `seen` tracking the k smallest (distance, id) point tuples enqueued so
+  // far. A leaf candidate proven strictly farther than seen.bound() can
+  // never displace those k tuples from the final answer, so it is safe to
+  // drop instead of enqueue — the best-first pop order of the survivors is
+  // unchanged.
+  const kernels::DatasetView* view = kernel_view();
+  const std::vector<int> dims = query.subspace.Dims();
+  kernels::TopKCollector seen(static_cast<size_t>(query.k));
+  std::vector<data::PointId> leaf_ids;
+  double leaf_dist[kernels::kDistanceBlock];
+
   while (!heap.empty()) {
     QueueItem item = heap.top();
     heap.pop();
@@ -597,12 +629,35 @@ std::vector<knn::Neighbor> XTree::Knn(const knn::KnnQuery& query) const {
     const Node* node = item.node;
     ++node_access_count_;
     if (node->is_leaf) {
-      for (data::PointId id : node->points) {
-        if (query.exclude && *query.exclude == id) continue;
-        double dist = knn::SubspaceDistance(query.point, dataset_->Row(id),
-                                            query.subspace, metric_);
-        ++distance_count_;
-        heap.push({dist, true, id, nullptr});
+      if (view != nullptr) {
+        leaf_ids.clear();
+        for (data::PointId id : node->points) {
+          if (query.exclude && *query.exclude == id) continue;
+          leaf_ids.push_back(id);
+        }
+        for (size_t start = 0; start < leaf_ids.size();
+             start += kernels::kDistanceBlock) {
+          const size_t m =
+              std::min(kernels::kDistanceBlock, leaf_ids.size() - start);
+          const std::span<const data::PointId> block(&leaf_ids[start], m);
+          kernels::BatchedSubspaceDistance(*view, query.point, dims, metric_,
+                                           block, seen.bound(),
+                                           {leaf_dist, m});
+          distance_count_ += m;
+          for (size_t j = 0; j < m; ++j) {
+            if (leaf_dist[j] == kernels::kPrunedDistance) continue;
+            heap.push({leaf_dist[j], true, block[j], nullptr});
+            seen.Offer(block[j], leaf_dist[j]);
+          }
+        }
+      } else {
+        for (data::PointId id : node->points) {
+          if (query.exclude && *query.exclude == id) continue;
+          double dist = knn::SubspaceDistance(query.point, dataset_->Row(id),
+                                              query.subspace, metric_);
+          ++distance_count_;
+          heap.push({dist, true, id, nullptr});
+        }
       }
     } else {
       for (const auto& child : node->children) {
@@ -621,9 +676,24 @@ std::vector<knn::Neighbor> XTree::RangeSearch(std::span<const double> point,
   std::vector<knn::Neighbor> out;
   if (root_ == nullptr) return out;
 
+  const kernels::DatasetView* view = kernel_view();
+  const std::vector<int> dims = subspace.Dims();
+  std::vector<double> leaf_dist;
   std::function<void(const Node*)> visit = [&](const Node* node) {
     ++node_access_count_;
     if (node->is_leaf) {
+      if (view != nullptr) {
+        leaf_dist.resize(node->points.size());
+        kernels::BatchedSubspaceDistance(*view, point, dims, metric_,
+                                         node->points, radius, leaf_dist);
+        distance_count_ += node->points.size();
+        for (size_t j = 0; j < node->points.size(); ++j) {
+          if (leaf_dist[j] <= radius) {
+            out.push_back({node->points[j], leaf_dist[j]});
+          }
+        }
+        return;
+      }
       for (data::PointId id : node->points) {
         double dist = knn::SubspaceDistance(point, dataset_->Row(id),
                                             subspace, metric_);

@@ -31,6 +31,7 @@
 #include "src/common/subspace.h"
 #include "src/data/dataset.h"
 #include "src/index/mbr.h"
+#include "src/kernels/dataset_view.h"
 #include "src/knn/knn_engine.h"
 #include "src/knn/metric.h"
 
@@ -83,16 +84,27 @@ class XTree {
   /// shrunk when it degenerates). NotFound if the id is not in the tree.
   Status Remove(data::PointId id);
 
-  /// Builds by repeated insertion over all current dataset rows.
-  static Result<XTree> BuildByInsertion(const data::Dataset& dataset,
-                                        knn::MetricKind metric,
-                                        XTreeConfig config = {});
+  /// Builds by repeated insertion over all current dataset rows. `view`
+  /// optionally shares a prebuilt SoA snapshot for the leaf-scan kernel;
+  /// when null a private one is built.
+  static Result<XTree> BuildByInsertion(
+      const data::Dataset& dataset, knn::MetricKind metric,
+      XTreeConfig config = {},
+      std::shared_ptr<const kernels::DatasetView> view = nullptr);
 
   /// Sort-Tile-Recursive bulk load over all current dataset rows — much
   /// faster than repeated insertion and produces a well-packed tree.
-  static Result<XTree> BulkLoad(const data::Dataset& dataset,
-                                knn::MetricKind metric,
-                                XTreeConfig config = {});
+  static Result<XTree> BulkLoad(
+      const data::Dataset& dataset, knn::MetricKind metric,
+      XTreeConfig config = {},
+      std::shared_ptr<const kernels::DatasetView> view = nullptr);
+
+  /// Rebuilds the SoA snapshot serving the batched leaf-scan kernel.
+  /// The Build factories call this; Insert/Remove invalidate the snapshot
+  /// (queries then fall back to the scalar metric path), so call it again
+  /// after a batch of hand-driven mutations to restore the kernel path.
+  /// Not thread-safe with concurrent queries, like any tree mutation.
+  void RefreshKernelView();
 
   /// Exact k nearest neighbours in `query.subspace` (best-first search).
   /// Ordering matches LinearScanKnn: ascending (distance, id).
@@ -142,11 +154,17 @@ class XTree {
   std::unique_ptr<Node> SplitDirectory(Node* node);
   void RecomputeMbr(Node* node) const;
 
+  /// The SoA snapshot, or null when invalidated by a mutation.
+  const kernels::DatasetView* kernel_view() const {
+    return kernels::IfFresh(view_, dataset_->size());
+  }
+
   const data::Dataset* dataset_;
   knn::MetricKind metric_;
   XTreeConfig config_;
   std::unique_ptr<Node> root_;
   size_t num_points_ = 0;
+  std::shared_ptr<const kernels::DatasetView> view_;
   // Query-path tallies; relaxed atomics so concurrent read-only Knn /
   // RangeSearch calls from service worker threads are race-free.
   mutable RelaxedCounter distance_count_;

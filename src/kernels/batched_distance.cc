@@ -1,0 +1,285 @@
+#include "src/kernels/batched_distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hos::kernels {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Dimensions accumulated between early-exit checks.
+constexpr size_t kDimChunk = 8;
+
+template <knn::MetricKind kMetric>
+inline void Accumulate(double& acc, double diff) {
+  if constexpr (kMetric == knn::MetricKind::kL1) {
+    acc += std::abs(diff);
+  } else if constexpr (kMetric == knn::MetricKind::kL2) {
+    acc += diff * diff;
+  } else {
+    acc = std::max(acc, std::abs(diff));
+  }
+}
+
+template <knn::MetricKind kMetric>
+inline double Finalize(double acc) {
+  if constexpr (kMetric == knn::MetricKind::kL2) return std::sqrt(acc);
+  return acc;
+}
+
+/// The distance bound translated into accumulation space, loosened so that
+/// acc > SelectionBound(bound) proves fl(sqrt(acc)) > bound *strictly* (no
+/// rounding of bound*bound may turn a potential tie into a prune — ties can
+/// still win their id break). acc <= SelectionBound admits false positives,
+/// which the caller settles with one exact sqrt; so selection never takes a
+/// square root for candidates that are provably out.
+template <knn::MetricKind kMetric>
+inline double SelectionBound(double bound) {
+  if constexpr (kMetric == knn::MetricKind::kL2) {
+    // (1 + 8eps) dominates the rounding of bound*bound plus the half-ulp of
+    // the final sqrt; see the inequality chain in the header comment.
+    constexpr double kLoosen =
+        1.0 + 8.0 * std::numeric_limits<double>::epsilon();
+    return bound * bound * kLoosen;
+  } else {
+    return bound;
+  }
+}
+
+/// The shared accumulation loop of both block kernels: sums the block's
+/// per-dimension terms in ascending dimension order (the bitwise-identity
+/// contract with the scalar path), checking between dimension chunks
+/// whether even the block's smallest accumulation already exceeds
+/// `threshold` — the bound translated into accumulation space by
+/// SelectionBound, so exceeding it proves every final distance strictly
+/// greater than the caller's distance bound. Returns false when the block
+/// was abandoned that way.
+template <knn::MetricKind kMetric, bool kContiguous>
+bool AccumulateBlock(const DatasetView& view, const double* query,
+                     std::span<const int> dims, const data::PointId* ids,
+                     data::PointId first, size_t m, double threshold,
+                     double* acc) {
+  for (size_t j = 0; j < m; ++j) acc[j] = 0.0;
+
+  const size_t num_dims = dims.size();
+  const bool bounded = threshold < kInf;
+  size_t c = 0;
+  while (c < num_dims) {
+    const size_t chunk_end = std::min(c + kDimChunk, num_dims);
+    for (; c < chunk_end; ++c) {
+      const double* col = view.Column(dims[c]);
+      const double qv = query[dims[c]];
+      if constexpr (kContiguous) {
+        const double* base = col + first;
+        for (size_t j = 0; j < m; ++j) {
+          Accumulate<kMetric>(acc[j], qv - base[j]);
+        }
+      } else {
+        for (size_t j = 0; j < m; ++j) {
+          Accumulate<kMetric>(acc[j], qv - col[ids[j]]);
+        }
+      }
+    }
+    if (bounded && c < num_dims) {
+      double partial = acc[0];
+      for (size_t j = 1; j < m; ++j) partial = std::min(partial, acc[j]);
+      if (partial > threshold) return false;
+    }
+  }
+  return true;
+}
+
+/// One block of m <= kDistanceBlock candidates, dimension-outer /
+/// candidate-inner. kContiguous selects unit-stride loads from `first`
+/// versus gathers through `ids`.
+template <knn::MetricKind kMetric, bool kContiguous>
+void DistanceBlock(const DatasetView& view, const double* query,
+                   std::span<const int> dims, const data::PointId* ids,
+                   data::PointId first, size_t m, double bound, double* out) {
+  double acc[kDistanceBlock];
+  if (!AccumulateBlock<kMetric, kContiguous>(view, query, dims, ids, first,
+                                             m, SelectionBound<kMetric>(bound),
+                                             acc)) {
+    for (size_t j = 0; j < m; ++j) out[j] = kPrunedDistance;
+    return;
+  }
+  for (size_t j = 0; j < m; ++j) out[j] = Finalize<kMetric>(acc[j]);
+}
+
+/// Top-k selection block: like DistanceBlock, but candidates are offered to
+/// `collector` directly and all screening happens in accumulation space
+/// (squared distances for L2), so the per-candidate square root is paid only
+/// for candidates that might be admitted. Offers run in lane order — the
+/// scalar scan's admission sequence.
+template <knn::MetricKind kMetric, bool kContiguous>
+void TopKBlock(const DatasetView& view, const double* query,
+               std::span<const int> dims, const data::PointId* ids,
+               data::PointId first, size_t m, TopKCollector* collector) {
+  const double bound = collector->bound();
+  const double bound_acc = SelectionBound<kMetric>(bound);
+  double acc[kDistanceBlock];
+  if (!AccumulateBlock<kMetric, kContiguous>(view, query, dims, ids, first,
+                                             m, bound_acc, acc)) {
+    return;  // whole block provably beyond the k-th neighbour
+  }
+  double closest = acc[0];
+  for (size_t j = 1; j < m; ++j) closest = std::min(closest, acc[j]);
+  if (closest > bound_acc) return;  // no admissible candidate in the block
+  for (size_t j = 0; j < m; ++j) {
+    if (acc[j] <= bound_acc) {
+      const double dist = Finalize<kMetric>(acc[j]);
+      // dist > bound can never be admitted (stale bounds only loosen this);
+      // dist == bound may still win its id tie-break inside Offer.
+      if (dist <= bound) {
+        collector->Offer(kContiguous ? first + static_cast<data::PointId>(j)
+                                     : ids[j],
+                         dist);
+      }
+    }
+  }
+}
+
+template <bool kContiguous>
+void TopKDispatch(const DatasetView& view, const double* query,
+                  std::span<const int> dims, knn::MetricKind metric,
+                  const data::PointId* ids, data::PointId first, size_t m,
+                  TopKCollector* collector) {
+  switch (metric) {
+    case knn::MetricKind::kL1:
+      TopKBlock<knn::MetricKind::kL1, kContiguous>(view, query, dims, ids,
+                                                   first, m, collector);
+      return;
+    case knn::MetricKind::kL2:
+      TopKBlock<knn::MetricKind::kL2, kContiguous>(view, query, dims, ids,
+                                                   first, m, collector);
+      return;
+    case knn::MetricKind::kLInf:
+      TopKBlock<knn::MetricKind::kLInf, kContiguous>(view, query, dims, ids,
+                                                     first, m, collector);
+      return;
+  }
+}
+
+template <bool kContiguous>
+void Dispatch(const DatasetView& view, const double* query,
+              std::span<const int> dims, knn::MetricKind metric,
+              const data::PointId* ids, data::PointId first, size_t m,
+              double bound, double* out) {
+  switch (metric) {
+    case knn::MetricKind::kL1:
+      DistanceBlock<knn::MetricKind::kL1, kContiguous>(view, query, dims, ids,
+                                                       first, m, bound, out);
+      return;
+    case knn::MetricKind::kL2:
+      DistanceBlock<knn::MetricKind::kL2, kContiguous>(view, query, dims, ids,
+                                                       first, m, bound, out);
+      return;
+    case knn::MetricKind::kLInf:
+      DistanceBlock<knn::MetricKind::kLInf, kContiguous>(view, query, dims,
+                                                         ids, first, m, bound,
+                                                         out);
+      return;
+  }
+}
+
+}  // namespace
+
+void BatchedSubspaceDistance(const DatasetView& view,
+                             std::span<const double> query,
+                             std::span<const int> dims,
+                             knn::MetricKind metric,
+                             std::span<const data::PointId> ids, double bound,
+                             std::span<double> out) {
+  for (size_t start = 0; start < ids.size(); start += kDistanceBlock) {
+    const size_t m = std::min(kDistanceBlock, ids.size() - start);
+    Dispatch<false>(view, query.data(), dims, metric, ids.data() + start, 0,
+                    m, bound, out.data() + start);
+  }
+}
+
+void BatchedSubspaceDistanceRange(const DatasetView& view,
+                                  std::span<const double> query,
+                                  std::span<const int> dims,
+                                  knn::MetricKind metric, data::PointId first,
+                                  size_t count, double bound,
+                                  std::span<double> out) {
+  for (size_t start = 0; start < count; start += kDistanceBlock) {
+    const size_t m = std::min(kDistanceBlock, count - start);
+    Dispatch<true>(view, query.data(), dims, metric, nullptr,
+                   first + static_cast<data::PointId>(start), m, bound,
+                   out.data() + start);
+  }
+}
+
+void BatchedSubspaceDistance(const DatasetView& view,
+                             std::span<const double> query,
+                             const Subspace& subspace, knn::MetricKind metric,
+                             std::span<const data::PointId> ids, double bound,
+                             std::span<double> out) {
+  const std::vector<int> dims = subspace.Dims();
+  BatchedSubspaceDistance(view, query, dims, metric, ids, bound, out);
+}
+
+void BatchedSubspaceDistanceRange(const DatasetView& view,
+                                  std::span<const double> query,
+                                  const Subspace& subspace,
+                                  knn::MetricKind metric, data::PointId first,
+                                  size_t count, double bound,
+                                  std::span<double> out) {
+  const std::vector<int> dims = subspace.Dims();
+  BatchedSubspaceDistanceRange(view, query, dims, metric, first, count, bound,
+                               out);
+}
+
+std::vector<knn::Neighbor> TopKCollector::TakeSorted() {
+  std::vector<knn::Neighbor> out(heap_.size());
+  for (size_t i = heap_.size(); i-- > 0;) {
+    out[i] = heap_.top();
+    heap_.pop();
+  }
+  return out;
+}
+
+uint64_t ScanAllForTopK(const DatasetView& view, std::span<const double> query,
+                        const Subspace& subspace, knn::MetricKind metric,
+                        std::optional<data::PointId> exclude,
+                        TopKCollector* collector) {
+  const std::vector<int> dims = subspace.Dims();
+  uint64_t examined = 0;
+
+  // The bound tightens between blocks only; within a block every offer
+  // still replays the scalar scan's admission sequence exactly.
+  auto scan_segment = [&](size_t lo, size_t hi) {
+    for (size_t start = lo; start < hi; start += kDistanceBlock) {
+      const size_t m = std::min(kDistanceBlock, hi - start);
+      TopKDispatch<true>(view, query.data(), dims, metric, nullptr,
+                         static_cast<data::PointId>(start), m, collector);
+      examined += m;
+    }
+  };
+
+  const size_t n = view.num_points();
+  if (exclude && *exclude < n) {
+    scan_segment(0, *exclude);
+    scan_segment(*exclude + 1, n);
+  } else {
+    scan_segment(0, n);
+  }
+  return examined;
+}
+
+uint64_t ScanIdsForTopK(const DatasetView& view, std::span<const double> query,
+                        const Subspace& subspace, knn::MetricKind metric,
+                        std::span<const data::PointId> ids,
+                        TopKCollector* collector) {
+  const std::vector<int> dims = subspace.Dims();
+  for (size_t start = 0; start < ids.size(); start += kDistanceBlock) {
+    const size_t m = std::min(kDistanceBlock, ids.size() - start);
+    TopKDispatch<false>(view, query.data(), dims, metric, ids.data() + start,
+                        0, m, collector);
+  }
+  return ids.size();
+}
+
+}  // namespace hos::kernels

@@ -1,0 +1,22 @@
+#include "src/kernels/dataset_view.h"
+
+namespace hos::kernels {
+
+DatasetView DatasetView::Build(const data::Dataset& dataset) {
+  DatasetView view;
+  view.num_points_ = dataset.size();
+  view.num_dims_ = dataset.num_dims();
+  view.columns_.resize(view.num_points_ *
+                       static_cast<size_t>(view.num_dims_));
+  const std::vector<double>& rows = dataset.values();
+  for (size_t i = 0; i < view.num_points_; ++i) {
+    const double* row = &rows[i * view.num_dims_];
+    for (int dim = 0; dim < view.num_dims_; ++dim) {
+      view.columns_[static_cast<size_t>(dim) * view.num_points_ + i] =
+          row[dim];
+    }
+  }
+  return view;
+}
+
+}  // namespace hos::kernels

@@ -1,0 +1,66 @@
+// DatasetView: a structure-of-arrays (column-major) mirror of a row-major
+// data::Dataset — the storage layout of the batched distance kernel
+// (src/kernels/batched_distance.h). A subspace-masked distance touches a few
+// dimensions of many points, so laying each dimension out contiguously turns
+// the kernel's inner loop into a unit-stride sweep the compiler vectorizes;
+// the row-major Dataset would stride by num_dims() instead.
+//
+// A view is an independent snapshot: it stays valid (and consistent) if the
+// source dataset later grows or is destroyed, but it does not track such
+// changes — holders use IfFresh() below, which compares num_points()
+// against the live dataset and falls back to the scalar path when the
+// snapshot is stale. Staleness detection is by *size only*: in-place cell
+// mutation (Dataset::Set) is invisible to it, so — as with the index
+// structures themselves (X-tree MBRs, VA-file approximations, iDistance
+// keys, all of which also go stale silently under Set) — a dataset must be
+// treated as immutable while engines built over it are in use, and engines
+// rebuilt after any mutation.
+
+#ifndef HOS_KERNELS_DATASET_VIEW_H_
+#define HOS_KERNELS_DATASET_VIEW_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/data/dataset.h"
+
+namespace hos::kernels {
+
+class DatasetView {
+ public:
+  DatasetView() = default;
+
+  /// Transposes `dataset` into column-major storage. O(n·d).
+  static DatasetView Build(const data::Dataset& dataset);
+
+  size_t num_points() const { return num_points_; }
+  int num_dims() const { return num_dims_; }
+  bool empty() const { return num_points_ == 0; }
+
+  /// Contiguous values of one dimension across all points.
+  const double* Column(int dim) const {
+    return columns_.data() + static_cast<size_t>(dim) * num_points_;
+  }
+
+  double At(data::PointId id, int dim) const { return Column(dim)[id]; }
+
+ private:
+  size_t num_points_ = 0;
+  int num_dims_ = 0;
+  std::vector<double> columns_;  // [dim * num_points + point]
+};
+
+/// The one staleness policy shared by every kNN backend: the snapshot
+/// serves only while it still covers the live dataset's rows; otherwise the
+/// caller falls back to its scalar path. (See the header comment for what
+/// size-only detection does and does not catch.)
+inline const DatasetView* IfFresh(
+    const std::shared_ptr<const DatasetView>& view, size_t live_size) {
+  return view != nullptr && view->num_points() == live_size ? view.get()
+                                                            : nullptr;
+}
+
+}  // namespace hos::kernels
+
+#endif  // HOS_KERNELS_DATASET_VIEW_H_

@@ -1,57 +1,69 @@
 #include "src/knn/linear_scan.h"
 
 #include <algorithm>
-#include <queue>
+
+#include "src/kernels/batched_distance.h"
 
 namespace hos::knn {
-namespace {
 
-/// Max-heap ordering: farthest (then highest id) on top, so the heap root
-/// is the first entry to evict and the final ascending order is
-/// (distance, id).
-struct WorstFirst {
-  bool operator()(const Neighbor& a, const Neighbor& b) const {
-    if (a.distance != b.distance) return a.distance < b.distance;
-    return a.id < b.id;
+LinearScanKnn::LinearScanKnn(const data::Dataset& dataset, MetricKind metric,
+                             std::shared_ptr<const kernels::DatasetView> view)
+    : dataset_(dataset), metric_(metric), view_(std::move(view)) {
+  if (view_ == nullptr) {
+    view_ = std::make_shared<const kernels::DatasetView>(
+        kernels::DatasetView::Build(dataset));
   }
-};
-
-}  // namespace
+}
 
 std::vector<Neighbor> LinearScanKnn::Search(const KnnQuery& query) const {
-  std::priority_queue<Neighbor, std::vector<Neighbor>, WorstFirst> heap;
   const size_t k = static_cast<size_t>(std::max(query.k, 0));
   if (k == 0) return {};
+
+  kernels::TopKCollector collector(k);
+  if (const kernels::DatasetView* view = kernel_view()) {
+    distance_count_ +=
+        kernels::ScanAllForTopK(*view, query.point, query.subspace, metric_,
+                                query.exclude, &collector);
+    return collector.TakeSorted();
+  }
 
   for (data::PointId id = 0; id < dataset_.size(); ++id) {
     if (query.exclude && *query.exclude == id) continue;
     double dist = SubspaceDistance(query.point, dataset_.Row(id),
                                    query.subspace, metric_);
     ++distance_count_;
-    if (heap.size() < k) {
-      heap.push({id, dist});
-    } else if (WorstFirst{}(Neighbor{id, dist}, heap.top())) {
-      heap.pop();
-      heap.push({id, dist});
-    }
+    collector.Offer(id, dist);
   }
-
-  std::vector<Neighbor> out(heap.size());
-  for (size_t i = heap.size(); i-- > 0;) {
-    out[i] = heap.top();
-    heap.pop();
-  }
-  return out;
+  return collector.TakeSorted();
 }
 
 std::vector<Neighbor> LinearScanKnn::RangeSearch(std::span<const double> point,
                                                  const Subspace& subspace,
                                                  double radius) const {
   std::vector<Neighbor> out;
-  for (data::PointId id = 0; id < dataset_.size(); ++id) {
-    double dist = SubspaceDistance(point, dataset_.Row(id), subspace, metric_);
-    ++distance_count_;
-    if (dist <= radius) out.push_back({id, dist});
+  if (const kernels::DatasetView* view = kernel_view()) {
+    const std::vector<int> dims = subspace.Dims();
+    const size_t n = view->num_points();
+    double dist[kernels::kDistanceBlock];
+    for (size_t start = 0; start < n; start += kernels::kDistanceBlock) {
+      const size_t m = std::min(kernels::kDistanceBlock, n - start);
+      kernels::BatchedSubspaceDistanceRange(
+          *view, point, dims, metric_, static_cast<data::PointId>(start), m,
+          radius, {dist, m});
+      distance_count_ += m;
+      for (size_t j = 0; j < m; ++j) {
+        if (dist[j] <= radius) {
+          out.push_back({static_cast<data::PointId>(start + j), dist[j]});
+        }
+      }
+    }
+  } else {
+    for (data::PointId id = 0; id < dataset_.size(); ++id) {
+      double dist =
+          SubspaceDistance(point, dataset_.Row(id), subspace, metric_);
+      ++distance_count_;
+      if (dist <= radius) out.push_back({id, dist});
+    }
   }
   std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
     if (a.distance != b.distance) return a.distance < b.distance;

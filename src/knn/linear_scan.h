@@ -1,11 +1,21 @@
 // LinearScanKnn: exact brute-force kNN. Serves as the correctness oracle
 // for the X-tree and as the "no index" baseline in the efficiency
 // experiments (E8).
+//
+// Since the kernel rewire the scan runs blockwise over a column-major SoA
+// snapshot (kernels::DatasetView) through the shared
+// BatchedSubspaceDistance kernel, with partial-distance early exit against
+// the running k-th neighbour bound. Results are identical to the scalar
+// per-point metric path (tests/kernels/ enforces this); the scalar loop is
+// kept as a fallback for datasets that grew after the engine was built.
 
 #ifndef HOS_KNN_LINEAR_SCAN_H_
 #define HOS_KNN_LINEAR_SCAN_H_
 
+#include <memory>
+
 #include "src/common/atomic_counter.h"
+#include "src/kernels/dataset_view.h"
 #include "src/knn/knn_engine.h"
 
 namespace hos::knn {
@@ -14,8 +24,14 @@ namespace hos::knn {
 /// dataset must outlive the engine.
 class LinearScanKnn : public KnnEngine {
  public:
+  /// Builds a private SoA snapshot of `dataset` for the kernel path.
   LinearScanKnn(const data::Dataset& dataset, MetricKind metric)
-      : dataset_(dataset), metric_(metric) {}
+      : LinearScanKnn(dataset, metric, nullptr) {}
+
+  /// Shares a prebuilt SoA view (e.g. HosMiner's snapshot) instead of
+  /// copying; a null `view` builds a private one.
+  LinearScanKnn(const data::Dataset& dataset, MetricKind metric,
+                std::shared_ptr<const kernels::DatasetView> view);
 
   std::vector<Neighbor> Search(const KnnQuery& query) const override;
 
@@ -28,8 +44,15 @@ class LinearScanKnn : public KnnEngine {
   uint64_t distance_computations() const override { return distance_count_; }
 
  private:
+  /// The SoA snapshot, or null when it no longer matches the dataset
+  /// (appended-to since construction) and the scalar path must serve.
+  const kernels::DatasetView* kernel_view() const {
+    return kernels::IfFresh(view_, dataset_.size());
+  }
+
   const data::Dataset& dataset_;
   MetricKind metric_;
+  std::shared_ptr<const kernels::DatasetView> view_;
   mutable RelaxedCounter distance_count_;  // race-free under concurrent Search
 };
 

@@ -13,6 +13,11 @@
 //   auto future = service.QueryAsync(some_id);     // fire-and-collect
 //   auto stats = service.Stats();                  // snapshot for /varz
 //
+// The miner snapshot carries one shared SoA view of the dataset
+// (HosMiner::soa_view), so every worker's OD evaluations run through the
+// batched distance kernel (src/kernels/) rather than per-point scalar
+// metric calls.
+//
 // Determinism: the *answers* (outlying subspaces, per-level fractions,
 // threshold) are identical to running HosMiner::Query serially — per-query
 // state is stack-local, the OD cache stores pure-function values, and

@@ -1,0 +1,188 @@
+// Degenerate-input fuzzing for the batched distance kernel, in the style of
+// xtree_fuzz_test / lattice_fuzz_test: seeded RNG sweeps over duplicate
+// points, zero-variance dimensions, candidate blocks smaller than the
+// kernel's unroll width, k >= n and empty subspaces, always checked against
+// the scalar knn::SubspaceDistance oracle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/dataset.h"
+#include "src/kernels/batched_distance.h"
+#include "src/kernels/dataset_view.h"
+#include "src/knn/linear_scan.h"
+#include "src/knn/metric.h"
+
+namespace hos::kernels {
+namespace {
+
+using knn::KnnQuery;
+using knn::MetricKind;
+using knn::Neighbor;
+
+constexpr MetricKind kMetrics[] = {MetricKind::kL1, MetricKind::kL2,
+                                   MetricKind::kLInf};
+
+/// Degenerate dataset: clusters of exact duplicates, zero-variance
+/// dimensions, and a few isolated points.
+data::Dataset MakeDegenerate(size_t n, int d, Rng* rng) {
+  data::Dataset ds(d);
+  std::vector<double> row(d);
+  const int zero_variance_dim = static_cast<int>(rng->UniformInt(0, d - 1));
+  while (ds.size() < n) {
+    for (int dim = 0; dim < d; ++dim) {
+      row[dim] = dim == zero_variance_dim ? 0.25 : rng->Uniform();
+    }
+    // Each drawn row is appended 1..4 times: exact duplicates are common.
+    const int copies = 1 + static_cast<int>(rng->UniformInt(0, 3));
+    for (int c = 0; c < copies && ds.size() < n; ++c) {
+      ds.Append(row);
+    }
+  }
+  return ds;
+}
+
+TEST(KernelFuzzTest, TinyBlocksAndDuplicatesMatchOracle) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    // Deliberately spans sizes below, at, and just above the unroll width.
+    const size_t n = 1 + static_cast<size_t>(rng.UniformInt(
+                             0, static_cast<int64_t>(2 * kDistanceBlock)));
+    const int d = 1 + static_cast<int>(rng.UniformInt(0, 9));
+    data::Dataset ds = MakeDegenerate(n, d, &rng);
+    DatasetView view = DatasetView::Build(ds);
+    const MetricKind metric = kMetrics[seed % 3];
+
+    std::vector<double> q(d);
+    for (auto& v : q) v = rng.Bernoulli(0.3) ? 0.25 : rng.Uniform(-1.0, 2.0);
+    const Subspace subspace =
+        rng.Bernoulli(0.15)
+            ? Subspace()  // empty: every distance is exactly 0
+            : Subspace(1 + static_cast<uint64_t>(rng.UniformInt(
+                           0, (int64_t{1} << d) - 2)));
+
+    // Oracle distances.
+    std::vector<double> want(n);
+    for (data::PointId id = 0; id < n; ++id) {
+      want[id] = knn::SubspaceDistance(q, ds.Row(id), subspace, metric);
+    }
+
+    // Range form over the whole set.
+    std::vector<double> got(n);
+    BatchedSubspaceDistanceRange(view, q, subspace, metric, 0, n,
+                                 kPrunedDistance, got);
+    for (data::PointId id = 0; id < n; ++id) {
+      ASSERT_EQ(got[id], want[id]) << "seed " << seed << " id " << id;
+    }
+
+    // Gathered form over a shuffled subset (blocks smaller than the unroll
+    // width, repeated ids allowed).
+    std::vector<data::PointId> ids;
+    const size_t num_ids = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(n)));
+    for (size_t i = 0; i < num_ids; ++i) {
+      ids.push_back(static_cast<data::PointId>(
+          rng.UniformInt(0, static_cast<int64_t>(n) - 1)));
+    }
+    std::vector<double> gathered(ids.size());
+    BatchedSubspaceDistance(view, q, subspace, metric, ids, kPrunedDistance,
+                            gathered);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      ASSERT_EQ(gathered[i], want[ids[i]]) << "seed " << seed;
+    }
+
+    // Bounded form with a random (sometimes zero) bound: a pruned candidate
+    // must really be beyond the bound, a surviving one exact.
+    const double bound = rng.Bernoulli(0.3)
+                             ? 0.0
+                             : want[rng.UniformInt(0, static_cast<int64_t>(
+                                                          n) - 1)];
+    std::vector<double> bounded(n);
+    BatchedSubspaceDistanceRange(view, q, subspace, metric, 0, n, bound,
+                                 bounded);
+    for (data::PointId id = 0; id < n; ++id) {
+      if (bounded[id] == kPrunedDistance) {
+        ASSERT_GT(want[id], bound) << "seed " << seed << " id " << id;
+      } else {
+        ASSERT_EQ(bounded[id], want[id]) << "seed " << seed << " id " << id;
+      }
+    }
+  }
+}
+
+TEST(KernelFuzzTest, TopKScansMatchOracleOnDegenerateData) {
+  for (uint64_t seed = 100; seed < 120; ++seed) {
+    Rng rng(seed);
+    const size_t n = 1 + static_cast<size_t>(rng.UniformInt(0, 150));
+    const int d = 1 + static_cast<int>(rng.UniformInt(0, 7));
+    data::Dataset ds = MakeDegenerate(n, d, &rng);
+    const MetricKind metric = kMetrics[seed % 3];
+    knn::LinearScanKnn engine(ds, metric);
+
+    for (int trial = 0; trial < 6; ++trial) {
+      KnnQuery query;
+      std::vector<double> q(d);
+      for (auto& v : q) v = rng.Uniform(-0.5, 1.5);
+      if (rng.Bernoulli(0.5)) {
+        // Query a dataset row (often a duplicate of other rows).
+        const auto row = static_cast<data::PointId>(
+            rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+        q = ds.RowCopy(row);
+        query.exclude = row;
+      }
+      query.point = q;
+      query.subspace =
+          trial == 0 ? Subspace()
+                     : Subspace(1 + static_cast<uint64_t>(rng.UniformInt(
+                                    0, (int64_t{1} << d) - 2)));
+      // k spans 0, < n, == n and > n.
+      query.k = static_cast<int>(rng.UniformInt(0, static_cast<int64_t>(n) + 2));
+
+      // Oracle: scalar metric scan with (distance, id) ordering.
+      std::vector<Neighbor> want;
+      for (data::PointId id = 0; id < n; ++id) {
+        if (query.exclude && *query.exclude == id) continue;
+        want.push_back({id, knn::SubspaceDistance(q, ds.Row(id),
+                                                  query.subspace, metric)});
+      }
+      std::sort(want.begin(), want.end(),
+                [](const Neighbor& a, const Neighbor& b) {
+                  if (a.distance != b.distance) {
+                    return a.distance < b.distance;
+                  }
+                  return a.id < b.id;
+                });
+      if (want.size() > static_cast<size_t>(query.k)) {
+        want.resize(static_cast<size_t>(query.k));
+      }
+
+      const auto got = engine.Search(query);
+      ASSERT_EQ(got.size(), want.size()) << "seed " << seed;
+      for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i].id, want[i].id) << "seed " << seed << " rank " << i;
+        ASSERT_EQ(got[i].distance, want[i].distance)
+            << "seed " << seed << " rank " << i;
+      }
+
+      // RangeSearch against the same oracle distances.
+      const double radius = rng.Uniform(0.0, 1.5);
+      auto in_range = engine.RangeSearch(q, query.subspace, radius);
+      size_t expect_count = 0;
+      for (data::PointId id = 0; id < n; ++id) {
+        const double dist =
+            knn::SubspaceDistance(q, ds.Row(id), query.subspace, metric);
+        if (dist <= radius) ++expect_count;
+      }
+      ASSERT_EQ(in_range.size(), expect_count) << "seed " << seed;
+      for (const auto& neighbor : in_range) {
+        ASSERT_LE(neighbor.distance, radius);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hos::kernels
