@@ -76,7 +76,7 @@ void Run() {
   for (auto& entry : entries) {
     for (data::PointId q : queries) {
       search::OdEvaluator od(engine, ds.Row(q), kK, q);
-      auto outcome = entry.strategy->Run(&od, *threshold);
+      auto outcome = entry.strategy->Run(&od, *threshold).value();
       entry.evals += outcome.counters.od_evaluations;
       entry.steps += outcome.counters.steps;
       entry.ms += outcome.counters.elapsed_seconds * 1e3;

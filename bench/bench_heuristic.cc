@@ -39,7 +39,7 @@ void Run() {
 
     search::OdEvaluator exact_od(engine, ds.Row(query), kK, query);
     search::DynamicSubspaceSearch exact(d, lattice::PruningPriors::Flat(d));
-    auto exact_outcome = exact.Run(&exact_od, *threshold);
+    auto exact_outcome = exact.Run(&exact_od, *threshold).value();
 
     search::OdEvaluator ga_od(engine, ds.Row(query), kK, query);
     search::GeneticSubspaceSearch ga(d);

@@ -62,7 +62,7 @@ void Run() {
     double total_ms = 0.0;
     for (data::PointId q : queries) {
       search::OdEvaluator od(engine, ds.Row(q), kK, q);
-      auto outcome = strategy.Run(&od, *threshold);
+      auto outcome = strategy.Run(&od, *threshold).value();
       total_evals += outcome.counters.od_evaluations;
       total_ms += outcome.counters.elapsed_seconds * 1e3;
     }

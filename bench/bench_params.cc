@@ -35,7 +35,7 @@ void SweepK(const data::Dataset& ds, const index::XTreeKnn& engine,
         learning::LearnPruningPriors(ds, engine, learner_options, &rng);
     search::DynamicSubspaceSearch strategy(kDims, report.priors);
     search::OdEvaluator od(engine, ds.Row(query), k, query);
-    auto outcome = strategy.Run(&od, *threshold);
+    auto outcome = strategy.Run(&od, *threshold).value();
     table.AddRow(
         {std::to_string(k), eval::FormatDouble(*threshold, 3),
          eval::FormatDouble(outcome.counters.elapsed_seconds * 1e3, 2),
@@ -68,7 +68,7 @@ void SweepT(const data::Dataset& ds, const index::XTreeKnn& engine,
         learning::LearnPruningPriors(ds, engine, learner_options, &learn_rng);
     search::DynamicSubspaceSearch strategy(kDims, report.priors);
     search::OdEvaluator od(engine, ds.Row(query), kK, query);
-    auto outcome = strategy.Run(&od, threshold);
+    auto outcome = strategy.Run(&od, threshold).value();
     table.AddRow({eval::FormatDouble(factor, 2),
                   eval::FormatDouble(threshold, 3),
                   std::to_string(outcome.counters.od_evaluations),

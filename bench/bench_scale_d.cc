@@ -61,7 +61,7 @@ void Run() {
 
     for (const auto& strategy : strategies) {
       search::OdEvaluator od(engine, ds.Row(query), kK, query);
-      auto outcome = strategy->Run(&od, *threshold);
+      auto outcome = strategy->Run(&od, *threshold).value();
       table.AddRow(
           {std::to_string(d), std::to_string(lattice_size),
            std::string(strategy->name()),

@@ -61,7 +61,7 @@ void Run() {
     for (const auto& strategy : strategies) {
       // Fresh evaluator per strategy: every strategy pays its own kNN cost.
       search::OdEvaluator od(engine, ds.Row(query), kK, query);
-      auto outcome = strategy->Run(&od, *threshold);
+      auto outcome = strategy->Run(&od, *threshold).value();
       table.AddRow(
           {std::to_string(n), std::string(strategy->name()),
            eval::FormatDouble(outcome.counters.elapsed_seconds * 1e3, 2),

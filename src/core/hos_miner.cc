@@ -186,8 +186,12 @@ Result<QueryResult> HosMiner::RunSearch(
     const QueryOptions& options) const {
   search::OdEvaluator od(*engine_, point, config_.k, exclude,
                          options.od_store);
+  search::SearchExecution exec;
+  exec.pool = options.search_pool;
+  exec.max_threads = options.search_threads;
   QueryResult result;
-  result.outcome = query_search_->Run(&od, threshold_);
+  HOS_ASSIGN_OR_RETURN(result.outcome,
+                       query_search_->Run(&od, threshold_, exec));
   return result;
 }
 

@@ -69,6 +69,17 @@ struct QueryOptions {
   /// Memoised values are bit-identical to fresh evaluations, so results
   /// with and without a store are the same.
   search::SharedOdStore* od_store = nullptr;
+  /// Borrowed pool for intra-query parallel frontier evaluation; null runs
+  /// the lattice search sequentially on the calling thread. Must not be
+  /// the pool the query itself executes on — frontier waves block on their
+  /// chunk futures, so a pool waiting on itself deadlocks once every
+  /// worker is blocked (service::QueryService keeps a dedicated search
+  /// pool for this reason).
+  service::ThreadPool* search_pool = nullptr;
+  /// Concurrent OD evaluations per frontier wave; 0 uses the pool's full
+  /// width, <= 1 with a pool still evaluates sequentially. Ignored without
+  /// search_pool. Answers are identical at any setting.
+  int search_threads = 0;
 };
 
 /// Answer for one query point.

@@ -51,6 +51,8 @@ std::string QueryResultToJson(const QueryResult& result) {
   out << "\"distance_computations\":"
       << outcome.counters.distance_computations << ",";
   out << "\"steps\":" << outcome.counters.steps << ",";
+  out << "\"wasted_evaluations\":" << outcome.counters.wasted_evaluations
+      << ",";
   out << "\"elapsed_seconds\":" << outcome.counters.elapsed_seconds;
   out << "}}";
   return out.str();

@@ -73,6 +73,15 @@ void LatticeState::MarkEvaluated(const Subspace& s, bool outlier) {
   --undecided_count_[m];
 }
 
+void LatticeState::MarkEvaluatedBatch(std::span<const uint64_t> masks,
+                                      std::span<const double> od_values,
+                                      double threshold) {
+  assert(masks.size() == od_values.size());
+  for (size_t i = 0; i < masks.size(); ++i) {
+    MarkEvaluated(Subspace(masks[i]), od_values[i] >= threshold);
+  }
+}
+
 void LatticeState::Propagate() {
   if (pending_outlier_seeds_.empty() && pending_non_outlier_seeds_.empty()) {
     return;

@@ -18,6 +18,7 @@
 #define HOS_LATTICE_LATTICE_STATE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/common/subspace.h"
@@ -52,6 +53,15 @@ class LatticeState {
   /// Records an OD evaluation verdict for `s` and queues it for
   /// propagation. `s` must currently be undecided.
   void MarkEvaluated(const Subspace& s, bool outlier);
+
+  /// Batch form used by the parallel frontier merge: records the verdict
+  /// od_values[i] >= threshold for masks[i], in index order — so the seed
+  /// lists (and therefore Propagate()) see the exact sequence a sequential
+  /// walk over `masks` would have produced. Every mask must currently be
+  /// undecided; no propagation is performed.
+  void MarkEvaluatedBatch(std::span<const uint64_t> masks,
+                          std::span<const double> od_values,
+                          double threshold);
 
   /// Applies pending seeds to every undecided subspace: supersets of
   /// outlier seeds become inferred outliers, subsets of non-outlier seeds

@@ -30,7 +30,9 @@ LearningReport LearnPruningPriors(const data::Dataset& dataset,
   for (data::PointId id : report.sample_ids) {
     auto point = dataset.Row(id);
     search::OdEvaluator od(engine, point, options.k, id);
-    search::SearchOutcome outcome = sample_search.Run(&od, options.threshold);
+    // Flat priors over d dims always match the search, so Run cannot fail.
+    search::SearchOutcome outcome =
+        sample_search.Run(&od, options.threshold).value();
     for (int m = 1; m <= d; ++m) {
       report.mean_outlier_fraction[m] += outcome.outlier_fraction[m];
     }

@@ -8,9 +8,9 @@ double OdEvaluator::Evaluate(const Subspace& subspace) {
 
   // The shared store only applies to dataset-row query points; `exclude_`
   // holds the row id exactly in that case.
-  const bool shareable = shared_store_ != nullptr && exclude_.has_value();
   double od;
-  if (shareable && shared_store_->Lookup(*exclude_, subspace.mask(), &od)) {
+  if (shareable() &&
+      shared_store_->Lookup(*exclude_, subspace.mask(), &od)) {
     cache_.emplace(subspace.mask(), od);
     ++num_shared_hits_;
     return od;
@@ -24,8 +24,18 @@ double OdEvaluator::Evaluate(const Subspace& subspace) {
   od = knn::OutlyingDegree(engine_, query);
   cache_.emplace(subspace.mask(), od);
   ++num_evaluations_;
-  if (shareable) shared_store_->Store(*exclude_, subspace.mask(), od);
+  if (shareable()) shared_store_->Store(*exclude_, subspace.mask(), od);
   return od;
+}
+
+void OdEvaluator::Deposit(uint64_t mask, double od, ValueSource source) {
+  auto [it, inserted] = cache_.emplace(mask, od);
+  if (!inserted) return;  // already memoised; nothing to count
+  if (source == ValueSource::kComputed) {
+    ++num_evaluations_;
+  } else {
+    ++num_shared_hits_;
+  }
 }
 
 }  // namespace hos::search

@@ -35,6 +35,12 @@ class SharedOdStore {
 /// Bound to one query point; caches OD values by subspace mask so repeated
 /// probes of the same subspace (e.g. by different search strategies in
 /// tests) cost one kNN query only.
+///
+/// Thread safety: not thread-safe. ParallelEvaluator fans the *computation*
+/// of a batch of subspaces out across worker threads — the workers only read
+/// the evaluator's immutable query parameters (engine, point, k, exclude)
+/// — and then deposits the results back through Deposit() on the search
+/// thread. Concurrent calls to Evaluate/Deposit themselves are not allowed.
 class OdEvaluator {
  public:
   /// `point` and `engine` must outlive the evaluator. `exclude` removes the
@@ -51,6 +57,28 @@ class OdEvaluator {
   /// OD(p, s): sum of distances to the k nearest neighbours in s (paper §2).
   double Evaluate(const Subspace& subspace);
 
+  /// True and fills `*od` when `mask` is already in the per-query memo.
+  /// Performs no kNN work and no shared-store probe. Safe to call
+  /// concurrently with other const reads (but not with Evaluate/Deposit).
+  bool LookupLocal(uint64_t mask, double* od) const {
+    auto it = cache_.find(mask);
+    if (it == cache_.end()) return false;
+    *od = it->second;
+    return true;
+  }
+
+  /// Where a deposited value came from, for counter bookkeeping.
+  enum class ValueSource : uint8_t {
+    kComputed,        ///< fresh kNN evaluation (counts as an od evaluation)
+    kSharedStoreHit,  ///< answered by the cross-query SharedOdStore
+  };
+
+  /// Records an externally produced OD value (ParallelEvaluator's merge
+  /// path). The value must be exactly what Evaluate(mask) would return —
+  /// OD is a pure function, so values computed on worker threads qualify.
+  /// No-op when the mask is already memoised.
+  void Deposit(uint64_t mask, double od, ValueSource source);
+
   /// Number of distinct subspaces actually evaluated (cache misses) — the
   /// primary work counter of the efficiency experiments.
   uint64_t num_evaluations() const { return num_evaluations_; }
@@ -61,6 +89,14 @@ class OdEvaluator {
   int k() const { return k_; }
   std::span<const double> point() const { return point_; }
   const knn::KnnEngine& engine() const { return engine_; }
+  std::optional<data::PointId> exclude() const { return exclude_; }
+  /// Null when no cross-query memo is attached.
+  SharedOdStore* shared_store() const { return shared_store_; }
+  /// True when evaluations may go through the shared store (store attached
+  /// and the query point is a dataset row).
+  bool shareable() const {
+    return shared_store_ != nullptr && exclude_.has_value();
+  }
 
  private:
   const knn::KnnEngine& engine_;

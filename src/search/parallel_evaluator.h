@@ -1,0 +1,109 @@
+// ParallelEvaluator: fans the OD evaluations of one frontier batch out
+// across a service::ThreadPool and merges the values back into the search
+// thread's OdEvaluator, preserving the exact results and counters a
+// sequential walk over the same batch would have produced.
+//
+// Equivalence argument: OD(p, s) is a pure function of the dataset, k and
+// the metric, so the double a worker computes for a mask is bitwise the
+// value the sequential loop would have computed. Chunk boundaries depend
+// only on the batch size and the configured chunk size (never on timing),
+// each mask's value is written into its own pre-assigned slot, and the
+// merge deposits values in batch order on the calling thread — so neither
+// scheduling nor completion order can influence anything observable.
+//
+// Worker-side state is per-task scratch only (a KnnQuery and the engine's
+// internal candidate buffers); the shared pieces they touch — the KnnEngine
+// (const, relaxed-atomic counters) and the SharedOdStore (thread-safe by
+// contract) — are exactly the ones the concurrent QueryService already
+// exercises.
+
+#ifndef HOS_SEARCH_PARALLEL_EVALUATOR_H_
+#define HOS_SEARCH_PARALLEL_EVALUATOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/search/od_evaluator.h"
+
+namespace hos::service {
+class ThreadPool;
+}  // namespace hos::service
+
+namespace hos::search {
+
+/// How a search strategy executes its frontier batches. The default runs
+/// everything sequentially on the calling thread; attaching a pool turns on
+/// parallel frontier evaluation. Answers are identical either way (tested
+/// by tests/search/strategy_differential_test.cc).
+struct SearchExecution {
+  /// Borrowed worker pool; null ⇒ sequential. Must NOT be the pool the
+  /// calling task itself runs on: frontier waves block on their chunk
+  /// futures, and a pool whose workers all wait on tasks queued behind
+  /// them deadlocks. QueryService therefore keeps a dedicated search pool
+  /// next to its query pool.
+  service::ThreadPool* pool = nullptr;
+
+  /// Caps concurrent chunks per wave; 0 ⇒ the pool's full width. Values
+  /// <= 1 with a pool still evaluate sequentially (on the caller).
+  int max_threads = 0;
+
+  /// Masks per worker task; 0 ⇒ auto (batch split into ~4 chunks per
+  /// worker so stragglers rebalance). Chunking is deterministic: it
+  /// depends only on batch size and this value, never on timing.
+  int chunk_size = 0;
+
+  /// When true, pruning strategies prefetch the predicted next level's
+  /// undecided subspaces in the same wave as the current level. Answers
+  /// are unchanged (speculative values enter the lattice only if the mask
+  /// is still undecided when its level is chosen); speculative kNN work
+  /// that pruning then discards is reported as
+  /// SearchCounters::wasted_evaluations.
+  bool speculate = false;
+};
+
+class ParallelEvaluator {
+ public:
+  /// Where each returned value came from.
+  enum class Source : uint8_t {
+    kMemo,         ///< already in the root evaluator's per-query memo
+    kSharedStore,  ///< answered by the cross-query SharedOdStore
+    kComputed,     ///< fresh kNN evaluation
+  };
+
+  /// Values aligned with the masks passed to EvaluateBatch.
+  struct Batch {
+    std::vector<double> values;
+    std::vector<Source> sources;
+  };
+
+  /// `root` must outlive the evaluator and must not be used concurrently
+  /// with EvaluateBatch.
+  ParallelEvaluator(OdEvaluator* root, const SearchExecution& exec);
+
+  /// Evaluates OD(p, s) for every mask and deposits all results into the
+  /// root evaluator's memo (in batch order). Blocks until the whole wave
+  /// is done. Duplicate masks are tolerated — counters count each distinct
+  /// mask once (Deposit deduplicates) — but two copies both missing the
+  /// memo are each computed, so callers should pass distinct masks (the
+  /// search strategies do: a wave mixes levels, and masks within a level
+  /// are unique).
+  Batch EvaluateBatch(std::span<const uint64_t> masks);
+
+  /// Effective number of concurrent chunks per wave (1 ⇒ sequential).
+  int concurrency() const { return concurrency_; }
+
+ private:
+  /// The sequential miss path of OdEvaluator::Evaluate, runnable on any
+  /// thread: shared-store probe, then a kNN query, then a store write.
+  double ComputeOne(uint64_t mask, Source* source) const;
+
+  OdEvaluator* root_;
+  service::ThreadPool* pool_;
+  int concurrency_;
+  int chunk_size_;
+};
+
+}  // namespace hos::search
+
+#endif  // HOS_SEARCH_PARALLEL_EVALUATOR_H_

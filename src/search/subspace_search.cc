@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
 
 #include "src/common/combinatorics.h"
 #include "src/common/timer.h"
@@ -10,25 +14,84 @@
 namespace hos::search {
 namespace {
 
-/// Evaluates every currently-undecided subspace of level m and records the
-/// verdicts. Same-level subspaces cannot prune each other (pruning only
-/// crosses levels), so the whole batch is evaluated before Propagate().
-void EvaluateLevel(int m, lattice::LatticeState* state, OdEvaluator* od,
-                   double threshold) {
-  // Copy: MarkEvaluated invalidates the Undecided() reference.
-  std::vector<uint64_t> batch = state->Undecided(m);
-  for (uint64_t mask : batch) {
-    Subspace s(mask);
-    double value = od->Evaluate(s);
-    state->MarkEvaluated(s, value >= threshold);
-  }
-  state->Propagate();
-}
+/// Runs the per-level frontier of a pruning search, sequentially or fanned
+/// out across a pool (ParallelEvaluator), and owns the speculation
+/// bookkeeping. One instance per Run so per-search state stays on the
+/// calling thread's stack.
+class FrontierRunner {
+ public:
+  /// Predicts the level the search will visit after `current`, given the
+  /// pre-merge lattice state; 0 when unknown / none. Only consulted when
+  /// speculation is on.
+  using PredictFn =
+      std::function<int(int current, const lattice::LatticeState& state)>;
 
-/// Assembles the SearchOutcome once the lattice is fully decided.
+  FrontierRunner(OdEvaluator* od, double threshold,
+                 const SearchExecution& exec)
+      : threshold_(threshold), speculate_(exec.speculate),
+        evaluator_(od, exec) {}
+
+  /// Evaluates every currently-undecided subspace of level m and records
+  /// the verdicts in mask order — the exact seed sequence the sequential
+  /// loop would have produced — then propagates. Same-level subspaces
+  /// cannot prune each other (pruning only crosses levels), so the whole
+  /// batch is independent and safe to evaluate concurrently.
+  ///
+  /// With speculation on, the wave also carries the predicted next level's
+  /// undecided masks: their OD values land in the evaluator's memo (pure
+  /// function — identical to a later fresh evaluation) but enter the
+  /// lattice only if still undecided when their level is chosen. Fresh
+  /// speculative computations never consumed are tallied as waste.
+  void EvaluateLevel(int m, lattice::LatticeState* state,
+                     const PredictFn& predict) {
+    // Copy: MarkEvaluated/Undecided invalidate the returned reference.
+    std::vector<uint64_t> wave = state->Undecided(m);
+    const size_t level_count = wave.size();
+    if (speculate_ && predict) {
+      const int next = predict(m, *state);
+      if (next != 0 && next != m) {
+        const std::vector<uint64_t>& ahead = state->Undecided(next);
+        wave.insert(wave.end(), ahead.begin(), ahead.end());
+      }
+    }
+
+    ParallelEvaluator::Batch batch = evaluator_.EvaluateBatch(wave);
+    state->MarkEvaluatedBatch(
+        std::span(wave.data(), level_count),
+        std::span(batch.values.data(), level_count), threshold_);
+
+    if (speculate_) {
+      // Masks merged this wave consume any earlier speculation on them;
+      // fresh speculative computations become outstanding until consumed.
+      for (size_t i = 0; i < level_count; ++i) {
+        outstanding_speculation_.erase(wave[i]);
+      }
+      for (size_t i = level_count; i < wave.size(); ++i) {
+        if (batch.sources[i] == ParallelEvaluator::Source::kComputed) {
+          outstanding_speculation_.insert(wave[i]);
+        }
+      }
+    }
+    state->Propagate();
+  }
+
+  /// Speculative evaluations never consumed — on a fully decided lattice
+  /// every one of them was pruned, i.e. work the sequential walk skips.
+  uint64_t wasted() const { return outstanding_speculation_.size(); }
+
+ private:
+  double threshold_;
+  bool speculate_;
+  ParallelEvaluator evaluator_;
+  std::unordered_set<uint64_t> outstanding_speculation_;
+};
+
+/// Assembles the SearchOutcome once the lattice is fully decided. `wasted`
+/// is subtracted from the evaluator's delta so od_evaluations reports the
+/// order-independent count every execution mode shares.
 SearchOutcome Finalize(const lattice::LatticeState& state, double threshold,
                        const OdEvaluator& od, uint64_t od_evals_before,
-                       uint64_t dist_before, uint64_t steps,
+                       uint64_t dist_before, uint64_t steps, uint64_t wasted,
                        const Timer& timer) {
   assert(state.AllDecided());
   const int d = state.num_dims();
@@ -46,7 +109,9 @@ SearchOutcome Finalize(const lattice::LatticeState& state, double threshold,
     outcome.counters.pruned_upward += state.InferredOutliers(m);
     outcome.counters.pruned_downward += state.InferredNonOutliers(m);
   }
-  outcome.counters.od_evaluations = od.num_evaluations() - od_evals_before;
+  outcome.counters.od_evaluations =
+      od.num_evaluations() - od_evals_before - wasted;
+  outcome.counters.wasted_evaluations = wasted;
   outcome.counters.distance_computations =
       od.engine().distance_computations() - dist_before;
   outcome.counters.steps = steps;
@@ -62,17 +127,28 @@ SearchOutcome Finalize(const lattice::LatticeState& state, double threshold,
 
 DynamicSubspaceSearch::DynamicSubspaceSearch(int num_dims,
                                              lattice::PruningPriors priors)
-    : num_dims_(num_dims), priors_(std::move(priors)) {
-  assert(priors_.num_dims() == num_dims);
-}
+    : num_dims_(num_dims), priors_(std::move(priors)) {}
 
-SearchOutcome DynamicSubspaceSearch::Run(OdEvaluator* od,
-                                         double threshold) const {
+Result<SearchOutcome> DynamicSubspaceSearch::RunImpl(
+    OdEvaluator* od, double threshold, const SearchExecution& exec) const {
+  // Mis-sized priors would index out of bounds in TotalSavingFactor; fail
+  // loudly instead (priors come from callers' learning reports, so the
+  // mismatch is an input error, not a programming invariant).
+  if (priors_.num_dims() != num_dims_) {
+    return Status::InvalidArgument(
+        "pruning priors cover " + std::to_string(priors_.num_dims()) +
+        " dimensions but the search runs over " + std::to_string(num_dims_));
+  }
   Timer timer;
   const uint64_t od_before = od->num_evaluations();
   const uint64_t dist_before = od->engine().distance_computations();
   lattice::LatticeState state(num_dims_);
   uint64_t steps = 0;
+  FrontierRunner runner(od, threshold, exec);
+  const FrontierRunner::PredictFn predict =
+      [this](int current, const lattice::LatticeState& s) {
+        return lattice::BestLevel(priors_, s, /*exclude=*/current);
+      };
 
   // Paper §3.3: start at the level with the highest TSF; after each batch
   // the remaining-workload fractions change, so TSF is recomputed and the
@@ -80,68 +156,88 @@ SearchOutcome DynamicSubspaceSearch::Run(OdEvaluator* od,
   while (true) {
     int m = lattice::BestLevel(priors_, state);
     if (m == 0) break;
-    EvaluateLevel(m, &state, od, threshold);
+    runner.EvaluateLevel(m, &state, predict);
     ++steps;
   }
   return Finalize(state, threshold, *od, od_before, dist_before, steps,
-                  timer);
+                  runner.wasted(), timer);
 }
 
 // ---------------------------------------------------------------------------
 // ExhaustiveSearch
 // ---------------------------------------------------------------------------
 
-SearchOutcome ExhaustiveSearch::Run(OdEvaluator* od, double threshold) const {
+Result<SearchOutcome> ExhaustiveSearch::RunImpl(
+    OdEvaluator* od, double threshold, const SearchExecution& exec) const {
   Timer timer;
   const uint64_t od_before = od->num_evaluations();
   const uint64_t dist_before = od->engine().distance_computations();
   lattice::LatticeState state(num_dims_);
   uint64_t steps = 0;
+  // No speculation: every level is evaluated in full anyway, so there is
+  // nothing a prefetch could save. No Propagate(): every subspace is
+  // evaluated explicitly.
+  ParallelEvaluator evaluator(od, exec);
   for (int m = 1; m <= num_dims_; ++m) {
-    // No Propagate(): every subspace is evaluated explicitly.
     std::vector<uint64_t> batch = state.Undecided(m);
-    for (uint64_t mask : batch) {
-      Subspace s(mask);
-      state.MarkEvaluated(s, od->Evaluate(s) >= threshold);
-    }
+    ParallelEvaluator::Batch wave = evaluator.EvaluateBatch(batch);
+    state.MarkEvaluatedBatch(batch, wave.values, threshold);
     ++steps;
   }
   return Finalize(state, threshold, *od, od_before, dist_before, steps,
-                  timer);
+                  /*wasted=*/0, timer);
 }
 
 // ---------------------------------------------------------------------------
 // Static level orders
 // ---------------------------------------------------------------------------
 
-SearchOutcome BottomUpSearch::Run(OdEvaluator* od, double threshold) const {
+Result<SearchOutcome> BottomUpSearch::RunImpl(
+    OdEvaluator* od, double threshold, const SearchExecution& exec) const {
   Timer timer;
   const uint64_t od_before = od->num_evaluations();
   const uint64_t dist_before = od->engine().distance_computations();
   lattice::LatticeState state(num_dims_);
   uint64_t steps = 0;
+  FrontierRunner runner(od, threshold, exec);
+  const FrontierRunner::PredictFn predict =
+      [](int current, const lattice::LatticeState& s) {
+        for (int i = current + 1; i <= s.num_dims(); ++i) {
+          if (s.UndecidedCount(i) != 0) return i;
+        }
+        return 0;
+      };
   for (int m = 1; m <= num_dims_; ++m) {
     if (state.UndecidedCount(m) == 0) continue;
-    EvaluateLevel(m, &state, od, threshold);
+    runner.EvaluateLevel(m, &state, predict);
     ++steps;
   }
   return Finalize(state, threshold, *od, od_before, dist_before, steps,
-                  timer);
+                  runner.wasted(), timer);
 }
 
-SearchOutcome TopDownSearch::Run(OdEvaluator* od, double threshold) const {
+Result<SearchOutcome> TopDownSearch::RunImpl(
+    OdEvaluator* od, double threshold, const SearchExecution& exec) const {
   Timer timer;
   const uint64_t od_before = od->num_evaluations();
   const uint64_t dist_before = od->engine().distance_computations();
   lattice::LatticeState state(num_dims_);
   uint64_t steps = 0;
+  FrontierRunner runner(od, threshold, exec);
+  const FrontierRunner::PredictFn predict =
+      [](int current, const lattice::LatticeState& s) {
+        for (int i = current - 1; i >= 1; --i) {
+          if (s.UndecidedCount(i) != 0) return i;
+        }
+        return 0;
+      };
   for (int m = num_dims_; m >= 1; --m) {
     if (state.UndecidedCount(m) == 0) continue;
-    EvaluateLevel(m, &state, od, threshold);
+    runner.EvaluateLevel(m, &state, predict);
     ++steps;
   }
   return Finalize(state, threshold, *od, od_before, dist_before, steps,
-                  timer);
+                  runner.wasted(), timer);
 }
 
 }  // namespace hos::search

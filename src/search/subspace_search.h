@@ -10,6 +10,15 @@
 //
 // All strategies produce identical answer sets (tested); they differ only
 // in how much work they perform.
+//
+// Every strategy runs either sequentially (the default SearchExecution) or
+// with its per-level frontier fanned out across a service::ThreadPool —
+// same-level subspaces cannot prune each other, so a level batch is
+// embarrassingly parallel, and verdicts are merged into the lattice in
+// mask order so the pruning seed sequence is identical to the sequential
+// walk's. tests/search/strategy_differential_test.cc holds every strategy
+// × execution mode to bitwise-identical answers against the exhaustive
+// oracle.
 
 #ifndef HOS_SEARCH_SUBSPACE_SEARCH_H_
 #define HOS_SEARCH_SUBSPACE_SEARCH_H_
@@ -17,8 +26,10 @@
 #include <memory>
 #include <string_view>
 
+#include "src/common/result.h"
 #include "src/lattice/saving_factors.h"
 #include "src/search/od_evaluator.h"
+#include "src/search/parallel_evaluator.h"
 #include "src/search/search_result.h"
 
 namespace hos::search {
@@ -32,8 +43,21 @@ class SubspaceSearch {
 
   /// Runs a complete search for the evaluator's query point: on return
   /// every subspace is decided. `threshold` is the paper's T; a subspace s
-  /// is outlying iff OD(p, s) >= T.
-  virtual SearchOutcome Run(OdEvaluator* od, double threshold) const = 0;
+  /// is outlying iff OD(p, s) >= T. `exec` selects sequential or parallel
+  /// frontier evaluation; it never changes the answer. Returns
+  /// InvalidArgument when the strategy's configuration is inconsistent
+  /// (e.g. priors sized for a different dimensionality).
+  Result<SearchOutcome> Run(OdEvaluator* od, double threshold,
+                            const SearchExecution& exec) const {
+    return RunImpl(od, threshold, exec);
+  }
+  Result<SearchOutcome> Run(OdEvaluator* od, double threshold) const {
+    return RunImpl(od, threshold, SearchExecution{});
+  }
+
+ protected:
+  virtual Result<SearchOutcome> RunImpl(OdEvaluator* od, double threshold,
+                                        const SearchExecution& exec) const = 0;
 };
 
 /// The HOS-Miner dynamic subspace search (paper §3.3), guided by TSF with
@@ -44,9 +68,12 @@ class DynamicSubspaceSearch : public SubspaceSearch {
   DynamicSubspaceSearch(int num_dims, lattice::PruningPriors priors);
 
   std::string_view name() const override { return "dynamic"; }
-  SearchOutcome Run(OdEvaluator* od, double threshold) const override;
 
   const lattice::PruningPriors& priors() const { return priors_; }
+
+ protected:
+  Result<SearchOutcome> RunImpl(OdEvaluator* od, double threshold,
+                                const SearchExecution& exec) const override;
 
  private:
   int num_dims_;
@@ -59,7 +86,10 @@ class ExhaustiveSearch : public SubspaceSearch {
   explicit ExhaustiveSearch(int num_dims) : num_dims_(num_dims) {}
 
   std::string_view name() const override { return "exhaustive"; }
-  SearchOutcome Run(OdEvaluator* od, double threshold) const override;
+
+ protected:
+  Result<SearchOutcome> RunImpl(OdEvaluator* od, double threshold,
+                                const SearchExecution& exec) const override;
 
  private:
   int num_dims_;
@@ -72,7 +102,10 @@ class BottomUpSearch : public SubspaceSearch {
   explicit BottomUpSearch(int num_dims) : num_dims_(num_dims) {}
 
   std::string_view name() const override { return "bottom-up"; }
-  SearchOutcome Run(OdEvaluator* od, double threshold) const override;
+
+ protected:
+  Result<SearchOutcome> RunImpl(OdEvaluator* od, double threshold,
+                                const SearchExecution& exec) const override;
 
  private:
   int num_dims_;
@@ -85,7 +118,10 @@ class TopDownSearch : public SubspaceSearch {
   explicit TopDownSearch(int num_dims) : num_dims_(num_dims) {}
 
   std::string_view name() const override { return "top-down"; }
-  SearchOutcome Run(OdEvaluator* od, double threshold) const override;
+
+ protected:
+  Result<SearchOutcome> RunImpl(OdEvaluator* od, double threshold,
+                                const SearchExecution& exec) const override;
 
  private:
   int num_dims_;

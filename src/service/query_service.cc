@@ -12,6 +12,9 @@ QueryService::QueryService(core::HosMiner miner, QueryServiceConfig config)
       config_(config),
       cache_(config.enable_od_cache ? std::make_unique<OdCache>(config.cache)
                                     : nullptr),
+      search_pool_(config.search_threads > 1
+                       ? std::make_unique<ThreadPool>(config.search_threads)
+                       : nullptr),
       pool_(config.num_threads) {}
 
 Result<core::QueryResult> QueryService::RunTimedQuery(data::PointId id) {

@@ -46,6 +46,13 @@ namespace hos::service {
 struct QueryServiceConfig {
   /// Worker threads executing queries.
   int num_threads = 4;
+  /// Intra-query parallelism: when > 1, a second pool of this many threads
+  /// is shared by all in-flight queries for parallel frontier evaluation
+  /// (each lattice level's OD batch fans out across it). A separate pool —
+  /// never the query pool — because frontier waves block on their chunk
+  /// futures, and a pool waiting on itself deadlocks. Answers are
+  /// identical at any setting.
+  int search_threads = 1;
   /// When false, no cross-query OD cache is attached (each query still has
   /// OdEvaluator's per-query memo).
   bool enable_od_cache = true;
@@ -88,6 +95,8 @@ class QueryService {
   core::QueryOptions MakeOptions() {
     core::QueryOptions options;
     options.od_store = cache_.get();
+    options.search_pool = search_pool_.get();
+    options.search_threads = config_.search_threads;
     return options;
   }
 
@@ -97,6 +106,9 @@ class QueryService {
   QueryServiceConfig config_;
   std::unique_ptr<OdCache> cache_;  // null when disabled
   ServiceStats stats_;
+  /// Shared by every in-flight query's frontier waves; null when
+  /// search_threads <= 1. Declared before pool_ so query workers die first.
+  std::unique_ptr<ThreadPool> search_pool_;
   ThreadPool pool_;  // last member: workers must die before what they touch
 };
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/combinatorics.h"
+#include "src/common/rng.h"
 
 namespace hos::lattice {
 namespace {
@@ -107,6 +108,70 @@ TEST(BestLevelTest, ReturnsZeroWhenAllDecided) {
   state.MarkEvaluated(Subspace::FromOneBased({2}), false);
   state.MarkEvaluated(Subspace::FromOneBased({1, 2}), false);
   EXPECT_EQ(BestLevel(priors, state), 0);
+}
+
+TEST(TsfTest, BookkeepingStaysConsistentAfterBatchMerges) {
+  // The TSF inputs (per-level undecided counts, the f_down/f_up remaining
+  // workloads) are maintained incrementally by MarkEvaluated[Batch] and
+  // Propagate. Replay random batch merges and verify every increment
+  // against a brute-force recount from the raw per-mask states.
+  const int d = 7;
+  const uint64_t size = uint64_t{1} << d;
+  auto priors = PruningPriors::Flat(d);
+  for (uint64_t trial_seed : {31u, 32u, 33u}) {
+    Rng rng(trial_seed);
+    LatticeState state(d);
+    std::vector<uint64_t> order;
+    for (uint64_t mask = 1; mask < size; ++mask) order.push_back(mask);
+    rng.Shuffle(&order);
+
+    size_t cursor = 0;
+    while (cursor < order.size()) {
+      std::vector<uint64_t> batch;
+      std::vector<double> values;
+      const size_t batch_target = static_cast<size_t>(rng.UniformInt(1, 12));
+      while (cursor < order.size() && batch.size() < batch_target) {
+        const uint64_t mask = order[cursor++];
+        if (IsDecided(state.StateOf(Subspace(mask)))) continue;
+        batch.push_back(mask);
+        // Monotone verdict: outlier iff the mask contains dimension 0.
+        values.push_back((mask & 1) != 0 ? 1.0 : 0.0);
+      }
+      if (batch.empty()) continue;
+      state.MarkEvaluatedBatch(batch, values, /*threshold=*/0.5);
+      state.Propagate();
+
+      // Brute-force recount of the TSF inputs from the per-mask states.
+      std::vector<size_t> undecided(d + 1, 0);
+      for (uint64_t mask = 1; mask < size; ++mask) {
+        if (!IsDecided(state.StateOf(Subspace(mask)))) {
+          ++undecided[Subspace(mask).Dimensionality()];
+        }
+      }
+      for (int m = 1; m <= d; ++m) {
+        ASSERT_EQ(state.UndecidedCount(m), undecided[m]) << "m=" << m;
+        uint64_t below = 0, above = 0;
+        for (int i = 1; i < m; ++i) below += undecided[i] * i;
+        for (int i = m + 1; i <= d; ++i) above += undecided[i] * i;
+        ASSERT_EQ(state.RemainingWorkloadBelow(m), below) << "m=" << m;
+        ASSERT_EQ(state.RemainingWorkloadAbove(m), above) << "m=" << m;
+        if (undecided[m] == 0) {
+          ASSERT_EQ(TotalSavingFactor(m, priors, state), 0.0);
+        }
+      }
+      const int best = BestLevel(priors, state);
+      if (best != 0) {
+        ASSERT_GT(state.UndecidedCount(best), 0u);
+        for (int m = 1; m <= d; ++m) {
+          ASSERT_LE(TotalSavingFactor(m, priors, state),
+                    TotalSavingFactor(best, priors, state));
+        }
+      } else {
+        ASSERT_TRUE(state.AllDecided());
+      }
+    }
+    ASSERT_TRUE(state.AllDecided());
+  }
 }
 
 TEST(BestLevelTest, LearnedPriorsSteerTheChoice) {

@@ -75,7 +75,7 @@ TEST(GeneticSearchTest, ResultsAreSubsetOfExactMinimalSet) {
   Fixture f = MakeFixture(3, 7);
   OdEvaluator od(*f.engine, f.dataset.Row(f.query), kK, f.query);
   ExhaustiveSearch oracle(7);
-  auto exact = oracle.Run(&od, kThreshold);
+  auto exact = oracle.Run(&od, kThreshold).value();
 
   GeneticSubspaceSearch ga(7);
   Rng rng(3);

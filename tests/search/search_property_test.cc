@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "src/common/combinatorics.h"
 #include "src/data/generator.h"
 #include "src/filter/minimal_filter.h"
@@ -13,6 +15,7 @@
 #include "src/learning/learner.h"
 #include "src/search/od_evaluator.h"
 #include "src/search/subspace_search.h"
+#include "src/service/thread_pool.h"
 
 namespace hos::search {
 namespace {
@@ -54,11 +57,11 @@ TEST_P(SearchPropertyTest, LearnedPriorsPreserveExactness) {
     // OD values are deterministic, so the answers stay exactly comparable.
     OdEvaluator od(engine, ds.Row(q), 4, q);
     ExhaustiveSearch oracle(param.num_dims);
-    auto expected = oracle.Run(&od, threshold);
+    auto expected = oracle.Run(&od, threshold).value();
 
     OdEvaluator dynamic_od(engine, ds.Row(q), 4, q);
     DynamicSubspaceSearch dynamic(param.num_dims, report.priors);
-    auto outcome = dynamic.Run(&dynamic_od, threshold);
+    auto outcome = dynamic.Run(&dynamic_od, threshold).value();
 
     // (a) identical answers.
     EXPECT_EQ(outcome.minimal_outlying_subspaces,
@@ -89,6 +92,69 @@ TEST_P(SearchPropertyTest, LearnedPriorsPreserveExactness) {
       Subspace s(mask);
       EXPECT_EQ(outcome.IsOutlying(s), od.Evaluate(s) >= threshold)
           << "mask " << mask;
+    }
+  }
+}
+
+// Every strategy, in every execution mode, must account for the entire
+// lattice: explicit evaluations plus the two prunings cover all 2^d - 1
+// subspaces exactly once, with speculative work (if any) declared
+// separately — never folded into the od_evaluations count.
+TEST_P(SearchPropertyTest, EveryStrategyAccountsForTheWholeLattice) {
+  const Param param = GetParam();
+  const int d = param.num_dims;
+  Rng rng(param.seed);
+  data::SubspaceOutlierSpec spec;
+  spec.num_points = 180;
+  spec.num_dims = d;
+  spec.planted_subspaces = {Subspace::FromOneBased({1, 2})};
+  spec.displacement = 0.5;
+  auto generated = data::GenerateSubspaceOutliers(spec, &rng);
+  ASSERT_TRUE(generated.ok());
+  const data::Dataset& ds = generated->dataset;
+  knn::LinearScanKnn engine(ds, param.metric);
+  const double threshold = param.metric == knn::MetricKind::kL1 ? 1.5 : 1.0;
+  const data::PointId query = generated->outliers[0].id;
+  const uint64_t lattice = (uint64_t{1} << d) - 1;
+
+  learning::LearnerOptions learner_options;
+  learner_options.sample_size = 6;
+  learner_options.k = 4;
+  learner_options.threshold = threshold;
+  auto report =
+      learning::LearnPruningPriors(ds, engine, learner_options, &rng);
+
+  std::vector<std::unique_ptr<SubspaceSearch>> strategies;
+  strategies.push_back(
+      std::make_unique<DynamicSubspaceSearch>(d, report.priors));
+  strategies.push_back(std::make_unique<BottomUpSearch>(d));
+  strategies.push_back(std::make_unique<TopDownSearch>(d));
+  strategies.push_back(std::make_unique<ExhaustiveSearch>(d));
+
+  service::ThreadPool pool(3);
+  std::vector<SearchExecution> modes(3);
+  modes[1].pool = &pool;
+  modes[2].pool = &pool;
+  modes[2].speculate = true;
+
+  for (const auto& strategy : strategies) {
+    for (const SearchExecution& exec : modes) {
+      SCOPED_TRACE(std::string(strategy->name()) +
+                   (exec.pool ? " parallel" : " sequential") +
+                   (exec.speculate ? " speculative" : ""));
+      OdEvaluator od(engine, ds.Row(query), 4, query);
+      auto outcome = strategy->Run(&od, threshold, exec);
+      ASSERT_TRUE(outcome.ok());
+      EXPECT_EQ(outcome->counters.od_evaluations +
+                    outcome->counters.pruned_upward +
+                    outcome->counters.pruned_downward,
+                lattice);
+      if (!exec.speculate) {
+        EXPECT_EQ(outcome->counters.wasted_evaluations, 0u);
+      }
+      // The evaluator's raw tally is the reported count plus declared waste.
+      EXPECT_EQ(od.num_evaluations(), outcome->counters.od_evaluations +
+                                          outcome->counters.wasted_evaluations);
     }
   }
 }

@@ -1,0 +1,186 @@
+// Cross-strategy differential harness: the proof that parallel frontier
+// evaluation is an execution detail, not a semantic change. For every
+// d in 4..12 and two thresholds per d, every strategy {dynamic, bottom-up,
+// top-down, exhaustive} is run {sequentially, parallel across 2/4/8-thread
+// pools, and (for the pruning strategies) with speculative next-level
+// prefetch}, and held to:
+//
+//   * the exact outlying-subspace answer of the ExhaustiveSearch oracle,
+//     for every one of the 2^d - 1 subspaces;
+//   * bitwise-identical OD values: every subspace a run memoised must carry
+//     exactly the double the oracle's sequential evaluation produced;
+//   * the sequential run of the same strategy, field by field — including
+//     the order-sensitive evaluated_outliers list (same masks, same order:
+//     the parallel merge fed LatticeState the identical seed sequence) and
+//     the work counters (same evaluations, same pruning, same steps);
+//   * wasted_evaluations == 0 without speculation, and with speculation the
+//     order-independent counters still unchanged.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/generator.h"
+#include "src/knn/linear_scan.h"
+#include "src/search/od_evaluator.h"
+#include "src/search/subspace_search.h"
+#include "src/service/thread_pool.h"
+
+namespace hos::search {
+namespace {
+
+/// All masks a run actually memoised, with their values.
+std::vector<std::pair<uint64_t, double>> MemoisedValues(const OdEvaluator& od,
+                                                        int d) {
+  std::vector<std::pair<uint64_t, double>> out;
+  const uint64_t lattice = (uint64_t{1} << d) - 1;
+  for (uint64_t mask = 1; mask <= lattice; ++mask) {
+    double value;
+    if (od.LookupLocal(mask, &value)) out.emplace_back(mask, value);
+  }
+  return out;
+}
+
+class StrategyDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrategyDifferentialTest, AllExecutionModesMatchTheOracle) {
+  const int d = GetParam();
+  const uint64_t lattice = (uint64_t{1} << d) - 1;
+
+  Rng rng(1000 + static_cast<uint64_t>(d));
+  data::SubspaceOutlierSpec spec;
+  spec.num_points = 110;
+  spec.num_dims = d;
+  spec.planted_subspaces = {Subspace::FromOneBased({1, 2})};
+  if (d >= 5) spec.planted_subspaces.push_back(Subspace::FromOneBased({3, 4, 5}));
+  spec.displacement = 0.5;
+  auto generated = data::GenerateSubspaceOutliers(spec, &rng);
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+  const data::Dataset& ds = generated->dataset;
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  const data::PointId query = generated->outliers[0].id;
+  constexpr int kK = 4;
+
+  service::ThreadPool pool2(2), pool4(4), pool8(8);
+  std::vector<service::ThreadPool*> pools = {&pool2, &pool4, &pool8};
+
+  std::vector<std::unique_ptr<SubspaceSearch>> strategies;
+  strategies.push_back(std::make_unique<DynamicSubspaceSearch>(
+      d, lattice::PruningPriors::Flat(d)));
+  strategies.push_back(std::make_unique<BottomUpSearch>(d));
+  strategies.push_back(std::make_unique<TopDownSearch>(d));
+  strategies.push_back(std::make_unique<ExhaustiveSearch>(d));
+
+  // One low threshold (rich outlier structure, both prunings active) and
+  // one high (sparse outliers, mostly downward pruning).
+  for (double threshold : {0.8, 1.3}) {
+    SCOPED_TRACE("threshold=" + std::to_string(threshold));
+
+    // Oracle: the exhaustive sequential sweep evaluates (and memoises)
+    // every subspace, giving the ground-truth OD for each mask.
+    OdEvaluator oracle_od(engine, ds.Row(query), kK, query);
+    auto oracle = ExhaustiveSearch(d).Run(&oracle_od, threshold);
+    ASSERT_TRUE(oracle.ok());
+    std::vector<double> truth(lattice + 1, 0.0);
+    for (uint64_t mask = 1; mask <= lattice; ++mask) {
+      ASSERT_TRUE(oracle_od.LookupLocal(mask, &truth[mask]));
+    }
+
+    for (const auto& strategy : strategies) {
+      SCOPED_TRACE(std::string("strategy=") + std::string(strategy->name()));
+      const bool prunes = strategy->name() != "exhaustive";
+
+      // Sequential reference run for this strategy.
+      OdEvaluator seq_od(engine, ds.Row(query), kK, query);
+      auto seq = strategy->Run(&seq_od, threshold);
+      ASSERT_TRUE(seq.ok());
+      EXPECT_EQ(seq->minimal_outlying_subspaces,
+                oracle->minimal_outlying_subspaces);
+      const auto seq_memo = MemoisedValues(seq_od, d);
+
+      struct Mode {
+        service::ThreadPool* pool;
+        bool speculate;
+      };
+      std::vector<Mode> modes;
+      for (service::ThreadPool* pool : pools) {
+        modes.push_back({pool, false});
+        if (prunes) modes.push_back({pool, true});
+      }
+
+      for (const Mode& mode : modes) {
+        SCOPED_TRACE("threads=" +
+                     std::to_string(mode.pool->num_threads()) +
+                     " speculate=" + std::to_string(mode.speculate));
+        SearchExecution exec;
+        exec.pool = mode.pool;
+        exec.speculate = mode.speculate;
+
+        OdEvaluator par_od(engine, ds.Row(query), kK, query);
+        auto par = strategy->Run(&par_od, threshold, exec);
+        ASSERT_TRUE(par.ok());
+
+        // (1) Answer sets: identical to the oracle and to the sequential
+        // run, over the whole lattice.
+        EXPECT_EQ(par->minimal_outlying_subspaces,
+                  oracle->minimal_outlying_subspaces);
+        for (uint64_t mask = 1; mask <= lattice; ++mask) {
+          ASSERT_EQ(par->IsOutlying(Subspace(mask)),
+                    truth[mask] >= threshold)
+              << "mask " << mask;
+        }
+
+        // (2) Bitwise OD values: everything this run memoised matches the
+        // oracle's sequential computation exactly (no tolerance).
+        for (const auto& [mask, value] : MemoisedValues(par_od, d)) {
+          ASSERT_EQ(value, truth[mask]) << "mask " << mask;
+        }
+
+        // (3) Field-by-field equivalence with the sequential walk. The
+        // evaluated_outliers list is order-sensitive: equality means the
+        // parallel merge produced the exact seed sequence.
+        EXPECT_EQ(par->evaluated_outliers, seq->evaluated_outliers);
+        EXPECT_EQ(par->outlier_fraction, seq->outlier_fraction);
+        EXPECT_EQ(par->counters.od_evaluations,
+                  seq->counters.od_evaluations);
+        EXPECT_EQ(par->counters.pruned_upward, seq->counters.pruned_upward);
+        EXPECT_EQ(par->counters.pruned_downward,
+                  seq->counters.pruned_downward);
+        EXPECT_EQ(par->counters.steps, seq->counters.steps);
+
+        // (4) The whole lattice is accounted for, speculation or not.
+        EXPECT_EQ(par->counters.od_evaluations +
+                      par->counters.pruned_upward +
+                      par->counters.pruned_downward,
+                  lattice);
+
+        if (!mode.speculate) {
+          // No speculation ⇒ no wasted work, and the memoised set is
+          // exactly the sequential run's (same masks, same values).
+          EXPECT_EQ(par->counters.wasted_evaluations, 0u);
+          EXPECT_EQ(MemoisedValues(par_od, d), seq_memo);
+        } else {
+          // Speculation may compute ahead, but every extra evaluation is
+          // declared: memo size = consumed evaluations + waste (shared
+          // hits impossible here: no SharedOdStore attached).
+          EXPECT_EQ(par_od.num_evaluations(),
+                    par->counters.od_evaluations +
+                        par->counters.wasted_evaluations);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DimensionSweep, StrategyDifferentialTest,
+                         ::testing::Range(4, 13),
+                         [](const auto& info) {
+                           return "d" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace hos::search

@@ -41,7 +41,7 @@ TEST(ExhaustiveSearchTest, EvaluatesEverySubspace) {
   auto row = f.dataset.Row(f.query_id);
   OdEvaluator od(*f.engine, row, kK, f.query_id);
   ExhaustiveSearch search(5);
-  auto outcome = search.Run(&od, kThreshold);
+  auto outcome = search.Run(&od, kThreshold).value();
   EXPECT_EQ(outcome.counters.od_evaluations, (1u << 5) - 1);
   EXPECT_EQ(outcome.counters.pruned_upward, 0u);
   EXPECT_EQ(outcome.counters.pruned_downward, 0u);
@@ -52,7 +52,7 @@ TEST(ExhaustiveSearchTest, FindsPlantedSubspace) {
   auto row = f.dataset.Row(f.query_id);
   OdEvaluator od(*f.engine, row, kK, f.query_id);
   ExhaustiveSearch search(5);
-  auto outcome = search.Run(&od, kThreshold);
+  auto outcome = search.Run(&od, kThreshold).value();
   ASSERT_FALSE(outcome.minimal_outlying_subspaces.empty());
   EXPECT_EQ(outcome.minimal_outlying_subspaces[0],
             Subspace::FromOneBased({1, 2}));
@@ -63,7 +63,7 @@ TEST(DynamicSearchTest, PrunesWork) {
   auto row = f.dataset.Row(f.query_id);
   OdEvaluator od(*f.engine, row, kK, f.query_id);
   DynamicSubspaceSearch search(8, lattice::PruningPriors::Flat(8));
-  auto outcome = search.Run(&od, kThreshold);
+  auto outcome = search.Run(&od, kThreshold).value();
   // The whole lattice is decided with strictly fewer evaluations than 2^d-1.
   const uint64_t lattice_size = (1u << 8) - 1;
   EXPECT_LT(outcome.counters.od_evaluations, lattice_size);
@@ -74,12 +74,26 @@ TEST(DynamicSearchTest, PrunesWork) {
             0u);
 }
 
+TEST(DynamicSearchTest, MismatchedPriorsReturnInvalidArgument) {
+  // Priors sized for a different dimensionality would index out of bounds
+  // inside TotalSavingFactor; Run must reject them instead (regression:
+  // this used to be an unchecked precondition).
+  Fixture f = Fixture::MakePlanted(5, 6);
+  auto row = f.dataset.Row(f.query_id);
+  OdEvaluator od(*f.engine, row, kK, f.query_id);
+  DynamicSubspaceSearch search(6, lattice::PruningPriors::Flat(4));
+  auto outcome = search.Run(&od, kThreshold);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(od.num_evaluations(), 0u);  // rejected before any kNN work
+}
+
 TEST(DynamicSearchTest, VisitsEachLevelAtMostOnce) {
   Fixture f = Fixture::MakePlanted(4, 6);
   auto row = f.dataset.Row(f.query_id);
   OdEvaluator od(*f.engine, row, kK, f.query_id);
   DynamicSubspaceSearch search(6, lattice::PruningPriors::Flat(6));
-  auto outcome = search.Run(&od, kThreshold);
+  auto outcome = search.Run(&od, kThreshold).value();
   EXPECT_LE(outcome.counters.steps, 6u);
 }
 
@@ -101,7 +115,7 @@ TEST_P(SearchEquivalenceTest, AllStrategiesMatchExhaustive) {
   OdEvaluator od(*f.engine, row, kK, f.query_id);
 
   ExhaustiveSearch oracle(param.num_dims);
-  auto expected = oracle.Run(&od, param.threshold);
+  auto expected = oracle.Run(&od, param.threshold).value();
 
   std::vector<std::unique_ptr<SubspaceSearch>> strategies;
   strategies.push_back(std::make_unique<DynamicSubspaceSearch>(
@@ -112,7 +126,7 @@ TEST_P(SearchEquivalenceTest, AllStrategiesMatchExhaustive) {
   for (const auto& strategy : strategies) {
     // Same evaluator: the OD cache guarantees identical OD values, so any
     // mismatch is a pruning-logic bug, not numeric noise.
-    auto outcome = strategy->Run(&od, param.threshold);
+    auto outcome = strategy->Run(&od, param.threshold).value();
     EXPECT_EQ(outcome.minimal_outlying_subspaces,
               expected.minimal_outlying_subspaces)
         << strategy->name();
@@ -163,7 +177,7 @@ TEST(SearchTest, ThresholdInfinityMeansNoOutliers) {
   auto row = f.dataset.Row(f.query_id);
   OdEvaluator od(*f.engine, row, kK, f.query_id);
   DynamicSubspaceSearch search(5, lattice::PruningPriors::Flat(5));
-  auto outcome = search.Run(&od, 1e18);
+  auto outcome = search.Run(&od, 1e18).value();
   EXPECT_TRUE(outcome.minimal_outlying_subspaces.empty());
   EXPECT_FALSE(outcome.IsOutlierAnywhere());
   EXPECT_EQ(outcome.TotalOutlyingCount(), 0u);
@@ -174,7 +188,7 @@ TEST(SearchTest, ThresholdZeroMakesEverythingOutlying) {
   auto row = f.dataset.Row(f.query_id);
   OdEvaluator od(*f.engine, row, kK, f.query_id);
   DynamicSubspaceSearch search(5, lattice::PruningPriors::Flat(5));
-  auto outcome = search.Run(&od, 0.0);
+  auto outcome = search.Run(&od, 0.0).value();
   // Every singleton has OD >= 0 = T, so the minimal set is the singletons.
   ASSERT_EQ(outcome.minimal_outlying_subspaces.size(), 5u);
   EXPECT_EQ(outcome.TotalOutlyingCount(), (1u << 5) - 1);
