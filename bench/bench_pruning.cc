@@ -7,7 +7,7 @@
 #include "src/core/threshold.h"
 #include "src/eval/report.h"
 #include "src/index/xtree.h"
-#include "src/lattice/lattice_state.h"
+#include "src/lattice/lattice_store.h"
 #include "src/learning/learner.h"
 #include "src/search/od_evaluator.h"
 #include "src/search/subspace_search.h"
@@ -20,7 +20,7 @@ constexpr int kDims = 12;
 constexpr int kK = 5;
 
 // A DynamicSubspaceSearch clone that exposes the final per-level lattice
-// tallies: we re-run the same algorithm inline to read LatticeState.
+// tallies: we re-run the same algorithm inline to read the LatticeStore.
 void Run() {
   bench::Banner("E5", "per-level pruning breakdown (dynamic search, d=12)");
   auto workload = bench::MakeWorkload(3000, kDims, /*seed=*/5);
@@ -45,14 +45,15 @@ void Run() {
   auto report =
       learning::LearnPruningPriors(ds, engine, learner_options, &rng);
 
-  // Inline dynamic search so the LatticeState is inspectable at the end.
+  // Inline dynamic search so the lattice store is inspectable at the end.
   search::OdEvaluator od(engine, ds.Row(query), kK, query);
-  lattice::LatticeState state(kDims);
+  auto state_or = lattice::MakeLatticeStore(kDims);
+  if (!state_or.ok()) return;
+  lattice::LatticeStore& state = *state_or.value();
   while (true) {
     int m = lattice::BestLevel(report.priors, state);
     if (m == 0) break;
-    std::vector<uint64_t> batch = state.Undecided(m);
-    for (uint64_t mask : batch) {
+    for (uint64_t mask : state.UndecidedMasks(m)) {
       Subspace s(mask);
       state.MarkEvaluated(s, od.Evaluate(s) >= *threshold);
     }

@@ -23,17 +23,17 @@ void PrintTables() {
 
   for (int d : {4, 8, 12}) {
     eval::Table table({"m", "DSF(m)", "USF(m,d)", "TSF(m) fresh lattice"});
-    lattice::LatticeState state(d);
+    auto state = lattice::MakeLatticeStore(d).value();
     auto priors = lattice::PruningPriors::Flat(d);
     for (int m = 1; m <= d; ++m) {
       table.AddRow({std::to_string(m),
                     std::to_string(DownwardSavingFactor(m)),
                     std::to_string(UpwardSavingFactor(m, d)),
                     eval::FormatDouble(
-                        lattice::TotalSavingFactor(m, priors, state), 1)});
+                        lattice::TotalSavingFactor(m, priors, *state), 1)});
     }
     std::printf("d = %d (first level chosen by the dynamic search: %d)\n", d,
-                lattice::BestLevel(priors, state));
+                lattice::BestLevel(priors, *state));
     table.Print();
     std::printf("\n");
   }
@@ -41,12 +41,12 @@ void PrintTables() {
 
 void BM_TotalSavingFactor(benchmark::State& state) {
   const int d = static_cast<int>(state.range(0));
-  lattice::LatticeState lattice_state(d);
+  auto lattice_state = lattice::MakeLatticeStore(d).value();
   auto priors = lattice::PruningPriors::Flat(d);
   for (auto _ : state) {
     for (int m = 1; m <= d; ++m) {
       benchmark::DoNotOptimize(
-          lattice::TotalSavingFactor(m, priors, lattice_state));
+          lattice::TotalSavingFactor(m, priors, *lattice_state));
     }
   }
 }
@@ -54,10 +54,10 @@ BENCHMARK(BM_TotalSavingFactor)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
 
 void BM_BestLevel(benchmark::State& state) {
   const int d = static_cast<int>(state.range(0));
-  lattice::LatticeState lattice_state(d);
+  auto lattice_state = lattice::MakeLatticeStore(d).value();
   auto priors = lattice::PruningPriors::Flat(d);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(lattice::BestLevel(priors, lattice_state));
+    benchmark::DoNotOptimize(lattice::BestLevel(priors, *lattice_state));
   }
 }
 BENCHMARK(BM_BestLevel)->Arg(8)->Arg(16);

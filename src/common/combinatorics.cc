@@ -51,24 +51,31 @@ uint64_t TotalWorkloadAbove(int m, int d) {
   return sum;
 }
 
-std::vector<uint64_t> MasksOfLevel(int d, int m) {
+void ForEachMaskOfLevel(int d, int m,
+                        const std::function<void(uint64_t)>& fn) {
   assert(d >= 1 && d <= 62);
   assert(m >= 0 && m <= d);
-  std::vector<uint64_t> out;
   if (m == 0) {
-    out.push_back(0);
-    return out;
+    fn(0);
+    return;
   }
-  out.reserve(Binomial(d, m));
+  // Counting down C(d, m) iterations (rather than comparing against
+  // 1 << d) keeps the final Gosper step from overflowing at d = 62.
   uint64_t mask = (uint64_t{1} << m) - 1;
-  const uint64_t limit = uint64_t{1} << d;
-  while (mask < limit) {
-    out.push_back(mask);
+  for (uint64_t remaining = Binomial(d, m); remaining > 0; --remaining) {
+    fn(mask);
+    if (remaining == 1) break;
     // Gosper's hack: next integer with the same popcount.
-    uint64_t c = mask & (~mask + 1);
-    uint64_t r = mask + c;
+    const uint64_t c = mask & (~mask + 1);
+    const uint64_t r = mask + c;
     mask = (((r ^ mask) >> 2) / c) | r;
   }
+}
+
+std::vector<uint64_t> MasksOfLevel(int d, int m) {
+  std::vector<uint64_t> out;
+  out.reserve(m == 0 ? 1 : Binomial(d, m));
+  ForEachMaskOfLevel(d, m, [&out](uint64_t mask) { out.push_back(mask); });
   return out;
 }
 

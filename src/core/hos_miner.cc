@@ -18,10 +18,12 @@ HosMiner::HosMiner(HosMinerConfig config,
 Result<HosMiner> HosMiner::Build(data::Dataset dataset,
                                  HosMinerConfig config) {
   const int d = dataset.num_dims();
-  if (d < 1 || d > 22) {
+  if (d < 1 || d > lattice::kMaxLatticeDims) {
     return Status::InvalidArgument(
-        "HOS-Miner supports 1..22 dimensions (lattice has 2^d subspaces); "
-        "got d=" + std::to_string(d));
+        "HOS-Miner supports 1.." + std::to_string(lattice::kMaxLatticeDims) +
+        " dimensions (d <= " + std::to_string(lattice::kDenseMaxDims) +
+        " on the dense lattice backend, above that the sparse backend is "
+        "selected automatically); got d=" + std::to_string(d));
   }
   if (dataset.empty()) {
     return Status::InvalidArgument("dataset is empty");
@@ -90,9 +92,15 @@ Result<HosMiner> HosMiner::Build(data::Dataset dataset,
                           &rng));
   }
 
-  // 5. Sampling-based learning (paper module 2).
+  // 5. Sampling-based learning (paper module 2). Past the dense lattice
+  //    cap each sample costs a full 2^d sparse lattice search whose
+  //    tractability depends entirely on the data being frontier-band
+  //    shaped, so Build skips learning there (flat priors) rather than
+  //    risk never returning; call learning::LearnPruningPriors directly
+  //    to opt in at high d.
   learning::LearnerOptions learner_options;
-  learner_options.sample_size = miner.config_.sample_size;
+  learner_options.sample_size =
+      d > lattice::kDenseMaxDims ? 0 : miner.config_.sample_size;
   learner_options.k = miner.config_.k;
   learner_options.threshold = miner.threshold_;
   miner.learning_report_ = learning::LearnPruningPriors(
@@ -189,6 +197,7 @@ Result<QueryResult> HosMiner::RunSearch(
   search::SearchExecution exec;
   exec.pool = options.search_pool;
   exec.max_threads = options.search_threads;
+  exec.lattice_backend = options.lattice_backend;
   QueryResult result;
   HOS_ASSIGN_OR_RETURN(result.outcome,
                        query_search_->Run(&od, threshold_, exec));

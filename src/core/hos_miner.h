@@ -57,7 +57,9 @@ struct HosMinerConfig {
   /// Bulk-load the X-tree (fast) instead of repeated insertion.
   bool bulk_load = true;
   /// Sample size S of the learning process; 0 disables learning and uses
-  /// flat priors.
+  /// flat priors. Ignored (treated as 0) when the dataset is wider than
+  /// lattice::kDenseMaxDims: each sample would cost a full sparse lattice
+  /// search, so high-d learning is opt-in via learning::LearnPruningPriors.
   int sample_size = 20;
   /// Seed for sampling and threshold estimation.
   uint64_t seed = 42;
@@ -80,6 +82,12 @@ struct QueryOptions {
   /// width, <= 1 with a pool still evaluates sequentially. Ignored without
   /// search_pool. Answers are identical at any setting.
   int search_threads = 0;
+  /// Lattice storage backend for this query's search. kAuto picks the flat
+  /// dense array for d <= lattice::kDenseMaxDims and the hash-map sparse
+  /// store above (the only way to search d in 23..kMaxLatticeDims); both
+  /// produce bit-identical answers. Forcing kDense past its cap makes the
+  /// query return InvalidArgument.
+  lattice::LatticeBackend lattice_backend = lattice::LatticeBackend::kAuto;
 };
 
 /// Answer for one query point.

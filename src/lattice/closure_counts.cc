@@ -1,0 +1,130 @@
+#include "src/lattice/closure_counts.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "src/common/combinatorics.h"
+
+namespace hos::lattice {
+namespace {
+
+/// Drops duplicates and seeds that are supersets of another seed: a mask
+/// avoiding the subset seed necessarily avoids the superset, so the larger
+/// constraint is implied. Keeps the family an antichain, which bounds the
+/// branching.
+void PruneImpliedSeeds(std::vector<uint64_t>* seeds) {
+  std::sort(seeds->begin(), seeds->end(),
+            [](uint64_t a, uint64_t b) {
+              const int pa = std::popcount(a), pb = std::popcount(b);
+              return pa != pb ? pa < pb : a < b;
+            });
+  std::vector<uint64_t> kept;
+  kept.reserve(seeds->size());
+  for (uint64_t s : *seeds) {
+    bool implied = false;
+    for (uint64_t k : kept) {
+      if ((s & k) == k) {
+        implied = true;
+        break;
+      }
+    }
+    if (!implied) kept.push_back(s);
+  }
+  *seeds = std::move(kept);
+}
+
+/// Adds, for every way of choosing masks over `free_dims` yet-unbranched
+/// dimensions that avoid all `seeds`, a count into out[picked + j] where j
+/// is the number of chosen dimensions. Seeds always live entirely within
+/// the unbranched dimensions: the exclude branch removes every seed
+/// containing the branched bit (its constraint is now vacuous), the
+/// include branch strips the bit from every seed.
+void AvoidRec(std::vector<uint64_t> seeds, int free_dims, int picked,
+              std::vector<uint64_t>* out) {
+  PruneImpliedSeeds(&seeds);
+  if (!seeds.empty() && seeds.front() == 0) return;  // contains the empty seed
+  if (seeds.empty()) {
+    for (int j = 0; j <= free_dims; ++j) {
+      (*out)[picked + j] += Binomial(free_dims, j);
+    }
+    return;
+  }
+  // Branch on one dimension of the smallest seed (front after sorting):
+  // this is the seed closest to forcing a decision, so singletons resolve
+  // without any fan-out.
+  const uint64_t bit = seeds.front() & (~seeds.front() + 1);
+
+  // Dimension excluded: seeds containing it can never be covered.
+  std::vector<uint64_t> excluded;
+  excluded.reserve(seeds.size());
+  for (uint64_t s : seeds) {
+    if ((s & bit) == 0) excluded.push_back(s);
+  }
+  AvoidRec(std::move(excluded), free_dims - 1, picked, out);
+
+  // Dimension included: every seed sheds the bit; a seed reduced to zero
+  // is now fully contained, so that branch holds no avoiders.
+  std::vector<uint64_t> included;
+  included.reserve(seeds.size());
+  bool contradiction = false;
+  for (uint64_t s : seeds) {
+    const uint64_t rest = s & ~bit;
+    if (rest == 0) {
+      contradiction = true;
+      break;
+    }
+    included.push_back(rest);
+  }
+  if (!contradiction) {
+    AvoidRec(std::move(included), free_dims - 1, picked + 1, out);
+  }
+}
+
+uint64_t LowBits(int d) {
+  return d >= 64 ? ~uint64_t{0} : (uint64_t{1} << d) - 1;
+}
+
+}  // namespace
+
+std::vector<uint64_t> AvoidingSubsetCounts(std::vector<uint64_t> seeds,
+                                           int d) {
+  assert(d >= 0 && d <= 62);
+  std::vector<uint64_t> out(d + 1, 0);
+  for (uint64_t& s : seeds) {
+    s &= LowBits(d);
+    if (s == 0) return out;  // the empty seed is contained in every mask
+  }
+  AvoidRec(std::move(seeds), d, 0, &out);
+  return out;
+}
+
+std::vector<uint64_t> UpClosureLevelCounts(const std::vector<uint64_t>& seeds,
+                                           int d) {
+  std::vector<uint64_t> counts(d + 1, 0);
+  if (seeds.empty()) return counts;
+  const std::vector<uint64_t> avoid = AvoidingSubsetCounts(seeds, d);
+  for (int m = 0; m <= d; ++m) {
+    counts[m] = Binomial(d, m) - avoid[m];
+  }
+  return counts;
+}
+
+std::vector<uint64_t> DownClosureLevelCounts(
+    const std::vector<uint64_t>& seeds, int d) {
+  std::vector<uint64_t> counts(d + 1, 0);
+  if (seeds.empty()) return counts;
+  // mask ⊆ seed  ⇔  ~mask ⊇ ~seed (complements within the d-bit universe),
+  // so the down-closure at level m is the complemented seeds' up-closure at
+  // level d - m.
+  std::vector<uint64_t> complements;
+  complements.reserve(seeds.size());
+  for (uint64_t s : seeds) complements.push_back(~s & LowBits(d));
+  const std::vector<uint64_t> up = UpClosureLevelCounts(complements, d);
+  for (int m = 0; m <= d; ++m) {
+    counts[m] = up[d - m];
+  }
+  return counts;
+}
+
+}  // namespace hos::lattice

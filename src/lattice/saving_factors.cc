@@ -17,7 +17,7 @@ PruningPriors PruningPriors::Flat(int d) {
 }
 
 double TotalSavingFactor(int m, const PruningPriors& priors,
-                         const LatticeState& state) {
+                         const LatticeStore& state) {
   const int d = state.num_dims();
   assert(m >= 1 && m <= d);
   assert(priors.num_dims() == d);
@@ -45,7 +45,7 @@ double TotalSavingFactor(int m, const PruningPriors& priors,
   return tsf;
 }
 
-int BestLevel(const PruningPriors& priors, const LatticeState& state,
+int BestLevel(const PruningPriors& priors, const LatticeStore& state,
               int exclude) {
   const int d = state.num_dims();
   int best = 0;

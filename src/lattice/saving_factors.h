@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "src/common/combinatorics.h"
-#include "src/lattice/lattice_state.h"
+#include "src/lattice/lattice_store.h"
 
 namespace hos::lattice {
 
@@ -33,14 +33,14 @@ struct PruningPriors {
 /// fractions f_down/f_up of remaining (undecided) workload in the lattice.
 /// Levels with no undecided subspaces score 0.
 double TotalSavingFactor(int m, const PruningPriors& priors,
-                         const LatticeState& state);
+                         const LatticeStore& state);
 
 /// The level in 1..d with the highest TSF among levels that still have
 /// undecided subspaces; returns 0 when every level is decided.
 /// Ties break toward the lower level. `exclude` (0 = none) skips one
 /// level — the dynamic search uses it to predict its next pick while that
 /// level's batch is still in flight (speculative frontier prefetch).
-int BestLevel(const PruningPriors& priors, const LatticeState& state,
+int BestLevel(const PruningPriors& priors, const LatticeStore& state,
               int exclude = 0);
 
 }  // namespace hos::lattice

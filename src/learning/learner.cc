@@ -27,12 +27,27 @@ LearningReport LearnPruningPriors(const data::Dataset& dataset,
   // Sample points are searched with the flat §3.2 priors.
   search::DynamicSubspaceSearch sample_search(d,
                                               lattice::PruningPriors::Flat(d));
+  search::SearchExecution exec;
+  exec.lattice_backend = options.lattice_backend;
+  // A forced backend that cannot hold d dims (dense past its cap) would
+  // fail every sample search; degrade to automatic selection instead. If
+  // even the automatic choice cannot (d outside 1..kMaxLatticeDims), no
+  // lattice search is possible — return the flat priors unsampled.
+  if (!lattice::ValidateLatticeStoreConfig(d, exec.lattice_backend).ok()) {
+    exec.lattice_backend = lattice::LatticeBackend::kAuto;
+    if (!lattice::ValidateLatticeStoreConfig(d, exec.lattice_backend).ok()) {
+      report.sample_ids.clear();
+      return report;
+    }
+  }
   for (data::PointId id : report.sample_ids) {
     auto point = dataset.Row(id);
     search::OdEvaluator od(engine, point, options.k, id);
-    // Flat priors over d dims always match the search, so Run cannot fail.
+    // Flat priors over d dims always match the search, the backend has
+    // been validated above, and d is in range (the caller's Build checked
+    // it), so Run cannot fail.
     search::SearchOutcome outcome =
-        sample_search.Run(&od, options.threshold).value();
+        sample_search.Run(&od, options.threshold, exec).value();
     for (int m = 1; m <= d; ++m) {
       report.mean_outlier_fraction[m] += outcome.outlier_fraction[m];
     }

@@ -32,12 +32,19 @@ struct LearningReport {
 };
 
 struct LearnerOptions {
-  /// Number of sample points S. 0 disables learning (flat priors).
+  /// Number of sample points S. 0 disables learning (flat priors). In the
+  /// high-d regime (d > lattice::kDenseMaxDims) each sample costs a full
+  /// sparse lattice search — keep S small, or 0 unless the data prunes
+  /// aggressively.
   int sample_size = 20;
   /// k of the OD measure.
   int k = 5;
   /// Outlier threshold T.
   double threshold = 1.0;
+  /// Lattice storage for the sample searches; kAuto picks dense/sparse by
+  /// dimensionality. A backend invalid for the dataset's d falls back to
+  /// kAuto rather than failing the learning phase.
+  lattice::LatticeBackend lattice_backend = lattice::LatticeBackend::kAuto;
 };
 
 /// Runs the §3.2 learning process on `dataset` through `engine`.

@@ -35,6 +35,9 @@ Subspace GeneticSubspaceSearch::Minimise(Subspace s, OdEvaluator* od,
 std::vector<Subspace> GeneticSubspaceSearch::Run(OdEvaluator* od,
                                                  double threshold,
                                                  Rng* rng) const {
+  // No subspaces exist to search; the release-mode analogue of the
+  // constructor's range assert.
+  if (num_dims_ < 1 || num_dims_ > kMaxDims) return {};
   const uint64_t full = Subspace::Full(num_dims_).mask();
   auto random_mask = [&]() -> uint64_t {
     uint64_t mask = static_cast<uint64_t>(

@@ -10,6 +10,11 @@
 // minimal outlying subspace by Property 1), so the returned antichain
 // contains only true minimal outlying subspaces; what the heuristic cannot
 // guarantee is finding *all* of them.
+//
+// The GA never materialises the lattice, so it runs at any d up to the
+// 62-bit mask limit (kMaxDims) — past lattice::kMaxLatticeDims, where even
+// the sparse exact search cannot keep its workload tallies, it is the
+// remaining option for the very high-d regime.
 
 #ifndef HOS_SEARCH_GENETIC_SEARCH_H_
 #define HOS_SEARCH_GENETIC_SEARCH_H_

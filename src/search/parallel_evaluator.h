@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "src/lattice/lattice_store.h"
 #include "src/search/od_evaluator.h"
 
 namespace hos::service {
@@ -60,6 +61,14 @@ struct SearchExecution {
   /// that pruning then discards is reported as
   /// SearchCounters::wasted_evaluations.
   bool speculate = false;
+
+  /// Which lattice storage backend the search builds its state in. kAuto
+  /// picks dense for d <= lattice::kDenseMaxDims and the hash-map sparse
+  /// store above; both are answer-identical (held bitwise by
+  /// tests/search/strategy_differential_test.cc), differing only in memory
+  /// footprint and the reachable dimensionality. Forcing kDense past its
+  /// cap makes the search return InvalidArgument.
+  lattice::LatticeBackend lattice_backend = lattice::LatticeBackend::kAuto;
 };
 
 class ParallelEvaluator {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -24,7 +25,7 @@ class FrontierRunner {
   /// pre-merge lattice state; 0 when unknown / none. Only consulted when
   /// speculation is on.
   using PredictFn =
-      std::function<int(int current, const lattice::LatticeState& state)>;
+      std::function<int(int current, const lattice::LatticeStore& state)>;
 
   FrontierRunner(OdEvaluator* od, double threshold,
                  const SearchExecution& exec)
@@ -37,20 +38,24 @@ class FrontierRunner {
   /// cannot prune each other (pruning only crosses levels), so the whole
   /// batch is independent and safe to evaluate concurrently.
   ///
+  /// The wave is the only per-level vector the search materialises: the
+  /// store itself yields undecided masks through a lazy generator
+  /// (ForEachUndecided), and the frontier must be addressable because the
+  /// parallel fan-out writes each mask's OD into a pre-assigned slot.
+  ///
   /// With speculation on, the wave also carries the predicted next level's
   /// undecided masks: their OD values land in the evaluator's memo (pure
   /// function — identical to a later fresh evaluation) but enter the
   /// lattice only if still undecided when their level is chosen. Fresh
   /// speculative computations never consumed are tallied as waste.
-  void EvaluateLevel(int m, lattice::LatticeState* state,
+  void EvaluateLevel(int m, lattice::LatticeStore* state,
                      const PredictFn& predict) {
-    // Copy: MarkEvaluated/Undecided invalidate the returned reference.
-    std::vector<uint64_t> wave = state->Undecided(m);
+    std::vector<uint64_t> wave = state->UndecidedMasks(m);
     const size_t level_count = wave.size();
     if (speculate_ && predict) {
       const int next = predict(m, *state);
       if (next != 0 && next != m) {
-        const std::vector<uint64_t>& ahead = state->Undecided(next);
+        const std::vector<uint64_t> ahead = state->UndecidedMasks(next);
         wave.insert(wave.end(), ahead.begin(), ahead.end());
       }
     }
@@ -89,7 +94,7 @@ class FrontierRunner {
 /// Assembles the SearchOutcome once the lattice is fully decided. `wasted`
 /// is subtracted from the evaluator's delta so od_evaluations reports the
 /// order-independent count every execution mode shares.
-SearchOutcome Finalize(const lattice::LatticeState& state, double threshold,
+SearchOutcome Finalize(const lattice::LatticeStore& state, double threshold,
                        const OdEvaluator& od, uint64_t od_evals_before,
                        uint64_t dist_before, uint64_t steps, uint64_t wasted,
                        const Timer& timer) {
@@ -142,11 +147,13 @@ Result<SearchOutcome> DynamicSubspaceSearch::RunImpl(
   Timer timer;
   const uint64_t od_before = od->num_evaluations();
   const uint64_t dist_before = od->engine().distance_computations();
-  lattice::LatticeState state(num_dims_);
+  HOS_ASSIGN_OR_RETURN(
+      std::unique_ptr<lattice::LatticeStore> state,
+      lattice::MakeLatticeStore(num_dims_, exec.lattice_backend));
   uint64_t steps = 0;
   FrontierRunner runner(od, threshold, exec);
   const FrontierRunner::PredictFn predict =
-      [this](int current, const lattice::LatticeState& s) {
+      [this](int current, const lattice::LatticeStore& s) {
         return lattice::BestLevel(priors_, s, /*exclude=*/current);
       };
 
@@ -154,12 +161,12 @@ Result<SearchOutcome> DynamicSubspaceSearch::RunImpl(
   // the remaining-workload fractions change, so TSF is recomputed and the
   // next-best level is chosen, until everything is evaluated or pruned.
   while (true) {
-    int m = lattice::BestLevel(priors_, state);
+    int m = lattice::BestLevel(priors_, *state);
     if (m == 0) break;
-    runner.EvaluateLevel(m, &state, predict);
+    runner.EvaluateLevel(m, state.get(), predict);
     ++steps;
   }
-  return Finalize(state, threshold, *od, od_before, dist_before, steps,
+  return Finalize(*state, threshold, *od, od_before, dist_before, steps,
                   runner.wasted(), timer);
 }
 
@@ -172,19 +179,21 @@ Result<SearchOutcome> ExhaustiveSearch::RunImpl(
   Timer timer;
   const uint64_t od_before = od->num_evaluations();
   const uint64_t dist_before = od->engine().distance_computations();
-  lattice::LatticeState state(num_dims_);
+  HOS_ASSIGN_OR_RETURN(
+      std::unique_ptr<lattice::LatticeStore> state,
+      lattice::MakeLatticeStore(num_dims_, exec.lattice_backend));
   uint64_t steps = 0;
   // No speculation: every level is evaluated in full anyway, so there is
   // nothing a prefetch could save. No Propagate(): every subspace is
   // evaluated explicitly.
   ParallelEvaluator evaluator(od, exec);
   for (int m = 1; m <= num_dims_; ++m) {
-    std::vector<uint64_t> batch = state.Undecided(m);
+    std::vector<uint64_t> batch = state->UndecidedMasks(m);
     ParallelEvaluator::Batch wave = evaluator.EvaluateBatch(batch);
-    state.MarkEvaluatedBatch(batch, wave.values, threshold);
+    state->MarkEvaluatedBatch(batch, wave.values, threshold);
     ++steps;
   }
-  return Finalize(state, threshold, *od, od_before, dist_before, steps,
+  return Finalize(*state, threshold, *od, od_before, dist_before, steps,
                   /*wasted=*/0, timer);
 }
 
@@ -197,22 +206,24 @@ Result<SearchOutcome> BottomUpSearch::RunImpl(
   Timer timer;
   const uint64_t od_before = od->num_evaluations();
   const uint64_t dist_before = od->engine().distance_computations();
-  lattice::LatticeState state(num_dims_);
+  HOS_ASSIGN_OR_RETURN(
+      std::unique_ptr<lattice::LatticeStore> state,
+      lattice::MakeLatticeStore(num_dims_, exec.lattice_backend));
   uint64_t steps = 0;
   FrontierRunner runner(od, threshold, exec);
   const FrontierRunner::PredictFn predict =
-      [](int current, const lattice::LatticeState& s) {
+      [](int current, const lattice::LatticeStore& s) {
         for (int i = current + 1; i <= s.num_dims(); ++i) {
           if (s.UndecidedCount(i) != 0) return i;
         }
         return 0;
       };
   for (int m = 1; m <= num_dims_; ++m) {
-    if (state.UndecidedCount(m) == 0) continue;
-    runner.EvaluateLevel(m, &state, predict);
+    if (state->UndecidedCount(m) == 0) continue;
+    runner.EvaluateLevel(m, state.get(), predict);
     ++steps;
   }
-  return Finalize(state, threshold, *od, od_before, dist_before, steps,
+  return Finalize(*state, threshold, *od, od_before, dist_before, steps,
                   runner.wasted(), timer);
 }
 
@@ -221,22 +232,24 @@ Result<SearchOutcome> TopDownSearch::RunImpl(
   Timer timer;
   const uint64_t od_before = od->num_evaluations();
   const uint64_t dist_before = od->engine().distance_computations();
-  lattice::LatticeState state(num_dims_);
+  HOS_ASSIGN_OR_RETURN(
+      std::unique_ptr<lattice::LatticeStore> state,
+      lattice::MakeLatticeStore(num_dims_, exec.lattice_backend));
   uint64_t steps = 0;
   FrontierRunner runner(od, threshold, exec);
   const FrontierRunner::PredictFn predict =
-      [](int current, const lattice::LatticeState& s) {
+      [](int current, const lattice::LatticeStore& s) {
         for (int i = current - 1; i >= 1; --i) {
           if (s.UndecidedCount(i) != 0) return i;
         }
         return 0;
       };
   for (int m = num_dims_; m >= 1; --m) {
-    if (state.UndecidedCount(m) == 0) continue;
-    runner.EvaluateLevel(m, &state, predict);
+    if (state->UndecidedCount(m) == 0) continue;
+    runner.EvaluateLevel(m, state.get(), predict);
     ++steps;
   }
-  return Finalize(state, threshold, *od, od_before, dist_before, steps,
+  return Finalize(*state, threshold, *od, od_before, dist_before, steps,
                   runner.wasted(), timer);
 }
 

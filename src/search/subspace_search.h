@@ -16,9 +16,11 @@
 // same-level subspaces cannot prune each other, so a level batch is
 // embarrassingly parallel, and verdicts are merged into the lattice in
 // mask order so the pruning seed sequence is identical to the sequential
-// walk's. tests/search/strategy_differential_test.cc holds every strategy
-// × execution mode to bitwise-identical answers against the exhaustive
-// oracle.
+// walk's. The lattice itself lives behind lattice::LatticeStore
+// (SearchExecution::lattice_backend: flat-array dense for d <= 22, lazy
+// hash-map sparse above). tests/search/strategy_differential_test.cc holds
+// every strategy × execution mode × backend to bitwise-identical answers
+// against the exhaustive oracle.
 
 #ifndef HOS_SEARCH_SUBSPACE_SEARCH_H_
 #define HOS_SEARCH_SUBSPACE_SEARCH_H_
@@ -44,9 +46,11 @@ class SubspaceSearch {
   /// Runs a complete search for the evaluator's query point: on return
   /// every subspace is decided. `threshold` is the paper's T; a subspace s
   /// is outlying iff OD(p, s) >= T. `exec` selects sequential or parallel
-  /// frontier evaluation; it never changes the answer. Returns
-  /// InvalidArgument when the strategy's configuration is inconsistent
-  /// (e.g. priors sized for a different dimensionality).
+  /// frontier evaluation and the lattice storage backend; neither changes
+  /// the answer. Returns InvalidArgument when the strategy's configuration
+  /// is inconsistent (e.g. priors sized for a different dimensionality,
+  /// num_dims outside 1..lattice::kMaxLatticeDims, or a forced dense
+  /// backend past lattice::kDenseMaxDims).
   Result<SearchOutcome> Run(OdEvaluator* od, double threshold,
                             const SearchExecution& exec) const {
     return RunImpl(od, threshold, exec);

@@ -57,6 +57,11 @@ struct QueryServiceConfig {
   /// OdEvaluator's per-query memo).
   bool enable_od_cache = true;
   OdCacheConfig cache;
+  /// Lattice storage backend for every query this service runs; kAuto
+  /// picks dense/sparse by the miner's dimensionality. Answers are
+  /// identical either way; per-query memory is 2^d bytes on dense vs the
+  /// touched frontier band on sparse.
+  lattice::LatticeBackend lattice_backend = lattice::LatticeBackend::kAuto;
 };
 
 class QueryService {
@@ -97,6 +102,7 @@ class QueryService {
     options.od_store = cache_.get();
     options.search_pool = search_pool_.get();
     options.search_threads = config_.search_threads;
+    options.lattice_backend = config_.lattice_backend;
     return options;
   }
 

@@ -39,10 +39,35 @@ TEST(HosMinerBuildTest, RejectsBadInputs) {
 }
 
 TEST(HosMinerBuildTest, RejectsTooManyDims) {
-  data::Dataset wide(23);
-  wide.Append(std::vector<double>(23, 0.0));
-  EXPECT_TRUE(
-      HosMiner::Build(std::move(wide), {}).status().IsInvalidArgument());
+  // The hard cap is now lattice::kMaxLatticeDims (58), not the dense
+  // backend's 22: d = 23 builds fine (queries auto-select the sparse
+  // lattice), d = 59 is rejected with the range in the message.
+  const int too_many = lattice::kMaxLatticeDims + 1;
+  data::Dataset wide(too_many);
+  wide.Append(std::vector<double>(too_many, 0.0));
+  auto rejected = HosMiner::Build(std::move(wide), {});
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsInvalidArgument());
+  EXPECT_NE(rejected.status().ToString().find(
+                "1.." + std::to_string(lattice::kMaxLatticeDims)),
+            std::string::npos);
+}
+
+TEST(HosMinerBuildTest, AcceptsDimsPastTheDenseCap) {
+  // Regression: d = 23 used to be refused outright; with the sparse
+  // lattice backend Build succeeds (learning disabled — at this width each
+  // sample search is a full sparse lattice walk).
+  const int d = lattice::kDenseMaxDims + 1;
+  Rng rng(99);
+  data::Dataset ds = data::GenerateUniform(40, d, &rng);
+  HosMinerConfig config;
+  config.k = 3;
+  config.threshold = 5.0;
+  config.sample_size = 0;
+  config.index = IndexKind::kLinearScan;
+  auto miner = HosMiner::Build(std::move(ds), config);
+  ASSERT_TRUE(miner.ok()) << miner.status().ToString();
+  EXPECT_EQ(miner->num_dims(), d);
 }
 
 TEST(HosMinerBuildTest, AutoThresholdIsPositive) {

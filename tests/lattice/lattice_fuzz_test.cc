@@ -1,13 +1,16 @@
 // Randomised consistency check of the lattice bookkeeping: feed a random
-// but monotone ground truth (an up-closed outlier set) to LatticeState in a
-// random evaluation order and verify that the inferred states always agree
-// with the ground truth, whatever the order of MarkEvaluated/Propagate.
+// but monotone ground truth (an up-closed outlier set) to the lattice
+// store in a random evaluation order and verify that the inferred states
+// always agree with the ground truth, whatever the order of
+// MarkEvaluated/Propagate. Runs against both storage backends.
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "src/common/combinatorics.h"
 #include "src/common/rng.h"
-#include "src/lattice/lattice_state.h"
+#include "src/lattice/lattice_store.h"
 
 namespace hos::lattice {
 namespace {
@@ -33,16 +36,17 @@ std::vector<bool> RandomUpClosedTruth(int d, int num_seeds, Rng* rng) {
   return outlier;
 }
 
-class LatticeFuzzTest : public ::testing::TestWithParam<int> {};
+class LatticeFuzzTest
+    : public ::testing::TestWithParam<std::tuple<int, LatticeBackend>> {};
 
 TEST_P(LatticeFuzzTest, RandomOrderEvaluationNeverContradictsTruth) {
   const int d = 6;
-  const int num_seeds = GetParam();
+  const auto [num_seeds, backend] = GetParam();
   Rng rng(1000 + num_seeds);
 
   for (int trial = 0; trial < 20; ++trial) {
     auto truth = RandomUpClosedTruth(d, num_seeds, &rng);
-    LatticeState state(d);
+    auto state = MakeLatticeStore(d, backend).value();
 
     // Random evaluation order over all masks; skip already-decided ones and
     // propagate at random batch boundaries.
@@ -53,32 +57,32 @@ TEST_P(LatticeFuzzTest, RandomOrderEvaluationNeverContradictsTruth) {
     rng.Shuffle(&order);
     for (uint64_t mask : order) {
       Subspace s(mask);
-      if (IsDecided(state.StateOf(s))) {
+      if (IsDecided(state->StateOf(s))) {
         // Inferred states must match the truth.
-        EXPECT_EQ(state.IsOutlying(s), truth[mask])
+        EXPECT_EQ(state->IsOutlying(s), truth[mask])
             << "mask " << mask << " seeds " << num_seeds;
         continue;
       }
-      state.MarkEvaluated(s, truth[mask]);
-      if (rng.Bernoulli(0.3)) state.Propagate();
+      state->MarkEvaluated(s, truth[mask]);
+      if (rng.Bernoulli(0.3)) state->Propagate();
     }
-    state.Propagate();
-    EXPECT_TRUE(state.AllDecided());
+    state->Propagate();
+    EXPECT_TRUE(state->AllDecided());
 
     // Final states all agree with the ground truth; per-level counts too.
     for (int m = 1; m <= d; ++m) {
       uint64_t outliers_at_level = 0;
       for (uint64_t mask : MasksOfLevel(d, m)) {
-        EXPECT_EQ(state.IsOutlying(Subspace(mask)), truth[mask]);
+        EXPECT_EQ(state->IsOutlying(Subspace(mask)), truth[mask]);
         outliers_at_level += truth[mask];
       }
-      EXPECT_EQ(state.OutliersAtLevel(m), outliers_at_level) << "m=" << m;
+      EXPECT_EQ(state->OutliersAtLevel(m), outliers_at_level) << "m=" << m;
     }
 
     // The minimal seeds generate exactly the truth's up-closure.
     for (uint64_t mask = 1; mask < (uint64_t{1} << d); ++mask) {
       bool covered = false;
-      for (const Subspace& seed : state.minimal_outlier_seeds()) {
+      for (const Subspace& seed : state->minimal_outlier_seeds()) {
         if ((mask & seed.mask()) == seed.mask()) {
           covered = true;
           break;
@@ -89,11 +93,16 @@ TEST_P(LatticeFuzzTest, RandomOrderEvaluationNeverContradictsTruth) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(SeedCounts, LatticeFuzzTest,
-                         ::testing::Values(0, 1, 2, 4, 8),
-                         [](const auto& info) {
-                           return "seeds" + std::to_string(info.param);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    SeedCounts, LatticeFuzzTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 4, 8),
+                       ::testing::Values(LatticeBackend::kDense,
+                                         LatticeBackend::kSparse)),
+    [](const auto& info) {
+      return "seeds" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == LatticeBackend::kDense ? "_dense"
+                                                                : "_sparse");
+    });
 
 }  // namespace
 }  // namespace hos::lattice

@@ -1,5 +1,6 @@
 // Fuzz suite for the lattice pruning invariants (paper Properties 1-2)
-// under the batch-marking path the parallel frontier merge uses:
+// under the batch-marking path the parallel frontier merge uses, run
+// against both storage backends:
 //
 //   Property 1 (downward): a subset of a non-outlying subspace is
 //   non-outlying — so the lattice must never hold a subset of a decided
@@ -14,18 +15,21 @@
 // order through MarkEvaluatedBatch — exactly the parallel search's
 // pipeline. After every propagation, every decided subspace must agree
 // with the ground truth, and every *inferred* state must be justified by
-// an *evaluated* seed in the right direction.
+// an *evaluated* seed in the right direction. A final counter-closure
+// check pins evaluated + inferred == 2^d - 1.
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "src/common/combinatorics.h"
 #include "src/common/rng.h"
-#include "src/lattice/lattice_state.h"
+#include "src/lattice/lattice_store.h"
 #include "src/service/thread_pool.h"
 
 namespace hos::lattice {
@@ -57,7 +61,7 @@ std::vector<bool> RandomUpClosedTruth(int d, int num_seeds, Rng* rng) {
 /// outlier below a non-outlier), and that inferred states are justified by
 /// evaluated seeds: an inferred outlier must contain an evaluated outlier,
 /// an inferred non-outlier must be contained in an evaluated non-outlier.
-void CheckInvariants(const LatticeState& state, const std::vector<bool>& truth,
+void CheckInvariants(const LatticeStore& state, const std::vector<bool>& truth,
                      int d) {
   const uint64_t size = uint64_t{1} << d;
   std::vector<uint64_t> evaluated_outliers;
@@ -110,10 +114,11 @@ void CheckInvariants(const LatticeState& state, const std::vector<bool>& truth,
 /// Drives one full random-order, random-batch fill of a d-dim lattice,
 /// computing each batch's verdicts concurrently on `pool` (slot-per-mask,
 /// merged in batch order) when non-null.
-void RunRandomBatchTrial(int d, const std::vector<bool>& truth, Rng* rng,
+void RunRandomBatchTrial(int d, LatticeBackend backend,
+                         const std::vector<bool>& truth, Rng* rng,
                          service::ThreadPool* pool, bool check_each_step) {
   const uint64_t size = uint64_t{1} << d;
-  LatticeState state(d);
+  std::unique_ptr<LatticeStore> state = MakeLatticeStore(d, backend).value();
 
   std::vector<uint64_t> order;
   for (uint64_t mask = 1; mask < size; ++mask) order.push_back(mask);
@@ -127,8 +132,8 @@ void RunRandomBatchTrial(int d, const std::vector<bool>& truth, Rng* rng,
     std::vector<uint64_t> batch;
     while (cursor < order.size() && batch.size() < batch_target) {
       const uint64_t mask = order[cursor++];
-      if (IsDecided(state.StateOf(Subspace(mask)))) {
-        ASSERT_EQ(state.IsOutlying(Subspace(mask)), truth[mask]);
+      if (IsDecided(state->StateOf(Subspace(mask)))) {
+        ASSERT_EQ(state->IsOutlying(Subspace(mask)), truth[mask]);
         continue;
       }
       batch.push_back(mask);
@@ -151,62 +156,67 @@ void RunRandomBatchTrial(int d, const std::vector<bool>& truth, Rng* rng,
         values[i] = truth[batch[i]] ? 1.0 : 0.0;
       }
     }
-    state.MarkEvaluatedBatch(batch, values, /*threshold=*/0.5);
-    state.Propagate();
-    if (check_each_step) CheckInvariants(state, truth, d);
+    state->MarkEvaluatedBatch(batch, values, /*threshold=*/0.5);
+    state->Propagate();
+    if (check_each_step) CheckInvariants(*state, truth, d);
   }
-  state.Propagate();
-  ASSERT_TRUE(state.AllDecided());
-  CheckInvariants(state, truth, d);
+  state->Propagate();
+  ASSERT_TRUE(state->AllDecided());
+  CheckInvariants(*state, truth, d);
 
   // Counter closure: every subspace is exactly one of evaluated/inferred.
   uint64_t decided = 0;
   for (int m = 1; m <= d; ++m) {
-    decided += state.EvaluatedOutliers(m) + state.EvaluatedNonOutliers(m) +
-               state.InferredOutliers(m) + state.InferredNonOutliers(m);
-    ASSERT_EQ(state.UndecidedCount(m), 0u);
+    decided += state->EvaluatedOutliers(m) + state->EvaluatedNonOutliers(m) +
+               state->InferredOutliers(m) + state->InferredNonOutliers(m);
+    ASSERT_EQ(state->UndecidedCount(m), 0u);
   }
   ASSERT_EQ(decided, size - 1);
 }
 
-class LatticeInvariantFuzzTest : public ::testing::TestWithParam<int> {};
+class LatticeInvariantFuzzTest
+    : public ::testing::TestWithParam<std::tuple<int, LatticeBackend>> {};
 
 TEST_P(LatticeInvariantFuzzTest, RandomBatchMarkingPreservesProperties12) {
   const int d = 6;
-  const int num_seeds = GetParam();
+  const auto [num_seeds, backend] = GetParam();
   Rng rng(7000 + num_seeds);
   for (int trial = 0; trial < 12; ++trial) {
     auto truth = RandomUpClosedTruth(d, num_seeds, &rng);
-    RunRandomBatchTrial(d, truth, &rng, /*pool=*/nullptr,
+    RunRandomBatchTrial(d, backend, truth, &rng, /*pool=*/nullptr,
                         /*check_each_step=*/true);
   }
 }
 
 TEST_P(LatticeInvariantFuzzTest, ConcurrentBatchVerdictsPreserveProperties12) {
   const int d = 6;
-  const int num_seeds = GetParam();
+  const auto [num_seeds, backend] = GetParam();
   Rng rng(9000 + num_seeds);
   service::ThreadPool pool(4);
   for (int trial = 0; trial < 8; ++trial) {
     auto truth = RandomUpClosedTruth(d, num_seeds, &rng);
-    RunRandomBatchTrial(d, truth, &rng, &pool, /*check_each_step=*/true);
+    RunRandomBatchTrial(d, backend, truth, &rng, &pool,
+                        /*check_each_step=*/true);
   }
 }
 
 // Many lattices filled concurrently, each via pool-computed batch verdicts
 // on its own state: catches any hidden shared/static state in the lattice
 // bookkeeping under TSan (the parallel search runs exactly this shape —
-// per-query lattices, shared verdict pool).
+// per-query lattices, shared verdict pool). Drivers alternate backends so
+// dense and sparse stores interleave on the same pool.
 TEST(LatticeInvariantFuzzTest, IndependentLatticesUnderConcurrentMarking) {
   const int d = 6;
   service::ThreadPool verdict_pool(4);
   std::vector<std::thread> drivers;
   for (int t = 0; t < 4; ++t) {
     drivers.emplace_back([t, &verdict_pool]() {
+      const LatticeBackend backend =
+          t % 2 == 0 ? LatticeBackend::kDense : LatticeBackend::kSparse;
       Rng rng(11000 + static_cast<uint64_t>(t));
       for (int trial = 0; trial < 4; ++trial) {
         auto truth = RandomUpClosedTruth(d, 2 + t, &rng);
-        RunRandomBatchTrial(d, truth, &rng, &verdict_pool,
+        RunRandomBatchTrial(d, backend, truth, &rng, &verdict_pool,
                             /*check_each_step=*/false);
       }
     });
@@ -214,11 +224,16 @@ TEST(LatticeInvariantFuzzTest, IndependentLatticesUnderConcurrentMarking) {
   for (auto& th : drivers) th.join();
 }
 
-INSTANTIATE_TEST_SUITE_P(SeedCounts, LatticeInvariantFuzzTest,
-                         ::testing::Values(0, 1, 2, 4, 8),
-                         [](const auto& info) {
-                           return "seeds" + std::to_string(info.param);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    SeedCounts, LatticeInvariantFuzzTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 4, 8),
+                       ::testing::Values(LatticeBackend::kDense,
+                                         LatticeBackend::kSparse)),
+    [](const auto& info) {
+      return "seeds" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == LatticeBackend::kDense ? "_dense"
+                                                                : "_sparse");
+    });
 
 }  // namespace
 }  // namespace hos::lattice

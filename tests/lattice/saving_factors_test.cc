@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "src/common/combinatorics.h"
 #include "src/common/rng.h"
+#include "src/lattice/lattice_store.h"
 
 namespace hos::lattice {
 namespace {
@@ -24,93 +27,102 @@ TEST(PruningPriorsTest, FlatMatchesPaperSection32) {
   }
 }
 
-TEST(TsfTest, FreshLatticeUsesFullFractions) {
+// The TSF inputs come entirely from the lattice store's per-level tallies,
+// so every test below runs against both storage backends.
+class SavingFactorsTest : public ::testing::TestWithParam<LatticeBackend> {
+ protected:
+  static std::unique_ptr<LatticeStore> Make(int d) {
+    return MakeLatticeStore(d, GetParam()).value();
+  }
+};
+
+TEST_P(SavingFactorsTest, FreshLatticeUsesFullFractions) {
   // On a fresh lattice f_down = f_up = 1, so Definition 3 reduces to
   // p_down*DSF + p_up*USF with the boundary cases at m = 1 and m = d.
   const int d = 4;
-  LatticeState state(d);
+  auto state = Make(d);
   auto priors = PruningPriors::Flat(d);
 
   // m = 1: only the upward term, p_up(1) = 1.
-  EXPECT_DOUBLE_EQ(TotalSavingFactor(1, priors, state),
+  EXPECT_DOUBLE_EQ(TotalSavingFactor(1, priors, *state),
                    1.0 * static_cast<double>(UpwardSavingFactor(1, d)));
   // m = d: only the downward term, p_down(d) = 1.
-  EXPECT_DOUBLE_EQ(TotalSavingFactor(d, priors, state),
+  EXPECT_DOUBLE_EQ(TotalSavingFactor(d, priors, *state),
                    1.0 * static_cast<double>(DownwardSavingFactor(d)));
   // Interior m: both terms at probability 0.5.
   for (int m = 2; m < d; ++m) {
     double expected = 0.5 * static_cast<double>(DownwardSavingFactor(m)) +
                       0.5 * static_cast<double>(UpwardSavingFactor(m, d));
-    EXPECT_DOUBLE_EQ(TotalSavingFactor(m, priors, state), expected);
+    EXPECT_DOUBLE_EQ(TotalSavingFactor(m, priors, *state), expected);
   }
 }
 
-TEST(TsfTest, DecidedLevelScoresZero) {
+TEST_P(SavingFactorsTest, DecidedLevelScoresZero) {
   const int d = 3;
-  LatticeState state(d);
+  auto state = Make(d);
   for (uint64_t mask : MasksOfLevel(d, 2)) {
-    state.MarkEvaluated(Subspace(mask), false);
+    state->MarkEvaluated(Subspace(mask), false);
   }
   auto priors = PruningPriors::Flat(d);
-  EXPECT_DOUBLE_EQ(TotalSavingFactor(2, priors, state), 0.0);
+  EXPECT_DOUBLE_EQ(TotalSavingFactor(2, priors, *state), 0.0);
 }
 
-TEST(TsfTest, FractionsShrinkAsLatticeResolves) {
+TEST_P(SavingFactorsTest, FractionsShrinkAsLatticeResolves) {
   const int d = 4;
-  LatticeState state(d);
+  auto state = Make(d);
   auto priors = PruningPriors::Flat(d);
-  double before = TotalSavingFactor(2, priors, state);
+  double before = TotalSavingFactor(2, priors, *state);
   // Decide all of level 1 as non-outliers: C_down_left(2) drops to 0.
   for (uint64_t mask : MasksOfLevel(d, 1)) {
-    state.MarkEvaluated(Subspace(mask), false);
+    state->MarkEvaluated(Subspace(mask), false);
   }
-  state.Propagate();
-  double after = TotalSavingFactor(2, priors, state);
+  state->Propagate();
+  double after = TotalSavingFactor(2, priors, *state);
   EXPECT_LT(after, before);
   // Now the downward term of level 2 is zero; only the upward term remains.
   EXPECT_DOUBLE_EQ(after,
                    0.5 * static_cast<double>(UpwardSavingFactor(2, d)));
 }
 
-TEST(BestLevelTest, FreshLatticePrefersExpectedLevel) {
+TEST_P(SavingFactorsTest, FreshLatticePrefersExpectedLevel) {
   // With flat priors the best level maximises the Definition-3 mix; verify
   // BestLevel agrees with a direct argmax.
   for (int d = 2; d <= 10; ++d) {
-    LatticeState state(d);
+    auto state = Make(d);
     auto priors = PruningPriors::Flat(d);
-    int best = BestLevel(priors, state);
+    int best = BestLevel(priors, *state);
     ASSERT_GE(best, 1);
-    double best_tsf = TotalSavingFactor(best, priors, state);
+    double best_tsf = TotalSavingFactor(best, priors, *state);
     for (int m = 1; m <= d; ++m) {
-      EXPECT_LE(TotalSavingFactor(m, priors, state), best_tsf);
+      EXPECT_LE(TotalSavingFactor(m, priors, *state), best_tsf);
     }
   }
 }
 
-TEST(BestLevelTest, SkipsDecidedLevels) {
+TEST_P(SavingFactorsTest, SkipsDecidedLevels) {
   const int d = 3;
-  LatticeState state(d);
+  auto state = Make(d);
   auto priors = PruningPriors::Flat(d);
-  int first = BestLevel(priors, state);
+  int first = BestLevel(priors, *state);
   for (uint64_t mask : MasksOfLevel(d, first)) {
-    state.MarkEvaluated(Subspace(mask), false);
+    state->MarkEvaluated(Subspace(mask), false);
   }
-  state.Propagate();
-  int second = BestLevel(priors, state);
+  state->Propagate();
+  int second = BestLevel(priors, *state);
   EXPECT_NE(second, first);
 }
 
-TEST(BestLevelTest, ReturnsZeroWhenAllDecided) {
+TEST_P(SavingFactorsTest, ReturnsZeroWhenAllDecided) {
   const int d = 2;
-  LatticeState state(d);
+  auto state = Make(d);
   auto priors = PruningPriors::Flat(d);
-  state.MarkEvaluated(Subspace::FromOneBased({1}), false);
-  state.MarkEvaluated(Subspace::FromOneBased({2}), false);
-  state.MarkEvaluated(Subspace::FromOneBased({1, 2}), false);
-  EXPECT_EQ(BestLevel(priors, state), 0);
+  state->MarkEvaluated(Subspace::FromOneBased({1}), false);
+  state->MarkEvaluated(Subspace::FromOneBased({2}), false);
+  state->MarkEvaluated(Subspace::FromOneBased({1, 2}), false);
+  EXPECT_EQ(BestLevel(priors, *state), 0);
 }
 
-TEST(TsfTest, BookkeepingStaysConsistentAfterBatchMerges) {
+TEST_P(SavingFactorsTest, BookkeepingStaysConsistentAfterBatchMerges) {
   // The TSF inputs (per-level undecided counts, the f_down/f_up remaining
   // workloads) are maintained incrementally by MarkEvaluated[Batch] and
   // Propagate. Replay random batch merges and verify every increment
@@ -120,7 +132,7 @@ TEST(TsfTest, BookkeepingStaysConsistentAfterBatchMerges) {
   auto priors = PruningPriors::Flat(d);
   for (uint64_t trial_seed : {31u, 32u, 33u}) {
     Rng rng(trial_seed);
-    LatticeState state(d);
+    auto state = Make(d);
     std::vector<uint64_t> order;
     for (uint64_t mask = 1; mask < size; ++mask) order.push_back(mask);
     rng.Shuffle(&order);
@@ -132,59 +144,68 @@ TEST(TsfTest, BookkeepingStaysConsistentAfterBatchMerges) {
       const size_t batch_target = static_cast<size_t>(rng.UniformInt(1, 12));
       while (cursor < order.size() && batch.size() < batch_target) {
         const uint64_t mask = order[cursor++];
-        if (IsDecided(state.StateOf(Subspace(mask)))) continue;
+        if (IsDecided(state->StateOf(Subspace(mask)))) continue;
         batch.push_back(mask);
         // Monotone verdict: outlier iff the mask contains dimension 0.
         values.push_back((mask & 1) != 0 ? 1.0 : 0.0);
       }
       if (batch.empty()) continue;
-      state.MarkEvaluatedBatch(batch, values, /*threshold=*/0.5);
-      state.Propagate();
+      state->MarkEvaluatedBatch(batch, values, /*threshold=*/0.5);
+      state->Propagate();
 
       // Brute-force recount of the TSF inputs from the per-mask states.
-      std::vector<size_t> undecided(d + 1, 0);
+      std::vector<uint64_t> undecided(d + 1, 0);
       for (uint64_t mask = 1; mask < size; ++mask) {
-        if (!IsDecided(state.StateOf(Subspace(mask)))) {
+        if (!IsDecided(state->StateOf(Subspace(mask)))) {
           ++undecided[Subspace(mask).Dimensionality()];
         }
       }
       for (int m = 1; m <= d; ++m) {
-        ASSERT_EQ(state.UndecidedCount(m), undecided[m]) << "m=" << m;
+        ASSERT_EQ(state->UndecidedCount(m), undecided[m]) << "m=" << m;
         uint64_t below = 0, above = 0;
         for (int i = 1; i < m; ++i) below += undecided[i] * i;
         for (int i = m + 1; i <= d; ++i) above += undecided[i] * i;
-        ASSERT_EQ(state.RemainingWorkloadBelow(m), below) << "m=" << m;
-        ASSERT_EQ(state.RemainingWorkloadAbove(m), above) << "m=" << m;
+        ASSERT_EQ(state->RemainingWorkloadBelow(m), below) << "m=" << m;
+        ASSERT_EQ(state->RemainingWorkloadAbove(m), above) << "m=" << m;
         if (undecided[m] == 0) {
-          ASSERT_EQ(TotalSavingFactor(m, priors, state), 0.0);
+          ASSERT_EQ(TotalSavingFactor(m, priors, *state), 0.0);
         }
       }
-      const int best = BestLevel(priors, state);
+      const int best = BestLevel(priors, *state);
       if (best != 0) {
-        ASSERT_GT(state.UndecidedCount(best), 0u);
+        ASSERT_GT(state->UndecidedCount(best), 0u);
         for (int m = 1; m <= d; ++m) {
-          ASSERT_LE(TotalSavingFactor(m, priors, state),
-                    TotalSavingFactor(best, priors, state));
+          ASSERT_LE(TotalSavingFactor(m, priors, *state),
+                    TotalSavingFactor(best, priors, *state));
         }
       } else {
-        ASSERT_TRUE(state.AllDecided());
+        ASSERT_TRUE(state->AllDecided());
       }
     }
-    ASSERT_TRUE(state.AllDecided());
+    ASSERT_TRUE(state->AllDecided());
   }
 }
 
-TEST(BestLevelTest, LearnedPriorsSteerTheChoice) {
+TEST_P(SavingFactorsTest, LearnedPriorsSteerTheChoice) {
   // Push all upward probability to level 2: it should win on a fresh
   // 5-d lattice against interior levels with zero priors.
   const int d = 5;
-  LatticeState state(d);
+  auto state = Make(d);
   PruningPriors priors;
   priors.up.assign(d + 1, 0.0);
   priors.down.assign(d + 1, 0.0);
   priors.up[2] = 1.0;
-  EXPECT_EQ(BestLevel(priors, state), 2);
+  EXPECT_EQ(BestLevel(priors, *state), 2);
 }
+
+INSTANTIATE_TEST_SUITE_P(Backends, SavingFactorsTest,
+                         ::testing::Values(LatticeBackend::kDense,
+                                           LatticeBackend::kSparse),
+                         [](const auto& info) {
+                           return info.param == LatticeBackend::kDense
+                                      ? "dense"
+                                      : "sparse";
+                         });
 
 }  // namespace
 }  // namespace hos::lattice

@@ -1,9 +1,10 @@
 // Cross-strategy differential harness: the proof that parallel frontier
-// evaluation is an execution detail, not a semantic change. For every
-// d in 4..12 and two thresholds per d, every strategy {dynamic, bottom-up,
-// top-down, exhaustive} is run {sequentially, parallel across 2/4/8-thread
-// pools, and (for the pruning strategies) with speculative next-level
-// prefetch}, and held to:
+// evaluation AND the lattice storage backend are execution details, not
+// semantic changes. For every d in 4..12 and two thresholds per d, every
+// strategy {dynamic, bottom-up, top-down, exhaustive} is run
+// {sequentially, parallel across 2/4/8-thread pools, and (for the pruning
+// strategies) with speculative next-level prefetch} × {dense, sparse}
+// lattice backends, and held to:
 //
 //   * the exact outlying-subspace answer of the ExhaustiveSearch oracle,
 //     for every one of the 2^d - 1 subspaces;
@@ -11,7 +12,7 @@
 //     exactly the double the oracle's sequential evaluation produced;
 //   * the sequential run of the same strategy, field by field — including
 //     the order-sensitive evaluated_outliers list (same masks, same order:
-//     the parallel merge fed LatticeState the identical seed sequence) and
+//     the parallel merge fed the lattice store the identical seed sequence)
 //     the work counters (same evaluations, same pruning, same steps);
 //   * wasted_evaluations == 0 without speculation, and with speculation the
 //     order-independent counters still unchanged.
@@ -103,22 +104,37 @@ TEST_P(StrategyDifferentialTest, AllExecutionModesMatchTheOracle) {
       const auto seq_memo = MemoisedValues(seq_od, d);
 
       struct Mode {
-        service::ThreadPool* pool;
+        service::ThreadPool* pool;  // null = sequential
         bool speculate;
+        lattice::LatticeBackend backend;
       };
       std::vector<Mode> modes;
-      for (service::ThreadPool* pool : pools) {
-        modes.push_back({pool, false});
-        if (prunes) modes.push_back({pool, true});
+      // The sequential sparse run checks the backend alone against the
+      // sequential reference (which is dense: kAuto at d <= 12); the pool
+      // modes then cross both backends with every thread count (and
+      // speculation, where it applies). No sequential-dense mode — it
+      // would just repeat the reference run.
+      modes.push_back({nullptr, false, lattice::LatticeBackend::kSparse});
+      for (lattice::LatticeBackend backend :
+           {lattice::LatticeBackend::kDense,
+            lattice::LatticeBackend::kSparse}) {
+        for (service::ThreadPool* pool : pools) {
+          modes.push_back({pool, false, backend});
+          if (prunes) modes.push_back({pool, true, backend});
+        }
       }
 
       for (const Mode& mode : modes) {
-        SCOPED_TRACE("threads=" +
-                     std::to_string(mode.pool->num_threads()) +
-                     " speculate=" + std::to_string(mode.speculate));
+        SCOPED_TRACE(
+            "threads=" +
+            std::to_string(mode.pool ? mode.pool->num_threads() : 1) +
+            " speculate=" + std::to_string(mode.speculate) + " backend=" +
+            (mode.backend == lattice::LatticeBackend::kDense ? "dense"
+                                                             : "sparse"));
         SearchExecution exec;
         exec.pool = mode.pool;
         exec.speculate = mode.speculate;
+        exec.lattice_backend = mode.backend;
 
         OdEvaluator par_od(engine, ds.Row(query), kK, query);
         auto par = strategy->Run(&par_od, threshold, exec);
