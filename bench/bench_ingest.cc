@@ -1,0 +1,272 @@
+// Streaming-ingest baseline: what serving costs while the dataset grows.
+//
+//  * serve-only vs append-while-serving QPS (a writer thread commits
+//    batches through AppendBatch while QueryBatch drains on the pool),
+//    with the rebuild policy off (delta grows monotonically) and on
+//    (background rebuilds fold the delta back into the index);
+//  * the delta tax: query throughput at fixed delta depths (0%, 10%, 25%,
+//    50% of the dataset), isolating the scalar delta scan's cost;
+//  * rebuild costs at those depths: the heavy read-only prepare phase
+//    (runs concurrently with queries) vs the commit pause (the only
+//    exclusive section, what serving actually observes).
+//
+// Writes machine-readable results to BENCH_ingest.json (or argv[1]) so
+// future PRs can track the ingest-path trajectory.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/common/timer.h"
+#include "src/core/hos_miner.h"
+#include "src/eval/report.h"
+#include "src/service/query_service.h"
+
+namespace {
+
+using namespace hos;  // NOLINT
+
+constexpr size_t kNumPoints = 800;
+constexpr int kNumDims = 8;
+constexpr int kQueryThreads = 4;
+constexpr int kHotSetSize = 32;
+constexpr int kQueryRounds = 4;       // QueryBatch rounds per scenario
+constexpr size_t kAppendBatchRows = 16;
+constexpr int kAppendBatches = 12;
+
+core::HosMiner BuildMiner(uint64_t seed) {
+  auto workload = bench::MakeWorkload(kNumPoints, kNumDims, seed);
+  core::HosMinerConfig config;
+  config.seed = seed;
+  auto miner = core::HosMiner::Build(std::move(workload.dataset), config);
+  if (!miner.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 miner.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(miner).value();
+}
+
+std::vector<std::vector<double>> RandomRows(size_t n, Rng* rng) {
+  std::vector<std::vector<double>> rows(n, std::vector<double>(kNumDims));
+  for (auto& row : rows) {
+    for (double& cell : row) cell = rng->Uniform();
+  }
+  return rows;
+}
+
+std::vector<data::PointId> HotIds(size_t dataset_size) {
+  std::vector<data::PointId> ids;
+  ids.reserve(kHotSetSize);
+  for (int i = 0; i < kHotSetSize; ++i) {
+    ids.push_back(static_cast<data::PointId>(
+        (static_cast<size_t>(i) * 17) % dataset_size));
+  }
+  return ids;
+}
+
+struct ServeRow {
+  std::string mode;
+  double qps = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  uint64_t rows_ingested = 0;
+  uint64_t rebuilds = 0;
+  double last_rebuild_pause = 0.0;
+  uint64_t final_delta_rows = 0;
+};
+
+ServeRow RunServing(const std::string& mode, bool with_appends,
+                    bool with_rebuilds) {
+  service::QueryServiceConfig config;
+  config.num_threads = kQueryThreads;
+  if (with_rebuilds) {
+    config.ingest.min_delta_rows = 32;
+    config.ingest.rebuild_delta_fraction = 0.05;
+  } else {
+    config.ingest.rebuild_delta_fraction = 0.0;  // policy off
+  }
+  service::QueryService service(BuildMiner(/*seed=*/7), config);
+  const std::vector<data::PointId> ids = HotIds(kNumPoints);
+
+  std::thread writer;
+  if (with_appends) {
+    writer = std::thread([&service]() {
+      Rng rng(1234);
+      for (int b = 0; b < kAppendBatches; ++b) {
+        auto version = service.AppendBatch(RandomRows(kAppendBatchRows, &rng));
+        if (!version.ok()) std::abort();
+      }
+    });
+  }
+
+  size_t queries = 0;
+  Timer timer;
+  for (int round = 0; round < kQueryRounds; ++round) {
+    auto results = service.QueryBatch(ids);
+    if (!results.ok()) {
+      std::fprintf(stderr, "batch failed: %s\n",
+                   results.status().ToString().c_str());
+      std::abort();
+    }
+    queries += ids.size();
+  }
+  const double seconds = timer.ElapsedSeconds();
+  if (writer.joinable()) writer.join();
+  service.WaitForRebuilds();
+
+  const auto stats = service.Stats();
+  ServeRow row;
+  row.mode = mode;
+  row.qps = static_cast<double>(queries) / seconds;
+  row.p50 = stats.p50_latency_seconds;
+  row.p99 = stats.p99_latency_seconds;
+  row.rows_ingested = stats.rows_ingested;
+  row.rebuilds = stats.rebuilds_completed;
+  row.last_rebuild_pause = stats.last_rebuild_pause_seconds;
+  row.final_delta_rows = stats.delta_rows;
+  return row;
+}
+
+/// The delta tax and rebuild costs at a fixed delta depth, measured at the
+/// miner level (no service, no concurrency noise).
+struct DepthRow {
+  double delta_fraction_target = 0.0;
+  size_t delta_rows = 0;
+  double qps = 0.0;
+  double prepare_seconds = 0.0;
+  double commit_seconds = 0.0;
+};
+
+DepthRow RunDepth(double fraction) {
+  core::HosMiner miner = BuildMiner(/*seed=*/7);
+  Rng rng(99);
+  const auto delta_count = static_cast<size_t>(
+      static_cast<double>(kNumPoints) * fraction / (1.0 - fraction) + 0.5);
+  if (delta_count > 0) {
+    auto version = miner.Append(RandomRows(delta_count, &rng));
+    if (!version.ok()) std::abort();
+  }
+
+  const std::vector<data::PointId> ids = HotIds(kNumPoints);
+  size_t queries = 0;
+  Timer timer;
+  for (int round = 0; round < kQueryRounds; ++round) {
+    for (data::PointId id : ids) {
+      if (!miner.Query(id).ok()) std::abort();
+      ++queries;
+    }
+  }
+  DepthRow row;
+  row.delta_fraction_target = fraction;
+  row.delta_rows = delta_count;
+  row.qps = static_cast<double>(queries) / timer.ElapsedSeconds();
+
+  if (delta_count > 0) {
+    Timer prepare_timer;
+    auto artifacts = miner.PrepareRebuild();
+    row.prepare_seconds = prepare_timer.ElapsedSeconds();
+    if (!artifacts.ok()) std::abort();
+    Timer commit_timer;
+    miner.CommitRebuild(std::move(artifacts).value());
+    row.commit_seconds = commit_timer.ElapsedSeconds();
+  }
+  return row;
+}
+
+void Run(const std::string& json_path) {
+  bench::Banner("I1", "streaming ingest: append-while-serving");
+  std::printf("n=%zu d=%d, %d query threads, %d x %zu appended rows\n",
+              kNumPoints, kNumDims, kQueryThreads, kAppendBatches,
+              kAppendBatchRows);
+
+  std::vector<ServeRow> serve_rows;
+  serve_rows.push_back(RunServing("serve_only", false, false));
+  serve_rows.push_back(RunServing("append_no_rebuild", true, false));
+  serve_rows.push_back(RunServing("append_with_rebuilds", true, true));
+
+  eval::Table serve_table({"mode", "qps", "p50 ms", "p99 ms", "ingested",
+                           "rebuilds", "pause ms", "delta left"});
+  for (const ServeRow& r : serve_rows) {
+    serve_table.AddRow({r.mode, eval::FormatDouble(r.qps, 1),
+                        eval::FormatDouble(r.p50 * 1e3, 3),
+                        eval::FormatDouble(r.p99 * 1e3, 3),
+                        std::to_string(r.rows_ingested),
+                        std::to_string(r.rebuilds),
+                        eval::FormatDouble(r.last_rebuild_pause * 1e3, 3),
+                        std::to_string(r.final_delta_rows)});
+  }
+  serve_table.Print();
+
+  bench::Banner("I2", "delta depth: query tax and rebuild cost");
+  std::vector<DepthRow> depth_rows;
+  for (double fraction : {0.0, 0.10, 0.25, 0.50}) {
+    depth_rows.push_back(RunDepth(fraction));
+  }
+  eval::Table depth_table({"delta frac", "delta rows", "qps", "prepare ms",
+                           "commit ms"});
+  for (const DepthRow& r : depth_rows) {
+    depth_table.AddRow({eval::FormatDouble(r.delta_fraction_target, 2),
+                        std::to_string(r.delta_rows),
+                        eval::FormatDouble(r.qps, 1),
+                        eval::FormatDouble(r.prepare_seconds * 1e3, 3),
+                        eval::FormatDouble(r.commit_seconds * 1e3, 3)});
+  }
+  depth_table.Print();
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"ingest\",\n"
+               "  \"num_points\": %zu,\n  \"num_dims\": %d,\n"
+               "  \"query_threads\": %d,\n"
+               "  \"append_batches\": %d,\n  \"append_batch_rows\": %zu,\n"
+               "  \"note\": \"append-while-serving overlap is limited by "
+               "the host's core count; regenerate on a multi-core machine "
+               "for real concurrency numbers\",\n"
+               "  \"serving\": [\n",
+               kNumPoints, kNumDims, kQueryThreads, kAppendBatches,
+               kAppendBatchRows);
+  for (size_t i = 0; i < serve_rows.size(); ++i) {
+    const ServeRow& r = serve_rows[i];
+    std::fprintf(
+        f,
+        "    {\"mode\": \"%s\", \"qps\": %.2f, \"p50_latency_seconds\": "
+        "%.6g, \"p99_latency_seconds\": %.6g, \"rows_ingested\": %llu, "
+        "\"rebuilds_completed\": %llu, \"last_rebuild_pause_seconds\": "
+        "%.6g, \"final_delta_rows\": %llu}%s\n",
+        r.mode.c_str(), r.qps, r.p50, r.p99,
+        static_cast<unsigned long long>(r.rows_ingested),
+        static_cast<unsigned long long>(r.rebuilds), r.last_rebuild_pause,
+        static_cast<unsigned long long>(r.final_delta_rows),
+        i + 1 < serve_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"delta_depth\": [\n");
+  for (size_t i = 0; i < depth_rows.size(); ++i) {
+    const DepthRow& r = depth_rows[i];
+    std::fprintf(f,
+                 "    {\"delta_fraction\": %.2f, \"delta_rows\": %zu, "
+                 "\"qps\": %.2f, \"prepare_seconds\": %.6g, "
+                 "\"commit_seconds\": %.6g}%s\n",
+                 r.delta_fraction_target, r.delta_rows, r.qps,
+                 r.prepare_seconds, r.commit_seconds,
+                 i + 1 < depth_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", json_path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Run(argc > 1 ? argv[1] : "BENCH_ingest.json");
+  return 0;
+}

@@ -23,6 +23,7 @@ enum class StatusCode : int {
   kNotSupported = 6,
   kInternal = 7,
   kFailedPrecondition = 8,
+  kResourceExhausted = 9,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -76,6 +77,9 @@ class Status {
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -97,6 +101,9 @@ class Status {
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsFailedPrecondition() const {
     return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
   }
 
   /// "OK" or "<CodeName>: <message>".

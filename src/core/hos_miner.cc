@@ -44,37 +44,13 @@ Result<HosMiner> HosMiner::Build(data::Dataset dataset,
 
   HosMiner miner(std::move(config), std::move(owned), std::move(normalizer));
 
-  // 2. One SoA snapshot of the normalised data, shared by whichever kNN
-  //    backend is built below (and so by every QueryService worker).
-  miner.soa_view_ = std::make_shared<const kernels::DatasetView>(
-      kernels::DatasetView::Build(*miner.dataset_));
-
-  // 3. Index (paper module 1).
-  if (miner.config_.index == IndexKind::kXTree) {
-    auto built = miner.config_.bulk_load
-                     ? index::XTree::BulkLoad(*miner.dataset_,
-                                              miner.config_.metric,
-                                              miner.config_.xtree,
-                                              miner.soa_view_)
-                     : index::XTree::BuildByInsertion(*miner.dataset_,
-                                                      miner.config_.metric,
-                                                      miner.config_.xtree,
-                                                      miner.soa_view_);
-    if (!built.ok()) return built.status();
-    miner.xtree_ =
-        std::make_unique<index::XTree>(std::move(built).value());
-    miner.engine_ = std::make_unique<index::XTreeKnn>(*miner.xtree_);
-  } else if (miner.config_.index == IndexKind::kVaFile) {
-    auto built = index::VaFile::Build(*miner.dataset_, miner.config_.metric,
-                                      miner.config_.va_file,
-                                      miner.soa_view_);
-    if (!built.ok()) return built.status();
-    miner.va_file_ =
-        std::make_unique<index::VaFile>(std::move(built).value());
-    miner.engine_ = std::make_unique<index::VaFileKnn>(*miner.va_file_);
-  } else {
-    miner.engine_ = std::make_unique<knn::LinearScanKnn>(
-        *miner.dataset_, miner.config_.metric, miner.soa_view_);
+  // 2+3. SoA snapshot + index (paper module 1): exactly a rebuild's
+  //      prepare/commit over the freshly normalised rows, so initial
+  //      construction and every later streaming rebuild share one engine
+  //      stack (the commit also seals the rows as the immutable base).
+  {
+    HOS_ASSIGN_OR_RETURN(RebuildArtifacts stack, miner.PrepareRebuild());
+    miner.CommitRebuild(std::move(stack));
   }
 
   Rng rng(miner.config_.seed);
@@ -95,20 +71,25 @@ Result<HosMiner> HosMiner::Build(data::Dataset dataset,
   // 5. Sampling-based learning (paper module 2). Past the dense lattice
   //    cap each sample costs a full 2^d sparse lattice search whose
   //    tractability depends entirely on the data being frontier-band
-  //    shaped, so Build skips learning there (flat priors) rather than
+  //    shaped, so learning is skipped there (flat priors) rather than
   //    risk never returning; call learning::LearnPruningPriors directly
   //    to opt in at high d.
+  miner.InstallLearnedPriors(&rng);
+  return miner;
+}
+
+void HosMiner::InstallLearnedPriors(Rng* rng) {
+  const int d = dataset_->num_dims();
   learning::LearnerOptions learner_options;
   learner_options.sample_size =
-      d > lattice::kDenseMaxDims ? 0 : miner.config_.sample_size;
-  learner_options.k = miner.config_.k;
-  learner_options.threshold = miner.threshold_;
-  miner.learning_report_ = learning::LearnPruningPriors(
-      *miner.dataset_, *miner.engine_, learner_options, &rng);
-
-  miner.query_search_ = std::make_unique<search::DynamicSubspaceSearch>(
-      d, miner.learning_report_.priors);
-  return miner;
+      d > lattice::kDenseMaxDims ? 0 : config_.sample_size;
+  learner_options.k = config_.k;
+  learner_options.threshold = threshold_;
+  learning_report_ = learning::LearnPruningPriors(*dataset_, *engine_,
+                                                  learner_options, rng);
+  query_search_ = std::make_unique<search::DynamicSubspaceSearch>(
+      d, learning_report_.priors);
+  learning_stale_ = false;
 }
 
 Result<QueryResult> HosMiner::Query(data::PointId id,
@@ -198,10 +179,109 @@ Result<QueryResult> HosMiner::RunSearch(
   exec.pool = options.search_pool;
   exec.max_threads = options.search_threads;
   exec.lattice_backend = options.lattice_backend;
+  exec.max_od_evaluations = options.max_od_evaluations;
   QueryResult result;
+  result.dataset_version = dataset_->version();
   HOS_ASSIGN_OR_RETURN(result.outcome,
                        query_search_->Run(&od, threshold_, exec));
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Streaming ingest
+// ---------------------------------------------------------------------------
+
+Result<uint64_t> HosMiner::Append(
+    const std::vector<std::vector<double>>& raw_rows) {
+  HOS_ASSIGN_OR_RETURN(std::vector<std::vector<double>> normalized,
+                       PrepareAppend(raw_rows));
+  return CommitAppend(std::move(normalized));
+}
+
+Result<std::vector<std::vector<double>>> HosMiner::PrepareAppend(
+    const std::vector<std::vector<double>>& raw_rows) const {
+  // Width must be validated *before* normalization: ApplyToPoint asserts
+  // on a mis-sized point. This keeps the whole append all-or-nothing.
+  const int d = dataset_->num_dims();
+  for (size_t i = 0; i < raw_rows.size(); ++i) {
+    if (static_cast<int>(raw_rows[i].size()) != d) {
+      return Status::InvalidArgument(
+          "appended row " + std::to_string(i) + " has " +
+          std::to_string(raw_rows[i].size()) + " dimensions, dataset has " +
+          std::to_string(d));
+    }
+  }
+  std::vector<std::vector<double>> normalized = raw_rows;
+  for (std::vector<double>& row : normalized) {
+    normalizer_.ApplyToPoint(&row);
+  }
+  return normalized;
+}
+
+uint64_t HosMiner::CommitAppend(
+    std::vector<std::vector<double>> normalized_rows) {
+  if (normalized_rows.empty()) return dataset_->version();
+  // Widths were validated by PrepareAppend (the only sanctioned producer
+  // of these rows), so the rows append directly.
+  for (const std::vector<double>& row : normalized_rows) {
+    dataset_->Append(row);
+  }
+  learning_stale_ = true;
+  return dataset_->version();
+}
+
+void HosMiner::RefreshLearning() {
+  Rng rng(config_.seed);
+  InstallLearnedPriors(&rng);
+}
+
+Result<HosMiner::RebuildArtifacts> HosMiner::PrepareRebuild() const {
+  RebuildArtifacts artifacts;
+  artifacts.rows = dataset_->size();
+  artifacts.version = dataset_->version();
+  artifacts.view = std::make_shared<const kernels::DatasetView>(
+      kernels::DatasetView::Build(*dataset_));
+  if (config_.index == IndexKind::kXTree) {
+    auto built = config_.bulk_load
+                     ? index::XTree::BulkLoad(*dataset_, config_.metric,
+                                              config_.xtree, artifacts.view)
+                     : index::XTree::BuildByInsertion(*dataset_,
+                                                      config_.metric,
+                                                      config_.xtree,
+                                                      artifacts.view);
+    if (!built.ok()) return built.status();
+    artifacts.xtree =
+        std::make_unique<index::XTree>(std::move(built).value());
+    artifacts.engine = std::make_unique<index::XTreeKnn>(*artifacts.xtree);
+  } else if (config_.index == IndexKind::kVaFile) {
+    auto built = index::VaFile::Build(*dataset_, config_.metric,
+                                      config_.va_file, artifacts.view);
+    if (!built.ok()) return built.status();
+    artifacts.va_file =
+        std::make_unique<index::VaFile>(std::move(built).value());
+    artifacts.engine =
+        std::make_unique<index::VaFileKnn>(*artifacts.va_file);
+  } else {
+    artifacts.engine = std::make_unique<knn::LinearScanKnn>(
+        *dataset_, config_.metric, artifacts.view);
+  }
+  return artifacts;
+}
+
+void HosMiner::CommitRebuild(RebuildArtifacts artifacts) {
+  soa_view_ = std::move(artifacts.view);
+  xtree_ = std::move(artifacts.xtree);
+  va_file_ = std::move(artifacts.va_file);
+  engine_ = std::move(artifacts.engine);
+  // Rows appended after PrepareRebuild are not in the artifacts; they stay
+  // in the delta, so the base seal stops at what the rebuild covered.
+  dataset_->SealBaseAt(artifacts.rows);
+}
+
+Status HosMiner::Rebuild() {
+  HOS_ASSIGN_OR_RETURN(RebuildArtifacts artifacts, PrepareRebuild());
+  CommitRebuild(std::move(artifacts));
+  return Status::OK();
 }
 
 }  // namespace hos::core

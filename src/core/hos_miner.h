@@ -88,11 +88,23 @@ struct QueryOptions {
   /// produce bit-identical answers. Forcing kDense past its cap makes the
   /// query return InvalidArgument.
   lattice::LatticeBackend lattice_backend = lattice::LatticeBackend::kAuto;
+  /// Work budget: maximum fresh OD evaluations one query may spend; 0 is
+  /// unlimited. A query whose next lattice level would exceed it returns
+  /// ResourceExhausted instead of running for hours — the guard for
+  /// exhaustive / non-band searches at d > 22
+  /// (SearchExecution::max_od_evaluations).
+  uint64_t max_od_evaluations = 0;
 };
 
 /// Answer for one query point.
 struct QueryResult {
   search::SearchOutcome outcome;
+
+  /// Dataset version (data::Dataset::version) the query was answered at.
+  /// In the serving layer every result's version corresponds to a dataset
+  /// state that actually existed: appends are serialized against queries,
+  /// so a query sees either all of an append batch or none of it.
+  uint64_t dataset_version = 0;
 
   /// The refined answer set (paper §3.4): minimal outlying subspaces.
   const std::vector<Subspace>& outlying_subspaces() const {
@@ -114,10 +126,13 @@ class HosMiner {
   /// Finds the outlying subspaces of dataset row `id` (the row itself is
   /// excluded from its neighbour sets).
   ///
-  /// Thread safety: after Build returns, a HosMiner is immutable; Query,
+  /// Thread safety: as long as nothing mutates the miner, Query,
   /// QueryPoint, QueryAll, ScreenOutliers and TopOutliers may be called
   /// concurrently from any number of threads (the engines' work counters
-  /// are relaxed atomics; all per-query state lives on the caller's stack).
+  /// are relaxed atomics; all per-query state lives on the caller's
+  /// stack). The streaming-ingest mutators (Append, CommitRebuild,
+  /// Rebuild, RefreshLearning) must be serialized against the query path —
+  /// see the streaming section below.
   Result<QueryResult> Query(data::PointId id) const {
     return Query(id, QueryOptions{});
   }
@@ -148,6 +163,85 @@ class HosMiner {
   /// OD measure), regardless of the threshold.
   std::vector<ScreenedOutlier> TopOutliers(int top_n) const;
 
+  // -------------------------------------------------------------------
+  // Streaming ingest. The dataset is append-only after Build: Append adds
+  // rows (the delta) which every query merges in exactly — the kNN
+  // backends scan the delta alongside their index/kernel base — so
+  // answers at version v are bit-identical to a miner freshly built on
+  // the same rows (given the same threshold and priors). A rebuild folds
+  // the delta into the index and SoA snapshot; it never re-fits the
+  // normalizer or re-estimates the threshold (that would change the
+  // meaning of previously returned results).
+  //
+  // Thread safety: Append / CommitRebuild / Rebuild / RefreshLearning
+  // mutate the miner and must be externally serialized against the const
+  // query path; PrepareRebuild only reads, so it may run concurrently
+  // with queries (but not with mutations). service::QueryService
+  // implements exactly this discipline with its ingest lock.
+  // -------------------------------------------------------------------
+
+  /// Appends rows given in *raw* (pre-normalisation) coordinates; they are
+  /// transformed with the Build-time fitted normalizer. Returns the new
+  /// dataset version. Marks the learned pruning priors stale (answers are
+  /// unaffected — priors only steer search order — so refreshing is lazy:
+  /// call RefreshLearning when delta-heavy query plans degrade).
+  /// Equivalent to PrepareAppend + CommitAppend.
+  Result<uint64_t> Append(const std::vector<std::vector<double>>& raw_rows);
+
+  /// Validation + normalization half of Append: read-only (safe to run
+  /// concurrently with queries), so a serving layer can do the per-row
+  /// work outside its writer lock and keep the exclusive section down to
+  /// CommitAppend's row-copy mutation.
+  Result<std::vector<std::vector<double>>> PrepareAppend(
+      const std::vector<std::vector<double>>& raw_rows) const;
+
+  /// Commits rows produced by PrepareAppend; returns the new version.
+  uint64_t CommitAppend(std::vector<std::vector<double>> normalized_rows);
+
+  /// Monotonic dataset version; every appended row bumps it.
+  uint64_t version() const { return dataset_->version(); }
+
+  /// Rows appended since Build / the last committed rebuild.
+  size_t delta_rows() const { return dataset_->delta_size(); }
+
+  /// delta_rows() / dataset size — the rebuild-policy signal.
+  double delta_fraction() const { return dataset_->delta_fraction(); }
+
+  /// True when rows were appended since the pruning priors were learned.
+  bool learning_stale() const { return learning_stale_; }
+
+  /// Re-runs the sampling-based learning process on the current dataset
+  /// and installs the fresh priors (same skip rule as Build past the
+  /// dense-lattice cap). Purely a query-plan refresh: answers never
+  /// change.
+  void RefreshLearning();
+
+  /// Everything a rebuild constructs, produced by PrepareRebuild without
+  /// touching the served state so queries can continue meanwhile; swapped
+  /// in by CommitRebuild in O(1).
+  struct RebuildArtifacts {
+    std::shared_ptr<const kernels::DatasetView> view;
+    std::unique_ptr<index::XTree> xtree;
+    std::unique_ptr<index::VaFile> va_file;
+    std::unique_ptr<knn::KnnEngine> engine;
+    /// Rows and version the artifacts cover (rows appended after
+    /// PrepareRebuild simply stay in the delta after the commit).
+    size_t rows = 0;
+    uint64_t version = 0;
+  };
+
+  /// Builds a fresh SoA snapshot and index over all current rows. Heavy
+  /// (O(n·d) plus the index bulk load); read-only.
+  Result<RebuildArtifacts> PrepareRebuild() const;
+
+  /// Installs prepared artifacts and re-seals the dataset base. Cheap —
+  /// this is the only step a serving layer must block writers and readers
+  /// for.
+  void CommitRebuild(RebuildArtifacts artifacts);
+
+  /// PrepareRebuild + CommitRebuild in one call.
+  Status Rebuild();
+
   double threshold() const { return threshold_; }
   int num_dims() const { return dataset_->num_dims(); }
   const HosMinerConfig& config() const { return config_; }
@@ -177,6 +271,12 @@ class HosMiner {
                                 std::optional<data::PointId> exclude,
                                 const QueryOptions& options) const;
 
+  /// The one learning step shared by Build and RefreshLearning: runs the
+  /// sampling-based learner (skipped — flat priors — past the dense
+  /// lattice cap, where each sample would cost a full sparse search) and
+  /// installs the resulting priors into the query search.
+  void InstallLearnedPriors(Rng* rng);
+
   HosMinerConfig config_;
   std::unique_ptr<data::Dataset> dataset_;  // normalised copy
   std::shared_ptr<const kernels::DatasetView> soa_view_;
@@ -187,6 +287,7 @@ class HosMiner {
   double threshold_ = 0.0;
   learning::LearningReport learning_report_;
   std::unique_ptr<search::DynamicSubspaceSearch> query_search_;
+  bool learning_stale_ = false;
 };
 
 }  // namespace hos::core

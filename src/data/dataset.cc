@@ -35,7 +35,22 @@ Result<Dataset> Dataset::FromRows(
 PointId Dataset::Append(std::span<const double> row) {
   assert(static_cast<int>(row.size()) == num_dims_);
   values_.insert(values_.end(), row.begin(), row.end());
+  ++version_;
   return static_cast<PointId>(num_points_++);
+}
+
+Result<uint64_t> Dataset::AppendRows(
+    const std::vector<std::vector<double>>& rows) {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (static_cast<int>(rows[i].size()) != num_dims_) {
+      return Status::InvalidArgument(
+          "appended row " + std::to_string(i) + " has " +
+          std::to_string(rows[i].size()) + " values, expected " +
+          std::to_string(num_dims_));
+    }
+  }
+  for (const std::vector<double>& row : rows) Append(row);
+  return version_;
 }
 
 std::vector<double> Dataset::RowCopy(PointId id) const {

@@ -1,10 +1,22 @@
 // Dataset: an in-memory, row-major collection of d-dimensional points.
 // This is the single data representation shared by the index, the kNN
 // engines, the search algorithms and the baselines.
+//
+// Streaming ingest model: a dataset carries a monotonically increasing
+// version() counter (every mutation — appended row or in-place Set — bumps
+// it) and an immutable base/delta split. SealBase() freezes the current
+// rows as the *base*: the prefix the SoA snapshots and index structures are
+// built over. Rows appended afterwards form the *delta*
+// [base_size(), size()), which the kNN backends serve by an exact scalar
+// scan merged into their kernel/index results until the next rebuild
+// re-seals the base. In-place mutation of sealed base rows is a contract
+// violation (it silently invalidates every structure built over the base);
+// it is detectable after the fact through last_overwrite_version().
 
 #ifndef HOS_DATA_DATASET_H_
 #define HOS_DATA_DATASET_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -23,6 +35,10 @@ using PointId = uint32_t;
 /// Rows are points, columns are dimensions/attributes. The storage is one
 /// contiguous buffer so scans are cache-friendly; `Row(i)` returns a span
 /// view with no copies.
+///
+/// Thread safety: none. Mutations (Append/AppendRows/Set) may reallocate
+/// the storage and must be externally serialized against readers —
+/// service::QueryService does this with its ingest lock.
 class Dataset {
  public:
   /// Empty dataset with `num_dims` columns. Column names default to
@@ -40,6 +56,49 @@ class Dataset {
   /// Appends a point; returns its id. `row.size()` must equal num_dims().
   PointId Append(std::span<const double> row);
 
+  /// Appends a batch of rows, validating each row's width. Returns the
+  /// dataset version after the append. On error nothing is appended.
+  Result<uint64_t> AppendRows(const std::vector<std::vector<double>>& rows);
+
+  /// Monotonic mutation counter: +1 per appended row, +1 per Set call.
+  /// Two equal versions of the same dataset object denote identical
+  /// contents, and version never decreases — the serving layer keys its
+  /// cross-query OD cache by it.
+  uint64_t version() const { return version_; }
+
+  /// The version recorded by the most recent in-place Set; 0 when no cell
+  /// was ever overwritten. A snapshot taken at version v still matches the
+  /// first n rows iff last_overwrite_version() <= v (appends never change
+  /// existing rows).
+  uint64_t last_overwrite_version() const { return last_overwrite_version_; }
+
+  /// Seals the current rows as the immutable base and returns the current
+  /// version. Called when the system (re)builds its snapshots and indexes;
+  /// rows appended afterwards are the delta.
+  uint64_t SealBase() {
+    base_size_ = num_points_;
+    return version_;
+  }
+
+  /// Seals the first `rows` rows (clamped to size()) as the base — the
+  /// form a rebuild commit uses when its artifacts were prepared before
+  /// further rows were appended.
+  void SealBaseAt(size_t rows) { base_size_ = std::min(rows, num_points_); }
+
+  /// Rows in the sealed base (0 before the first SealBase call).
+  size_t base_size() const { return base_size_; }
+
+  /// Rows appended since the base was sealed.
+  size_t delta_size() const { return num_points_ - base_size_; }
+
+  /// delta / size, the rebuild-policy signal; 0 for an empty dataset.
+  double delta_fraction() const {
+    return num_points_ == 0
+               ? 0.0
+               : static_cast<double>(delta_size()) /
+                     static_cast<double>(num_points_);
+  }
+
   /// Read-only view of a row.
   std::span<const double> Row(PointId id) const {
     return {&values_[static_cast<size_t>(id) * num_dims_],
@@ -50,8 +109,11 @@ class Dataset {
   double At(PointId id, int dim) const {
     return values_[static_cast<size_t>(id) * num_dims_ + dim];
   }
+  /// In-place overwrite. Bumps version() and records the overwrite so
+  /// snapshot holders can detect that their base no longer matches.
   void Set(PointId id, int dim, double value) {
     values_[static_cast<size_t>(id) * num_dims_ + dim] = value;
+    last_overwrite_version_ = ++version_;
   }
 
   /// Copies a row out (for callers that need to mutate a query point).
@@ -66,6 +128,9 @@ class Dataset {
  private:
   int num_dims_;
   size_t num_points_ = 0;
+  size_t base_size_ = 0;
+  uint64_t version_ = 0;
+  uint64_t last_overwrite_version_ = 0;
   std::vector<double> values_;
   std::vector<std::string> names_;
 };

@@ -5,6 +5,7 @@
 
 #include "src/data/kmeans.h"
 #include "src/kernels/batched_distance.h"
+#include "src/knn/delta_scan.h"
 
 namespace hos::index {
 
@@ -22,6 +23,7 @@ Result<IDistance> IDistance::Build(
       config.num_partitions, static_cast<int>(dataset.size()));
 
   IDistance index(dataset, metric, config);
+  index.base_rows_ = dataset.size();
   index.view_ = view != nullptr
                     ? std::move(view)
                     : std::make_shared<const kernels::DatasetView>(
@@ -72,6 +74,23 @@ Result<IDistance> IDistance::Build(
   return index;
 }
 
+Status IDistance::Rebuild(Rng* rng,
+                          std::shared_ptr<const kernels::DatasetView> view) {
+  auto built = Build(*dataset_, metric_, config_, rng, std::move(view));
+  if (!built.ok()) return built.status();
+  const uint64_t dist = distance_count_;
+  const uint64_t stale = stale_fallbacks_;
+  *this = std::move(built).value();
+  distance_count_ = dist;
+  stale_fallbacks_ = stale;
+  return Status::OK();
+}
+
+const kernels::DatasetView* IDistance::kernel_view() const {
+  return knn::GateKernelView(view_, *dataset_, base_rows_,
+                             &stale_fallbacks_, "IDistance");
+}
+
 std::vector<knn::Neighbor> IDistance::Knn(
     std::span<const double> point, int k,
     std::optional<data::PointId> exclude) const {
@@ -86,9 +105,10 @@ std::vector<knn::Neighbor> IDistance::Knn(
                                            full, metric_);
   }
 
+  const size_t base = std::min(base_rows_, dataset_->size());
   kernels::TopKCollector best(want);
   const kernels::DatasetView* view = kernel_view();
-  std::vector<char> visited(dataset_->size(), 0);
+  std::vector<char> visited(base, 0);
   std::vector<data::PointId> batch;  // refinement candidates per stripe scan
   const double step = std::max(mean_radius_ *
                                    config_.initial_radius_fraction,
@@ -134,9 +154,10 @@ std::vector<knn::Neighbor> IDistance::Knn(
       }
     }
     // Stop when k found and nothing unseen can beat the k-th distance, or
-    // when the radius has grown past every partition.
+    // when the radius has grown past every partition. Only the base rows
+    // are reachable through the stripes; the append delta is merged below.
     const size_t reachable =
-        dataset_->size() - (exclude.has_value() ? 1 : 0);
+        base - (exclude.has_value() && *exclude < base ? 1 : 0);
     if (best.size() >= std::min(want, reachable) &&
         (best.empty() || best.worst() <= r)) {
       break;
@@ -148,6 +169,12 @@ std::vector<knn::Neighbor> IDistance::Knn(
     if (!any_left && best.size() >= std::min(want, reachable)) break;
     r += step;
   }
+
+  // Exact merge of the append delta [base, size): the k smallest of
+  // base ∪ delta are the k smallest of (base top-k) ∪ delta.
+  distance_count_ += knn::DeltaScanTopK(
+      *dataset_, metric_, point, full, static_cast<data::PointId>(base),
+      static_cast<data::PointId>(dataset_->size()), exclude, &best);
 
   return best.TakeSorted();
 }
@@ -191,6 +218,10 @@ std::vector<knn::Neighbor> IDistance::RangeSearch(
       });
     }
   }
+  distance_count_ += knn::DeltaScanRange(
+      *dataset_, metric_, point, full,
+      static_cast<data::PointId>(std::min(base_rows_, dataset_->size())),
+      static_cast<data::PointId>(dataset_->size()), radius, &out);
   std::sort(out.begin(), out.end(),
             [](const knn::Neighbor& a, const knn::Neighbor& b) {
               if (a.distance != b.distance) return a.distance < b.distance;
@@ -201,11 +232,11 @@ std::vector<knn::Neighbor> IDistance::RangeSearch(
 
 Status IDistance::CheckInvariants() const {
   HOS_RETURN_IF_ERROR(tree_.CheckInvariants());
-  if (tree_.size() != dataset_->size()) {
-    return Status::Internal("B+-tree entry count != dataset size");
+  if (tree_.size() != base_rows_) {
+    return Status::Internal("B+-tree entry count != base row count");
   }
   const Subspace full = Subspace::Full(dataset_->num_dims());
-  for (data::PointId i = 0; i < dataset_->size(); ++i) {
+  for (data::PointId i = 0; i < base_rows_; ++i) {
     int p = assignment_[i];
     if (p < 0 || p >= static_cast<int>(partitions_.size())) {
       return Status::Internal("point assigned to invalid partition");

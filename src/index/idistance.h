@@ -77,8 +77,23 @@ class IDistance {
   std::vector<knn::Neighbor> RangeSearch(std::span<const double> point,
                                          double radius) const;
 
+  /// Streaming-ingest rebuild: re-runs the k-means partitioning, keys and
+  /// B+-tree over all current dataset rows and re-snapshots the SoA view
+  /// (sharing `view` when given), emptying the delta. Query counters
+  /// survive. Not thread-safe with concurrent queries.
+  Status Rebuild(Rng* rng,
+                 std::shared_ptr<const kernels::DatasetView> view = nullptr);
+
   size_t size() const { return dataset_->size(); }
   knn::MetricKind metric() const { return metric_; }
+
+  /// Rows the partitions/keys cover; [base_rows(), size()) is the append
+  /// delta, merged into query results by an exact scalar scan.
+  size_t base_rows() const { return base_rows_; }
+
+  /// Queries that fell back to the scalar refinement although a snapshot
+  /// was attached (in-place overwrite since the snapshot was taken).
+  uint64_t stale_fallbacks() const { return stale_fallbacks_; }
   const std::vector<IDistancePartition>& partitions() const {
     return partitions_;
   }
@@ -99,21 +114,24 @@ class IDistance {
     return partition * stripe_width_ + distance_to_center;
   }
 
-  /// The SoA snapshot, or null when stale (scalar refinement serves).
-  const kernels::DatasetView* kernel_view() const {
-    return kernels::IfFresh(view_, dataset_->size());
-  }
+  /// The SoA snapshot for the batched refinement, or null when it cannot
+  /// serve (no snapshot, overwritten since taken, or not covering the
+  /// base). Logs (once) when a snapshot is attached but unusable.
+  const kernels::DatasetView* kernel_view() const;
 
   const data::Dataset* dataset_;
   knn::MetricKind metric_;
   IDistanceConfig config_;
+  /// Rows the partitions/keys cover.
+  size_t base_rows_ = 0;
   std::vector<IDistancePartition> partitions_;
-  std::vector<int> assignment_;  ///< partition per point
+  std::vector<int> assignment_;  ///< partition per base point
   double stripe_width_ = 0.0;    ///< the constant c
   double mean_radius_ = 0.0;
   std::shared_ptr<const kernels::DatasetView> view_;
   BPlusTree<double, data::PointId> tree_;
   mutable RelaxedCounter distance_count_;  // race-free under concurrent queries
+  mutable RelaxedCounter stale_fallbacks_;
 };
 
 }  // namespace hos::index

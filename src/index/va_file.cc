@@ -7,6 +7,7 @@
 #include <queue>
 
 #include "src/kernels/batched_distance.h"
+#include "src/knn/delta_scan.h"
 
 namespace hos::index {
 
@@ -38,6 +39,7 @@ Result<VaFile> VaFile::Build(const data::Dataset& dataset,
     file.dim_width_[dim] =
         extent > 0.0 ? extent / file.cells_per_dim_ : 1.0;
   }
+  file.base_rows_ = dataset.size();
   file.cells_.resize(dataset.size() * static_cast<size_t>(d));
   for (data::PointId i = 0; i < dataset.size(); ++i) {
     auto row = dataset.Row(i);
@@ -47,6 +49,22 @@ Result<VaFile> VaFile::Build(const data::Dataset& dataset,
     }
   }
   return file;
+}
+
+Status VaFile::Rebuild(std::shared_ptr<const kernels::DatasetView> view) {
+  auto built = Build(*dataset_, metric_, config_, std::move(view));
+  if (!built.ok()) return built.status();
+  const uint64_t dist = distance_count_;
+  const uint64_t stale = stale_fallbacks_;
+  *this = std::move(built).value();
+  distance_count_ = dist;
+  stale_fallbacks_ = stale;
+  return Status::OK();
+}
+
+const kernels::DatasetView* VaFile::kernel_view() const {
+  return knn::GateKernelView(view_, *dataset_, base_rows_,
+                             &stale_fallbacks_, "VaFile");
 }
 
 int VaFile::CellOf(int dim, double value) const {
@@ -101,22 +119,24 @@ void VaFile::Bounds(data::PointId id, std::span<const double> point,
 
 std::vector<knn::Neighbor> VaFile::Knn(const knn::KnnQuery& query) const {
   const size_t n = dataset_->size();
+  const size_t base = std::min(base_rows_, n);
   const size_t k = static_cast<size_t>(std::max(query.k, 0));
   if (n == 0 || k == 0) {
     last_candidates_ = 0;
     return {};
   }
 
-  // Phase 1: bounds from the approximation file. tau = k-th smallest upper
-  // bound; anything with lower > tau cannot be in the answer.
+  // Phase 1: bounds from the approximation file (which covers the base
+  // rows only). tau = k-th smallest upper bound; anything with lower > tau
+  // cannot be in the base's answer.
   struct Approx {
     double lower;
     data::PointId id;
   };
   std::vector<Approx> approx;
-  approx.reserve(n);
+  approx.reserve(base);
   std::priority_queue<double> upper_heap;  // max-heap of k smallest uppers
-  for (data::PointId id = 0; id < n; ++id) {
+  for (data::PointId id = 0; id < base; ++id) {
     if (query.exclude && *query.exclude == id) continue;
     double lower, upper;
     Bounds(id, query.point, query.subspace, &lower, &upper);
@@ -128,24 +148,24 @@ std::vector<knn::Neighbor> VaFile::Knn(const knn::KnnQuery& query) const {
       upper_heap.push(upper);
     }
   }
-  if (upper_heap.empty()) {  // every point excluded — nothing to rank
-    last_candidates_ = 0;
-    return {};
-  }
-  const double tau = upper_heap.top();
 
   // Phase 2: exact distances for survivors, visited in ascending
-  // lower-bound order so the running k-th distance prunes early.
+  // lower-bound order so the running k-th distance prunes early. Skipped
+  // when every base point was excluded (or the base is empty); the delta
+  // merge below still serves rows appended after the file was built.
   std::vector<Approx> candidates;
-  candidates.reserve(approx.size() / 4 + 1);
-  for (const Approx& a : approx) {
-    if (a.lower <= tau) candidates.push_back(a);
+  if (!upper_heap.empty()) {
+    const double tau = upper_heap.top();
+    candidates.reserve(approx.size() / 4 + 1);
+    for (const Approx& a : approx) {
+      if (a.lower <= tau) candidates.push_back(a);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Approx& a, const Approx& b) {
+                if (a.lower != b.lower) return a.lower < b.lower;
+                return a.id < b.id;
+              });
   }
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Approx& a, const Approx& b) {
-              if (a.lower != b.lower) return a.lower < b.lower;
-              return a.id < b.id;
-            });
 
   kernels::TopKCollector best(k);
   uint64_t candidates_visited = 0;  // published once at the end, so
@@ -194,6 +214,13 @@ std::vector<knn::Neighbor> VaFile::Knn(const knn::KnnQuery& query) const {
     }
   }
 
+  // Exact merge of the append delta [base, n): the k smallest of
+  // base ∪ delta are the k smallest of (base top-k) ∪ delta.
+  distance_count_ += knn::DeltaScanTopK(
+      *dataset_, metric_, query.point, query.subspace,
+      static_cast<data::PointId>(base), static_cast<data::PointId>(n),
+      query.exclude, &best);
+
   last_candidates_ = candidates_visited;
   return best.TakeSorted();
 }
@@ -202,10 +229,12 @@ std::vector<knn::Neighbor> VaFile::RangeSearch(std::span<const double> point,
                                                const Subspace& subspace,
                                                double radius) const {
   std::vector<knn::Neighbor> out;
+  const auto base = static_cast<data::PointId>(
+      std::min(base_rows_, dataset_->size()));
   const kernels::DatasetView* view = kernel_view();
   if (view != nullptr) {
     std::vector<data::PointId> survivors;
-    for (data::PointId id = 0; id < dataset_->size(); ++id) {
+    for (data::PointId id = 0; id < base; ++id) {
       double lower, upper;
       Bounds(id, point, subspace, &lower, &upper);
       if (lower <= radius) survivors.push_back(id);
@@ -218,7 +247,7 @@ std::vector<knn::Neighbor> VaFile::RangeSearch(std::span<const double> point,
       if (dist[i] <= radius) out.push_back({survivors[i], dist[i]});
     }
   } else {
-    for (data::PointId id = 0; id < dataset_->size(); ++id) {
+    for (data::PointId id = 0; id < base; ++id) {
       double lower, upper;
       Bounds(id, point, subspace, &lower, &upper);
       if (lower > radius) continue;
@@ -228,6 +257,9 @@ std::vector<knn::Neighbor> VaFile::RangeSearch(std::span<const double> point,
       if (dist <= radius) out.push_back({id, dist});
     }
   }
+  distance_count_ += knn::DeltaScanRange(
+      *dataset_, metric_, point, subspace, base,
+      static_cast<data::PointId>(dataset_->size()), radius, &out);
   std::sort(out.begin(), out.end(),
             [](const knn::Neighbor& a, const knn::Neighbor& b) {
               if (a.distance != b.distance) return a.distance < b.distance;

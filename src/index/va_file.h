@@ -31,7 +31,9 @@ struct VaFileConfig {
 };
 
 /// The approximation file plus query machinery. Bound to a Dataset (not
-/// owned); rebuild after the dataset changes.
+/// owned). The approximations cover the rows present at Build — the base;
+/// rows appended afterwards (the delta) are merged into query results by an
+/// exact scalar scan until Rebuild() folds them into the file.
 class VaFile {
  public:
   /// Builds approximations for all current dataset rows. Cell boundaries
@@ -52,13 +54,26 @@ class VaFile {
                                          const Subspace& subspace,
                                          double radius) const;
 
+  /// Streaming-ingest rebuild: recomputes cell boundaries and
+  /// approximations over all current dataset rows and re-snapshots the SoA
+  /// view (sharing `view` when given), emptying the delta. Query counters
+  /// survive. Not thread-safe with concurrent queries.
+  Status Rebuild(std::shared_ptr<const kernels::DatasetView> view = nullptr);
+
   size_t size() const { return dataset_->size(); }
   knn::MetricKind metric() const { return metric_; }
+
+  /// Rows the approximation file covers; [base_rows(), size()) is the
+  /// append delta served by the scalar merge.
+  size_t base_rows() const { return base_rows_; }
 
   /// Exact (phase-2) distance computations so far.
   uint64_t distance_computations() const { return distance_count_; }
   /// Points surviving the approximation filter in the last query.
   uint64_t last_candidate_count() const { return last_candidates_; }
+  /// Queries that fell back to the scalar refinement although a snapshot
+  /// was attached (in-place overwrite since the snapshot was taken).
+  uint64_t stale_fallbacks() const { return stale_fallbacks_; }
 
  private:
   VaFile(const data::Dataset& dataset, knn::MetricKind metric,
@@ -70,15 +85,17 @@ class VaFile {
               const Subspace& subspace, double* lower, double* upper) const;
   int CellOf(int dim, double value) const;
 
-  /// The SoA snapshot, or null when stale (scalar exact phase serves).
-  const kernels::DatasetView* kernel_view() const {
-    return kernels::IfFresh(view_, dataset_->size());
-  }
+  /// The SoA snapshot for the batched exact phase, or null when it cannot
+  /// serve (no snapshot, overwritten since taken, or not covering the
+  /// base). Logs (once) when a snapshot is attached but unusable.
+  const kernels::DatasetView* kernel_view() const;
 
   const data::Dataset* dataset_;
   knn::MetricKind metric_;
   VaFileConfig config_;
   int cells_per_dim_;
+  /// Rows the approximation file covers (== cells_ rows).
+  size_t base_rows_ = 0;
   /// Per-dimension cell boundaries: lo + i * width.
   std::vector<double> dim_lo_;
   std::vector<double> dim_width_;  // width of one cell
@@ -90,6 +107,7 @@ class VaFile {
   // concurrency it holds the count of whichever query published last.
   mutable RelaxedCounter distance_count_;
   mutable RelaxedCounter last_candidates_;
+  mutable RelaxedCounter stale_fallbacks_;
 };
 
 /// KnnEngine adapter.

@@ -8,6 +8,7 @@
 #include <queue>
 
 #include "src/kernels/batched_distance.h"
+#include "src/knn/delta_scan.h"
 
 namespace hos::index {
 
@@ -184,7 +185,8 @@ SplitPlan ChooseMinOverlapSplit(const std::vector<Mbr>& boxes,
 
 XTree::XTree(const data::Dataset& dataset, knn::MetricKind metric,
              XTreeConfig config)
-    : dataset_(&dataset), metric_(metric), config_(config) {
+    : dataset_(&dataset), metric_(metric), config_(config),
+      base_rows_(dataset.size()) {
   assert(config_.max_entries >= 4);
   assert(config_.min_fill > 0.0 && config_.min_fill <= 0.5);
 }
@@ -203,7 +205,21 @@ Status XTree::Insert(data::PointId id) {
                               " outside dataset of size " +
                               std::to_string(dataset_->size()));
   }
+  // A hand-inserted appended row moves from the delta scan's coverage to
+  // the tree's, which is only unambiguous when the insertion is
+  // contiguous: skipping ahead would leave rows in [base_rows_, id)
+  // covered by neither (silently missing from every query), and without
+  // the bump the row would be double-counted by tree and delta scan.
+  if (static_cast<size_t>(id) > base_rows_) {
+    return Status::FailedPrecondition(
+        "inserting appended row " + std::to_string(id) +
+        " ahead of the delta boundary " + std::to_string(base_rows_) +
+        " would leave earlier appended rows covered by neither the tree "
+        "nor the delta scan; insert appended rows in order (or use "
+        "Rebuild to fold the whole delta)");
+  }
   view_.reset();  // snapshot may no longer cover the inserted row
+  if (static_cast<size_t>(id) == base_rows_) ++base_rows_;
   auto point = dataset_->Row(id);
   if (root_ == nullptr) {
     root_ = std::make_unique<Node>(/*leaf=*/true, dataset_->num_dims());
@@ -449,6 +465,21 @@ void XTree::RefreshKernelView() {
       kernels::DatasetView::Build(*dataset_));
 }
 
+Status XTree::Rebuild(std::shared_ptr<const kernels::DatasetView> view) {
+  auto built = BulkLoad(*dataset_, metric_, config_, std::move(view));
+  if (!built.ok()) return built.status();
+  // Preserve the monotonic query tallies across the swap so monitoring
+  // deltas computed around a rebuild stay meaningful.
+  const uint64_t dist = distance_count_;
+  const uint64_t nodes = node_access_count_;
+  const uint64_t stale = stale_fallbacks_;
+  *this = std::move(built).value();
+  distance_count_ = dist;
+  node_access_count_ = nodes;
+  stale_fallbacks_ = stale;
+  return Status::OK();
+}
+
 Result<XTree> XTree::BuildByInsertion(
     const data::Dataset& dataset, knn::MetricKind metric, XTreeConfig config,
     std::shared_ptr<const kernels::DatasetView> view) {
@@ -597,7 +628,28 @@ struct QueueGreater {
 
 }  // namespace
 
+const kernels::DatasetView* XTree::kernel_view() const {
+  return knn::GateKernelView(view_, *dataset_, base_rows_,
+                             &stale_fallbacks_, "XTree");
+}
+
 std::vector<knn::Neighbor> XTree::Knn(const knn::KnnQuery& query) const {
+  std::vector<knn::Neighbor> out = KnnBase(query);
+  // Exact merge of the append delta: the k smallest (distance, id) of
+  // base ∪ delta are the k smallest of (base top-k) ∪ delta.
+  const auto live = static_cast<data::PointId>(dataset_->size());
+  if (live > base_rows_ && query.k > 0) {
+    kernels::TopKCollector merged(static_cast<size_t>(query.k));
+    for (const knn::Neighbor& n : out) merged.Offer(n.id, n.distance);
+    distance_count_ += knn::DeltaScanTopK(
+        *dataset_, metric_, query.point, query.subspace,
+        static_cast<data::PointId>(base_rows_), live, query.exclude, &merged);
+    return merged.TakeSorted();
+  }
+  return out;
+}
+
+std::vector<knn::Neighbor> XTree::KnnBase(const knn::KnnQuery& query) const {
   std::vector<knn::Neighbor> out;
   if (root_ == nullptr || query.k <= 0) return out;
   out.reserve(query.k);
@@ -674,7 +726,18 @@ std::vector<knn::Neighbor> XTree::RangeSearch(std::span<const double> point,
                                               const Subspace& subspace,
                                               double radius) const {
   std::vector<knn::Neighbor> out;
-  if (root_ == nullptr) return out;
+  if (root_ == nullptr) {
+    distance_count_ += knn::DeltaScanRange(
+        *dataset_, metric_, point, subspace,
+        static_cast<data::PointId>(base_rows_),
+        static_cast<data::PointId>(dataset_->size()), radius, &out);
+    std::sort(out.begin(), out.end(),
+              [](const knn::Neighbor& a, const knn::Neighbor& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return a.id < b.id;
+              });
+    return out;
+  }
 
   const kernels::DatasetView* view = kernel_view();
   const std::vector<int> dims = subspace.Dims();
@@ -711,6 +774,10 @@ std::vector<knn::Neighbor> XTree::RangeSearch(std::span<const double> point,
   if (root_->mbr.MinDistance(point, subspace, metric_) <= radius) {
     visit(root_.get());
   }
+  distance_count_ += knn::DeltaScanRange(
+      *dataset_, metric_, point, subspace,
+      static_cast<data::PointId>(base_rows_),
+      static_cast<data::PointId>(dataset_->size()), radius, &out);
   std::sort(out.begin(), out.end(),
             [](const knn::Neighbor& a, const knn::Neighbor& b) {
               if (a.distance != b.distance) return a.distance < b.distance;

@@ -106,6 +106,21 @@ class XTree {
   /// Not thread-safe with concurrent queries, like any tree mutation.
   void RefreshKernelView();
 
+  /// Streaming-ingest rebuild: re-bulk-loads the tree over all current
+  /// dataset rows and re-snapshots the SoA view (sharing `view` when
+  /// given), folding the append delta back into the index. Query counters
+  /// survive the rebuild. Not thread-safe with concurrent queries.
+  Status Rebuild(std::shared_ptr<const kernels::DatasetView> view = nullptr);
+
+  /// Rows covered by the tree itself; rows appended after the tree was
+  /// (re)built — [base_rows(), dataset.size()) — are the delta, which Knn
+  /// and RangeSearch merge in exactly via a scalar scan.
+  size_t base_rows() const { return base_rows_; }
+
+  /// Queries that fell back to scalar leaf scans although a snapshot was
+  /// attached (in-place overwrite since the snapshot was taken).
+  uint64_t stale_fallbacks() const { return stale_fallbacks_; }
+
   /// Exact k nearest neighbours in `query.subspace` (best-first search).
   /// Ordering matches LinearScanKnn: ascending (distance, id).
   std::vector<knn::Neighbor> Knn(const knn::KnnQuery& query) const;
@@ -145,6 +160,10 @@ class XTree {
   static void CollectPoints(const Node* node,
                             std::vector<data::PointId>* out);
 
+  /// Best-first kNN over the tree (the base rows only); Knn merges the
+  /// append delta into its result.
+  std::vector<knn::Neighbor> KnnBase(const knn::KnnQuery& query) const;
+
   Node* ChooseSubtree(Node* node, std::span<const double> point) const;
   /// Inserts into the subtree; returns a new sibling when `node` split.
   std::unique_ptr<Node> InsertRecursive(Node* node, data::PointId id,
@@ -154,21 +173,26 @@ class XTree {
   std::unique_ptr<Node> SplitDirectory(Node* node);
   void RecomputeMbr(Node* node) const;
 
-  /// The SoA snapshot, or null when invalidated by a mutation.
-  const kernels::DatasetView* kernel_view() const {
-    return kernels::IfFresh(view_, dataset_->size());
-  }
+  /// The SoA snapshot for leaf kernel scans, or null when it cannot serve:
+  /// no snapshot, an in-place overwrite since it was taken, or a snapshot
+  /// that does not cover every row the tree holds. Logs (once) when a
+  /// snapshot is attached but unusable.
+  const kernels::DatasetView* kernel_view() const;
 
   const data::Dataset* dataset_;
   knn::MetricKind metric_;
   XTreeConfig config_;
   std::unique_ptr<Node> root_;
   size_t num_points_ = 0;
+  /// Rows the tree covers; the delta [base_rows_, dataset size) is merged
+  /// into query results by a scalar scan.
+  size_t base_rows_ = 0;
   std::shared_ptr<const kernels::DatasetView> view_;
   // Query-path tallies; relaxed atomics so concurrent read-only Knn /
   // RangeSearch calls from service worker threads are race-free.
   mutable RelaxedCounter distance_count_;
   mutable RelaxedCounter node_access_count_;
+  mutable RelaxedCounter stale_fallbacks_;
 };
 
 /// KnnEngine adapter so the OD evaluator can use the X-tree

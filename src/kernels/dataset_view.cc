@@ -6,6 +6,7 @@ DatasetView DatasetView::Build(const data::Dataset& dataset) {
   DatasetView view;
   view.num_points_ = dataset.size();
   view.num_dims_ = dataset.num_dims();
+  view.snapshot_version_ = dataset.version();
   view.columns_.resize(view.num_points_ *
                        static_cast<size_t>(view.num_dims_));
   const std::vector<double>& rows = dataset.values();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/kernels/batched_distance.h"
+#include "src/knn/delta_scan.h"
 
 namespace hos::knn {
 
@@ -15,18 +16,33 @@ LinearScanKnn::LinearScanKnn(const data::Dataset& dataset, MetricKind metric,
   }
 }
 
+void LinearScanKnn::Rebuild(
+    std::shared_ptr<const kernels::DatasetView> view) {
+  view_ = view != nullptr ? std::move(view)
+                          : std::make_shared<const kernels::DatasetView>(
+                                kernels::DatasetView::Build(dataset_));
+}
+
 std::vector<Neighbor> LinearScanKnn::Search(const KnnQuery& query) const {
   const size_t k = static_cast<size_t>(std::max(query.k, 0));
   if (k == 0) return {};
 
   kernels::TopKCollector collector(k);
-  if (const kernels::DatasetView* view = kernel_view()) {
+  const kernels::BaseDeltaSplit split =
+      kernels::SplitBaseDelta(view_, dataset_);
+  if (split.base != nullptr) {
     distance_count_ +=
-        kernels::ScanAllForTopK(*view, query.point, query.subspace, metric_,
-                                query.exclude, &collector);
+        kernels::ScanAllForTopK(*split.base, query.point, query.subspace,
+                                metric_, query.exclude, &collector);
+    distance_count_ += DeltaScanTopK(
+        dataset_, metric_, query.point, query.subspace,
+        static_cast<data::PointId>(split.delta_begin),
+        static_cast<data::PointId>(dataset_.size()), query.exclude,
+        &collector);
     return collector.TakeSorted();
   }
 
+  NoteStaleFallback(&stale_fallbacks_, "LinearScanKnn");
   for (data::PointId id = 0; id < dataset_.size(); ++id) {
     if (query.exclude && *query.exclude == id) continue;
     double dist = SubspaceDistance(query.point, dataset_.Row(id),
@@ -41,15 +57,17 @@ std::vector<Neighbor> LinearScanKnn::RangeSearch(std::span<const double> point,
                                                  const Subspace& subspace,
                                                  double radius) const {
   std::vector<Neighbor> out;
-  if (const kernels::DatasetView* view = kernel_view()) {
+  const kernels::BaseDeltaSplit split =
+      kernels::SplitBaseDelta(view_, dataset_);
+  if (split.base != nullptr) {
     const std::vector<int> dims = subspace.Dims();
-    const size_t n = view->num_points();
+    const size_t n = split.base->num_points();
     double dist[kernels::kDistanceBlock];
     for (size_t start = 0; start < n; start += kernels::kDistanceBlock) {
       const size_t m = std::min(kernels::kDistanceBlock, n - start);
       kernels::BatchedSubspaceDistanceRange(
-          *view, point, dims, metric_, static_cast<data::PointId>(start), m,
-          radius, {dist, m});
+          *split.base, point, dims, metric_,
+          static_cast<data::PointId>(start), m, radius, {dist, m});
       distance_count_ += m;
       for (size_t j = 0; j < m; ++j) {
         if (dist[j] <= radius) {
@@ -57,7 +75,12 @@ std::vector<Neighbor> LinearScanKnn::RangeSearch(std::span<const double> point,
         }
       }
     }
+    distance_count_ += DeltaScanRange(
+        dataset_, metric_, point, subspace,
+        static_cast<data::PointId>(split.delta_begin),
+        static_cast<data::PointId>(dataset_.size()), radius, &out);
   } else {
+    NoteStaleFallback(&stale_fallbacks_, "LinearScanKnn");
     for (data::PointId id = 0; id < dataset_.size(); ++id) {
       double dist =
           SubspaceDistance(point, dataset_.Row(id), subspace, metric_);

@@ -6,8 +6,15 @@
 // snapshot (kernels::DatasetView) through the shared
 // BatchedSubspaceDistance kernel, with partial-distance early exit against
 // the running k-th neighbour bound. Results are identical to the scalar
-// per-point metric path (tests/kernels/ enforces this); the scalar loop is
-// kept as a fallback for datasets that grew after the engine was built.
+// per-point metric path (tests/kernels/ enforces this).
+//
+// Streaming ingest: the snapshot is the engine's immutable *base*. Rows
+// appended to the dataset afterwards (the delta) are merged in exactly via
+// a scalar sweep (knn/delta_scan.h), so the engine keeps answering
+// correctly while the dataset grows; Rebuild() re-snapshots to fold the
+// delta back into the kernel path. The full-scalar fallback now only
+// serves when the base itself was invalidated by an in-place overwrite —
+// taking it is counted and logged (stale_fallbacks()).
 
 #ifndef HOS_KNN_LINEAR_SCAN_H_
 #define HOS_KNN_LINEAR_SCAN_H_
@@ -39,21 +46,25 @@ class LinearScanKnn : public KnnEngine {
                                     const Subspace& subspace,
                                     double radius) const override;
 
+  /// Re-snapshots the SoA base to cover all current dataset rows (sharing
+  /// `view` when given, building a private one when null), emptying the
+  /// delta. Not thread-safe with concurrent queries.
+  void Rebuild(std::shared_ptr<const kernels::DatasetView> view = nullptr);
+
   size_t size() const override { return dataset_.size(); }
   MetricKind metric() const override { return metric_; }
   uint64_t distance_computations() const override { return distance_count_; }
 
- private:
-  /// The SoA snapshot, or null when it no longer matches the dataset
-  /// (appended-to since construction) and the scalar path must serve.
-  const kernels::DatasetView* kernel_view() const {
-    return kernels::IfFresh(view_, dataset_.size());
-  }
+  /// Queries served entirely by the scalar fallback because the snapshot
+  /// was invalidated by an in-place overwrite (not by appends).
+  uint64_t stale_fallbacks() const { return stale_fallbacks_; }
 
+ private:
   const data::Dataset& dataset_;
   MetricKind metric_;
   std::shared_ptr<const kernels::DatasetView> view_;
   mutable RelaxedCounter distance_count_;  // race-free under concurrent Search
+  mutable RelaxedCounter stale_fallbacks_;
 };
 
 }  // namespace hos::knn

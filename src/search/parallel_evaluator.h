@@ -62,6 +62,18 @@ struct SearchExecution {
   /// SearchCounters::wasted_evaluations.
   bool speculate = false;
 
+  /// Work budget: the maximum number of fresh OD evaluations (kNN
+  /// searches) one Run may spend; 0 means unlimited. Checked before each
+  /// level batch — against the batch's undecided count, so an
+  /// intractably large level (exhaustive or non-band data at d > 22 can
+  /// reach C(d, m) ~ 10^11 subspaces) fails fast with ResourceExhausted
+  /// instead of first materialising the wave, let alone evaluating it.
+  /// Only fresh evaluations consume budget (memo and SharedOdStore hits do
+  /// not), but the pre-batch check conservatively charges a level's whole
+  /// undecided count; speculative prefetch spends budget like any other
+  /// evaluation and is skipped when it would not fit.
+  uint64_t max_od_evaluations = 0;
+
   /// Which lattice storage backend the search builds its state in. kAuto
   /// picks dense for d <= lattice::kDenseMaxDims and the hash-map sparse
   /// store above; both are answer-identical (held bitwise by

@@ -1,6 +1,7 @@
 #include "src/search/subspace_search.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <functional>
 #include <memory>
@@ -29,8 +30,9 @@ class FrontierRunner {
 
   FrontierRunner(OdEvaluator* od, double threshold,
                  const SearchExecution& exec)
-      : threshold_(threshold), speculate_(exec.speculate),
-        evaluator_(od, exec) {}
+      : od_(od), threshold_(threshold), speculate_(exec.speculate),
+        max_evaluations_(exec.max_od_evaluations),
+        evals_at_start_(od->num_evaluations()), evaluator_(od, exec) {}
 
   /// Evaluates every currently-undecided subspace of level m and records
   /// the verdicts in mask order — the exact seed sequence the sequential
@@ -54,7 +56,14 @@ class FrontierRunner {
     const size_t level_count = wave.size();
     if (speculate_ && predict) {
       const int next = predict(m, *state);
-      if (next != 0 && next != m) {
+      // Under a work budget, prefetch only what provably fits: speculative
+      // evaluations count against the budget like any other, and answers
+      // are identical whether or not the prefetch happens.
+      if (next != 0 && next != m &&
+          (max_evaluations_ == 0 ||
+           od_->num_evaluations() - evals_at_start_ + level_count +
+                   state->UndecidedCount(next) <=
+               max_evaluations_)) {
         const std::vector<uint64_t> ahead = state->UndecidedMasks(next);
         wave.insert(wave.end(), ahead.begin(), ahead.end());
       }
@@ -84,12 +93,57 @@ class FrontierRunner {
   /// every one of them was pruned, i.e. work the sequential walk skips.
   uint64_t wasted() const { return outstanding_speculation_.size(); }
 
+  /// Outstanding speculative evaluations still undecided at level m:
+  /// already paid for (they are in the evaluator's tally) and memoised, so
+  /// the budget pre-check must not charge them a second time when their
+  /// level comes up — otherwise a query that fits the budget with
+  /// speculation off could fail with it on. Masks that pruning decided
+  /// after they were prefetched are excluded: they are not in the level's
+  /// undecided count, and crediting them would silently soften the
+  /// budget's hard ceiling.
+  uint64_t PrepaidAt(int m, const lattice::LatticeStore& state) const {
+    uint64_t count = 0;
+    for (uint64_t mask : outstanding_speculation_) {
+      if (std::popcount(mask) == m &&
+          !lattice::IsDecided(state.StateOf(Subspace(mask)))) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
  private:
+  OdEvaluator* od_;
   double threshold_;
   bool speculate_;
+  uint64_t max_evaluations_;
+  uint64_t evals_at_start_;
   ParallelEvaluator evaluator_;
   std::unordered_set<uint64_t> outstanding_speculation_;
 };
+
+uint64_t SaturatingSub(uint64_t a, uint64_t b) { return a > b ? a - b : 0; }
+
+/// Work-budget gate (SearchExecution::max_od_evaluations), consulted before
+/// a level batch is materialised: spending so far plus the level's
+/// undecided count (minus any masks speculation already paid for) must fit
+/// the budget, so a runaway query fails fast instead of allocating (or
+/// evaluating) an astronomically large wave.
+Status CheckBudget(const SearchExecution& exec, const OdEvaluator& od,
+                   uint64_t evals_at_start, int level, uint64_t level_count) {
+  if (exec.max_od_evaluations == 0) return Status::OK();
+  const uint64_t spent = od.num_evaluations() - evals_at_start;
+  if (spent + level_count <= exec.max_od_evaluations) return Status::OK();
+  return Status::ResourceExhausted(
+      "search work budget exceeded: level " + std::to_string(level) +
+      " holds " + std::to_string(level_count) +
+      " undecided subspaces, but only " +
+      std::to_string(SaturatingSub(exec.max_od_evaluations, spent)) +
+      " of the " + std::to_string(exec.max_od_evaluations) +
+      " budgeted OD evaluations remain (raise "
+      "SearchExecution::max_od_evaluations, use a band-pruning-friendly "
+      "strategy, or reduce dimensionality)");
+}
 
 /// Assembles the SearchOutcome once the lattice is fully decided. `wasted`
 /// is subtracted from the evaluator's delta so od_evaluations reports the
@@ -163,6 +217,9 @@ Result<SearchOutcome> DynamicSubspaceSearch::RunImpl(
   while (true) {
     int m = lattice::BestLevel(priors_, *state);
     if (m == 0) break;
+    HOS_RETURN_IF_ERROR(CheckBudget(
+        exec, *od, od_before, m,
+        SaturatingSub(state->UndecidedCount(m), runner.PrepaidAt(m, *state))));
     runner.EvaluateLevel(m, state.get(), predict);
     ++steps;
   }
@@ -188,6 +245,8 @@ Result<SearchOutcome> ExhaustiveSearch::RunImpl(
   // evaluated explicitly.
   ParallelEvaluator evaluator(od, exec);
   for (int m = 1; m <= num_dims_; ++m) {
+    HOS_RETURN_IF_ERROR(
+        CheckBudget(exec, *od, od_before, m, state->UndecidedCount(m)));
     std::vector<uint64_t> batch = state->UndecidedMasks(m);
     ParallelEvaluator::Batch wave = evaluator.EvaluateBatch(batch);
     state->MarkEvaluatedBatch(batch, wave.values, threshold);
@@ -220,6 +279,9 @@ Result<SearchOutcome> BottomUpSearch::RunImpl(
       };
   for (int m = 1; m <= num_dims_; ++m) {
     if (state->UndecidedCount(m) == 0) continue;
+    HOS_RETURN_IF_ERROR(CheckBudget(
+        exec, *od, od_before, m,
+        SaturatingSub(state->UndecidedCount(m), runner.PrepaidAt(m, *state))));
     runner.EvaluateLevel(m, state.get(), predict);
     ++steps;
   }
@@ -246,6 +308,9 @@ Result<SearchOutcome> TopDownSearch::RunImpl(
       };
   for (int m = num_dims_; m >= 1; --m) {
     if (state->UndecidedCount(m) == 0) continue;
+    HOS_RETURN_IF_ERROR(CheckBudget(
+        exec, *od, od_before, m,
+        SaturatingSub(state->UndecidedCount(m), runner.PrepaidAt(m, *state))));
     runner.EvaluateLevel(m, state.get(), predict);
     ++steps;
   }

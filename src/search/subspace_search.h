@@ -50,7 +50,10 @@ class SubspaceSearch {
   /// the answer. Returns InvalidArgument when the strategy's configuration
   /// is inconsistent (e.g. priors sized for a different dimensionality,
   /// num_dims outside 1..lattice::kMaxLatticeDims, or a forced dense
-  /// backend past lattice::kDenseMaxDims).
+  /// backend past lattice::kDenseMaxDims), and ResourceExhausted when
+  /// `exec.max_od_evaluations` is set and the next level batch would push
+  /// fresh OD evaluations past it (the guard for runaway exhaustive /
+  /// non-band queries at high d).
   Result<SearchOutcome> Run(OdEvaluator* od, double threshold,
                             const SearchExecution& exec) const {
     return RunImpl(od, threshold, exec);

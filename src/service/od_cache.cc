@@ -26,8 +26,9 @@ OdCache::OdCache(OdCacheConfig config) {
   }
 }
 
-bool OdCache::Lookup(data::PointId id, uint64_t mask, double* od) {
-  const Key key{id, mask};
+bool OdCache::Lookup(uint64_t version, data::PointId id, uint64_t mask,
+                     double* od) {
+  const Key key{version, id, mask};
   const size_t hash = KeyHash{}(key);
   Shard& shard = ShardFor(key, hash);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -43,8 +44,9 @@ bool OdCache::Lookup(data::PointId id, uint64_t mask, double* od) {
   return true;
 }
 
-void OdCache::Store(data::PointId id, uint64_t mask, double od) {
-  const Key key{id, mask};
+void OdCache::Store(uint64_t version, data::PointId id, uint64_t mask,
+                    double od) {
+  const Key key{version, id, mask};
   const size_t hash = KeyHash{}(key);
   Shard& shard = ShardFor(key, hash);
   std::lock_guard<std::mutex> lock(shard.mu);

@@ -6,12 +6,16 @@
 //
 // Concurrency: the key space is hashed over `num_shards` independent
 // shards, each protected by its own mutex, so threads touching different
-// shards never contend. Implements search::SharedOdStore, the hook
-// OdEvaluator consults for dataset-row query points.
+// shards never contend.
 //
-// Correctness: OD(p, s) is a pure function of the immutable dataset, k and
-// metric, so serving a cached double is bit-identical to recomputing it —
-// the cache can never change query answers, only skip work.
+// Correctness under streaming ingest: OD(p, s) is a pure function of the
+// *dataset contents*, k and metric — and appends change the contents — so
+// every entry is keyed by the dataset version it was computed at. A lookup
+// at version v can only ever return a value stored at exactly v, making it
+// structurally impossible to serve an OD computed against an older dataset
+// state; entries for dead versions age out of the LRU as new-version
+// traffic displaces them. Queries bind their version with the VersionView
+// adapter, the search::SharedOdStore implementation handed to OdEvaluator.
 
 #ifndef HOS_SERVICE_OD_CACHE_H_
 #define HOS_SERVICE_OD_CACHE_H_
@@ -32,20 +36,46 @@ namespace hos::service {
 
 struct OdCacheConfig {
   /// Total capacity in entries across all shards. One entry is one
-  /// (point, subspace) → OD double, ~48 bytes with bookkeeping.
+  /// (version, point, subspace) → OD double, ~56 bytes with bookkeeping.
   size_t capacity = 1 << 20;
   /// Number of independent mutex-striped shards; rounded up to a power of
   /// two. More shards, less contention.
   int num_shards = 16;
 };
 
-class OdCache : public search::SharedOdStore {
+class OdCache {
  public:
   explicit OdCache(OdCacheConfig config = {});
 
-  // SharedOdStore:
-  bool Lookup(data::PointId id, uint64_t mask, double* od) override;
-  void Store(data::PointId id, uint64_t mask, double od) override;
+  /// True and fills `*od` when a value for (id, mask) computed at exactly
+  /// `version` is present.
+  bool Lookup(uint64_t version, data::PointId id, uint64_t mask, double* od);
+
+  /// Records OD(id, mask) = od as computed at dataset version `version`.
+  void Store(uint64_t version, data::PointId id, uint64_t mask, double od);
+
+  /// SharedOdStore adapter binding one dataset version: the per-query
+  /// bridge QueryService puts on the stack so OdEvaluator's lookups and
+  /// stores are version-keyed without the evaluator knowing about
+  /// versions. A null cache degrades to a no-op store.
+  class VersionView : public search::SharedOdStore {
+   public:
+    VersionView(OdCache* cache, uint64_t version)
+        : cache_(cache), version_(version) {}
+
+    bool Lookup(data::PointId id, uint64_t mask, double* od) override {
+      return cache_ != nullptr && cache_->Lookup(version_, id, mask, od);
+    }
+    void Store(data::PointId id, uint64_t mask, double od) override {
+      if (cache_ != nullptr) cache_->Store(version_, id, mask, od);
+    }
+
+    uint64_t version() const { return version_; }
+
+   private:
+    OdCache* cache_;
+    uint64_t version_;
+  };
 
   /// Entries currently resident (sums shard sizes; approximate under
   /// concurrent mutation).
@@ -65,10 +95,11 @@ class OdCache : public search::SharedOdStore {
   size_t capacity() const { return capacity_; }
 
  private:
-  /// (point id, subspace mask) packed for hashing. The subspace mask of a
-  /// lattice search fits 22 bits but masks up to 62 bits are legal, so both
+  /// (dataset version, point id, subspace mask). The subspace mask of a
+  /// lattice search fits 22 bits but masks up to 62 bits are legal, so all
   /// fields are kept whole.
   struct Key {
+    uint64_t version;
     data::PointId id;
     uint64_t mask;
     bool operator==(const Key&) const = default;
@@ -76,9 +107,11 @@ class OdCache : public search::SharedOdStore {
   struct KeyHash {
     size_t operator()(const Key& key) const {
       // splitmix64 over the packed fields: cheap and well distributed for
-      // the dense id / sparse mask structure of the key space.
+      // the dense id / sparse mask / slowly-advancing version structure of
+      // the key space.
       uint64_t x = (static_cast<uint64_t>(key.id) << 1) ^ key.mask ^
-                   (key.mask << 23);
+                   (key.mask << 23) ^
+                   (key.version * 0x9e3779b97f4a7c15ULL);
       x ^= x >> 30;
       x *= 0xbf58476d1ce4e5b9ULL;
       x ^= x >> 27;

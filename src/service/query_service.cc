@@ -1,8 +1,12 @@
 #include "src/service/query_service.h"
 
+#include <chrono>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <utility>
 
+#include "src/common/logging.h"
 #include "src/common/timer.h"
 
 namespace hos::service {
@@ -15,11 +19,26 @@ QueryService::QueryService(core::HosMiner miner, QueryServiceConfig config)
       search_pool_(config.search_threads > 1
                        ? std::make_unique<ThreadPool>(config.search_threads)
                        : nullptr),
+      rebuild_worker_(config.ingest.background_rebuild &&
+                              config.ingest.rebuild_delta_fraction > 0.0
+                          ? std::make_unique<ThreadPool>(1)
+                          : nullptr),
       pool_(config.num_threads) {}
+
+QueryService::~QueryService() = default;
 
 Result<core::QueryResult> QueryService::RunTimedQuery(data::PointId id) {
   Timer timer;
-  Result<core::QueryResult> result = miner_.Query(id, MakeOptions());
+  Result<core::QueryResult> result = Status::Internal("query did not run");
+  {
+    // Reader side of the epoch lock: the query observes one committed
+    // dataset state for its whole run, and the version it binds into the
+    // cache view (and reports in the result) is that state's version.
+    std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+    OdCache::VersionView versioned_store(cache_.get(), miner_.version());
+    result = miner_.Query(
+        id, MakeOptions(cache_ != nullptr ? &versioned_store : nullptr));
+  }
   stats_.RecordQuery(timer.ElapsedSeconds());
   return result;
 }
@@ -66,12 +85,109 @@ Result<std::vector<core::QueryResult>> QueryService::QueryBatch(
   return results;
 }
 
+Result<uint64_t> QueryService::AppendBatch(
+    const std::vector<std::vector<double>>& rows) {
+  // Validation and per-row normalization are read-only against the served
+  // state, so they run before the writer lock; the exclusive section is
+  // just the row copy into the dataset.
+  Result<std::vector<std::vector<double>>> prepared =
+      miner_.PrepareAppend(rows);
+  if (!prepared.ok()) return prepared.status();
+
+  uint64_t version = 0;
+  {
+    // Writer side: the batch becomes visible to queries atomically.
+    std::unique_lock<std::shared_mutex> epoch(epoch_mu_);
+    version = miner_.CommitAppend(std::move(prepared).value());
+    stats_.RecordAppend(rows.size());
+  }
+  ScheduleRebuildIfNeeded();
+  return version;
+}
+
+bool QueryService::PolicyWantsRebuild() const {
+  const IngestConfig& ingest = config_.ingest;
+  return ingest.rebuild_delta_fraction > 0.0 &&
+         miner_.delta_rows() >= ingest.min_delta_rows &&
+         miner_.delta_fraction() > ingest.rebuild_delta_fraction;
+}
+
+void QueryService::ScheduleRebuildIfNeeded() {
+  {
+    std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+    if (!PolicyWantsRebuild()) return;
+  }
+  if (rebuild_scheduled_.exchange(true, std::memory_order_acq_rel)) {
+    return;  // single-flight: a running rebuild re-checks when it is done
+  }
+  if (rebuild_worker_ != nullptr) {
+    rebuild_worker_->Submit([this] { RunRebuild(); });
+  } else {
+    RunRebuild();
+  }
+}
+
+void QueryService::RunRebuild() {
+  while (true) {
+    // Heavy phase under the reader lock: queries keep running against the
+    // current engine while the fresh snapshot and index are built. Appends
+    // wait (they need the writer side), which also pins the row count the
+    // artifacts cover.
+    Result<core::HosMiner::RebuildArtifacts> artifacts =
+        Status::Internal("rebuild did not run");
+    {
+      std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+      artifacts = miner_.PrepareRebuild();
+    }
+    if (!artifacts.ok()) {
+      // Do not loop or re-arm on failure — that would spin on a
+      // persistently failing prepare. The next append re-triggers.
+      HOS_LOG(Warning) << "ingest rebuild failed (service keeps serving "
+                          "via the delta scan): "
+                       << artifacts.status().ToString();
+      rebuild_scheduled_.store(false, std::memory_order_release);
+      return;
+    }
+    double pause_seconds = 0.0;
+    bool fold_again = false;
+    {
+      std::unique_lock<std::shared_mutex> epoch(epoch_mu_);
+      Timer pause;  // time only the held section — the pause others see
+      miner_.CommitRebuild(std::move(artifacts).value());
+      pause_seconds = pause.ElapsedSeconds();
+      // Appends that committed between prepare and commit stayed in the
+      // delta; fold them too if they already re-exceed the policy,
+      // otherwise they would sit above threshold until the next append.
+      fold_again = PolicyWantsRebuild();
+    }
+    stats_.RecordRebuild(pause_seconds);
+    if (!fold_again) break;
+  }
+  rebuild_scheduled_.store(false, std::memory_order_release);
+  // An append may have slipped in after the in-lock policy check but
+  // before the flag cleared, and its own ScheduleRebuildIfNeeded would
+  // have seen the flag still set. Close the race by re-checking.
+  ScheduleRebuildIfNeeded();
+}
+
+void QueryService::WaitForRebuilds() {
+  while (rebuild_scheduled_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
 ServiceStatsSnapshot QueryService::Stats() const {
   ServiceStatsSnapshot snapshot = stats_.Snapshot();
   if (cache_ != nullptr) {
     snapshot.cache_hits = cache_->hits();
     snapshot.cache_misses = cache_->misses();
     snapshot.cache_hit_rate = cache_->hit_rate();
+  }
+  {
+    std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+    snapshot.dataset_version = miner_.version();
+    snapshot.delta_rows = miner_.delta_rows();
+    snapshot.delta_fraction = miner_.delta_fraction();
   }
   return snapshot;
 }

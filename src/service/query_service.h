@@ -1,8 +1,8 @@
-// QueryService: the concurrent serving facade over an immutable HosMiner
-// snapshot. Where HosMiner answers one query on the caller's thread, the
-// service executes batches across a fixed-size worker pool, memoises
-// OD(point, subspace) values in a shared sharded LRU cache, and exports
-// serving metrics (QPS counters, cache hit rate, p50/p99 latency).
+// QueryService: the concurrent serving facade over a HosMiner. Where
+// HosMiner answers one query on the caller's thread, the service executes
+// batches across a fixed-size worker pool, memoises OD(point, subspace)
+// values in a shared sharded LRU cache, and exports serving metrics (QPS
+// counters, cache hit rate, p50/p99 latency, ingest/rebuild counters).
 //
 //   auto miner = hos::core::HosMiner::Build(std::move(dataset), config);
 //   hos::service::QueryServiceConfig service_config;
@@ -11,7 +11,32 @@
 //                                      service_config);
 //   auto results = service.QueryBatch(ids);        // parallel, in id order
 //   auto future = service.QueryAsync(some_id);     // fire-and-collect
+//   auto version = service.AppendBatch(new_rows);  // serve while appending
 //   auto stats = service.Stats();                  // snapshot for /varz
+//
+// Streaming ingest (the versioned-dataset architecture):
+//
+//  * AppendBatch commits rows atomically under the writer side of an
+//    epoch lock (std::shared_mutex): every query runs under the reader
+//    side, so it observes either all of a batch or none of it, and each
+//    result reports the dataset version it was answered at. Appended rows
+//    are served immediately — the kNN backends merge the delta into their
+//    index/kernel results exactly (see src/knn/delta_scan.h).
+//  * The OdCache is keyed by dataset version (OdCache::VersionView), so a
+//    cached OD computed before an append can never answer a query issued
+//    after it.
+//  * When the delta exceeds IngestConfig::rebuild_delta_fraction,
+//    AppendBatch triggers a rebuild that runs its heavy phase
+//    (HosMiner::PrepareRebuild — new SoA snapshot + index bulk load)
+//    under the *reader* side, concurrently with queries, and swaps the
+//    artifacts in (CommitRebuild) under the writer side — a pause of
+//    microseconds, reported as ServiceStats last_rebuild_pause_seconds.
+//  * Background rebuilds run on a dedicated single-thread worker, NOT on
+//    the intra-query search pool: a rebuild must take the epoch lock, and
+//    parking it on the search pool could deadlock — with a writer waiting,
+//    a reader-priority-blocked rebuild task at the head of the search
+//    queue would starve the frontier waves of an in-flight query that
+//    still holds the reader lock the writer is waiting out.
 //
 // The miner snapshot carries one shared SoA view of the dataset
 // (HosMiner::soa_view), so every worker's OD evaluations run through the
@@ -19,20 +44,23 @@
 // metric calls.
 //
 // Determinism: the *answers* (outlying subspaces, per-level fractions,
-// threshold) are identical to running HosMiner::Query serially — per-query
-// state is stack-local, the OD cache stores pure-function values, and
-// QueryBatch writes each answer into its id's slot regardless of
-// completion order. The work counters inside SearchCounters are not: they
-// are deltas of the engine's process-wide tallies, so under concurrent
-// execution they include other in-flight queries' work, and with the cache
-// on they shrink as hits replace evaluations. Treat them as monitoring
-// data, not per-query measurements, when going through the service.
+// threshold) are identical to running HosMiner::Query serially at the same
+// dataset version — per-query state is stack-local, the OD cache stores
+// pure-function values keyed by version, and QueryBatch writes each answer
+// into its id's slot regardless of completion order. The work counters
+// inside SearchCounters are not: they are deltas of the engine's
+// process-wide tallies, so under concurrent execution they include other
+// in-flight queries' work, and with the cache on they shrink as hits
+// replace evaluations. Treat them as monitoring data, not per-query
+// measurements, when going through the service.
 
 #ifndef HOS_SERVICE_QUERY_SERVICE_H_
 #define HOS_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <future>
 #include <memory>
+#include <shared_mutex>
 #include <span>
 #include <vector>
 
@@ -42,6 +70,22 @@
 #include "src/service/thread_pool.h"
 
 namespace hos::service {
+
+/// Rebuild policy for the streaming-ingest path.
+struct IngestConfig {
+  /// Trigger a rebuild when delta_rows / dataset size exceeds this
+  /// fraction (and min_delta_rows is met). <= 0 disables automatic
+  /// rebuilds entirely (appends still serve exactly through the delta
+  /// scan, just with linearly growing per-query delta cost).
+  double rebuild_delta_fraction = 0.25;
+  /// Never rebuild for deltas smaller than this many rows.
+  size_t min_delta_rows = 64;
+  /// Run rebuilds on the dedicated background worker (default). When
+  /// false the whole rebuild executes synchronously inside the
+  /// AppendBatch call that triggered it — simpler latency reasoning for
+  /// tests and batch loaders.
+  bool background_rebuild = true;
+};
 
 struct QueryServiceConfig {
   /// Worker threads executing queries.
@@ -62,16 +106,26 @@ struct QueryServiceConfig {
   /// identical either way; per-query memory is 2^d bytes on dense vs the
   /// touched frontier band on sparse.
   lattice::LatticeBackend lattice_backend = lattice::LatticeBackend::kAuto;
+  /// Per-query work budget (fresh OD evaluations); 0 = unlimited. Queries
+  /// that would exceed it fail with ResourceExhausted instead of occupying
+  /// a worker for hours (QueryOptions::max_od_evaluations).
+  uint64_t max_od_evaluations = 0;
+  /// Streaming-ingest rebuild policy.
+  IngestConfig ingest;
 };
 
 class QueryService {
  public:
-  /// Takes ownership of the miner snapshot; the service (and every worker)
-  /// treats it as strictly read-only from here on.
+  /// Takes ownership of the miner; all mutation from here on goes through
+  /// AppendBatch (and the rebuilds it schedules), serialized against the
+  /// query path by the service's epoch lock.
   explicit QueryService(core::HosMiner miner, QueryServiceConfig config = {});
 
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
+
+  /// Drains in-flight queries and any scheduled rebuild.
+  ~QueryService();
 
   /// Executes all ids across the worker pool. results[i] answers ids[i];
   /// identical to calling Query(ids[i]) serially. On any per-query error
@@ -86,9 +140,24 @@ class QueryService {
   /// counted in the stats).
   Result<core::QueryResult> Query(data::PointId id);
 
-  /// Counters plus cache hit rate and latency percentiles.
+  /// Appends rows (raw, pre-normalisation coordinates) while the service
+  /// keeps serving: the batch commits atomically, queries issued after the
+  /// return see all of it, and a rebuild is scheduled when the delta
+  /// policy says so. Returns the dataset version the batch committed at.
+  /// Concurrent AppendBatch calls are serialized with each other and with
+  /// the query path.
+  Result<uint64_t> AppendBatch(const std::vector<std::vector<double>>& rows);
+
+  /// Blocks until no rebuild is scheduled or running, then returns. Test
+  /// and shutdown aid; the destructor waits implicitly.
+  void WaitForRebuilds();
+
+  /// Counters plus cache hit rate, latency percentiles and ingest gauges.
   ServiceStatsSnapshot Stats() const;
 
+  /// The served miner. With appends in flight, treat as a monitoring
+  /// window (the epoch lock inside the service no longer protects you once
+  /// the accessor returns).
   const core::HosMiner& miner() const { return miner_; }
   /// The configuration the service was constructed with.
   const QueryServiceConfig& config() const { return config_; }
@@ -97,24 +166,56 @@ class QueryService {
   int num_threads() const { return pool_.num_threads(); }
 
  private:
-  core::QueryOptions MakeOptions() {
+  core::QueryOptions MakeOptions(search::SharedOdStore* od_store) {
     core::QueryOptions options;
-    options.od_store = cache_.get();
+    options.od_store = od_store;
     options.search_pool = search_pool_.get();
     options.search_threads = config_.search_threads;
     options.lattice_backend = config_.lattice_backend;
+    options.max_od_evaluations = config_.max_od_evaluations;
     return options;
   }
 
   Result<core::QueryResult> RunTimedQuery(data::PointId id);
 
+  /// True when the delta currently exceeds the rebuild policy. Caller must
+  /// hold either side of epoch_mu_.
+  bool PolicyWantsRebuild() const;
+
+  /// Schedules (or, in synchronous mode, runs) a rebuild if the policy
+  /// wants one and none is in flight. Must be called WITHOUT epoch_mu_
+  /// held.
+  void ScheduleRebuildIfNeeded();
+
+  /// PrepareRebuild under the reader lock, CommitRebuild under the writer
+  /// lock, repeated while the policy still wants folding (appends that
+  /// landed during a rebuild window would otherwise leave an
+  /// over-threshold delta in place until the next append); clears
+  /// rebuild_scheduled_ when done and re-arms if a late append slipped
+  /// past the final check.
+  void RunRebuild();
+
   core::HosMiner miner_;
   QueryServiceConfig config_;
   std::unique_ptr<OdCache> cache_;  // null when disabled
   ServiceStats stats_;
+
+  /// The ingest epoch lock: queries and rebuild-prepare are readers,
+  /// append commits and rebuild commits are writers. Guards every access
+  /// to miner_ state that appends mutate (dataset rows/version, engine,
+  /// SoA view).
+  mutable std::shared_mutex epoch_mu_;
+  /// True while a rebuild is scheduled or running (single-flight).
+  std::atomic<bool> rebuild_scheduled_{false};
+
   /// Shared by every in-flight query's frontier waves; null when
-  /// search_threads <= 1. Declared before pool_ so query workers die first.
+  /// search_threads <= 1. Declared before the pools so workers die first.
   std::unique_ptr<ThreadPool> search_pool_;
+  /// Dedicated single-thread worker for background rebuilds (see the
+  /// header comment for why rebuilds must not share the search pool).
+  /// Created in the constructor when the rebuild policy is active, so no
+  /// lazy-creation synchronization is needed; null otherwise.
+  std::unique_ptr<ThreadPool> rebuild_worker_;
   ThreadPool pool_;  // last member: workers must die before what they touch
 };
 

@@ -48,24 +48,38 @@ ServiceStatsSnapshot ServiceStats::Snapshot() const {
   ServiceStatsSnapshot snapshot;
   snapshot.queries_served = queries_served_;
   snapshot.batches_served = batches_served_;
+  snapshot.rows_ingested = rows_ingested_;
+  snapshot.append_batches = append_batches_;
+  snapshot.rebuilds_completed = rebuilds_completed_;
+  snapshot.last_rebuild_pause_seconds =
+      static_cast<double>(last_rebuild_pause_micros_.load()) * 1e-6;
   snapshot.p50_latency_seconds = latencies_.Percentile(0.50);
   snapshot.p99_latency_seconds = latencies_.Percentile(0.99);
   return snapshot;
 }
 
 std::string ServiceStatsSnapshot::ToJson() const {
-  char buffer[512];
+  char buffer[768];
   std::snprintf(
       buffer, sizeof(buffer),
       "{\"queries_served\": %llu, \"batches_served\": %llu, "
       "\"cache_hits\": %llu, \"cache_misses\": %llu, "
       "\"cache_hit_rate\": %.4f, \"p50_latency_seconds\": %.6g, "
-      "\"p99_latency_seconds\": %.6g}",
+      "\"p99_latency_seconds\": %.6g, \"rows_ingested\": %llu, "
+      "\"append_batches\": %llu, \"rebuilds_completed\": %llu, "
+      "\"last_rebuild_pause_seconds\": %.6g, \"dataset_version\": %llu, "
+      "\"delta_rows\": %llu, \"delta_fraction\": %.4f}",
       static_cast<unsigned long long>(queries_served),
       static_cast<unsigned long long>(batches_served),
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(cache_misses), cache_hit_rate,
-      p50_latency_seconds, p99_latency_seconds);
+      p50_latency_seconds, p99_latency_seconds,
+      static_cast<unsigned long long>(rows_ingested),
+      static_cast<unsigned long long>(append_batches),
+      static_cast<unsigned long long>(rebuilds_completed),
+      last_rebuild_pause_seconds,
+      static_cast<unsigned long long>(dataset_version),
+      static_cast<unsigned long long>(delta_rows), delta_fraction);
   return buffer;
 }
 

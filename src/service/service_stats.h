@@ -54,6 +54,19 @@ struct ServiceStatsSnapshot {
   double p50_latency_seconds = 0.0;
   double p99_latency_seconds = 0.0;
 
+  // Streaming-ingest counters (zero on a service that never appends).
+  uint64_t rows_ingested = 0;
+  uint64_t append_batches = 0;
+  uint64_t rebuilds_completed = 0;
+  /// Exclusive-section time of the most recent rebuild commit — the pause
+  /// writers and queries actually observe (the heavy prepare runs
+  /// concurrently with queries).
+  double last_rebuild_pause_seconds = 0.0;
+  /// Gauges sampled at snapshot time from the served miner.
+  uint64_t dataset_version = 0;
+  uint64_t delta_rows = 0;
+  double delta_fraction = 0.0;
+
   std::string ToJson() const;
 };
 
@@ -67,17 +80,38 @@ class ServiceStats {
   void RecordQuery(double latency_seconds);
   void RecordBatch() { ++batches_served_; }
 
+  /// Records one committed append batch of `rows` rows.
+  void RecordAppend(uint64_t rows) {
+    ++append_batches_;
+    rows_ingested_ += rows;
+  }
+
+  /// Records one completed rebuild and its commit (exclusive-section)
+  /// pause. The pause is stored in microseconds so the counter stays a
+  /// lock-free uint64.
+  void RecordRebuild(double pause_seconds) {
+    ++rebuilds_completed_;
+    last_rebuild_pause_micros_ = static_cast<uint64_t>(pause_seconds * 1e6);
+  }
+
   uint64_t queries_served() const { return queries_served_; }
   uint64_t batches_served() const { return batches_served_; }
+  uint64_t rows_ingested() const { return rows_ingested_; }
+  uint64_t append_batches() const { return append_batches_; }
+  uint64_t rebuilds_completed() const { return rebuilds_completed_; }
   const LatencyHistogram& latencies() const { return latencies_; }
 
-  /// Snapshot without cache numbers (QueryService fills those in from its
-  /// OdCache).
+  /// Snapshot without cache numbers and miner gauges (QueryService fills
+  /// those in from its OdCache and miner).
   ServiceStatsSnapshot Snapshot() const;
 
  private:
   RelaxedCounter queries_served_;
   RelaxedCounter batches_served_;
+  RelaxedCounter rows_ingested_;
+  RelaxedCounter append_batches_;
+  RelaxedCounter rebuilds_completed_;
+  RelaxedCounter last_rebuild_pause_micros_;
   LatencyHistogram latencies_;
 };
 

@@ -1,0 +1,179 @@
+// HosMiner streaming-ingest API: Append semantics (normalization with the
+// Build-time fit, version bookkeeping, lazy learner invalidation), the
+// two-phase rebuild, and error paths.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/core/hos_miner.h"
+#include "src/data/generator.h"
+
+namespace hos::core {
+namespace {
+
+constexpr int kDims = 5;
+
+HosMiner BuildMiner(uint64_t seed, size_t rows = 120,
+                    data::NormalizationKind normalization =
+                        data::NormalizationKind::kMinMax) {
+  Rng rng(seed);
+  data::Dataset dataset = data::GenerateUniform(rows, kDims, &rng);
+  HosMinerConfig config;
+  config.k = 3;
+  config.threshold = 0.8;
+  config.normalization = normalization;
+  auto miner = HosMiner::Build(std::move(dataset), config);
+  EXPECT_TRUE(miner.ok()) << miner.status().ToString();
+  return std::move(miner).value();
+}
+
+TEST(StreamingMinerTest, AppendReturnsMonotonicVersionsAndMarksLearning) {
+  HosMiner miner = BuildMiner(1);
+  const uint64_t v0 = miner.version();
+  EXPECT_FALSE(miner.learning_stale());
+  EXPECT_EQ(miner.delta_rows(), 0u);
+
+  auto v1 = miner.Append({{0.5, 0.5, 0.5, 0.5, 0.5}});
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(*v1, v0 + 1);
+  EXPECT_TRUE(miner.learning_stale());
+  EXPECT_EQ(miner.delta_rows(), 1u);
+
+  auto v2 = miner.Append({{0.1, 0.2, 0.3, 0.4, 0.5},
+                          {0.9, 0.8, 0.7, 0.6, 0.5}});
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*v2, v0 + 3);
+  EXPECT_EQ(miner.delta_rows(), 3u);
+  EXPECT_GT(miner.delta_fraction(), 0.0);
+
+  // Empty append: version unchanged, no-op.
+  auto v3 = miner.Append({});
+  ASSERT_TRUE(v3.ok());
+  EXPECT_EQ(*v3, *v2);
+
+  miner.RefreshLearning();
+  EXPECT_FALSE(miner.learning_stale());
+}
+
+TEST(StreamingMinerTest, AppendNormalizesWithTheBuildTimeFit) {
+  // Min-max normalization fitted at Build maps the raw range seen then to
+  // [0, 1]; an appended raw point at the fitted maximum must land at 1.0
+  // in every dimension — i.e. the transform is the *old* fit, not a refit.
+  Rng rng(2);
+  data::Dataset dataset(kDims);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> row(kDims);
+    for (double& cell : row) cell = rng.Uniform(0.0, 2.0);
+    dataset.Append(row);
+  }
+  std::vector<double> raw_max(kDims);
+  for (int d = 0; d < kDims; ++d) {
+    raw_max[d] = data::ComputeColumnStats(dataset)[d].max;
+  }
+  HosMinerConfig config;
+  config.k = 3;
+  config.threshold = 0.8;
+  auto miner = HosMiner::Build(std::move(dataset), config);
+  ASSERT_TRUE(miner.ok());
+
+  ASSERT_TRUE(miner->Append({raw_max}).ok());
+  const data::PointId appended =
+      static_cast<data::PointId>(miner->dataset().size() - 1);
+  for (int d = 0; d < kDims; ++d) {
+    EXPECT_DOUBLE_EQ(miner->dataset().At(appended, d), 1.0) << "dim " << d;
+  }
+}
+
+TEST(StreamingMinerTest, AppendValidatesRowWidth) {
+  HosMiner miner = BuildMiner(3);
+  const uint64_t v0 = miner.version();
+  auto bad = miner.Append({{1.0, 2.0}});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_EQ(miner.version(), v0);
+  EXPECT_FALSE(miner.learning_stale());
+}
+
+TEST(StreamingMinerTest, QueriesReportTheVersionTheyRanAt) {
+  HosMiner miner = BuildMiner(4);
+  auto before = miner.Query(0);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->dataset_version, miner.version());
+
+  ASSERT_TRUE(miner.Append({{0.5, 0.5, 0.5, 0.5, 0.5}}).ok());
+  auto after = miner.Query(0);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->dataset_version, miner.version());
+  EXPECT_EQ(after->dataset_version, before->dataset_version + 1);
+
+  // Appended rows are themselves queryable immediately.
+  auto delta_query =
+      miner.Query(static_cast<data::PointId>(miner.dataset().size() - 1));
+  EXPECT_TRUE(delta_query.ok());
+}
+
+TEST(StreamingMinerTest, TwoPhaseRebuildFoldsTheDelta) {
+  HosMiner miner = BuildMiner(5);
+  ASSERT_TRUE(miner.Append({{0.4, 0.4, 0.4, 0.4, 0.4},
+                            {0.6, 0.6, 0.6, 0.6, 0.6}}).ok());
+  EXPECT_EQ(miner.delta_rows(), 2u);
+  EXPECT_LT(miner.soa_view().num_points(), miner.dataset().size());
+
+  auto artifacts = miner.PrepareRebuild();
+  ASSERT_TRUE(artifacts.ok());
+  EXPECT_EQ(artifacts->rows, miner.dataset().size());
+
+  // Queries between prepare and commit still work (prepare is read-only).
+  ASSERT_TRUE(miner.Query(0).ok());
+
+  miner.CommitRebuild(std::move(artifacts).value());
+  EXPECT_EQ(miner.delta_rows(), 0u);
+  EXPECT_EQ(miner.soa_view().num_points(), miner.dataset().size());
+  ASSERT_TRUE(miner.Query(0).ok());
+}
+
+TEST(StreamingMinerTest, RebuildKeepsThresholdAndAnswers) {
+  HosMiner miner = BuildMiner(6);
+  const double threshold = miner.threshold();
+  ASSERT_TRUE(miner.Append({{0.3, 0.7, 0.3, 0.7, 0.3}}).ok());
+
+  auto before = miner.Query(7);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(miner.Rebuild().ok());
+  EXPECT_EQ(miner.threshold(), threshold);
+
+  auto after = miner.Query(7);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->outcome.minimal_outlying_subspaces,
+            after->outcome.minimal_outlying_subspaces);
+  EXPECT_EQ(before->outcome.outlier_fraction, after->outcome.outlier_fraction);
+}
+
+TEST(StreamingMinerTest, RebuildWorksForEveryIndexKind) {
+  for (IndexKind index : {IndexKind::kLinearScan, IndexKind::kXTree,
+                          IndexKind::kVaFile}) {
+    SCOPED_TRACE(static_cast<int>(index));
+    Rng rng(7);
+    data::Dataset dataset = data::GenerateUniform(80, kDims, &rng);
+    HosMinerConfig config;
+    config.k = 3;
+    config.threshold = 0.8;
+    config.index = index;
+    auto miner = HosMiner::Build(std::move(dataset), config);
+    ASSERT_TRUE(miner.ok());
+    ASSERT_TRUE(miner->Append({{0.2, 0.4, 0.6, 0.8, 1.0}}).ok());
+    ASSERT_TRUE(miner->Rebuild().ok());
+    EXPECT_EQ(miner->delta_rows(), 0u);
+    EXPECT_TRUE(miner->Query(0).ok());
+    if (index == IndexKind::kXTree) {
+      ASSERT_NE(miner->xtree(), nullptr);
+      EXPECT_TRUE(miner->xtree()->CheckInvariants().ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hos::core

@@ -65,6 +65,67 @@ TEST(DatasetTest, SetColumnNamesValidated) {
   EXPECT_FALSE(ds.SetColumnNames({"only-one"}).ok());
 }
 
+TEST(DatasetVersionTest, AppendsAndSetsBumpTheVersion) {
+  Dataset ds(2);
+  EXPECT_EQ(ds.version(), 0u);
+  ds.Append(std::vector<double>{1.0, 2.0});
+  EXPECT_EQ(ds.version(), 1u);
+  ds.Append(std::vector<double>{3.0, 4.0});
+  EXPECT_EQ(ds.version(), 2u);
+  EXPECT_EQ(ds.last_overwrite_version(), 0u);  // appends are not overwrites
+
+  ds.Set(0, 1, 5.0);
+  EXPECT_EQ(ds.version(), 3u);
+  EXPECT_EQ(ds.last_overwrite_version(), 3u);
+
+  ds.Append(std::vector<double>{6.0, 7.0});
+  EXPECT_EQ(ds.version(), 4u);
+  EXPECT_EQ(ds.last_overwrite_version(), 3u);  // sticks at the last Set
+}
+
+TEST(DatasetVersionTest, AppendRowsValidatesAtomicallyAndReturnsVersion) {
+  Dataset ds(2);
+  ds.Append(std::vector<double>{1.0, 2.0});
+  auto version = ds.AppendRows({{3.0, 4.0}, {5.0, 6.0}});
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 3u);
+  EXPECT_EQ(ds.size(), 3u);
+
+  // A malformed row anywhere in the batch appends nothing.
+  auto bad = ds.AppendRows({{7.0, 8.0}, {9.0}});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_EQ(ds.size(), 3u);
+  EXPECT_EQ(ds.version(), 3u);
+}
+
+TEST(DatasetVersionTest, SealBaseTracksTheBaseDeltaSplit) {
+  Dataset ds(2);
+  ds.Append(std::vector<double>{1.0, 2.0});
+  ds.Append(std::vector<double>{3.0, 4.0});
+  EXPECT_EQ(ds.base_size(), 0u);  // nothing sealed yet
+  EXPECT_EQ(ds.delta_size(), 2u);
+
+  ds.SealBase();
+  EXPECT_EQ(ds.base_size(), 2u);
+  EXPECT_EQ(ds.delta_size(), 0u);
+  EXPECT_DOUBLE_EQ(ds.delta_fraction(), 0.0);
+
+  ds.Append(std::vector<double>{5.0, 6.0});
+  ds.Append(std::vector<double>{7.0, 8.0});
+  EXPECT_EQ(ds.base_size(), 2u);
+  EXPECT_EQ(ds.delta_size(), 2u);
+  EXPECT_DOUBLE_EQ(ds.delta_fraction(), 0.5);
+
+  // Sealing at an earlier row count (a rebuild commit whose artifacts
+  // were prepared before the last append) clamps to that prefix.
+  ds.SealBaseAt(3);
+  EXPECT_EQ(ds.base_size(), 3u);
+  EXPECT_EQ(ds.delta_size(), 1u);
+  ds.SealBaseAt(100);  // clamped to size
+  EXPECT_EQ(ds.base_size(), 4u);
+}
+
 TEST(ColumnStatsTest, ComputesMinMaxMeanStddev) {
   Dataset ds(2);
   ds.Append(std::vector<double>{1.0, 10.0});

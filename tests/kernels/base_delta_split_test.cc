@@ -1,0 +1,83 @@
+// SplitBaseDelta: the one staleness policy every kNN backend shares since
+// the versioned-ingest refactor. A snapshot serves as the base exactly
+// while the live dataset has only *grown* since it was taken; any in-place
+// overwrite disqualifies it entirely.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/kernels/dataset_view.h"
+
+namespace hos::kernels {
+namespace {
+
+std::shared_ptr<const DatasetView> Snapshot(const data::Dataset& dataset) {
+  return std::make_shared<const DatasetView>(DatasetView::Build(dataset));
+}
+
+TEST(BaseDeltaSplitTest, FreshViewCoversEverythingWithEmptyDelta) {
+  data::Dataset ds(2);
+  ds.Append(std::vector<double>{1.0, 2.0});
+  ds.Append(std::vector<double>{3.0, 4.0});
+  auto view = Snapshot(ds);
+  EXPECT_EQ(view->snapshot_version(), ds.version());
+
+  const BaseDeltaSplit split = SplitBaseDelta(view, ds);
+  ASSERT_EQ(split.base, view.get());
+  EXPECT_EQ(split.delta_begin, 2u);  // delta [2, 2) is empty
+}
+
+TEST(BaseDeltaSplitTest, AppendsMoveTheDeltaBoundaryOnly) {
+  data::Dataset ds(2);
+  ds.Append(std::vector<double>{1.0, 2.0});
+  auto view = Snapshot(ds);
+  ds.Append(std::vector<double>{3.0, 4.0});
+  ds.Append(std::vector<double>{5.0, 6.0});
+
+  const BaseDeltaSplit split = SplitBaseDelta(view, ds);
+  ASSERT_EQ(split.base, view.get());
+  EXPECT_EQ(split.delta_begin, 1u);  // rows [1, 3) are the delta
+  // The base still matches the first row bit-for-bit.
+  EXPECT_EQ(split.base->At(0, 0), ds.At(0, 0));
+  EXPECT_EQ(split.base->At(0, 1), ds.At(0, 1));
+}
+
+TEST(BaseDeltaSplitTest, OverwriteDisqualifiesTheSnapshot) {
+  data::Dataset ds(2);
+  ds.Append(std::vector<double>{1.0, 2.0});
+  ds.Append(std::vector<double>{3.0, 4.0});
+  auto view = Snapshot(ds);
+  ds.Set(0, 0, 9.0);
+
+  const BaseDeltaSplit split = SplitBaseDelta(view, ds);
+  EXPECT_EQ(split.base, nullptr);
+  EXPECT_EQ(split.delta_begin, 0u);
+
+  // A snapshot taken after the overwrite serves again.
+  auto fresh = Snapshot(ds);
+  EXPECT_EQ(SplitBaseDelta(fresh, ds).base, fresh.get());
+}
+
+TEST(BaseDeltaSplitTest, OverwriteBeforeSnapshotIsInvisible) {
+  data::Dataset ds(2);
+  ds.Append(std::vector<double>{1.0, 2.0});
+  ds.Set(0, 1, 7.0);  // mutation *before* the snapshot
+  auto view = Snapshot(ds);
+  ds.Append(std::vector<double>{3.0, 4.0});
+
+  const BaseDeltaSplit split = SplitBaseDelta(view, ds);
+  ASSERT_EQ(split.base, view.get());
+  EXPECT_EQ(split.delta_begin, 1u);
+}
+
+TEST(BaseDeltaSplitTest, NullViewNeverServes) {
+  data::Dataset ds(2);
+  ds.Append(std::vector<double>{1.0, 2.0});
+  const BaseDeltaSplit split = SplitBaseDelta(nullptr, ds);
+  EXPECT_EQ(split.base, nullptr);
+}
+
+}  // namespace
+}  // namespace hos::kernels

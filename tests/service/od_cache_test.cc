@@ -9,12 +9,15 @@
 namespace hos::service {
 namespace {
 
+// Dataset version most tests pin; the version-keying tests vary it.
+constexpr uint64_t kV = 7;
+
 TEST(OdCacheTest, MissThenHit) {
   OdCache cache;
   double od = 0.0;
-  EXPECT_FALSE(cache.Lookup(7, 0b101, &od));
-  cache.Store(7, 0b101, 3.25);
-  ASSERT_TRUE(cache.Lookup(7, 0b101, &od));
+  EXPECT_FALSE(cache.Lookup(kV, 7, 0b101, &od));
+  cache.Store(kV, 7, 0b101, 3.25);
+  ASSERT_TRUE(cache.Lookup(kV, 7, 0b101, &od));
   EXPECT_EQ(od, 3.25);
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.misses(), 1u);
@@ -23,17 +26,54 @@ TEST(OdCacheTest, MissThenHit) {
 
 TEST(OdCacheTest, KeysAreDistinctPerPointAndSubspace) {
   OdCache cache;
-  cache.Store(1, 0b01, 1.0);
-  cache.Store(1, 0b10, 2.0);
-  cache.Store(2, 0b01, 3.0);
+  cache.Store(kV, 1, 0b01, 1.0);
+  cache.Store(kV, 1, 0b10, 2.0);
+  cache.Store(kV, 2, 0b01, 3.0);
   double od = 0.0;
-  ASSERT_TRUE(cache.Lookup(1, 0b01, &od));
+  ASSERT_TRUE(cache.Lookup(kV, 1, 0b01, &od));
   EXPECT_EQ(od, 1.0);
-  ASSERT_TRUE(cache.Lookup(1, 0b10, &od));
+  ASSERT_TRUE(cache.Lookup(kV, 1, 0b10, &od));
   EXPECT_EQ(od, 2.0);
-  ASSERT_TRUE(cache.Lookup(2, 0b01, &od));
+  ASSERT_TRUE(cache.Lookup(kV, 2, 0b01, &od));
   EXPECT_EQ(od, 3.0);
   EXPECT_EQ(cache.size(), 3u);
+}
+
+// The streaming-ingest acceptance property: a value stored at one dataset
+// version is unreachable from any other version, so the cache can never
+// serve an OD computed against an older (or newer) dataset state.
+TEST(OdCacheTest, NeverServesAcrossDatasetVersions) {
+  OdCache cache;
+  cache.Store(/*version=*/1, 5, 0b11, 4.5);
+  double od = 0.0;
+  EXPECT_FALSE(cache.Lookup(/*version=*/2, 5, 0b11, &od));
+  EXPECT_FALSE(cache.Lookup(/*version=*/0, 5, 0b11, &od));
+  ASSERT_TRUE(cache.Lookup(/*version=*/1, 5, 0b11, &od));
+  EXPECT_EQ(od, 4.5);
+
+  // Both versions may coexist; each lookup resolves to its own epoch.
+  cache.Store(/*version=*/2, 5, 0b11, 9.75);
+  ASSERT_TRUE(cache.Lookup(/*version=*/1, 5, 0b11, &od));
+  EXPECT_EQ(od, 4.5);
+  ASSERT_TRUE(cache.Lookup(/*version=*/2, 5, 0b11, &od));
+  EXPECT_EQ(od, 9.75);
+}
+
+TEST(OdCacheTest, VersionViewBindsItsVersion) {
+  OdCache cache;
+  OdCache::VersionView v1(&cache, 1);
+  OdCache::VersionView v2(&cache, 2);
+
+  v1.Store(3, 0b100, 1.5);
+  double od = 0.0;
+  ASSERT_TRUE(v1.Lookup(3, 0b100, &od));
+  EXPECT_EQ(od, 1.5);
+  EXPECT_FALSE(v2.Lookup(3, 0b100, &od));
+
+  // A view over a null cache is a no-op store (cache disabled).
+  OdCache::VersionView disabled(nullptr, 1);
+  disabled.Store(3, 0b100, 2.0);
+  EXPECT_FALSE(disabled.Lookup(3, 0b100, &od));
 }
 
 TEST(OdCacheTest, EvictsLeastRecentlyUsedWithinShard) {
@@ -42,21 +82,41 @@ TEST(OdCacheTest, EvictsLeastRecentlyUsedWithinShard) {
   config.capacity = 3;
   OdCache cache(config);
 
-  cache.Store(1, 1, 1.0);
-  cache.Store(2, 1, 2.0);
-  cache.Store(3, 1, 3.0);
+  cache.Store(kV, 1, 1, 1.0);
+  cache.Store(kV, 2, 1, 2.0);
+  cache.Store(kV, 3, 1, 3.0);
 
   // Touch key 1 so key 2 becomes the LRU victim.
   double od = 0.0;
-  ASSERT_TRUE(cache.Lookup(1, 1, &od));
-  cache.Store(4, 1, 4.0);  // evicts (2, 1)
+  ASSERT_TRUE(cache.Lookup(kV, 1, 1, &od));
+  cache.Store(kV, 4, 1, 4.0);  // evicts (2, 1)
 
   EXPECT_EQ(cache.evictions(), 1u);
-  EXPECT_FALSE(cache.Lookup(2, 1, &od));
-  EXPECT_TRUE(cache.Lookup(1, 1, &od));
-  EXPECT_TRUE(cache.Lookup(3, 1, &od));
-  EXPECT_TRUE(cache.Lookup(4, 1, &od));
+  EXPECT_FALSE(cache.Lookup(kV, 2, 1, &od));
+  EXPECT_TRUE(cache.Lookup(kV, 1, 1, &od));
+  EXPECT_TRUE(cache.Lookup(kV, 3, 1, &od));
+  EXPECT_TRUE(cache.Lookup(kV, 4, 1, &od));
   EXPECT_EQ(cache.size(), 3u);
+}
+
+// Dead-version entries are not pinned: they age out through the same LRU
+// as any other key once new-version traffic displaces them.
+TEST(OdCacheTest, OldVersionEntriesAgeOutUnderNewVersionTraffic) {
+  OdCacheConfig config;
+  config.num_shards = 1;
+  config.capacity = 4;
+  OdCache cache(config);
+
+  cache.Store(/*version=*/1, 1, 1, 1.0);
+  cache.Store(/*version=*/1, 2, 1, 2.0);
+  for (data::PointId id = 1; id <= 4; ++id) {
+    cache.Store(/*version=*/2, id, 1, 10.0 + id);
+  }
+  double od = 0.0;
+  EXPECT_FALSE(cache.Lookup(/*version=*/1, 1, 1, &od));
+  EXPECT_FALSE(cache.Lookup(/*version=*/1, 2, 1, &od));
+  ASSERT_TRUE(cache.Lookup(/*version=*/2, 4, 1, &od));
+  EXPECT_EQ(od, 14.0);
 }
 
 TEST(OdCacheTest, StoreOfExistingKeyUpdatesAndRefreshes) {
@@ -65,15 +125,15 @@ TEST(OdCacheTest, StoreOfExistingKeyUpdatesAndRefreshes) {
   config.capacity = 2;
   OdCache cache(config);
 
-  cache.Store(1, 1, 1.0);
-  cache.Store(2, 1, 2.0);
-  cache.Store(1, 1, 10.0);  // refresh: key 2 is now LRU
-  cache.Store(3, 1, 3.0);   // evicts (2, 1)
+  cache.Store(kV, 1, 1, 1.0);
+  cache.Store(kV, 2, 1, 2.0);
+  cache.Store(kV, 1, 1, 10.0);  // refresh: key 2 is now LRU
+  cache.Store(kV, 3, 1, 3.0);   // evicts (2, 1)
 
   double od = 0.0;
-  ASSERT_TRUE(cache.Lookup(1, 1, &od));
+  ASSERT_TRUE(cache.Lookup(kV, 1, 1, &od));
   EXPECT_EQ(od, 10.0);
-  EXPECT_FALSE(cache.Lookup(2, 1, &od));
+  EXPECT_FALSE(cache.Lookup(kV, 2, 1, &od));
 }
 
 TEST(OdCacheTest, ShardCountRoundsUpToPowerOfTwo) {
@@ -85,12 +145,12 @@ TEST(OdCacheTest, ShardCountRoundsUpToPowerOfTwo) {
 
 TEST(OdCacheTest, ClearEmptiesButKeepsCounters) {
   OdCache cache;
-  cache.Store(1, 1, 1.0);
+  cache.Store(kV, 1, 1, 1.0);
   double od = 0.0;
-  ASSERT_TRUE(cache.Lookup(1, 1, &od));
+  ASSERT_TRUE(cache.Lookup(kV, 1, 1, &od));
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
-  EXPECT_FALSE(cache.Lookup(1, 1, &od));
+  EXPECT_FALSE(cache.Lookup(kV, 1, 1, &od));
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.misses(), 1u);
 }
@@ -98,14 +158,17 @@ TEST(OdCacheTest, ClearEmptiesButKeepsCounters) {
 // Striping smoke test: hammer one cache from many threads across a key
 // space larger than capacity; under TSan this exercises the per-shard
 // locking, and every successful lookup must return the stored value.
+// Threads alternate between two dataset versions to cover version-keyed
+// paths under concurrency too.
 TEST(OdCacheTest, ConcurrentMixedWorkloadIsConsistent) {
   OdCacheConfig config;
   config.capacity = 256;
   config.num_shards = 8;
   OdCache cache(config);
 
-  auto value_for = [](data::PointId id, uint64_t mask) {
-    return static_cast<double>(id) * 1000.0 + static_cast<double>(mask);
+  auto value_for = [](uint64_t version, data::PointId id, uint64_t mask) {
+    return static_cast<double>(version) * 1e6 +
+           static_cast<double>(id) * 1000.0 + static_cast<double>(mask);
   };
 
   std::vector<std::thread> threads;
@@ -113,13 +176,14 @@ TEST(OdCacheTest, ConcurrentMixedWorkloadIsConsistent) {
     threads.emplace_back([&cache, &value_for, t]() {
       for (int round = 0; round < 200; ++round) {
         for (uint64_t key = 0; key < 64; ++key) {
+          const uint64_t version = (t + round) % 2;
           const data::PointId id = static_cast<data::PointId>((t + key) % 32);
           const uint64_t mask = key % 16 + 1;
           double od = 0.0;
-          if (cache.Lookup(id, mask, &od)) {
-            EXPECT_EQ(od, value_for(id, mask));
+          if (cache.Lookup(version, id, mask, &od)) {
+            EXPECT_EQ(od, value_for(version, id, mask));
           } else {
-            cache.Store(id, mask, value_for(id, mask));
+            cache.Store(version, id, mask, value_for(version, id, mask));
           }
         }
       }
