@@ -8,6 +8,7 @@
 // future PRs can track the serving-path trajectory.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -88,7 +89,105 @@ Row RunConfig(int threads, bool cache_on) {
   return row;
 }
 
-void WriteJson(const std::vector<Row>& rows, const std::string& path) {
+// --- observability overhead ------------------------------------------------
+//
+// The same hot mix served three ways: observability off (the serve-only
+// baseline — tracing is a null-pointer check per site), metrics-only (the
+// always-on registry plus a scrape per batch, what a Prometheus poller
+// costs), and full per-query tracing (every query records its span tree).
+// The off-vs-metrics gap is the price of the observability PR when nobody
+// asks for traces; the acceptance bar is < 5% of serve-only qps.
+
+struct OverheadRow {
+  const char* mode;
+  double qps = 0.0;
+  double seconds = 0.0;
+  double overhead_pct = 0.0;  // vs the "off" row
+};
+
+enum class ObsMode { kOff, kMetricsOnly, kFullTracing };
+
+std::vector<OverheadRow> RunOverheadSweep() {
+  constexpr ObsMode kModes[] = {ObsMode::kOff, ObsMode::kMetricsOnly,
+                                ObsMode::kFullTracing};
+  constexpr const char* kModeNames[] = {"off", "metrics_only", "full_tracing"};
+
+  // One service per mode, all built up front so the trials below can
+  // interleave across modes: CPU frequency ramps and scheduler weather
+  // drift over the run, and measuring the modes back-to-back within each
+  // trial hits all three with the same weather instead of charging the
+  // drift to whichever mode ran last.
+  std::vector<std::unique_ptr<service::QueryService>> services;
+  std::vector<data::PointId> ids;
+  for (ObsMode mode : kModes) {
+    service::QueryServiceConfig config;
+    config.num_threads = 4;
+    config.enable_od_cache = true;
+    if (mode == ObsMode::kFullTracing) {
+      config.observability.trace_queries = true;
+    }
+    services.push_back(std::make_unique<service::QueryService>(
+        BuildMiner(/*seed=*/99), config));
+    if (ids.empty()) {
+      ids.reserve(kHotSetSize * kRepetitions);
+      for (int rep = 0; rep < kRepetitions; ++rep) {
+        for (int i = 0; i < kHotSetSize; ++i) {
+          ids.push_back(static_cast<data::PointId>(
+              (i * 17) %
+              static_cast<int>(services[0]->miner().dataset().size())));
+        }
+      }
+    }
+    // One warmup batch fills each OD cache so the timed passes measure the
+    // steady serving state, where per-query bookkeeping is a visible
+    // fraction of the work rather than noise under cold kNN evaluations.
+    if (!services.back()->QueryBatch(ids).ok()) std::abort();
+  }
+
+  // Best-of-N trials per mode: each measurement is several back-to-back
+  // batches, and the fastest trial stands for the mode. The per-trial
+  // window is ~10 ms, so a single descheduling blip can smear a mode by
+  // tens of percent — the minimum is the defensible estimate of the
+  // code's own cost.
+  constexpr int kTimedBatches = 4;
+  constexpr int kTrials = 7;
+  double best_seconds[3] = {0.0, 0.0, 0.0};
+  for (int trial = 0; trial < kTrials; ++trial) {
+    for (size_t m = 0; m < services.size(); ++m) {
+      Timer timer;
+      for (int pass = 0; pass < kTimedBatches; ++pass) {
+        if (!services[m]->QueryBatch(ids).ok()) std::abort();
+        if (kModes[m] == ObsMode::kMetricsOnly) {
+          // The scraper's pull, once per batch.
+          (void)services[m]->MetricsJson();
+        }
+      }
+      const double seconds = timer.ElapsedSeconds();
+      if (trial == 0 || seconds < best_seconds[m]) best_seconds[m] = seconds;
+    }
+  }
+
+  std::vector<OverheadRow> rows;
+  for (size_t m = 0; m < services.size(); ++m) {
+    OverheadRow row;
+    row.mode = kModeNames[m];
+    row.seconds = best_seconds[m];
+    row.qps =
+        static_cast<double>(ids.size()) * kTimedBatches / best_seconds[m];
+    rows.push_back(row);
+  }
+  const double base_qps = rows[0].qps;
+  for (OverheadRow& row : rows) {
+    row.overhead_pct = base_qps > 0.0
+                           ? (base_qps - row.qps) / base_qps * 100.0
+                           : 0.0;
+  }
+  return rows;
+}
+
+void WriteJson(const std::vector<Row>& rows,
+               const std::vector<OverheadRow>& overhead,
+               const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -107,6 +206,15 @@ void WriteJson(const std::vector<Row>& rows, const std::string& path) {
                  "\"p99_latency_seconds\": %.6g, \"cache_hit_rate\": %.4f}%s\n",
                  r.threads, r.cache ? "true" : "false", r.qps, r.seconds,
                  r.p50, r.p99, r.hit_rate, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"tracing_overhead\": [\n");
+  for (size_t i = 0; i < overhead.size(); ++i) {
+    const OverheadRow& r = overhead[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"qps\": %.2f, \"seconds\": %.4f, "
+                 "\"overhead_pct\": %.2f}%s\n",
+                 r.mode, r.qps, r.seconds, r.overhead_pct,
+                 i + 1 < overhead.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -155,7 +263,17 @@ void Run(const std::string& json_path) {
                 t4_on->qps / t1_on->qps);
   }
 
-  WriteJson(rows, json_path);
+  std::printf("\nobservability overhead (4 threads, cache on, warm):\n");
+  const std::vector<OverheadRow> overhead = RunOverheadSweep();
+  eval::Table overhead_table({"mode", "qps", "seconds", "overhead %"});
+  for (const OverheadRow& r : overhead) {
+    overhead_table.AddRow({r.mode, eval::FormatDouble(r.qps, 1),
+                           eval::FormatDouble(r.seconds, 4),
+                           eval::FormatDouble(r.overhead_pct, 2)});
+  }
+  overhead_table.Print();
+
+  WriteJson(rows, overhead, json_path);
 }
 
 }  // namespace

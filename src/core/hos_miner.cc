@@ -180,10 +180,29 @@ Result<QueryResult> HosMiner::RunSearch(
   exec.max_threads = options.search_threads;
   exec.lattice_backend = options.lattice_backend;
   exec.max_od_evaluations = options.max_od_evaluations;
+  // Tracing: record into the caller's tracer when given; otherwise, when
+  // collect_trace asked for one, own a local tracer and hand the finished
+  // trace back on the result. Spans observe timing only — the search takes
+  // no decision from them — so traced and untraced answers are identical.
+  std::unique_ptr<obs::QueryTracer> local_tracer;
+  obs::QueryTracer* tracer = options.tracer;
+  if (tracer == nullptr && options.collect_trace) {
+    local_tracer = std::make_unique<obs::QueryTracer>();
+    tracer = local_tracer.get();
+  }
   QueryResult result;
   result.dataset_version = dataset_->version();
-  HOS_ASSIGN_OR_RETURN(result.outcome,
-                       query_search_->Run(&od, threshold_, exec));
+  {
+    obs::ScopedSpan search_span(tracer, "search", options.trace_parent);
+    exec.tracer = tracer;
+    exec.trace_parent = search_span.id();
+    HOS_ASSIGN_OR_RETURN(result.outcome,
+                         query_search_->Run(&od, threshold_, exec));
+  }
+  if (local_tracer != nullptr) {
+    result.trace =
+        std::make_shared<const obs::QueryTrace>(local_tracer->Finish());
+  }
   return result;
 }
 

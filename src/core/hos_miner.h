@@ -27,6 +27,7 @@
 #include "src/knn/knn_engine.h"
 #include "src/knn/linear_scan.h"
 #include "src/learning/learner.h"
+#include "src/obs/trace.h"
 #include "src/search/search_result.h"
 #include "src/search/subspace_search.h"
 
@@ -94,6 +95,20 @@ struct QueryOptions {
   /// exhaustive / non-band searches at d > 22
   /// (SearchExecution::max_od_evaluations).
   uint64_t max_od_evaluations = 0;
+  /// When true (and no external `tracer` is given), the query collects a
+  /// span tree — search → strategy → level → knn — and attaches it to
+  /// QueryResult::trace. Tracing observes, never steers: answers are
+  /// bitwise identical with it on or off (held by
+  /// tests/obs/trace_differential_test.cc).
+  bool collect_trace = false;
+  /// External span sink. When set, spans are recorded here under
+  /// `trace_parent` and the caller owns finishing the trace (the serving
+  /// layer does this so its "service" root span encloses the search);
+  /// QueryResult::trace stays null.
+  obs::QueryTracer* tracer = nullptr;
+  /// Span id this query's "search" span attaches under in an external
+  /// tracer (-1 = root). Ignored without `tracer`.
+  int trace_parent = -1;
 };
 
 /// Answer for one query point.
@@ -105,6 +120,11 @@ struct QueryResult {
   /// state that actually existed: appends are serialized against queries,
   /// so a query sees either all of an append batch or none of it.
   uint64_t dataset_version = 0;
+
+  /// Span tree of this query's execution; null unless
+  /// QueryOptions::collect_trace asked for one (shared_ptr so copying
+  /// results stays cheap and the common untraced path pays nothing).
+  std::shared_ptr<const obs::QueryTrace> trace;
 
   /// The refined answer set (paper §3.4): minimal outlying subspaces.
   const std::vector<Subspace>& outlying_subspaces() const {

@@ -54,7 +54,13 @@ std::string QueryResultToJson(const QueryResult& result) {
   out << "\"wasted_evaluations\":" << outcome.counters.wasted_evaluations
       << ",";
   out << "\"elapsed_seconds\":" << outcome.counters.elapsed_seconds;
-  out << "}}";
+  out << "}";
+  // Only traced results carry the key, so untraced output (including the
+  // pinned golden fixture) is byte-identical to what it always was.
+  if (result.trace != nullptr) {
+    out << ",\"trace\":" << result.trace->ToJson();
+  }
+  out << "}";
   return out.str();
 }
 

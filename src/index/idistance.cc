@@ -80,9 +80,17 @@ Status IDistance::Rebuild(Rng* rng,
   if (!built.ok()) return built.status();
   const uint64_t dist = distance_count_;
   const uint64_t stale = stale_fallbacks_;
+  const uint64_t stripes = stripe_scans_;
+  const uint64_t kernel = kernel_scans_;
+  const uint64_t scalar = scalar_scans_;
+  const uint64_t merges = delta_merges_;
   *this = std::move(built).value();
   distance_count_ = dist;
   stale_fallbacks_ = stale;
+  stripe_scans_ = stripes;
+  kernel_scans_ = kernel;
+  scalar_scans_ = scalar;
+  delta_merges_ = merges;
   return Status::OK();
 }
 
@@ -108,6 +116,12 @@ std::vector<knn::Neighbor> IDistance::Knn(
   const size_t base = std::min(base_rows_, dataset_->size());
   kernels::TopKCollector best(want);
   const kernels::DatasetView* view = kernel_view();
+  if (view != nullptr) {
+    ++kernel_scans_;
+  } else {
+    ++scalar_scans_;
+  }
+  if (dataset_->size() > base) ++delta_merges_;
   std::vector<char> visited(base, 0);
   std::vector<data::PointId> batch;  // refinement candidates per stripe scan
   const double step = std::max(mean_radius_ *
@@ -119,6 +133,7 @@ std::vector<knn::Neighbor> IDistance::Knn(
     for (size_t p = 0; p < partitions_.size(); ++p) {
       // Query ball misses this partition's sphere entirely?
       if (center_dist[p] - r > partitions_[p].radius) continue;
+      ++stripe_scans_;
       const double lo =
           Key(static_cast<int>(p), std::max(0.0, center_dist[p] - r));
       const double hi = Key(
@@ -183,6 +198,14 @@ std::vector<knn::Neighbor> IDistance::RangeSearch(
     std::span<const double> point, double radius) const {
   const Subspace full = Subspace::Full(dataset_->num_dims());
   const kernels::DatasetView* view = kernel_view();
+  if (view != nullptr) {
+    ++kernel_scans_;
+  } else {
+    ++scalar_scans_;
+  }
+  if (dataset_->size() > std::min(base_rows_, dataset_->size())) {
+    ++delta_merges_;
+  }
   std::vector<knn::Neighbor> out;
   std::vector<data::PointId> batch;
   std::vector<double> dist;
@@ -190,6 +213,7 @@ std::vector<knn::Neighbor> IDistance::RangeSearch(
     double center_dist = knn::SubspaceDistance(point, partitions_[p].center,
                                                full, metric_);
     if (center_dist - radius > partitions_[p].radius) continue;
+    ++stripe_scans_;
     const double lo =
         Key(static_cast<int>(p), std::max(0.0, center_dist - radius));
     const double hi =
@@ -249,6 +273,18 @@ Status IDistance::CheckInvariants() const {
     }
   }
   return Status::OK();
+}
+
+knn::KnnBackendStats IDistance::backend_stats() const {
+  knn::KnnBackendStats stats;
+  stats.backend = "idistance";
+  stats.distance_computations = distance_count_;
+  stats.node_accesses = stripe_scans_;
+  stats.kernel_scans = kernel_scans_;
+  stats.scalar_scans = scalar_scans_;
+  stats.delta_merges = delta_merges_;
+  stats.stale_fallbacks = stale_fallbacks_;
+  return stats;
 }
 
 }  // namespace hos::index

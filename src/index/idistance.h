@@ -99,6 +99,9 @@ class IDistance {
   }
   int tree_height() const { return tree_.height(); }
   uint64_t distance_computations() const { return distance_count_; }
+  /// Work-counter snapshot under backend name "idistance"; node_accesses
+  /// counts B+-tree stripe scans.
+  knn::KnnBackendStats backend_stats() const;
 
   /// Structural check: every point's key lies inside its partition stripe
   /// and the B+-tree invariants hold.
@@ -132,6 +135,10 @@ class IDistance {
   BPlusTree<double, data::PointId> tree_;
   mutable RelaxedCounter distance_count_;  // race-free under concurrent queries
   mutable RelaxedCounter stale_fallbacks_;
+  mutable RelaxedCounter stripe_scans_;
+  mutable RelaxedCounter kernel_scans_;
+  mutable RelaxedCounter scalar_scans_;
+  mutable RelaxedCounter delta_merges_;
 };
 
 }  // namespace hos::index

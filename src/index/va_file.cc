@@ -56,9 +56,17 @@ Status VaFile::Rebuild(std::shared_ptr<const kernels::DatasetView> view) {
   if (!built.ok()) return built.status();
   const uint64_t dist = distance_count_;
   const uint64_t stale = stale_fallbacks_;
+  const uint64_t sweeps = approx_sweeps_;
+  const uint64_t kernel = kernel_scans_;
+  const uint64_t scalar = scalar_scans_;
+  const uint64_t merges = delta_merges_;
   *this = std::move(built).value();
   distance_count_ = dist;
   stale_fallbacks_ = stale;
+  approx_sweeps_ = sweeps;
+  kernel_scans_ = kernel;
+  scalar_scans_ = scalar;
+  delta_merges_ = merges;
   return Status::OK();
 }
 
@@ -171,8 +179,11 @@ std::vector<knn::Neighbor> VaFile::Knn(const knn::KnnQuery& query) const {
   uint64_t candidates_visited = 0;  // published once at the end, so
                                     // last_candidate_count() is one whole
                                     // query's tally even under concurrency
+  ++approx_sweeps_;
+  if (n > base) ++delta_merges_;
   const kernels::DatasetView* view = kernel_view();
   if (view != nullptr) {
+    ++kernel_scans_;
     // Batched refinement: blocks of candidates through the shared kernel
     // with the block-start k-th bound. A block may reach a few candidates
     // past where the scalar loop would break, but those provably fail
@@ -204,6 +215,7 @@ std::vector<knn::Neighbor> VaFile::Knn(const knn::KnnQuery& query) const {
       i = block_end;
     }
   } else {
+    ++scalar_scans_;
     for (const Approx& a : candidates) {
       if (best.full() && a.lower > best.worst()) break;
       double dist = knn::SubspaceDistance(query.point, dataset_->Row(a.id),
@@ -231,8 +243,11 @@ std::vector<knn::Neighbor> VaFile::RangeSearch(std::span<const double> point,
   std::vector<knn::Neighbor> out;
   const auto base = static_cast<data::PointId>(
       std::min(base_rows_, dataset_->size()));
+  ++approx_sweeps_;
+  if (dataset_->size() > base) ++delta_merges_;
   const kernels::DatasetView* view = kernel_view();
   if (view != nullptr) {
+    ++kernel_scans_;
     std::vector<data::PointId> survivors;
     for (data::PointId id = 0; id < base; ++id) {
       double lower, upper;
@@ -247,6 +262,7 @@ std::vector<knn::Neighbor> VaFile::RangeSearch(std::span<const double> point,
       if (dist[i] <= radius) out.push_back({survivors[i], dist[i]});
     }
   } else {
+    ++scalar_scans_;
     for (data::PointId id = 0; id < base; ++id) {
       double lower, upper;
       Bounds(id, point, subspace, &lower, &upper);
@@ -266,6 +282,18 @@ std::vector<knn::Neighbor> VaFile::RangeSearch(std::span<const double> point,
               return a.id < b.id;
             });
   return out;
+}
+
+knn::KnnBackendStats VaFile::backend_stats() const {
+  knn::KnnBackendStats stats;
+  stats.backend = "va_file";
+  stats.distance_computations = distance_count_;
+  stats.node_accesses = approx_sweeps_;
+  stats.kernel_scans = kernel_scans_;
+  stats.scalar_scans = scalar_scans_;
+  stats.delta_merges = delta_merges_;
+  stats.stale_fallbacks = stale_fallbacks_;
+  return stats;
 }
 
 }  // namespace hos::index

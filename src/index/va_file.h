@@ -74,6 +74,9 @@ class VaFile {
   /// Queries that fell back to the scalar refinement although a snapshot
   /// was attached (in-place overwrite since the snapshot was taken).
   uint64_t stale_fallbacks() const { return stale_fallbacks_; }
+  /// Work-counter snapshot under backend name "va_file"; node_accesses
+  /// counts approximation-file sweeps (one per query phase 1).
+  knn::KnnBackendStats backend_stats() const;
 
  private:
   VaFile(const data::Dataset& dataset, knn::MetricKind metric,
@@ -108,6 +111,10 @@ class VaFile {
   mutable RelaxedCounter distance_count_;
   mutable RelaxedCounter last_candidates_;
   mutable RelaxedCounter stale_fallbacks_;
+  mutable RelaxedCounter approx_sweeps_;
+  mutable RelaxedCounter kernel_scans_;
+  mutable RelaxedCounter scalar_scans_;
+  mutable RelaxedCounter delta_merges_;
 };
 
 /// KnnEngine adapter.
@@ -127,6 +134,9 @@ class VaFileKnn : public knn::KnnEngine {
   knn::MetricKind metric() const override { return file_.metric(); }
   uint64_t distance_computations() const override {
     return file_.distance_computations();
+  }
+  knn::KnnBackendStats backend_stats() const override {
+    return file_.backend_stats();
   }
 
  private:

@@ -473,10 +473,16 @@ Status XTree::Rebuild(std::shared_ptr<const kernels::DatasetView> view) {
   const uint64_t dist = distance_count_;
   const uint64_t nodes = node_access_count_;
   const uint64_t stale = stale_fallbacks_;
+  const uint64_t kernel = kernel_scans_;
+  const uint64_t scalar = scalar_scans_;
+  const uint64_t merges = delta_merges_;
   *this = std::move(built).value();
   distance_count_ = dist;
   node_access_count_ = nodes;
   stale_fallbacks_ = stale;
+  kernel_scans_ = kernel;
+  scalar_scans_ = scalar;
+  delta_merges_ = merges;
   return Status::OK();
 }
 
@@ -639,6 +645,7 @@ std::vector<knn::Neighbor> XTree::Knn(const knn::KnnQuery& query) const {
   // base ∪ delta are the k smallest of (base top-k) ∪ delta.
   const auto live = static_cast<data::PointId>(dataset_->size());
   if (live > base_rows_ && query.k > 0) {
+    ++delta_merges_;
     kernels::TopKCollector merged(static_cast<size_t>(query.k));
     for (const knn::Neighbor& n : out) merged.Offer(n.id, n.distance);
     distance_count_ += knn::DeltaScanTopK(
@@ -665,6 +672,11 @@ std::vector<knn::Neighbor> XTree::KnnBase(const knn::KnnQuery& query) const {
   // drop instead of enqueue — the best-first pop order of the survivors is
   // unchanged.
   const kernels::DatasetView* view = kernel_view();
+  if (view != nullptr) {
+    ++kernel_scans_;
+  } else {
+    ++scalar_scans_;
+  }
   const std::vector<int> dims = query.subspace.Dims();
   kernels::TopKCollector seen(static_cast<size_t>(query.k));
   std::vector<data::PointId> leaf_ids;
@@ -740,6 +752,12 @@ std::vector<knn::Neighbor> XTree::RangeSearch(std::span<const double> point,
   }
 
   const kernels::DatasetView* view = kernel_view();
+  if (view != nullptr) {
+    ++kernel_scans_;
+  } else {
+    ++scalar_scans_;
+  }
+  if (dataset_->size() > base_rows_) ++delta_merges_;
   const std::vector<int> dims = subspace.Dims();
   std::vector<double> leaf_dist;
   std::function<void(const Node*)> visit = [&](const Node* node) {
@@ -789,6 +807,18 @@ std::vector<knn::Neighbor> XTree::RangeSearch(std::span<const double> point,
 // ---------------------------------------------------------------------------
 // Introspection
 // ---------------------------------------------------------------------------
+
+knn::KnnBackendStats XTree::backend_stats() const {
+  knn::KnnBackendStats stats;
+  stats.backend = "xtree";
+  stats.distance_computations = distance_count_;
+  stats.node_accesses = node_access_count_;
+  stats.kernel_scans = kernel_scans_;
+  stats.scalar_scans = scalar_scans_;
+  stats.delta_merges = delta_merges_;
+  stats.stale_fallbacks = stale_fallbacks_;
+  return stats;
+}
 
 XTreeStats XTree::ComputeStats() const {
   XTreeStats stats;

@@ -138,6 +138,9 @@ class XTree {
   uint64_t distance_computations() const { return distance_count_; }
   /// Tree nodes visited by queries so far.
   uint64_t node_accesses() const { return node_access_count_; }
+  /// Work-counter snapshot under backend name "xtree": node accesses,
+  /// kernel vs. scalar leaf-scan queries, delta merges, stale fallbacks.
+  knn::KnnBackendStats backend_stats() const;
 
   XTreeStats ComputeStats() const;
 
@@ -193,6 +196,9 @@ class XTree {
   mutable RelaxedCounter distance_count_;
   mutable RelaxedCounter node_access_count_;
   mutable RelaxedCounter stale_fallbacks_;
+  mutable RelaxedCounter kernel_scans_;
+  mutable RelaxedCounter scalar_scans_;
+  mutable RelaxedCounter delta_merges_;
 };
 
 /// KnnEngine adapter so the OD evaluator can use the X-tree
@@ -213,6 +219,9 @@ class XTreeKnn : public knn::KnnEngine {
   knn::MetricKind metric() const override { return tree_.metric(); }
   uint64_t distance_computations() const override {
     return tree_.distance_computations();
+  }
+  knn::KnnBackendStats backend_stats() const override {
+    return tree_.backend_stats();
   }
 
  private:

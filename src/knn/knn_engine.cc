@@ -2,6 +2,13 @@
 
 namespace hos::knn {
 
+KnnBackendStats KnnEngine::backend_stats() const {
+  KnnBackendStats stats;
+  stats.backend = "unknown";
+  stats.distance_computations = distance_computations();
+  return stats;
+}
+
 double OutlyingDegree(const KnnEngine& engine, const KnnQuery& query) {
   double sum = 0.0;
   for (const Neighbor& n : engine.Search(query)) {

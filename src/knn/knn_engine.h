@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/common/subspace.h"
@@ -38,6 +39,28 @@ struct KnnQuery {
   std::optional<data::PointId> exclude;
 };
 
+/// Uniform snapshot of a backend's internal work counters, so the metrics
+/// layer can export every backend through one shape without knowing which
+/// concrete index sits behind the KnnEngine. All counts are monotone over
+/// the engine's lifetime (they reset only when the engine itself is
+/// replaced, e.g. by an ingest rebuild — the serving layer folds the old
+/// engine's totals so exported series stay monotone across swaps).
+struct KnnBackendStats {
+  /// Implementation name: "linear_scan", "xtree", "va_file", "idistance".
+  std::string backend;
+  uint64_t distance_computations = 0;
+  /// Index nodes / pages / partitions touched (0 for scan backends).
+  uint64_t node_accesses = 0;
+  /// Scans answered through the batched SIMD kernel over the SoA base.
+  uint64_t kernel_scans = 0;
+  /// Scans answered by the scalar per-point path (stale-snapshot fallback).
+  uint64_t scalar_scans = 0;
+  /// Queries that merged appended delta rows into a base answer.
+  uint64_t delta_merges = 0;
+  /// Queries forced fully scalar because the base snapshot was invalidated.
+  uint64_t stale_fallbacks = 0;
+};
+
 /// Abstract kNN service over a fixed dataset with a fixed metric.
 class KnnEngine {
  public:
@@ -62,6 +85,11 @@ class KnnEngine {
   /// Monotonically increasing count of point-to-point distance computations
   /// performed, for the efficiency experiments.
   virtual uint64_t distance_computations() const = 0;
+
+  /// Work-counter snapshot for the metrics exporter. The base returns just
+  /// the distance count under backend "unknown"; concrete engines override
+  /// with their name and index-specific tallies.
+  virtual KnnBackendStats backend_stats() const;
 };
 
 /// OD(p, s) = sum of distances to the k nearest neighbours of p in s

@@ -31,6 +31,8 @@ std::vector<Neighbor> LinearScanKnn::Search(const KnnQuery& query) const {
   const kernels::BaseDeltaSplit split =
       kernels::SplitBaseDelta(view_, dataset_);
   if (split.base != nullptr) {
+    ++kernel_scans_;
+    if (split.delta_begin < dataset_.size()) ++delta_merges_;
     distance_count_ +=
         kernels::ScanAllForTopK(*split.base, query.point, query.subspace,
                                 metric_, query.exclude, &collector);
@@ -43,6 +45,7 @@ std::vector<Neighbor> LinearScanKnn::Search(const KnnQuery& query) const {
   }
 
   NoteStaleFallback(&stale_fallbacks_, "LinearScanKnn");
+  ++scalar_scans_;
   for (data::PointId id = 0; id < dataset_.size(); ++id) {
     if (query.exclude && *query.exclude == id) continue;
     double dist = SubspaceDistance(query.point, dataset_.Row(id),
@@ -60,6 +63,8 @@ std::vector<Neighbor> LinearScanKnn::RangeSearch(std::span<const double> point,
   const kernels::BaseDeltaSplit split =
       kernels::SplitBaseDelta(view_, dataset_);
   if (split.base != nullptr) {
+    ++kernel_scans_;
+    if (split.delta_begin < dataset_.size()) ++delta_merges_;
     const std::vector<int> dims = subspace.Dims();
     const size_t n = split.base->num_points();
     double dist[kernels::kDistanceBlock];
@@ -81,6 +86,7 @@ std::vector<Neighbor> LinearScanKnn::RangeSearch(std::span<const double> point,
         static_cast<data::PointId>(dataset_.size()), radius, &out);
   } else {
     NoteStaleFallback(&stale_fallbacks_, "LinearScanKnn");
+    ++scalar_scans_;
     for (data::PointId id = 0; id < dataset_.size(); ++id) {
       double dist =
           SubspaceDistance(point, dataset_.Row(id), subspace, metric_);
@@ -93,6 +99,17 @@ std::vector<Neighbor> LinearScanKnn::RangeSearch(std::span<const double> point,
     return a.id < b.id;
   });
   return out;
+}
+
+KnnBackendStats LinearScanKnn::backend_stats() const {
+  KnnBackendStats stats;
+  stats.backend = "linear_scan";
+  stats.distance_computations = distance_count_;
+  stats.kernel_scans = kernel_scans_;
+  stats.scalar_scans = scalar_scans_;
+  stats.delta_merges = delta_merges_;
+  stats.stale_fallbacks = stale_fallbacks_;
+  return stats;
 }
 
 }  // namespace hos::knn

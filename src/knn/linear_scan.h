@@ -54,6 +54,7 @@ class LinearScanKnn : public KnnEngine {
   size_t size() const override { return dataset_.size(); }
   MetricKind metric() const override { return metric_; }
   uint64_t distance_computations() const override { return distance_count_; }
+  KnnBackendStats backend_stats() const override;
 
   /// Queries served entirely by the scalar fallback because the snapshot
   /// was invalidated by an in-place overwrite (not by appends).
@@ -65,6 +66,9 @@ class LinearScanKnn : public KnnEngine {
   std::shared_ptr<const kernels::DatasetView> view_;
   mutable RelaxedCounter distance_count_;  // race-free under concurrent Search
   mutable RelaxedCounter stale_fallbacks_;
+  mutable RelaxedCounter kernel_scans_;
+  mutable RelaxedCounter scalar_scans_;
+  mutable RelaxedCounter delta_merges_;
 };
 
 }  // namespace hos::knn

@@ -1,0 +1,114 @@
+#include "src/obs/trace.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hos::obs {
+
+const TraceSpan* QueryTrace::Find(std::string_view name) const {
+  for (const TraceSpan& span : spans) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+size_t QueryTrace::CountByName(std::string_view name) const {
+  size_t n = 0;
+  for (const TraceSpan& span : spans) {
+    if (span.name == name) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendSeconds(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9f", std::isfinite(v) ? v : 0.0);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string QueryTrace::ToJson() const {
+  std::string out = "{\"dropped_spans\": " + std::to_string(dropped_spans) +
+                    ", \"spans\": [";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& span = spans[i];
+    if (i > 0) out += ", ";
+    out += "{\"id\": " + std::to_string(span.id);
+    out += ", \"parent\": " + std::to_string(span.parent);
+    out += ", \"name\": \"";
+    AppendJsonEscaped(&out, span.name);
+    out += "\"";
+    if (!span.detail.empty()) {
+      out += ", \"detail\": \"";
+      AppendJsonEscaped(&out, span.detail);
+      out += "\"";
+    }
+    out += ", \"start_seconds\": ";
+    AppendSeconds(&out, span.start_seconds);
+    out += ", \"duration_seconds\": ";
+    AppendSeconds(&out, span.duration_seconds);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+int QueryTracer::BeginSpan(std::string_view name, int parent,
+                           std::string detail) {
+  const double start = timer_.ElapsedSeconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return -1;
+  }
+  const int id = static_cast<int>(spans_.size());
+  TraceSpan& span = spans_.emplace_back();
+  span.id = id;
+  span.parent = parent;
+  span.name = std::string(name);
+  span.detail = std::move(detail);
+  span.start_seconds = start;
+  return id;
+}
+
+void QueryTracer::EndSpan(int id) {
+  const double now = timer_.ElapsedSeconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  spans_[static_cast<size_t>(id)].duration_seconds =
+      now - spans_[static_cast<size_t>(id)].start_seconds;
+}
+
+QueryTrace QueryTracer::Finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryTrace trace;
+  trace.spans = std::move(spans_);
+  trace.dropped_spans = dropped_;
+  spans_.clear();
+  dropped_ = 0;
+  return trace;
+}
+
+}  // namespace hos::obs

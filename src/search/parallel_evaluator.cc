@@ -2,15 +2,30 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <future>
 
 #include "src/service/thread_pool.h"
 
 namespace hos::search {
 
+namespace {
+
+std::string MaskDetail(uint64_t mask) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "mask=0x%llx",
+                static_cast<unsigned long long>(mask));
+  return buf;
+}
+
+}  // namespace
+
 ParallelEvaluator::ParallelEvaluator(OdEvaluator* root,
                                      const SearchExecution& exec)
-    : root_(root), pool_(exec.pool), chunk_size_(exec.chunk_size) {
+    : root_(root),
+      pool_(exec.pool),
+      tracer_(exec.tracer),
+      chunk_size_(exec.chunk_size) {
   if (pool_ == nullptr) {
     concurrency_ = 1;
   } else {
@@ -21,14 +36,21 @@ ParallelEvaluator::ParallelEvaluator(OdEvaluator* root,
   }
 }
 
-double ParallelEvaluator::ComputeOne(uint64_t mask, Source* source) const {
+double ParallelEvaluator::ComputeOne(uint64_t mask, Source* source,
+                                     int trace_parent) const {
   double od;
   SharedOdStore* store = root_->shared_store();
   const bool shareable = root_->shareable();
   if (shareable && store->Lookup(*root_->exclude(), mask, &od)) {
+    if (tracer_ != nullptr) {
+      obs::ScopedSpan span(tracer_, "od_store_hit", trace_parent,
+                           MaskDetail(mask));
+    }
     *source = Source::kSharedStore;
     return od;
   }
+  obs::ScopedSpan span(tracer_, "knn", trace_parent,
+                       tracer_ != nullptr ? MaskDetail(mask) : std::string());
   knn::KnnQuery query;
   query.point = root_->point();
   query.subspace = Subspace(mask);
@@ -41,7 +63,7 @@ double ParallelEvaluator::ComputeOne(uint64_t mask, Source* source) const {
 }
 
 ParallelEvaluator::Batch ParallelEvaluator::EvaluateBatch(
-    std::span<const uint64_t> masks) {
+    std::span<const uint64_t> masks, int trace_parent) {
   const size_t n = masks.size();
   Batch out;
   out.values.assign(n, 0.0);
@@ -59,7 +81,7 @@ ParallelEvaluator::Batch ParallelEvaluator::EvaluateBatch(
   auto eval_range = [&](size_t lo, size_t hi) {
     for (size_t j = lo; j < hi; ++j) {
       const size_t i = miss[j];
-      out.values[i] = ComputeOne(masks[i], &out.sources[i]);
+      out.values[i] = ComputeOne(masks[i], &out.sources[i], trace_parent);
     }
   };
 

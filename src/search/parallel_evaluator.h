@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/lattice/lattice_store.h"
+#include "src/obs/trace.h"
 #include "src/search/od_evaluator.h"
 
 namespace hos::service {
@@ -81,6 +82,15 @@ struct SearchExecution {
   /// footprint and the reachable dimensionality. Forcing kDense past its
   /// cap makes the search return InvalidArgument.
   lattice::LatticeBackend lattice_backend = lattice::LatticeBackend::kAuto;
+
+  /// Per-query trace sink; null ⇒ tracing off (the default, and the only
+  /// cost disabled tracing pays is this null check). The tracer must
+  /// tolerate concurrent BeginSpan/EndSpan — frontier workers record
+  /// their kNN spans from pool threads. Tracing never changes answers:
+  /// spans are observations only (held by the trace differential test).
+  obs::QueryTracer* tracer = nullptr;
+  /// Span id the search strategy's spans attach under (-1 = root).
+  int trace_parent = -1;
 };
 
 class ParallelEvaluator {
@@ -109,7 +119,10 @@ class ParallelEvaluator {
   /// memo are each computed, so callers should pass distinct masks (the
   /// search strategies do: a wave mixes levels, and masks within a level
   /// are unique).
-  Batch EvaluateBatch(std::span<const uint64_t> masks);
+  ///
+  /// `trace_parent` is the span id this wave's kNN / OD-store spans attach
+  /// under when tracing is on (typically the strategy's level span).
+  Batch EvaluateBatch(std::span<const uint64_t> masks, int trace_parent = -1);
 
   /// Effective number of concurrent chunks per wave (1 ⇒ sequential).
   int concurrency() const { return concurrency_; }
@@ -117,10 +130,13 @@ class ParallelEvaluator {
  private:
   /// The sequential miss path of OdEvaluator::Evaluate, runnable on any
   /// thread: shared-store probe, then a kNN query, then a store write.
-  double ComputeOne(uint64_t mask, Source* source) const;
+  /// Emits a "knn" (fresh evaluation) or "od_store_hit" span under
+  /// `trace_parent` when tracing is on.
+  double ComputeOne(uint64_t mask, Source* source, int trace_parent) const;
 
   OdEvaluator* root_;
   service::ThreadPool* pool_;
+  obs::QueryTracer* tracer_;
   int concurrency_;
   int chunk_size_;
 };

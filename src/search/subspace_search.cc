@@ -32,7 +32,8 @@ class FrontierRunner {
                  const SearchExecution& exec)
       : od_(od), threshold_(threshold), speculate_(exec.speculate),
         max_evaluations_(exec.max_od_evaluations),
-        evals_at_start_(od->num_evaluations()), evaluator_(od, exec) {}
+        evals_at_start_(od->num_evaluations()), tracer_(exec.tracer),
+        evaluator_(od, exec) {}
 
   /// Evaluates every currently-undecided subspace of level m and records
   /// the verdicts in mask order — the exact seed sequence the sequential
@@ -50,8 +51,13 @@ class FrontierRunner {
   /// function — identical to a later fresh evaluation) but enter the
   /// lattice only if still undecided when their level is chosen. Fresh
   /// speculative computations never consumed are tallied as waste.
+  /// `trace_parent`: span the level span attaches under when tracing is
+  /// on (the strategy span); ignored otherwise.
   void EvaluateLevel(int m, lattice::LatticeStore* state,
-                     const PredictFn& predict) {
+                     const PredictFn& predict, int trace_parent = -1) {
+    obs::ScopedSpan level_span(
+        tracer_, "level", trace_parent,
+        tracer_ != nullptr ? "m=" + std::to_string(m) : std::string());
     std::vector<uint64_t> wave = state->UndecidedMasks(m);
     const size_t level_count = wave.size();
     if (speculate_ && predict) {
@@ -69,7 +75,8 @@ class FrontierRunner {
       }
     }
 
-    ParallelEvaluator::Batch batch = evaluator_.EvaluateBatch(wave);
+    ParallelEvaluator::Batch batch =
+        evaluator_.EvaluateBatch(wave, level_span.id());
     state->MarkEvaluatedBatch(
         std::span(wave.data(), level_count),
         std::span(batch.values.data(), level_count), threshold_);
@@ -118,6 +125,7 @@ class FrontierRunner {
   bool speculate_;
   uint64_t max_evaluations_;
   uint64_t evals_at_start_;
+  obs::QueryTracer* tracer_;
   ParallelEvaluator evaluator_;
   std::unordered_set<uint64_t> outstanding_speculation_;
 };
@@ -205,6 +213,7 @@ Result<SearchOutcome> DynamicSubspaceSearch::RunImpl(
       std::unique_ptr<lattice::LatticeStore> state,
       lattice::MakeLatticeStore(num_dims_, exec.lattice_backend));
   uint64_t steps = 0;
+  obs::ScopedSpan strategy_span(exec.tracer, name(), exec.trace_parent);
   FrontierRunner runner(od, threshold, exec);
   const FrontierRunner::PredictFn predict =
       [this](int current, const lattice::LatticeStore& s) {
@@ -220,7 +229,7 @@ Result<SearchOutcome> DynamicSubspaceSearch::RunImpl(
     HOS_RETURN_IF_ERROR(CheckBudget(
         exec, *od, od_before, m,
         SaturatingSub(state->UndecidedCount(m), runner.PrepaidAt(m, *state))));
-    runner.EvaluateLevel(m, state.get(), predict);
+    runner.EvaluateLevel(m, state.get(), predict, strategy_span.id());
     ++steps;
   }
   return Finalize(*state, threshold, *od, od_before, dist_before, steps,
@@ -243,12 +252,17 @@ Result<SearchOutcome> ExhaustiveSearch::RunImpl(
   // No speculation: every level is evaluated in full anyway, so there is
   // nothing a prefetch could save. No Propagate(): every subspace is
   // evaluated explicitly.
+  obs::ScopedSpan strategy_span(exec.tracer, name(), exec.trace_parent);
   ParallelEvaluator evaluator(od, exec);
   for (int m = 1; m <= num_dims_; ++m) {
     HOS_RETURN_IF_ERROR(
         CheckBudget(exec, *od, od_before, m, state->UndecidedCount(m)));
+    obs::ScopedSpan level_span(
+        exec.tracer, "level", strategy_span.id(),
+        exec.tracer != nullptr ? "m=" + std::to_string(m) : std::string());
     std::vector<uint64_t> batch = state->UndecidedMasks(m);
-    ParallelEvaluator::Batch wave = evaluator.EvaluateBatch(batch);
+    ParallelEvaluator::Batch wave =
+        evaluator.EvaluateBatch(batch, level_span.id());
     state->MarkEvaluatedBatch(batch, wave.values, threshold);
     ++steps;
   }
@@ -269,6 +283,7 @@ Result<SearchOutcome> BottomUpSearch::RunImpl(
       std::unique_ptr<lattice::LatticeStore> state,
       lattice::MakeLatticeStore(num_dims_, exec.lattice_backend));
   uint64_t steps = 0;
+  obs::ScopedSpan strategy_span(exec.tracer, name(), exec.trace_parent);
   FrontierRunner runner(od, threshold, exec);
   const FrontierRunner::PredictFn predict =
       [](int current, const lattice::LatticeStore& s) {
@@ -282,7 +297,7 @@ Result<SearchOutcome> BottomUpSearch::RunImpl(
     HOS_RETURN_IF_ERROR(CheckBudget(
         exec, *od, od_before, m,
         SaturatingSub(state->UndecidedCount(m), runner.PrepaidAt(m, *state))));
-    runner.EvaluateLevel(m, state.get(), predict);
+    runner.EvaluateLevel(m, state.get(), predict, strategy_span.id());
     ++steps;
   }
   return Finalize(*state, threshold, *od, od_before, dist_before, steps,
@@ -298,6 +313,7 @@ Result<SearchOutcome> TopDownSearch::RunImpl(
       std::unique_ptr<lattice::LatticeStore> state,
       lattice::MakeLatticeStore(num_dims_, exec.lattice_backend));
   uint64_t steps = 0;
+  obs::ScopedSpan strategy_span(exec.tracer, name(), exec.trace_parent);
   FrontierRunner runner(od, threshold, exec);
   const FrontierRunner::PredictFn predict =
       [](int current, const lattice::LatticeStore& s) {
@@ -311,7 +327,7 @@ Result<SearchOutcome> TopDownSearch::RunImpl(
     HOS_RETURN_IF_ERROR(CheckBudget(
         exec, *od, od_before, m,
         SaturatingSub(state->UndecidedCount(m), runner.PrepaidAt(m, *state))));
-    runner.EvaluateLevel(m, state.get(), predict);
+    runner.EvaluateLevel(m, state.get(), predict, strategy_span.id());
     ++steps;
   }
   return Finalize(*state, threshold, *od, od_before, dist_before, steps,

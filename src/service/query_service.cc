@@ -8,6 +8,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/timer.h"
+#include "src/obs/trace.h"
 
 namespace hos::service {
 
@@ -16,6 +17,7 @@ QueryService::QueryService(core::HosMiner miner, QueryServiceConfig config)
       config_(config),
       cache_(config.enable_od_cache ? std::make_unique<OdCache>(config.cache)
                                     : nullptr),
+      stats_(&registry_),
       search_pool_(config.search_threads > 1
                        ? std::make_unique<ThreadPool>(config.search_threads)
                        : nullptr),
@@ -23,23 +25,176 @@ QueryService::QueryService(core::HosMiner miner, QueryServiceConfig config)
                               config.ingest.rebuild_delta_fraction > 0.0
                           ? std::make_unique<ThreadPool>(1)
                           : nullptr),
-      pool_(config.num_threads) {}
+      pool_(config.num_threads) {
+  RegisterMetricCallbacks();
+  if (config_.observability.stats_log_period_seconds > 0.0) {
+    stats_logger_ = std::thread([this] { StatsLoggerLoop(); });
+  }
+}
 
-QueryService::~QueryService() = default;
+QueryService::~QueryService() {
+  if (stats_logger_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(logger_mu_);
+      logger_stop_ = true;
+    }
+    logger_cv_.notify_all();
+    stats_logger_.join();
+  }
+}
+
+void QueryService::StatsLoggerLoop() {
+  const auto period = std::chrono::duration<double>(
+      config_.observability.stats_log_period_seconds);
+  std::unique_lock<std::mutex> lock(logger_mu_);
+  while (true) {
+    // wait_for returning true means logger_stop_ was set; spurious wakeups
+    // re-wait for the remaining time via the predicate loop inside wait_for.
+    if (logger_cv_.wait_for(lock, period, [this] { return logger_stop_; })) {
+      return;
+    }
+    lock.unlock();
+    // Emitted unlocked: both snapshots take the epoch reader lock.
+    HOS_LOG(Info) << "service stats: " << Stats().ToJson();
+    HOS_LOG(Info) << "service metrics: " << MetricsJson();
+    lock.lock();
+  }
+}
+
+void QueryService::RegisterMetricCallbacks() {
+  if (cache_ != nullptr) {
+    OdCache* cache = cache_.get();
+    registry_.RegisterCallback(
+        "od_cache_hits", {}, obs::MetricType::kCounter,
+        [cache] { return static_cast<double>(cache->hits()); });
+    registry_.RegisterCallback(
+        "od_cache_misses", {}, obs::MetricType::kCounter,
+        [cache] { return static_cast<double>(cache->misses()); });
+    registry_.RegisterCallback(
+        "od_cache_evictions", {}, obs::MetricType::kCounter,
+        [cache] { return static_cast<double>(cache->evictions()); });
+    registry_.RegisterCallback(
+        "od_cache_size", {}, obs::MetricType::kGauge,
+        [cache] { return static_cast<double>(cache->size()); });
+    registry_.RegisterCallback("od_cache_hit_rate", {},
+                               obs::MetricType::kGauge,
+                               [cache] { return cache->hit_rate(); });
+  }
+  // Dataset gauges and engine counters read state that appends and rebuilds
+  // mutate, so the closures take the epoch reader lock. Snapshots must
+  // therefore never run under the writer side (see metrics() doc).
+  registry_.RegisterCallback(
+      "dataset_version", {}, obs::MetricType::kGauge, [this] {
+        std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+        return static_cast<double>(miner_.version());
+      });
+  registry_.RegisterCallback(
+      "dataset_delta_rows", {}, obs::MetricType::kGauge, [this] {
+        std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+        return static_cast<double>(miner_.delta_rows());
+      });
+  registry_.RegisterCallback(
+      "dataset_delta_fraction", {}, obs::MetricType::kGauge, [this] {
+        std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+        return miner_.delta_fraction();
+      });
+
+  // Per-backend kNN counters, labelled by the backend that serves this
+  // miner (fixed by config, so the label is stable across rebuilds even
+  // though the engine object is not).
+  const obs::Labels backend_labels = {
+      {"backend", miner_.engine().backend_stats().backend}};
+  struct Field {
+    const char* name;
+    uint64_t knn::KnnBackendStats::*member;
+  };
+  static constexpr Field kFields[] = {
+      {"knn_distance_computations",
+       &knn::KnnBackendStats::distance_computations},
+      {"knn_node_accesses", &knn::KnnBackendStats::node_accesses},
+      {"knn_kernel_scans", &knn::KnnBackendStats::kernel_scans},
+      {"knn_scalar_scans", &knn::KnnBackendStats::scalar_scans},
+      {"knn_delta_merges", &knn::KnnBackendStats::delta_merges},
+      {"knn_stale_fallbacks", &knn::KnnBackendStats::stale_fallbacks},
+  };
+  for (const Field& field : kFields) {
+    auto member = field.member;
+    registry_.RegisterCallback(
+        field.name, backend_labels, obs::MetricType::kCounter,
+        [this, member] {
+          std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+          return static_cast<double>(EngineStatsLocked().*member);
+        });
+  }
+}
+
+knn::KnnBackendStats QueryService::EngineStatsLocked() const {
+  knn::KnnBackendStats stats = miner_.engine().backend_stats();
+  stats.distance_computations += engine_offsets_.distance_computations;
+  stats.node_accesses += engine_offsets_.node_accesses;
+  stats.kernel_scans += engine_offsets_.kernel_scans;
+  stats.scalar_scans += engine_offsets_.scalar_scans;
+  stats.delta_merges += engine_offsets_.delta_merges;
+  stats.stale_fallbacks += engine_offsets_.stale_fallbacks;
+  return stats;
+}
+
+void QueryService::FoldEngineStatsLocked() {
+  const knn::KnnBackendStats old = miner_.engine().backend_stats();
+  engine_offsets_.distance_computations += old.distance_computations;
+  engine_offsets_.node_accesses += old.node_accesses;
+  engine_offsets_.kernel_scans += old.kernel_scans;
+  engine_offsets_.scalar_scans += old.scalar_scans;
+  engine_offsets_.delta_merges += old.delta_merges;
+  engine_offsets_.stale_fallbacks += old.stale_fallbacks;
+}
 
 Result<core::QueryResult> QueryService::RunTimedQuery(data::PointId id) {
+  const ObservabilityConfig& obs_config = config_.observability;
+  const bool traced = obs_config.trace_queries ||
+                      obs_config.slow_query_threshold_seconds > 0.0;
+  obs::QueryTracer tracer;  // unused (and cheap) when tracing is off
   Timer timer;
   Result<core::QueryResult> result = Status::Internal("query did not run");
   {
+    // The "service" root span covers the same window the latency histogram
+    // measures: epoch-lock wait plus the whole search.
+    obs::ScopedSpan service_span(traced ? &tracer : nullptr, "service", -1,
+                                 traced ? "point=" + std::to_string(id)
+                                        : std::string());
     // Reader side of the epoch lock: the query observes one committed
     // dataset state for its whole run, and the version it binds into the
     // cache view (and reports in the result) is that state's version.
     std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
     OdCache::VersionView versioned_store(cache_.get(), miner_.version());
-    result = miner_.Query(
-        id, MakeOptions(cache_ != nullptr ? &versioned_store : nullptr));
+    core::QueryOptions options =
+        MakeOptions(cache_ != nullptr ? &versioned_store : nullptr);
+    if (traced) {
+      options.tracer = &tracer;
+      options.trace_parent = service_span.id();
+    }
+    result = miner_.Query(id, options);
   }
-  stats_.RecordQuery(timer.ElapsedSeconds());
+  const double latency = timer.ElapsedSeconds();
+  if (result.ok()) {
+    const search::SearchCounters& counters = result.value().outcome.counters;
+    stats_.RecordQuery(latency, counters.od_evaluations,
+                       counters.wasted_evaluations);
+  } else {
+    stats_.RecordQuery(latency, 0, 0);
+  }
+  if (traced) {
+    auto trace =
+        std::make_shared<const obs::QueryTrace>(tracer.Finish());
+    if (result.ok()) result.value().trace = trace;
+    if (obs_config.slow_query_threshold_seconds > 0.0 &&
+        latency >= obs_config.slow_query_threshold_seconds) {
+      stats_.RecordSlowQuery();
+      HOS_LOG(Warning) << "slow query: point=" << id
+                       << " latency_seconds=" << latency
+                       << " trace=" << trace->ToJson();
+    }
+  }
   return result;
 }
 
@@ -153,6 +308,10 @@ void QueryService::RunRebuild() {
     {
       std::unique_lock<std::shared_mutex> epoch(epoch_mu_);
       Timer pause;  // time only the held section — the pause others see
+      // The commit swaps in a fresh engine whose work counters start at
+      // zero; fold the outgoing engine's totals into the offsets first so
+      // the exported per-backend series stay monotone across the swap.
+      FoldEngineStatsLocked();
       miner_.CommitRebuild(std::move(artifacts).value());
       pause_seconds = pause.ElapsedSeconds();
       // Appends that committed between prepare and commit stayed in the
@@ -188,6 +347,7 @@ ServiceStatsSnapshot QueryService::Stats() const {
     snapshot.dataset_version = miner_.version();
     snapshot.delta_rows = miner_.delta_rows();
     snapshot.delta_fraction = miner_.delta_fraction();
+    snapshot.stale_fallbacks = EngineStatsLocked().stale_fallbacks;
   }
   return snapshot;
 }

@@ -58,13 +58,18 @@
 #define HOS_SERVICE_QUERY_SERVICE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <span>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/hos_miner.h"
+#include "src/obs/metrics.h"
 #include "src/service/od_cache.h"
 #include "src/service/service_stats.h"
 #include "src/service/thread_pool.h"
@@ -85,6 +90,23 @@ struct IngestConfig {
   /// AppendBatch call that triggered it — simpler latency reasoning for
   /// tests and batch loaders.
   bool background_rebuild = true;
+};
+
+/// Tracing, slow-query logging and periodic stats emission. Everything is
+/// off by default; the default-configured service pays only a null-pointer
+/// check per query.
+struct ObservabilityConfig {
+  /// Attach a QueryTrace (service → search → level → knn span tree) to
+  /// every QueryResult the service returns.
+  bool trace_queries = false;
+  /// When > 0, queries slower than this are counted (ServiceStatsSnapshot
+  /// slow_queries) and their full trace is dumped to the log at Warning.
+  /// Enabling the threshold implies per-query tracing — a slow query can
+  /// only be explained if its spans were recorded while it ran.
+  double slow_query_threshold_seconds = 0.0;
+  /// When > 0, a background thread logs the stats snapshot and the full
+  /// metrics JSON every this-many seconds (Info level).
+  double stats_log_period_seconds = 0.0;
 };
 
 struct QueryServiceConfig {
@@ -112,6 +134,8 @@ struct QueryServiceConfig {
   uint64_t max_od_evaluations = 0;
   /// Streaming-ingest rebuild policy.
   IngestConfig ingest;
+  /// Tracing / slow-query log / periodic stats emission.
+  ObservabilityConfig observability;
 };
 
 class QueryService {
@@ -155,6 +179,20 @@ class QueryService {
   /// Counters plus cache hit rate, latency percentiles and ingest gauges.
   ServiceStatsSnapshot Stats() const;
 
+  /// The unified metrics registry: service counters (push-model handles
+  /// held by ServiceStats) plus pull-model callbacks covering the OD cache,
+  /// dataset/ingest gauges and the kNN backend's internal work counters —
+  /// one snapshot describes the whole engine. Callback metrics take the
+  /// epoch reader lock when evaluated, so never snapshot while holding the
+  /// writer side.
+  const obs::MetricsRegistry& metrics() const { return registry_; }
+  /// MetricsRegistry::ToJson() of the registry above.
+  std::string MetricsJson() const { return registry_.ToJson(); }
+  /// Prometheus text exposition of the registry above.
+  std::string MetricsPrometheus() const {
+    return registry_.ToPrometheusText();
+  }
+
   /// The served miner. With appends in flight, treat as a monitoring
   /// window (the epoch lock inside the service no longer protects you once
   /// the accessor returns).
@@ -178,6 +216,24 @@ class QueryService {
 
   Result<core::QueryResult> RunTimedQuery(data::PointId id);
 
+  /// Registers the pull-model metrics: OD-cache counters, dataset/ingest
+  /// gauges and the per-backend kNN work counters (labelled by backend
+  /// name, folded across engine swaps so the series stay monotone).
+  void RegisterMetricCallbacks();
+
+  /// Adds the current engine's backend_stats() into engine_offsets_.
+  /// Caller must hold the writer side of epoch_mu_ — called right before a
+  /// rebuild commit replaces the engine (and resets its counters).
+  void FoldEngineStatsLocked();
+
+  /// Current engine totals plus the folded offsets of every replaced
+  /// engine. Caller must hold either side of epoch_mu_.
+  knn::KnnBackendStats EngineStatsLocked() const;
+
+  /// Body of the periodic stats-logger thread (started when
+  /// ObservabilityConfig::stats_log_period_seconds > 0).
+  void StatsLoggerLoop();
+
   /// True when the delta currently exceeds the rebuild policy. Caller must
   /// hold either side of epoch_mu_.
   bool PolicyWantsRebuild() const;
@@ -198,7 +254,13 @@ class QueryService {
   core::HosMiner miner_;
   QueryServiceConfig config_;
   std::unique_ptr<OdCache> cache_;  // null when disabled
+  /// Declared before stats_: ServiceStats holds handles into the registry.
+  obs::MetricsRegistry registry_;
   ServiceStats stats_;
+  /// Backend work counters accumulated from engines replaced by rebuilds
+  /// (an ingest rebuild swaps in a fresh engine whose counters start at
+  /// zero). Guarded by epoch_mu_: written under the writer side only.
+  knn::KnnBackendStats engine_offsets_;
 
   /// The ingest epoch lock: queries and rebuild-prepare are readers,
   /// append commits and rebuild commits are writers. Guards every access
@@ -216,6 +278,14 @@ class QueryService {
   /// Created in the constructor when the rebuild policy is active, so no
   /// lazy-creation synchronization is needed; null otherwise.
   std::unique_ptr<ThreadPool> rebuild_worker_;
+
+  /// Periodic stats-logger thread; joined first thing in the destructor
+  /// (before any member it reads through can die).
+  std::mutex logger_mu_;
+  std::condition_variable logger_cv_;
+  bool logger_stop_ = false;  // guarded by logger_mu_
+  std::thread stats_logger_;
+
   ThreadPool pool_;  // last member: workers must die before what they touch
 };
 

@@ -1,85 +1,86 @@
 #include "src/service/service_stats.h"
 
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
 
 namespace hos::service {
 
-double LatencyHistogram::UpperBound(int bucket) {
-  return kMinSeconds * std::pow(2.0, 0.25 * bucket);
-}
+ServiceStats::ServiceStats(obs::MetricsRegistry* registry)
+    : queries_served_(registry->GetCounter("service_queries_served")),
+      batches_served_(registry->GetCounter("service_batches_served")),
+      rows_ingested_(registry->GetCounter("service_rows_ingested")),
+      append_batches_(registry->GetCounter("service_append_batches")),
+      rebuilds_completed_(
+          registry->GetCounter("service_rebuilds_completed")),
+      slow_queries_(registry->GetCounter("service_slow_queries")),
+      od_evaluations_(registry->GetCounter("service_od_evaluations")),
+      wasted_evaluations_(
+          registry->GetCounter("service_wasted_evaluations")),
+      last_rebuild_pause_seconds_(
+          registry->GetGauge("service_last_rebuild_pause_seconds")),
+      latencies_(
+          registry->GetHistogram("service_query_latency_seconds")) {}
 
-int LatencyHistogram::BucketFor(double seconds) {
-  if (!(seconds > kMinSeconds)) return 0;
-  const int bucket =
-      static_cast<int>(std::ceil(4.0 * std::log2(seconds / kMinSeconds)));
-  return std::clamp(bucket, 0, kNumBuckets - 1);
-}
-
-void LatencyHistogram::Record(double seconds) {
-  buckets_[BucketFor(seconds)].fetch_add(1, std::memory_order_relaxed);
-  ++count_;
-}
-
-double LatencyHistogram::Percentile(double q) const {
-  uint64_t total = 0;
-  std::array<uint64_t, kNumBuckets> counts;
-  for (int i = 0; i < kNumBuckets; ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += counts[i];
+void ServiceStats::RecordQuery(double latency_seconds,
+                               uint64_t od_evaluations,
+                               uint64_t wasted_evaluations) {
+  queries_served_->Increment();
+  latencies_->Record(latency_seconds);
+  if (od_evaluations > 0) od_evaluations_->Increment(od_evaluations);
+  if (wasted_evaluations > 0) {
+    wasted_evaluations_->Increment(wasted_evaluations);
   }
-  if (total == 0) return 0.0;
-  const double rank = std::clamp(q, 0.0, 1.0) * static_cast<double>(total);
-  uint64_t cumulative = 0;
-  for (int i = 0; i < kNumBuckets; ++i) {
-    cumulative += counts[i];
-    if (static_cast<double>(cumulative) >= rank) return UpperBound(i);
-  }
-  return UpperBound(kNumBuckets - 1);
-}
-
-void ServiceStats::RecordQuery(double latency_seconds) {
-  ++queries_served_;
-  latencies_.Record(latency_seconds);
 }
 
 ServiceStatsSnapshot ServiceStats::Snapshot() const {
   ServiceStatsSnapshot snapshot;
-  snapshot.queries_served = queries_served_;
-  snapshot.batches_served = batches_served_;
-  snapshot.rows_ingested = rows_ingested_;
-  snapshot.append_batches = append_batches_;
-  snapshot.rebuilds_completed = rebuilds_completed_;
-  snapshot.last_rebuild_pause_seconds =
-      static_cast<double>(last_rebuild_pause_micros_.load()) * 1e-6;
-  snapshot.p50_latency_seconds = latencies_.Percentile(0.50);
-  snapshot.p99_latency_seconds = latencies_.Percentile(0.99);
+  snapshot.queries_served = queries_served_->value();
+  snapshot.batches_served = batches_served_->value();
+  snapshot.rows_ingested = rows_ingested_->value();
+  snapshot.append_batches = append_batches_->value();
+  snapshot.rebuilds_completed = rebuilds_completed_->value();
+  snapshot.slow_queries = slow_queries_->value();
+  snapshot.od_evaluations = od_evaluations_->value();
+  snapshot.wasted_evaluations = wasted_evaluations_->value();
+  snapshot.last_rebuild_pause_seconds = last_rebuild_pause_seconds_->value();
+  snapshot.p50_latency_seconds = latencies_->Percentile(0.50);
+  snapshot.p90_latency_seconds = latencies_->Percentile(0.90);
+  snapshot.p99_latency_seconds = latencies_->Percentile(0.99);
+  snapshot.p999_latency_seconds = latencies_->Percentile(0.999);
+  snapshot.max_latency_seconds = latencies_->max_recorded();
   return snapshot;
 }
 
 std::string ServiceStatsSnapshot::ToJson() const {
-  char buffer[768];
+  char buffer[1280];
   std::snprintf(
       buffer, sizeof(buffer),
       "{\"queries_served\": %llu, \"batches_served\": %llu, "
       "\"cache_hits\": %llu, \"cache_misses\": %llu, "
       "\"cache_hit_rate\": %.4f, \"p50_latency_seconds\": %.6g, "
-      "\"p99_latency_seconds\": %.6g, \"rows_ingested\": %llu, "
+      "\"p90_latency_seconds\": %.6g, \"p99_latency_seconds\": %.6g, "
+      "\"p999_latency_seconds\": %.6g, \"max_latency_seconds\": %.6g, "
+      "\"rows_ingested\": %llu, "
       "\"append_batches\": %llu, \"rebuilds_completed\": %llu, "
       "\"last_rebuild_pause_seconds\": %.6g, \"dataset_version\": %llu, "
-      "\"delta_rows\": %llu, \"delta_fraction\": %.4f}",
+      "\"delta_rows\": %llu, \"delta_fraction\": %.4f, "
+      "\"od_evaluations\": %llu, \"wasted_evaluations\": %llu, "
+      "\"stale_fallbacks\": %llu, \"slow_queries\": %llu}",
       static_cast<unsigned long long>(queries_served),
       static_cast<unsigned long long>(batches_served),
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(cache_misses), cache_hit_rate,
-      p50_latency_seconds, p99_latency_seconds,
+      p50_latency_seconds, p90_latency_seconds, p99_latency_seconds,
+      p999_latency_seconds, max_latency_seconds,
       static_cast<unsigned long long>(rows_ingested),
       static_cast<unsigned long long>(append_batches),
       static_cast<unsigned long long>(rebuilds_completed),
       last_rebuild_pause_seconds,
       static_cast<unsigned long long>(dataset_version),
-      static_cast<unsigned long long>(delta_rows), delta_fraction);
+      static_cast<unsigned long long>(delta_rows), delta_fraction,
+      static_cast<unsigned long long>(od_evaluations),
+      static_cast<unsigned long long>(wasted_evaluations),
+      static_cast<unsigned long long>(stale_fallbacks),
+      static_cast<unsigned long long>(slow_queries));
   return buffer;
 }
 

@@ -1,47 +1,53 @@
 // ServiceStats: per-service counters and latency percentiles for the
 // query-serving path — queries served, batches, OD-cache hit rate, and
-// p50/p99 latency from a log-bucketed histogram.
+// p50/p90/p99/p999 latency from a log-bucketed histogram.
 //
-// Everything is lock-free: counters are relaxed atomics and the histogram
-// is an array of atomic buckets, so recording from many worker threads
-// costs one fetch_add. Snapshots are approximate under concurrent writes,
-// which is the right trade for monitoring data.
+// Since the observability PR the counters live in an obs::MetricsRegistry:
+// ServiceStats holds stable Counter*/Gauge*/Histogram* handles into the
+// registry QueryService owns, so the same tallies appear both in the
+// ServiceStatsSnapshot JSON (the stable /varz surface the tests pin) and in
+// MetricsRegistry::ToJson()/ToPrometheusText() alongside every other
+// subsystem's metrics. Recording stays lock-free: each handle's record path
+// is one relaxed fetch_add, exactly what the old hand-rolled RelaxedCounter
+// fields cost.
 
 #ifndef HOS_SERVICE_SERVICE_STATS_H_
 #define HOS_SERVICE_SERVICE_STATS_H_
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <string>
 
-#include "src/common/atomic_counter.h"
+#include "src/obs/metrics.h"
 
 namespace hos::service {
 
 /// Thread-safe latency histogram with geometric buckets spanning
-/// 1 microsecond .. ~17 minutes (ratio 2^(1/4) per bucket, so percentile
-/// error is bounded by ~19% of the value — plenty for p50/p99 monitoring).
+/// 1 microsecond .. ~1 hour (ratio 2^(1/4) per bucket, so percentile error
+/// is bounded by ~19% of the value — plenty for p50/p99 monitoring). Now a
+/// thin veneer over obs::Histogram, which fixed two edge cases the original
+/// implementation had: values above the top bucket land in a dedicated
+/// overflow bucket (with the exact max retained) instead of silently
+/// clamping into the top bucket, and Percentile(0) reports the smallest
+/// recorded value's bucket instead of unconditionally bucket 0.
 class LatencyHistogram {
  public:
-  void Record(double seconds);
+  LatencyHistogram() : hist_(obs::HistogramOptions{}) {}
 
-  /// The q-quantile (q in [0, 1]) as the upper bound of the bucket holding
-  /// that rank. 0 when nothing was recorded.
-  double Percentile(double q) const;
+  void Record(double seconds) { hist_.Record(seconds); }
 
-  uint64_t count() const { return count_; }
+  /// The q-quantile (q clamped to [0, 1]) as the upper bound of the bucket
+  /// holding that rank; the exact maximum when the rank lands in the
+  /// overflow bucket; 0 when nothing was recorded.
+  double Percentile(double q) const { return hist_.Percentile(q); }
+
+  uint64_t count() const { return hist_.count(); }
+  /// Recordings above the top bucket's upper bound.
+  uint64_t overflow_count() const { return hist_.overflow_count(); }
+  /// Exact largest latency recorded; 0 when empty.
+  double max_recorded() const { return hist_.max_recorded(); }
 
  private:
-  static constexpr int kNumBuckets = 128;
-  static constexpr double kMinSeconds = 1e-6;
-  // Bucket width ratio 2^(1/4): bucket i covers
-  // [kMinSeconds * r^(i-1), kMinSeconds * r^i).
-  static double UpperBound(int bucket);
-  static int BucketFor(double seconds);
-
-  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
-  RelaxedCounter count_;
+  obs::Histogram hist_;
 };
 
 /// Point-in-time view of a service's counters.
@@ -52,7 +58,10 @@ struct ServiceStatsSnapshot {
   uint64_t cache_misses = 0;
   double cache_hit_rate = 0.0;
   double p50_latency_seconds = 0.0;
+  double p90_latency_seconds = 0.0;
   double p99_latency_seconds = 0.0;
+  double p999_latency_seconds = 0.0;
+  double max_latency_seconds = 0.0;
 
   // Streaming-ingest counters (zero on a service that never appends).
   uint64_t rows_ingested = 0;
@@ -67,52 +76,73 @@ struct ServiceStatsSnapshot {
   uint64_t delta_rows = 0;
   double delta_fraction = 0.0;
 
+  // Search-work aggregates summed over every served query's counters.
+  uint64_t od_evaluations = 0;
+  uint64_t wasted_evaluations = 0;
+  /// kNN-backend queries forced fully scalar because the base snapshot was
+  /// invalidated (folded across engine swaps, so monotone over the
+  /// service's lifetime).
+  uint64_t stale_fallbacks = 0;
+  /// Queries over ObservabilityConfig::slow_query_threshold_seconds.
+  uint64_t slow_queries = 0;
+
   std::string ToJson() const;
 };
 
 class ServiceStats {
  public:
-  ServiceStats() = default;
+  /// Handles are created in `registry`, which must outlive this object
+  /// (QueryService declares its registry before its stats member).
+  explicit ServiceStats(obs::MetricsRegistry* registry);
   ServiceStats(const ServiceStats&) = delete;
   ServiceStats& operator=(const ServiceStats&) = delete;
 
-  /// Records one completed query and its wall-clock latency.
-  void RecordQuery(double latency_seconds);
-  void RecordBatch() { ++batches_served_; }
+  /// Records one completed query: wall-clock latency plus the query's
+  /// search-work counters (0 for failed queries).
+  void RecordQuery(double latency_seconds, uint64_t od_evaluations,
+                   uint64_t wasted_evaluations);
+  void RecordBatch() { batches_served_->Increment(); }
+  void RecordSlowQuery() { slow_queries_->Increment(); }
 
   /// Records one committed append batch of `rows` rows.
   void RecordAppend(uint64_t rows) {
-    ++append_batches_;
-    rows_ingested_ += rows;
+    append_batches_->Increment();
+    rows_ingested_->Increment(rows);
   }
 
   /// Records one completed rebuild and its commit (exclusive-section)
-  /// pause. The pause is stored in microseconds so the counter stays a
-  /// lock-free uint64.
+  /// pause.
   void RecordRebuild(double pause_seconds) {
-    ++rebuilds_completed_;
-    last_rebuild_pause_micros_ = static_cast<uint64_t>(pause_seconds * 1e6);
+    rebuilds_completed_->Increment();
+    last_rebuild_pause_seconds_->Set(pause_seconds);
   }
 
-  uint64_t queries_served() const { return queries_served_; }
-  uint64_t batches_served() const { return batches_served_; }
-  uint64_t rows_ingested() const { return rows_ingested_; }
-  uint64_t append_batches() const { return append_batches_; }
-  uint64_t rebuilds_completed() const { return rebuilds_completed_; }
-  const LatencyHistogram& latencies() const { return latencies_; }
+  uint64_t queries_served() const { return queries_served_->value(); }
+  uint64_t batches_served() const { return batches_served_->value(); }
+  uint64_t rows_ingested() const { return rows_ingested_->value(); }
+  uint64_t append_batches() const { return append_batches_->value(); }
+  uint64_t rebuilds_completed() const {
+    return rebuilds_completed_->value();
+  }
+  uint64_t slow_queries() const { return slow_queries_->value(); }
+  const obs::Histogram& latencies() const { return *latencies_; }
 
-  /// Snapshot without cache numbers and miner gauges (QueryService fills
-  /// those in from its OdCache and miner).
+  /// Snapshot without cache numbers, miner gauges and engine fold-ins
+  /// (QueryService fills those in from its OdCache, miner and engine
+  /// offsets).
   ServiceStatsSnapshot Snapshot() const;
 
  private:
-  RelaxedCounter queries_served_;
-  RelaxedCounter batches_served_;
-  RelaxedCounter rows_ingested_;
-  RelaxedCounter append_batches_;
-  RelaxedCounter rebuilds_completed_;
-  RelaxedCounter last_rebuild_pause_micros_;
-  LatencyHistogram latencies_;
+  obs::Counter* queries_served_;
+  obs::Counter* batches_served_;
+  obs::Counter* rows_ingested_;
+  obs::Counter* append_batches_;
+  obs::Counter* rebuilds_completed_;
+  obs::Counter* slow_queries_;
+  obs::Counter* od_evaluations_;
+  obs::Counter* wasted_evaluations_;
+  obs::Gauge* last_rebuild_pause_seconds_;
+  obs::Histogram* latencies_;
 };
 
 }  // namespace hos::service
