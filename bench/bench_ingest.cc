@@ -8,7 +8,11 @@
 //    50% of the dataset), isolating the scalar delta scan's cost;
 //  * rebuild costs at those depths: the heavy read-only prepare phase
 //    (runs concurrently with queries) vs the commit pause (the only
-//    exclusive section, what serving actually observes).
+//    exclusive section, what serving actually observes);
+//  * sliding-window steady state: append batches against a fixed
+//    window_max_rows cap so every commit also evicts the oldest rows —
+//    the tombstone-filter tax on serving, plus whether rebuilds keep the
+//    dead-row population (and the storage chunks behind it) bounded.
 //
 // Writes machine-readable results to BENCH_ingest.json (or argv[1]) so
 // future PRs can track the ingest-path trajectory.
@@ -178,6 +182,79 @@ DepthRow RunDepth(double fraction) {
   return row;
 }
 
+/// Sliding-window steady state: a writer appends batches while the live
+/// row count is pinned to window_max_rows (every commit evicts what it
+/// appended), with the rebuild policy on or off. Queries target recent
+/// rows (ids are re-picked each round from the live tail — the hot set of
+/// a stream), so the measured tax is the tombstone filter plus churn, not
+/// NotFound rejects.
+struct WindowRow {
+  std::string mode;
+  double qps = 0.0;
+  uint64_t rows_evicted = 0;
+  uint64_t rebuilds = 0;
+  size_t live_rows = 0;
+  size_t dead_rows = 0;
+  size_t allocated_chunks = 0;
+};
+
+WindowRow RunWindow(const std::string& mode, bool with_rebuilds) {
+  service::QueryServiceConfig config;
+  config.num_threads = kQueryThreads;
+  config.ingest.window_max_rows = kNumPoints;
+  if (with_rebuilds) {
+    config.ingest.min_delta_rows = 32;
+    config.ingest.rebuild_delta_fraction = 0.05;
+  } else {
+    config.ingest.rebuild_delta_fraction = 0.0;
+  }
+  service::QueryService service(BuildMiner(/*seed=*/7), config);
+
+  std::thread writer([&service]() {
+    Rng rng(4321);
+    for (int b = 0; b < kAppendBatches; ++b) {
+      auto version = service.AppendBatch(RandomRows(kAppendBatchRows, &rng));
+      if (!version.ok()) std::abort();
+    }
+  });
+
+  size_t queries = 0;
+  Timer timer;
+  for (int round = 0; round < kQueryRounds; ++round) {
+    // Query the youngest live rows — the streaming hot set. The window
+    // slides under us, so re-pick every round.
+    std::vector<data::PointId> ids;
+    ids.reserve(kHotSetSize);
+    const size_t total = service.miner().dataset().size();
+    for (size_t i = total; i > 0 && ids.size() < kHotSetSize; --i) {
+      const auto id = static_cast<data::PointId>(i - 1);
+      if (service.miner().dataset().IsLive(id)) ids.push_back(id);
+    }
+    auto results = service.QueryBatch(ids);
+    if (!results.ok()) {
+      // A row may slide out between the pick and the query; only NotFound
+      // is an acceptable race outcome.
+      if (!results.status().IsNotFound()) std::abort();
+      continue;
+    }
+    queries += ids.size();
+  }
+  const double seconds = timer.ElapsedSeconds();
+  writer.join();
+  service.WaitForRebuilds();
+
+  const auto stats = service.Stats();
+  WindowRow row;
+  row.mode = mode;
+  row.qps = static_cast<double>(queries) / seconds;
+  row.rows_evicted = stats.rows_evicted;
+  row.rebuilds = stats.rebuilds_completed;
+  row.live_rows = service.miner().dataset().live_size();
+  row.dead_rows = service.miner().dataset().num_tombstones();
+  row.allocated_chunks = service.miner().dataset().allocated_chunks();
+  return row;
+}
+
 void Run(const std::string& json_path) {
   bench::Banner("I1", "streaming ingest: append-while-serving");
   std::printf("n=%zu d=%d, %d query threads, %d x %zu appended rows\n",
@@ -217,6 +294,24 @@ void Run(const std::string& json_path) {
                         eval::FormatDouble(r.commit_seconds * 1e3, 3)});
   }
   depth_table.Print();
+
+  bench::Banner("I3", "sliding window: append+evict steady state");
+  std::printf("window_max_rows=%zu (every append batch evicts)\n",
+              kNumPoints);
+  std::vector<WindowRow> window_rows;
+  window_rows.push_back(RunWindow("window_no_rebuild", false));
+  window_rows.push_back(RunWindow("window_with_rebuilds", true));
+  eval::Table window_table({"mode", "qps", "evicted", "rebuilds", "live",
+                            "dead", "chunks"});
+  for (const WindowRow& r : window_rows) {
+    window_table.AddRow({r.mode, eval::FormatDouble(r.qps, 1),
+                         std::to_string(r.rows_evicted),
+                         std::to_string(r.rebuilds),
+                         std::to_string(r.live_rows),
+                         std::to_string(r.dead_rows),
+                         std::to_string(r.allocated_chunks)});
+  }
+  window_table.Print();
 
   std::FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {
@@ -258,6 +353,20 @@ void Run(const std::string& json_path) {
                  r.delta_fraction_target, r.delta_rows, r.qps,
                  r.prepare_seconds, r.commit_seconds,
                  i + 1 < depth_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"window\": [\n");
+  for (size_t i = 0; i < window_rows.size(); ++i) {
+    const WindowRow& r = window_rows[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"qps\": %.2f, "
+                 "\"rows_evicted\": %llu, \"rebuilds_completed\": %llu, "
+                 "\"live_rows\": %zu, \"dead_rows\": %zu, "
+                 "\"allocated_chunks\": %zu}%s\n",
+                 r.mode.c_str(), r.qps,
+                 static_cast<unsigned long long>(r.rows_evicted),
+                 static_cast<unsigned long long>(r.rebuilds), r.live_rows,
+                 r.dead_rows, r.allocated_chunks,
+                 i + 1 < window_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

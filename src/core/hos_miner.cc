@@ -25,13 +25,13 @@ Result<HosMiner> HosMiner::Build(data::Dataset dataset,
         " on the dense lattice backend, above that the sparse backend is "
         "selected automatically); got d=" + std::to_string(d));
   }
-  if (dataset.empty()) {
+  if (dataset.live_size() == 0) {
     return Status::InvalidArgument("dataset is empty");
   }
   if (config.k < 1) {
     return Status::InvalidArgument("k must be >= 1");
   }
-  if (static_cast<size_t>(config.k) >= dataset.size()) {
+  if (static_cast<size_t>(config.k) >= dataset.live_size()) {
     return Status::InvalidArgument(
         "k must be smaller than the dataset size");
   }
@@ -74,22 +74,24 @@ Result<HosMiner> HosMiner::Build(data::Dataset dataset,
   //    shaped, so learning is skipped there (flat priors) rather than
   //    risk never returning; call learning::LearnPruningPriors directly
   //    to opt in at high d.
-  miner.InstallLearnedPriors(&rng);
+  miner.CommitLearning(miner.LearnPriors(&rng));
   return miner;
 }
 
-void HosMiner::InstallLearnedPriors(Rng* rng) {
+HosMiner::LearningArtifacts HosMiner::LearnPriors(Rng* rng) const {
   const int d = dataset_->num_dims();
   learning::LearnerOptions learner_options;
   learner_options.sample_size =
       d > lattice::kDenseMaxDims ? 0 : config_.sample_size;
   learner_options.k = config_.k;
   learner_options.threshold = threshold_;
-  learning_report_ = learning::LearnPruningPriors(*dataset_, *engine_,
+  LearningArtifacts artifacts;
+  artifacts.version = dataset_->version();
+  artifacts.report = learning::LearnPruningPriors(*dataset_, *engine_,
                                                   learner_options, rng);
-  query_search_ = std::make_unique<search::DynamicSubspaceSearch>(
-      d, learning_report_.priors);
-  learning_stale_ = false;
+  artifacts.search = std::make_unique<search::DynamicSubspaceSearch>(
+      d, artifacts.report.priors);
+  return artifacts;
 }
 
 Result<QueryResult> HosMiner::Query(data::PointId id,
@@ -98,6 +100,13 @@ Result<QueryResult> HosMiner::Query(data::PointId id,
     return Status::OutOfRange("point id " + std::to_string(id) +
                               " outside dataset of size " +
                               std::to_string(dataset_->size()));
+  }
+  if (!dataset_->IsLive(id)) {
+    // Distinct from OutOfRange: the id did exist, but the row was deleted
+    // or slid out of the window (its storage may even be reclaimed, so it
+    // must not be read).
+    return Status::NotFound("point id " + std::to_string(id) +
+                            " was deleted/evicted from the window");
   }
   return RunSearch(dataset_->Row(id), id, options);
 }
@@ -127,6 +136,7 @@ std::vector<HosMiner::ScreenedOutlier> HosMiner::ScreenOutliers() const {
   std::vector<ScreenedOutlier> out;
   const Subspace full = Subspace::Full(dataset_->num_dims());
   for (data::PointId id = 0; id < dataset_->size(); ++id) {
+    if (!dataset_->IsLive(id)) continue;
     knn::KnnQuery query;
     query.point = dataset_->Row(id);
     query.subspace = full;
@@ -148,9 +158,10 @@ std::vector<HosMiner::ScreenedOutlier> HosMiner::ScreenOutliers() const {
 std::vector<HosMiner::ScreenedOutlier> HosMiner::TopOutliers(
     int top_n) const {
   std::vector<ScreenedOutlier> all;
-  all.reserve(dataset_->size());
+  all.reserve(dataset_->live_size());
   const Subspace full = Subspace::Full(dataset_->num_dims());
   for (data::PointId id = 0; id < dataset_->size(); ++id) {
+    if (!dataset_->IsLive(id)) continue;
     knn::KnnQuery query;
     query.point = dataset_->Row(id);
     query.subspace = full;
@@ -249,15 +260,46 @@ uint64_t HosMiner::CommitAppend(
   return dataset_->version();
 }
 
-void HosMiner::RefreshLearning() {
-  Rng rng(config_.seed);
-  InstallLearnedPriors(&rng);
+Result<uint64_t> HosMiner::Delete(std::span<const data::PointId> ids) {
+  HOS_ASSIGN_OR_RETURN(uint64_t version, dataset_->DeleteRows(ids));
+  if (!ids.empty()) learning_stale_ = true;
+  return version;
 }
+
+size_t HosMiner::EvictBefore(uint64_t version) {
+  const size_t evicted = dataset_->EvictBefore(version);
+  if (evicted > 0) learning_stale_ = true;
+  return evicted;
+}
+
+size_t HosMiner::EvictOldest(size_t n) {
+  const size_t evicted = dataset_->EvictOldest(n);
+  if (evicted > 0) learning_stale_ = true;
+  return evicted;
+}
+
+HosMiner::LearningArtifacts HosMiner::PrepareLearning() const {
+  Rng rng(config_.seed);
+  return LearnPriors(&rng);
+}
+
+void HosMiner::CommitLearning(LearningArtifacts artifacts) {
+  learning_report_ = std::move(artifacts.report);
+  query_search_ = std::move(artifacts.search);
+  priors_version_ = artifacts.version;
+  learning_stale_ = false;
+}
+
+void HosMiner::RefreshLearning() { CommitLearning(PrepareLearning()); }
 
 Result<HosMiner::RebuildArtifacts> HosMiner::PrepareRebuild() const {
   RebuildArtifacts artifacts;
   artifacts.rows = dataset_->size();
   artifacts.version = dataset_->version();
+  // Dead rows among the covered prefix fold out of the structures built
+  // below; the commit records them as sealed so churn_fraction() resets.
+  artifacts.folded_tombstones =
+      artifacts.rows - dataset_->CountLiveBefore(artifacts.rows);
   artifacts.view = std::make_shared<const kernels::DatasetView>(
       kernels::DatasetView::Build(*dataset_));
   if (config_.index == IndexKind::kXTree) {
@@ -293,8 +335,13 @@ void HosMiner::CommitRebuild(RebuildArtifacts artifacts) {
   va_file_ = std::move(artifacts.va_file);
   engine_ = std::move(artifacts.engine);
   // Rows appended after PrepareRebuild are not in the artifacts; they stay
-  // in the delta, so the base seal stops at what the rebuild covered.
-  dataset_->SealBaseAt(artifacts.rows);
+  // in the delta, so the base seal stops at what the rebuild covered. The
+  // same goes for rows tombstoned after the prepare: they stay unsealed
+  // and are filtered at query time until the next rebuild.
+  dataset_->SealBaseAt(artifacts.rows, artifacts.folded_tombstones);
+  // Chunks wholly dead below the re-sealed base are unreachable from every
+  // structure now installed; release their storage.
+  dataset_->ReclaimDeadChunks();
 }
 
 Status HosMiner::Rebuild() {

@@ -15,6 +15,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "src/common/result.h"
@@ -144,7 +145,8 @@ class HosMiner {
   HosMiner& operator=(HosMiner&&) noexcept = default;
 
   /// Finds the outlying subspaces of dataset row `id` (the row itself is
-  /// excluded from its neighbour sets).
+  /// excluded from its neighbour sets). A tombstoned (deleted/evicted) id
+  /// returns NotFound; an id that never existed returns OutOfRange.
   ///
   /// Thread safety: as long as nothing mutates the miner, Query,
   /// QueryPoint, QueryAll, ScreenOutliers and TopOutliers may be called
@@ -184,20 +186,22 @@ class HosMiner {
   std::vector<ScreenedOutlier> TopOutliers(int top_n) const;
 
   // -------------------------------------------------------------------
-  // Streaming ingest. The dataset is append-only after Build: Append adds
-  // rows (the delta) which every query merges in exactly — the kNN
-  // backends scan the delta alongside their index/kernel base — so
-  // answers at version v are bit-identical to a miner freshly built on
-  // the same rows (given the same threshold and priors). A rebuild folds
-  // the delta into the index and SoA snapshot; it never re-fits the
-  // normalizer or re-estimates the threshold (that would change the
-  // meaning of previously returned results).
+  // Streaming ingest and the sliding window. Append adds rows (the delta)
+  // which every query merges in exactly — the kNN backends scan the delta
+  // alongside their index/kernel base; Delete / EvictBefore / EvictOldest
+  // tombstone rows, which every query filters out exactly. So answers at
+  // version v are bit-identical to a miner freshly built on the surviving
+  // rows (given the same threshold and priors). A rebuild folds the delta
+  // and the tombstones into the index and SoA snapshot physically; it
+  // never re-fits the normalizer or re-estimates the threshold (that
+  // would change the meaning of previously returned results).
   //
-  // Thread safety: Append / CommitRebuild / Rebuild / RefreshLearning
-  // mutate the miner and must be externally serialized against the const
-  // query path; PrepareRebuild only reads, so it may run concurrently
-  // with queries (but not with mutations). service::QueryService
-  // implements exactly this discipline with its ingest lock.
+  // Thread safety: Append / Delete / Evict* / CommitRebuild / Rebuild /
+  // CommitLearning / RefreshLearning mutate the miner and must be
+  // externally serialized against the const query path; PrepareRebuild
+  // and PrepareLearning only read, so they may run concurrently with
+  // queries (but not with mutations). service::QueryService implements
+  // exactly this discipline with its ingest lock.
   // -------------------------------------------------------------------
 
   /// Appends rows given in *raw* (pre-normalisation) coordinates; they are
@@ -218,22 +222,78 @@ class HosMiner {
   /// Commits rows produced by PrepareAppend; returns the new version.
   uint64_t CommitAppend(std::vector<std::vector<double>> normalized_rows);
 
-  /// Monotonic dataset version; every appended row bumps it.
+  /// Tombstones the given rows, all-or-nothing (see
+  /// data::Dataset::DeleteRows for the error contract). Ids stay stable;
+  /// every query from the returned version on filters the dead rows
+  /// exactly, so answers are bit-identical to a fresh build on the
+  /// survivors. Marks the pruning priors stale (the learned sample may
+  /// reference dead rows; answers are unaffected either way).
+  Result<uint64_t> Delete(std::span<const data::PointId> ids);
+
+  /// TTL eviction: tombstones every live row appended before dataset
+  /// version `version`. Returns the number evicted.
+  size_t EvictBefore(uint64_t version);
+
+  /// Row-count sliding window: tombstones the `n` oldest live rows.
+  /// Returns the number evicted.
+  size_t EvictOldest(size_t n);
+
+  /// Monotonic dataset version; every appended or tombstoned row bumps it.
   uint64_t version() const { return dataset_->version(); }
 
   /// Rows appended since Build / the last committed rebuild.
   size_t delta_rows() const { return dataset_->delta_size(); }
 
-  /// delta_rows() / dataset size — the rebuild-policy signal.
+  /// delta_rows() / dataset size — the append half of the rebuild signal.
   double delta_fraction() const { return dataset_->delta_fraction(); }
 
-  /// True when rows were appended since the pruning priors were learned.
+  /// (delta rows + unsealed tombstones) / live rows — the per-query extra
+  /// work the sealed structures cannot serve; the rebuild-policy signal.
+  double churn_fraction() const { return dataset_->churn_fraction(); }
+
+  /// Rows the queries can still return.
+  size_t live_rows() const { return dataset_->live_size(); }
+
+  /// True when rows were appended or deleted since the pruning priors were
+  /// learned.
   bool learning_stale() const { return learning_stale_; }
 
-  /// Re-runs the sampling-based learning process on the current dataset
-  /// and installs the fresh priors (same skip rule as Build past the
-  /// dense-lattice cap). Purely a query-plan refresh: answers never
-  /// change.
+  /// Drift signal: rows changed (appended + tombstoned) since the priors
+  /// were learned, as a fraction of the live rows. 0 right after learning;
+  /// 1.0 means the window has turned over entirely since then. Monotone in
+  /// version(), so a threshold on it fires exactly once per drift episode
+  /// when relearning resets it.
+  double learning_staleness() const {
+    const size_t live = dataset_->live_size();
+    return static_cast<double>(dataset_->version() - priors_version_) /
+           static_cast<double>(std::max<size_t>(live, 1));
+  }
+
+  /// Dataset version the current pruning priors were learned at.
+  uint64_t priors_version() const { return priors_version_; }
+
+  /// Everything a learning refresh produces, computed by PrepareLearning
+  /// without touching the served state; swapped in by CommitLearning in
+  /// O(1). Priors only steer search order, so answers are identical before
+  /// and after the commit — which is why the serving layer may run the
+  /// prepare concurrently with queries.
+  struct LearningArtifacts {
+    learning::LearningReport report;
+    std::unique_ptr<search::DynamicSubspaceSearch> search;
+    /// Dataset version the priors were learned at.
+    uint64_t version = 0;
+  };
+
+  /// Re-runs the sampling-based learning process on the current live rows
+  /// (same skip rule as Build past the dense-lattice cap; fresh
+  /// Rng(config.seed)). Heavy; read-only.
+  LearningArtifacts PrepareLearning() const;
+
+  /// Installs prepared priors and clears the staleness signal. Cheap.
+  void CommitLearning(LearningArtifacts artifacts);
+
+  /// PrepareLearning + CommitLearning in one call. Purely a query-plan
+  /// refresh: answers never change.
   void RefreshLearning();
 
   /// Everything a rebuild constructs, produced by PrepareRebuild without
@@ -248,6 +308,10 @@ class HosMiner {
     /// PrepareRebuild simply stay in the delta after the commit).
     size_t rows = 0;
     uint64_t version = 0;
+    /// Dead rows among the first `rows` ids that the artifacts folded out
+    /// physically (rows tombstoned after the prepare stay unsealed and are
+    /// filtered at query time until the next rebuild).
+    uint64_t folded_tombstones = 0;
   };
 
   /// Builds a fresh SoA snapshot and index over all current rows. Heavy
@@ -291,11 +355,11 @@ class HosMiner {
                                 std::optional<data::PointId> exclude,
                                 const QueryOptions& options) const;
 
-  /// The one learning step shared by Build and RefreshLearning: runs the
+  /// The one learning step shared by Build and PrepareLearning: runs the
   /// sampling-based learner (skipped — flat priors — past the dense
-  /// lattice cap, where each sample would cost a full sparse search) and
-  /// installs the resulting priors into the query search.
-  void InstallLearnedPriors(Rng* rng);
+  /// lattice cap, where each sample would cost a full sparse search) over
+  /// the live rows with the given rng.
+  LearningArtifacts LearnPriors(Rng* rng) const;
 
   HosMinerConfig config_;
   std::unique_ptr<data::Dataset> dataset_;  // normalised copy
@@ -308,6 +372,9 @@ class HosMiner {
   learning::LearningReport learning_report_;
   std::unique_ptr<search::DynamicSubspaceSearch> query_search_;
   bool learning_stale_ = false;
+  /// Dataset version the installed priors were learned at (feeds
+  /// learning_staleness()).
+  uint64_t priors_version_ = 0;
 };
 
 }  // namespace hos::core

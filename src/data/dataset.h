@@ -3,21 +3,35 @@
 // engines, the search algorithms and the baselines.
 //
 // Streaming ingest model: a dataset carries a monotonically increasing
-// version() counter (every mutation — appended row or in-place Set — bumps
-// it) and an immutable base/delta split. SealBase() freezes the current
-// rows as the *base*: the prefix the SoA snapshots and index structures are
-// built over. Rows appended afterwards form the *delta*
-// [base_size(), size()), which the kNN backends serve by an exact scalar
-// scan merged into their kernel/index results until the next rebuild
+// version() counter (every mutation — appended row, in-place Set, or
+// tombstoned row — bumps it) and an immutable base/delta split. SealBase()
+// freezes the current rows as the *base*: the prefix the SoA snapshots and
+// index structures are built over. Rows appended afterwards form the
+// *delta* [base_size(), size()), which the kNN backends serve by an exact
+// scalar scan merged into their kernel/index results until the next rebuild
 // re-seals the base. In-place mutation of sealed base rows is a contract
 // violation (it silently invalidates every structure built over the base);
 // it is detectable after the fact through last_overwrite_version().
+//
+// Sliding-window model: rows never move and PointIds are stable forever;
+// deletion is a per-row *tombstone* (DeleteRows / EvictBefore /
+// EvictOldest). A dead row keeps its id — readers skip it via IsLive() —
+// so structures built before the delete stay positionally valid and merge
+// a tombstone filter into their results exactly like the append delta
+// scan. Rebuild()s are built over live rows only, folding tombstones into
+// the structures physically; once every dead row of a sealed storage chunk
+// is below the re-sealed base, ReclaimDeadChunks() frees the chunk.
+//
+// Storage is *chunked*: fixed-size row blocks that are never reallocated,
+// so Append never invalidates a previously returned Row() span even while
+// a background rebuild's prepare phase is reading the dataset.
 
 #ifndef HOS_DATA_DATASET_H_
 #define HOS_DATA_DATASET_H_
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -30,17 +44,26 @@ namespace hos::data {
 /// Identifier of a point within a Dataset (its row index).
 using PointId = uint32_t;
 
-/// Dense row-major matrix of doubles with named columns.
+/// Row-major matrix of doubles with named columns, stored in fixed-size
+/// chunks.
 ///
-/// Rows are points, columns are dimensions/attributes. The storage is one
-/// contiguous buffer so scans are cache-friendly; `Row(i)` returns a span
-/// view with no copies.
+/// Rows are points, columns are dimensions/attributes. Storage is a list
+/// of kChunkRows-row blocks; rows never straddle chunks and a chunk, once
+/// allocated, is never moved or resized — `Row(i)` spans stay valid across
+/// any number of later appends (the guarantee the concurrent serving path
+/// relies on: a rebuild's prepare phase may hold row pointers while the
+/// ingest path appends).
 ///
-/// Thread safety: none. Mutations (Append/AppendRows/Set) may reallocate
-/// the storage and must be externally serialized against readers —
+/// Thread safety: none. Mutations (Append/AppendRows/Set/DeleteRows/
+/// Evict*) must be externally serialized against readers —
 /// service::QueryService does this with its ingest lock.
 class Dataset {
  public:
+  /// Rows per storage chunk. A power of two so Row() indexing is a
+  /// shift+mask; 256 rows keeps per-chunk allocation in the tens of KB for
+  /// typical dimensionalities.
+  static constexpr size_t kChunkRows = 256;
+
   /// Empty dataset with `num_dims` columns. Column names default to
   /// "dim1".."dimD" (1-based, matching the paper's notation).
   explicit Dataset(int num_dims);
@@ -49,7 +72,17 @@ class Dataset {
   static Result<Dataset> FromRows(const std::vector<std::vector<double>>& rows,
                                   int num_dims);
 
+  /// Deep copy (chunked storage is owned, so copying clones every chunk —
+  /// including reclaimed holes, which stay holes). Moves are O(1) and
+  /// leave the source empty.
+  Dataset(const Dataset& other);
+  Dataset& operator=(const Dataset& other);
+  Dataset(Dataset&&) noexcept = default;
+  Dataset& operator=(Dataset&&) noexcept = default;
+
   int num_dims() const { return num_dims_; }
+  /// Rows ever appended, live or dead: the exclusive upper bound of valid
+  /// PointIds. Tombstoned rows still count — ids are stable.
   size_t size() const { return num_points_; }
   bool empty() const { return num_points_ == 0; }
 
@@ -60,30 +93,88 @@ class Dataset {
   /// dataset version after the append. On error nothing is appended.
   Result<uint64_t> AppendRows(const std::vector<std::vector<double>>& rows);
 
-  /// Monotonic mutation counter: +1 per appended row, +1 per Set call.
-  /// Two equal versions of the same dataset object denote identical
-  /// contents, and version never decreases — the serving layer keys its
-  /// cross-query OD cache by it.
+  /// Monotonic mutation counter: +1 per appended row, +1 per Set call,
+  /// +1 per tombstoned row. Two equal versions of the same dataset object
+  /// denote identical contents, and version never decreases — the serving
+  /// layer keys its cross-query OD cache by it.
   uint64_t version() const { return version_; }
 
   /// The version recorded by the most recent in-place Set; 0 when no cell
   /// was ever overwritten. A snapshot taken at version v still matches the
-  /// first n rows iff last_overwrite_version() <= v (appends never change
-  /// existing rows).
+  /// first n rows iff last_overwrite_version() <= v (appends and
+  /// tombstones never change existing row *values*).
   uint64_t last_overwrite_version() const { return last_overwrite_version_; }
+
+  // -- Tombstones -----------------------------------------------------------
+
+  /// True iff the row has not been deleted/evicted. Out-of-range ids are
+  /// the caller's bug (same contract as Row()).
+  bool IsLive(PointId id) const {
+    if (tombstones_.empty()) return true;
+    const size_t word = static_cast<size_t>(id) >> 6;
+    return word >= tombstones_.size() ||
+           ((tombstones_[word] >> (id & 63)) & 1u) == 0;
+  }
+
+  /// Rows not tombstoned — what a fresh build on the survivors would hold.
+  size_t live_size() const { return num_points_ - num_tombstones_; }
+
+  /// Total tombstoned rows, ever (tombstones are never un-set).
+  size_t num_tombstones() const { return num_tombstones_; }
+
+  /// Live rows with id < end. O(end/64) popcount; the iDistance backend
+  /// uses it for its reachable-neighbour termination bound.
+  size_t CountLiveBefore(size_t end) const;
+
+  /// Tombstones the given rows, all-or-nothing: every id must be in range,
+  /// live, and not repeated in the batch, else nothing is deleted
+  /// (OutOfRange / NotFound / InvalidArgument). Bumps version() once per
+  /// deleted row; returns the version after the batch.
+  Result<uint64_t> DeleteRows(std::span<const PointId> ids);
+
+  /// Tombstones every live row whose append version is < `version` — the
+  /// TTL form of eviction (callers map a wall-clock horizon to the version
+  /// watermark they recorded at that time). Returns the number evicted.
+  size_t EvictBefore(uint64_t version);
+
+  /// Tombstones the `n` oldest (lowest-id) live rows — the row-count
+  /// sliding-window form. Returns the number evicted (< n when fewer rows
+  /// are live).
+  size_t EvictOldest(size_t n);
+
+  /// The version() value at which row `id` was appended. Valid for dead
+  /// rows too.
+  uint64_t RowVersion(PointId id) const {
+    return version_chunks_[static_cast<size_t>(id) >> kChunkShift]
+                          [id & kChunkMask];
+  }
+
+  /// The version recorded by the most recent tombstone; 0 when no row was
+  /// ever deleted.
+  uint64_t last_tombstone_version() const { return last_tombstone_version_; }
+
+  // -- Base/delta seal ------------------------------------------------------
 
   /// Seals the current rows as the immutable base and returns the current
   /// version. Called when the system (re)builds its snapshots and indexes;
-  /// rows appended afterwards are the delta.
+  /// rows appended afterwards are the delta, and tombstones set afterwards
+  /// are the unsealed tombstones the query path must filter.
   uint64_t SealBase() {
     base_size_ = num_points_;
+    sealed_tombstones_ = num_tombstones_;
     return version_;
   }
 
-  /// Seals the first `rows` rows (clamped to size()) as the base — the
-  /// form a rebuild commit uses when its artifacts were prepared before
-  /// further rows were appended.
-  void SealBaseAt(size_t rows) { base_size_ = std::min(rows, num_points_); }
+  /// Seals the first `rows` rows (clamped to size()) as the base, with
+  /// `folded_tombstones` the num_tombstones() value the rebuild's prepare
+  /// phase observed — the form a rebuild commit uses when rows were
+  /// appended or deleted between prepare and commit.
+  void SealBaseAt(size_t rows, uint64_t folded_tombstones) {
+    base_size_ = std::min(rows, num_points_);
+    sealed_tombstones_ = std::min(folded_tombstones,
+                                  static_cast<uint64_t>(num_tombstones_));
+  }
+  void SealBaseAt(size_t rows) { SealBaseAt(rows, num_tombstones_); }
 
   /// Rows in the sealed base (0 before the first SealBase call).
   size_t base_size() const { return base_size_; }
@@ -91,7 +182,14 @@ class Dataset {
   /// Rows appended since the base was sealed.
   size_t delta_size() const { return num_points_ - base_size_; }
 
-  /// delta / size, the rebuild-policy signal; 0 for an empty dataset.
+  /// Tombstones set since the base was sealed — dead rows the sealed
+  /// structures still contain, filtered out at query time until the next
+  /// rebuild folds them away.
+  size_t unsealed_tombstones() const {
+    return num_tombstones_ - sealed_tombstones_;
+  }
+
+  /// delta / size; 0 for an empty dataset.
   double delta_fraction() const {
     return num_points_ == 0
                ? 0.0
@@ -99,20 +197,40 @@ class Dataset {
                      static_cast<double>(num_points_);
   }
 
-  /// Read-only view of a row.
+  /// (delta rows + unsealed tombstones) / live rows — the per-query extra
+  /// work the sealed structures cannot serve, and hence the rebuild-policy
+  /// signal. 0 for an empty dataset.
+  double churn_fraction() const {
+    const size_t live = live_size();
+    return live == 0 ? 0.0
+                     : static_cast<double>(delta_size() +
+                                           unsealed_tombstones()) /
+                           static_cast<double>(live);
+  }
+
+  /// Frees storage chunks in which every row is both tombstoned and below
+  /// the sealed base — rows no live structure can reference (rebuilds are
+  /// built over live rows only). Returns the number of chunks released.
+  /// Reading a reclaimed row is the caller's bug, like an out-of-range id.
+  size_t ReclaimDeadChunks();
+
+  /// Storage chunks currently allocated (observability + tests).
+  size_t allocated_chunks() const;
+
+  // -- Row access -----------------------------------------------------------
+
+  /// Read-only view of a row. Stable across appends (never reallocated).
   std::span<const double> Row(PointId id) const {
-    return {&values_[static_cast<size_t>(id) * num_dims_],
-            static_cast<size_t>(num_dims_)};
+    return {ChunkRow(id), static_cast<size_t>(num_dims_)};
   }
 
   /// Single cell access.
-  double At(PointId id, int dim) const {
-    return values_[static_cast<size_t>(id) * num_dims_ + dim];
-  }
+  double At(PointId id, int dim) const { return ChunkRow(id)[dim]; }
+
   /// In-place overwrite. Bumps version() and records the overwrite so
   /// snapshot holders can detect that their base no longer matches.
   void Set(PointId id, int dim, double value) {
-    values_[static_cast<size_t>(id) * num_dims_ + dim] = value;
+    const_cast<double*>(ChunkRow(id))[dim] = value;
     last_overwrite_version_ = ++version_;
   }
 
@@ -122,16 +240,35 @@ class Dataset {
   const std::vector<std::string>& column_names() const { return names_; }
   Status SetColumnNames(std::vector<std::string> names);
 
-  /// Raw contiguous storage (row-major), mostly for the index bulk-loader.
-  const std::vector<double>& values() const { return values_; }
-
  private:
+  static constexpr size_t kChunkShift = 8;  // log2(kChunkRows)
+  static constexpr size_t kChunkMask = kChunkRows - 1;
+  static_assert((size_t{1} << kChunkShift) == kChunkRows);
+
+  const double* ChunkRow(PointId id) const {
+    return chunks_[static_cast<size_t>(id) >> kChunkShift].get() +
+           (static_cast<size_t>(id) & kChunkMask) * num_dims_;
+  }
+
+  /// Marks one in-range live row dead (validation is the caller's job).
+  void Tombstone(PointId id);
+
   int num_dims_;
   size_t num_points_ = 0;
   size_t base_size_ = 0;
+  size_t num_tombstones_ = 0;
+  size_t sealed_tombstones_ = 0;
   uint64_t version_ = 0;
   uint64_t last_overwrite_version_ = 0;
-  std::vector<double> values_;
+  uint64_t last_tombstone_version_ = 0;
+  /// Row storage, kChunkRows rows of num_dims_ doubles each. Entries may
+  /// be null after ReclaimDeadChunks.
+  std::vector<std::unique_ptr<double[]>> chunks_;
+  /// Append version per row, chunked like the row data (also append-stable).
+  std::vector<std::unique_ptr<uint64_t[]>> version_chunks_;
+  /// Tombstone bitmap, bit set = dead. Allocated lazily on first delete;
+  /// ids beyond the bitmap are live by definition.
+  std::vector<uint64_t> tombstones_;
   std::vector<std::string> names_;
 };
 
@@ -143,7 +280,9 @@ struct ColumnStats {
   double stddev = 0.0;
 };
 
-/// Computes min/max/mean/stddev for every column in one pass.
+/// Computes min/max/mean/stddev for every column in one pass over the
+/// *live* rows (tombstoned rows are invisible, matching a fresh build on
+/// the survivors).
 std::vector<ColumnStats> ComputeColumnStats(const Dataset& dataset);
 
 }  // namespace hos::data

@@ -27,7 +27,16 @@ Result<KMeansResult> KMeans(const Dataset& dataset,
   if (k < 1) {
     return Status::InvalidArgument("num_clusters must be >= 1");
   }
-  if (n < static_cast<size_t>(k)) {
+  // Cluster the *live* rows only; tombstoned rows keep assignment -1. With
+  // no tombstones `live` is the identity, and every loop and rng draw below
+  // is exactly the pre-tombstone computation.
+  std::vector<PointId> live;
+  live.reserve(dataset.live_size());
+  for (PointId i = 0; i < n; ++i) {
+    if (dataset.IsLive(i)) live.push_back(i);
+  }
+  const size_t m = live.size();
+  if (m < static_cast<size_t>(k)) {
     return Status::InvalidArgument("fewer points than clusters");
   }
 
@@ -35,29 +44,30 @@ Result<KMeansResult> KMeans(const Dataset& dataset,
   result.centroids.reserve(k);
 
   // k-means++ seeding.
-  std::vector<double> min_sq(n, std::numeric_limits<double>::max());
+  std::vector<double> min_sq(m, std::numeric_limits<double>::max());
   {
-    auto first = static_cast<PointId>(rng->UniformInt(0, n - 1));
-    result.centroids.push_back(dataset.RowCopy(first));
+    auto first = static_cast<size_t>(rng->UniformInt(0, m - 1));
+    result.centroids.push_back(dataset.RowCopy(live[first]));
   }
   while (static_cast<int>(result.centroids.size()) < k) {
     const auto& last = result.centroids.back();
     double total = 0.0;
-    for (PointId i = 0; i < n; ++i) {
-      min_sq[i] = std::min(min_sq[i], SquaredDistance(dataset.Row(i), last));
-      total += min_sq[i];
+    for (size_t li = 0; li < m; ++li) {
+      min_sq[li] =
+          std::min(min_sq[li], SquaredDistance(dataset.Row(live[li]), last));
+      total += min_sq[li];
     }
     double target = rng->Uniform(0.0, total);
     double acc = 0.0;
-    PointId chosen = static_cast<PointId>(n - 1);
-    for (PointId i = 0; i < n; ++i) {
-      acc += min_sq[i];
+    size_t chosen = m - 1;
+    for (size_t li = 0; li < m; ++li) {
+      acc += min_sq[li];
       if (target <= acc) {
-        chosen = i;
+        chosen = li;
         break;
       }
     }
-    result.centroids.push_back(dataset.RowCopy(chosen));
+    result.centroids.push_back(dataset.RowCopy(live[chosen]));
   }
 
   result.assignment.assign(n, -1);
@@ -68,7 +78,7 @@ Result<KMeansResult> KMeans(const Dataset& dataset,
     result.iterations = iter + 1;
     bool changed = false;
     // Assign.
-    for (PointId i = 0; i < n; ++i) {
+    for (PointId i : live) {
       auto row = dataset.Row(i);
       int best = 0;
       double best_sq = SquaredDistance(row, result.centroids[0]);
@@ -88,7 +98,7 @@ Result<KMeansResult> KMeans(const Dataset& dataset,
     // Update.
     std::fill(sums.begin(), sums.end(), 0.0);
     std::fill(counts.begin(), counts.end(), size_t{0});
-    for (PointId i = 0; i < n; ++i) {
+    for (PointId i : live) {
       auto row = dataset.Row(i);
       int c = result.assignment[i];
       ++counts[c];
@@ -97,9 +107,9 @@ Result<KMeansResult> KMeans(const Dataset& dataset,
     for (int c = 0; c < k; ++c) {
       if (counts[c] == 0) {
         // Re-seed an empty cluster from the globally farthest point.
-        PointId farthest = 0;
+        PointId farthest = live.front();
         double farthest_sq = -1.0;
-        for (PointId i = 0; i < n; ++i) {
+        for (PointId i : live) {
           double sq = SquaredDistance(dataset.Row(i),
                                       result.centroids[result.assignment[i]]);
           if (sq > farthest_sq) {
@@ -118,7 +128,7 @@ Result<KMeansResult> KMeans(const Dataset& dataset,
   }
 
   result.inertia = 0.0;
-  for (PointId i = 0; i < n; ++i) {
+  for (PointId i : live) {
     result.inertia += SquaredDistance(dataset.Row(i),
                                       result.centroids[result.assignment[i]]);
   }

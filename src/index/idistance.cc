@@ -13,14 +13,14 @@ Result<IDistance> IDistance::Build(
     const data::Dataset& dataset, knn::MetricKind metric,
     IDistanceConfig config, Rng* rng,
     std::shared_ptr<const kernels::DatasetView> view) {
-  if (dataset.empty()) {
+  if (dataset.live_size() == 0) {
     return Status::InvalidArgument("cannot build iDistance on empty dataset");
   }
   if (config.num_partitions < 1) {
     return Status::InvalidArgument("num_partitions must be >= 1");
   }
   config.num_partitions = std::min<int>(
-      config.num_partitions, static_cast<int>(dataset.size()));
+      config.num_partitions, static_cast<int>(dataset.live_size()));
 
   IDistance index(dataset, metric, config);
   index.base_rows_ = dataset.size();
@@ -46,11 +46,14 @@ Result<IDistance> IDistance::Build(
 
   // 2. Partition radii under the index metric. A point stays in its k-means
   //    partition; only the distance is re-measured with `metric`.
+  // Tombstoned rows carry assignment -1 from KMeans and fold out of the
+  // keys, radii and the B+-tree here.
   const Subspace full = Subspace::Full(dataset.num_dims());
   std::vector<double> key_distance(dataset.size());
   double max_radius = 0.0;
   for (data::PointId i = 0; i < dataset.size(); ++i) {
     int p = index.assignment_[i];
+    if (p < 0) continue;
     double dist = knn::SubspaceDistance(dataset.Row(i),
                                         index.partitions_[p].center, full,
                                         metric);
@@ -67,9 +70,11 @@ Result<IDistance> IDistance::Build(
   // Disjoint stripes: wider than any radius can ever reach.
   index.stripe_width_ = 2.0 * max_radius + 1.0;
 
-  // 3. Keys into the B+-tree.
+  // 3. Keys into the B+-tree (live rows only).
   for (data::PointId i = 0; i < dataset.size(); ++i) {
+    if (index.assignment_[i] < 0) continue;
     index.tree_.Insert(index.Key(index.assignment_[i], key_distance[i]), i);
+    ++index.indexed_rows_;
   }
   return index;
 }
@@ -103,7 +108,7 @@ std::vector<knn::Neighbor> IDistance::Knn(
     std::span<const double> point, int k,
     std::optional<data::PointId> exclude) const {
   const size_t want = static_cast<size_t>(std::max(k, 0));
-  if (want == 0 || dataset_->empty()) return {};
+  if (want == 0 || dataset_->live_size() == 0) return {};
   const Subspace full = Subspace::Full(dataset_->num_dims());
 
   // Distances from the query to every partition centre.
@@ -114,7 +119,10 @@ std::vector<knn::Neighbor> IDistance::Knn(
   }
 
   const size_t base = std::min(base_rows_, dataset_->size());
-  kernels::TopKCollector best(want);
+  // Rows tombstoned after the keys were built are still in the B+-tree;
+  // the collector's live filter rejects them at admission.
+  kernels::TopKCollector best(
+      want, dataset_->num_tombstones() > 0 ? dataset_ : nullptr);
   const kernels::DatasetView* view = kernel_view();
   if (view != nullptr) {
     ++kernel_scans_;
@@ -169,10 +177,15 @@ std::vector<knn::Neighbor> IDistance::Knn(
       }
     }
     // Stop when k found and nothing unseen can beat the k-th distance, or
-    // when the radius has grown past every partition. Only the base rows
-    // are reachable through the stripes; the append delta is merged below.
+    // when the radius has grown past every partition. Only the *live* base
+    // rows are reachable through the stripes (dead rows are filtered at
+    // admission — counting them here could make the target unreachable and
+    // the loop endless); the append delta is merged below.
     const size_t reachable =
-        base - (exclude.has_value() && *exclude < base ? 1 : 0);
+        dataset_->CountLiveBefore(base) -
+        (exclude.has_value() && *exclude < base && dataset_->IsLive(*exclude)
+             ? 1
+             : 0);
     if (best.size() >= std::min(want, reachable) &&
         (best.empty() || best.worst() <= r)) {
       break;
@@ -209,6 +222,7 @@ std::vector<knn::Neighbor> IDistance::RangeSearch(
   std::vector<knn::Neighbor> out;
   std::vector<data::PointId> batch;
   std::vector<double> dist;
+  const bool filter_dead = dataset_->num_tombstones() > 0;
   for (size_t p = 0; p < partitions_.size(); ++p) {
     double center_dist = knn::SubspaceDistance(point, partitions_[p].center,
                                                full, metric_);
@@ -230,10 +244,14 @@ std::vector<knn::Neighbor> IDistance::RangeSearch(
                                        radius, dist);
       distance_count_ += batch.size();
       for (size_t i = 0; i < batch.size(); ++i) {
-        if (dist[i] <= radius) out.push_back({batch[i], dist[i]});
+        if (dist[i] <= radius) {
+          if (filter_dead && !dataset_->IsLive(batch[i])) continue;
+          out.push_back({batch[i], dist[i]});
+        }
       }
     } else {
       tree_.Scan(lo, hi, [&](double /*key*/, data::PointId id) {
+        if (filter_dead && !dataset_->IsLive(id)) return true;
         double d =
             knn::SubspaceDistance(point, dataset_->Row(id), full, metric_);
         ++distance_count_;
@@ -256,13 +274,14 @@ std::vector<knn::Neighbor> IDistance::RangeSearch(
 
 Status IDistance::CheckInvariants() const {
   HOS_RETURN_IF_ERROR(tree_.CheckInvariants());
-  if (tree_.size() != base_rows_) {
-    return Status::Internal("B+-tree entry count != base row count");
+  if (tree_.size() != indexed_rows_) {
+    return Status::Internal("B+-tree entry count != indexed row count");
   }
   const Subspace full = Subspace::Full(dataset_->num_dims());
   for (data::PointId i = 0; i < base_rows_; ++i) {
     int p = assignment_[i];
-    if (p < 0 || p >= static_cast<int>(partitions_.size())) {
+    if (p < 0) continue;  // tombstoned at build time, not indexed
+    if (p >= static_cast<int>(partitions_.size())) {
       return Status::Internal("point assigned to invalid partition");
     }
     double dist = knn::SubspaceDistance(dataset_->Row(i),

@@ -127,6 +127,8 @@ class IDistance {
   IDistanceConfig config_;
   /// Rows the partitions/keys cover.
   size_t base_rows_ = 0;
+  /// Rows actually keyed into the B+-tree (live rows at build time).
+  size_t indexed_rows_ = 0;
   std::vector<IDistancePartition> partitions_;
   std::vector<int> assignment_;  ///< partition per base point
   double stripe_width_ = 0.0;    ///< the constant c

@@ -40,8 +40,12 @@ Result<VaFile> VaFile::Build(const data::Dataset& dataset,
         extent > 0.0 ? extent / file.cells_per_dim_ : 1.0;
   }
   file.base_rows_ = dataset.size();
-  file.cells_.resize(dataset.size() * static_cast<size_t>(d));
+  // The approximation file stays positional over all ids; tombstoned rows
+  // keep zeroed cells and are skipped by every query phase (their storage
+  // may already be reclaimed, so they must not be read here either).
+  file.cells_.assign(dataset.size() * static_cast<size_t>(d), 0);
   for (data::PointId i = 0; i < dataset.size(); ++i) {
+    if (!dataset.IsLive(i)) continue;
     auto row = dataset.Row(i);
     for (int dim = 0; dim < d; ++dim) {
       file.cells_[static_cast<size_t>(i) * d + dim] =
@@ -141,11 +145,16 @@ std::vector<knn::Neighbor> VaFile::Knn(const knn::KnnQuery& query) const {
     double lower;
     data::PointId id;
   };
+  // Tombstoned rows must not reach the tau computation: a dead row's small
+  // upper bound could shrink tau below the true k-th live distance and
+  // wrongly prune a live candidate.
+  const bool filter_dead = dataset_->num_tombstones() > 0;
   std::vector<Approx> approx;
   approx.reserve(base);
   std::priority_queue<double> upper_heap;  // max-heap of k smallest uppers
   for (data::PointId id = 0; id < base; ++id) {
     if (query.exclude && *query.exclude == id) continue;
+    if (filter_dead && !dataset_->IsLive(id)) continue;
     double lower, upper;
     Bounds(id, query.point, query.subspace, &lower, &upper);
     approx.push_back({lower, id});
@@ -245,11 +254,13 @@ std::vector<knn::Neighbor> VaFile::RangeSearch(std::span<const double> point,
       std::min(base_rows_, dataset_->size()));
   ++approx_sweeps_;
   if (dataset_->size() > base) ++delta_merges_;
+  const bool filter_dead = dataset_->num_tombstones() > 0;
   const kernels::DatasetView* view = kernel_view();
   if (view != nullptr) {
     ++kernel_scans_;
     std::vector<data::PointId> survivors;
     for (data::PointId id = 0; id < base; ++id) {
+      if (filter_dead && !dataset_->IsLive(id)) continue;
       double lower, upper;
       Bounds(id, point, subspace, &lower, &upper);
       if (lower <= radius) survivors.push_back(id);
@@ -264,6 +275,7 @@ std::vector<knn::Neighbor> VaFile::RangeSearch(std::span<const double> point,
   } else {
     ++scalar_scans_;
     for (data::PointId id = 0; id < base; ++id) {
+      if (filter_dead && !dataset_->IsLive(id)) continue;
       double lower, upper;
       Bounds(id, point, subspace, &lower, &upper);
       if (lower > radius) continue;

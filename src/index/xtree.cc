@@ -491,6 +491,7 @@ Result<XTree> XTree::BuildByInsertion(
     std::shared_ptr<const kernels::DatasetView> view) {
   XTree tree(dataset, metric, config);
   for (data::PointId id = 0; id < dataset.size(); ++id) {
+    if (!dataset.IsLive(id)) continue;  // tombstones fold out at build
     HOS_RETURN_IF_ERROR(tree.Insert(id));
   }
   if (view != nullptr) {
@@ -555,15 +556,18 @@ Result<XTree> XTree::BulkLoad(const data::Dataset& dataset,
     tree.RefreshKernelView();
   }
   const size_t n = dataset.size();
-  tree.num_points_ = n;
-  if (n == 0) return tree;
   const int dims = dataset.num_dims();
   const size_t cap = std::max<size_t>(
       2, static_cast<size_t>(config.max_entries * config.bulk_fill));
 
-  // 1. Tile points into leaves.
-  std::vector<size_t> ids(n);
-  for (size_t i = 0; i < n; ++i) ids[i] = i;
+  // 1. Tile the *live* points into leaves; tombstoned rows fold out here.
+  std::vector<size_t> ids;
+  ids.reserve(dataset.live_size());
+  for (size_t i = 0; i < n; ++i) {
+    if (dataset.IsLive(static_cast<data::PointId>(i))) ids.push_back(i);
+  }
+  tree.num_points_ = ids.size();
+  if (ids.empty()) return tree;
   std::vector<std::vector<size_t>> tiles;
   StrTile(std::move(ids), 0, dims, cap,
           [&](size_t id, int dim) {
@@ -677,6 +681,10 @@ std::vector<knn::Neighbor> XTree::KnnBase(const knn::KnnQuery& query) const {
   } else {
     ++scalar_scans_;
   }
+  // Rows tombstoned after the tree was built are still in its leaves;
+  // filter them before they can enter the candidate heap (so they neither
+  // reach the answer nor tighten the seen-bound).
+  const bool filter_dead = dataset_->num_tombstones() > 0;
   const std::vector<int> dims = query.subspace.Dims();
   kernels::TopKCollector seen(static_cast<size_t>(query.k));
   std::vector<data::PointId> leaf_ids;
@@ -710,6 +718,7 @@ std::vector<knn::Neighbor> XTree::KnnBase(const knn::KnnQuery& query) const {
           distance_count_ += m;
           for (size_t j = 0; j < m; ++j) {
             if (leaf_dist[j] == kernels::kPrunedDistance) continue;
+            if (filter_dead && !dataset_->IsLive(block[j])) continue;
             heap.push({leaf_dist[j], true, block[j], nullptr});
             seen.Offer(block[j], leaf_dist[j]);
           }
@@ -717,6 +726,7 @@ std::vector<knn::Neighbor> XTree::KnnBase(const knn::KnnQuery& query) const {
       } else {
         for (data::PointId id : node->points) {
           if (query.exclude && *query.exclude == id) continue;
+          if (filter_dead && !dataset_->IsLive(id)) continue;
           double dist = knn::SubspaceDistance(query.point, dataset_->Row(id),
                                               query.subspace, metric_);
           ++distance_count_;
@@ -758,6 +768,7 @@ std::vector<knn::Neighbor> XTree::RangeSearch(std::span<const double> point,
     ++scalar_scans_;
   }
   if (dataset_->size() > base_rows_) ++delta_merges_;
+  const bool filter_dead = dataset_->num_tombstones() > 0;
   const std::vector<int> dims = subspace.Dims();
   std::vector<double> leaf_dist;
   std::function<void(const Node*)> visit = [&](const Node* node) {
@@ -770,12 +781,14 @@ std::vector<knn::Neighbor> XTree::RangeSearch(std::span<const double> point,
         distance_count_ += node->points.size();
         for (size_t j = 0; j < node->points.size(); ++j) {
           if (leaf_dist[j] <= radius) {
+            if (filter_dead && !dataset_->IsLive(node->points[j])) continue;
             out.push_back({node->points[j], leaf_dist[j]});
           }
         }
         return;
       }
       for (data::PointId id : node->points) {
+        if (filter_dead && !dataset_->IsLive(id)) continue;
         double dist = knn::SubspaceDistance(point, dataset_->Row(id),
                                             subspace, metric_);
         ++distance_count_;

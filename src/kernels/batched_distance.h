@@ -97,12 +97,22 @@ void BatchedSubspaceDistanceRange(const DatasetView& view,
 /// early-exit bound. Admission is identical to the scalar WorstFirst
 /// max-heaps it replaces: a candidate displaces the current worst when its
 /// (distance, id) pair compares strictly smaller.
+///
+/// Tombstone filtering happens here, at admission: constructed with a
+/// `live_filter` dataset, the collector silently rejects dead rows, so a
+/// structure built before a delete serves exactly the answer a fresh build
+/// on the survivors would (a dead candidate can neither enter the answer
+/// nor tighten bound()). Backends pass the filter only when the dataset
+/// actually has tombstones, keeping the common path branch-free.
 class TopKCollector {
  public:
-  explicit TopKCollector(size_t k) : k_(k) {}
+  explicit TopKCollector(size_t k) : TopKCollector(k, nullptr) {}
+  TopKCollector(size_t k, const data::Dataset* live_filter)
+      : k_(k), live_filter_(live_filter) {}
 
   void Offer(data::PointId id, double distance) {
     if (k_ == 0) return;
+    if (live_filter_ != nullptr && !live_filter_->IsLive(id)) return;
     if (heap_.size() < k_) {
       heap_.push({id, distance});
       return;
@@ -145,6 +155,7 @@ class TopKCollector {
   };
 
   size_t k_;
+  const data::Dataset* live_filter_ = nullptr;
   std::priority_queue<knn::Neighbor, std::vector<knn::Neighbor>, WorstFirst>
       heap_;
 };

@@ -7,11 +7,17 @@ DatasetView DatasetView::Build(const data::Dataset& dataset) {
   view.num_points_ = dataset.size();
   view.num_dims_ = dataset.num_dims();
   view.snapshot_version_ = dataset.version();
-  view.columns_.resize(view.num_points_ *
-                       static_cast<size_t>(view.num_dims_));
-  const std::vector<double>& rows = dataset.values();
+  // Positional layout over *all* row ids, live or dead: every backend uses
+  // view positions as PointIds. Dead rows are left zeroed — their storage
+  // chunk may already be reclaimed — and are filtered out of query results
+  // at offer time, never admitted into an answer.
+  view.columns_.assign(view.num_points_ *
+                           static_cast<size_t>(view.num_dims_),
+                       0.0);
   for (size_t i = 0; i < view.num_points_; ++i) {
-    const double* row = &rows[i * view.num_dims_];
+    const auto id = static_cast<data::PointId>(i);
+    if (!dataset.IsLive(id)) continue;
+    const std::span<const double> row = dataset.Row(id);
     for (int dim = 0; dim < view.num_dims_; ++dim) {
       view.columns_[static_cast<size_t>(dim) * view.num_points_ + i] =
           row[dim];

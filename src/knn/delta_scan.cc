@@ -12,6 +12,7 @@ uint64_t DeltaScanTopK(const data::Dataset& dataset, MetricKind metric,
   uint64_t computed = 0;
   for (data::PointId id = begin; id < end; ++id) {
     if (exclude && *exclude == id) continue;
+    if (!dataset.IsLive(id)) continue;
     double dist = SubspaceDistance(point, dataset.Row(id), subspace, metric);
     ++computed;
     collector->Offer(id, dist);
@@ -26,6 +27,7 @@ uint64_t DeltaScanRange(const data::Dataset& dataset, MetricKind metric,
                         std::vector<Neighbor>* out) {
   uint64_t computed = 0;
   for (data::PointId id = begin; id < end; ++id) {
+    if (!dataset.IsLive(id)) continue;
     double dist = SubspaceDistance(point, dataset.Row(id), subspace, metric);
     ++computed;
     if (dist <= radius) out->push_back({id, dist});

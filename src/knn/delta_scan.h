@@ -28,18 +28,19 @@
 
 namespace hos::knn {
 
-/// Offers every dataset row in [begin, end) except `exclude` into the
-/// collector (scalar metric path). Returns the number of distance
-/// computations performed, the unit the backends' counters report.
+/// Offers every *live* dataset row in [begin, end) except `exclude` into
+/// the collector (scalar metric path); tombstoned rows are skipped before
+/// their distance is computed. Returns the number of distance computations
+/// performed, the unit the backends' counters report.
 uint64_t DeltaScanTopK(const data::Dataset& dataset, MetricKind metric,
                        std::span<const double> point, const Subspace& subspace,
                        data::PointId begin, data::PointId end,
                        std::optional<data::PointId> exclude,
                        kernels::TopKCollector* collector);
 
-/// Appends every dataset row in [begin, end) within `radius` (inclusive) of
-/// the query to `out` (unsorted; callers re-sort the merged result).
-/// Returns the number of distance computations performed.
+/// Appends every live dataset row in [begin, end) within `radius`
+/// (inclusive) of the query to `out` (unsorted; callers re-sort the merged
+/// result). Returns the number of distance computations performed.
 uint64_t DeltaScanRange(const data::Dataset& dataset, MetricKind metric,
                         std::span<const double> point,
                         const Subspace& subspace, data::PointId begin,

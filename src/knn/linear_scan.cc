@@ -27,7 +27,10 @@ std::vector<Neighbor> LinearScanKnn::Search(const KnnQuery& query) const {
   const size_t k = static_cast<size_t>(std::max(query.k, 0));
   if (k == 0) return {};
 
-  kernels::TopKCollector collector(k);
+  // With tombstones present the collector filters dead rows at admission;
+  // without, the null filter keeps the hot path branch-free.
+  kernels::TopKCollector collector(
+      k, dataset_.num_tombstones() > 0 ? &dataset_ : nullptr);
   const kernels::BaseDeltaSplit split =
       kernels::SplitBaseDelta(view_, dataset_);
   if (split.base != nullptr) {
@@ -48,6 +51,7 @@ std::vector<Neighbor> LinearScanKnn::Search(const KnnQuery& query) const {
   ++scalar_scans_;
   for (data::PointId id = 0; id < dataset_.size(); ++id) {
     if (query.exclude && *query.exclude == id) continue;
+    if (!dataset_.IsLive(id)) continue;
     double dist = SubspaceDistance(query.point, dataset_.Row(id),
                                    query.subspace, metric_);
     ++distance_count_;
@@ -60,6 +64,7 @@ std::vector<Neighbor> LinearScanKnn::RangeSearch(std::span<const double> point,
                                                  const Subspace& subspace,
                                                  double radius) const {
   std::vector<Neighbor> out;
+  const bool filter_dead = dataset_.num_tombstones() > 0;
   const kernels::BaseDeltaSplit split =
       kernels::SplitBaseDelta(view_, dataset_);
   if (split.base != nullptr) {
@@ -76,7 +81,9 @@ std::vector<Neighbor> LinearScanKnn::RangeSearch(std::span<const double> point,
       distance_count_ += m;
       for (size_t j = 0; j < m; ++j) {
         if (dist[j] <= radius) {
-          out.push_back({static_cast<data::PointId>(start + j), dist[j]});
+          const auto id = static_cast<data::PointId>(start + j);
+          if (filter_dead && !dataset_.IsLive(id)) continue;
+          out.push_back({id, dist[j]});
         }
       }
     }
@@ -88,6 +95,7 @@ std::vector<Neighbor> LinearScanKnn::RangeSearch(std::span<const double> point,
     NoteStaleFallback(&stale_fallbacks_, "LinearScanKnn");
     ++scalar_scans_;
     for (data::PointId id = 0; id < dataset_.size(); ++id) {
+      if (filter_dead && !dataset_.IsLive(id)) continue;
       double dist =
           SubspaceDistance(point, dataset_.Row(id), subspace, metric_);
       ++distance_count_;

@@ -15,13 +15,22 @@ LearningReport LearnPruningPriors(const data::Dataset& dataset,
   report.priors = lattice::PruningPriors::Flat(d);
   report.mean_outlier_fraction.assign(d + 1, 0.0);
 
+  // Sample over the *live* rows: draw positions in the live-id list, then
+  // map them back to dataset ids. With no tombstones the list is the
+  // identity, so the rng draws and chosen ids are exactly the
+  // pre-tombstone computation.
+  std::vector<data::PointId> live;
+  live.reserve(dataset.live_size());
+  for (data::PointId i = 0; i < static_cast<data::PointId>(dataset.size());
+       ++i) {
+    if (dataset.IsLive(i)) live.push_back(i);
+  }
   const size_t sample_size = std::min<size_t>(
-      static_cast<size_t>(std::max(options.sample_size, 0)), dataset.size());
+      static_cast<size_t>(std::max(options.sample_size, 0)), live.size());
   if (sample_size == 0) return report;
 
-  for (size_t idx :
-       rng->SampleWithoutReplacement(dataset.size(), sample_size)) {
-    report.sample_ids.push_back(static_cast<data::PointId>(idx));
+  for (size_t idx : rng->SampleWithoutReplacement(live.size(), sample_size)) {
+    report.sample_ids.push_back(live[idx]);
   }
 
   // Sample points are searched with the flat §3.2 priors.

@@ -326,6 +326,21 @@ std::string MetricsRegistry::ToJson() const {
 
 namespace {
 
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double quote and line feed become \\, \" and \n (the same
+/// three escapes the JSON path applies via AppendJsonEscaped; without them
+/// a hostile label value would break the series line or inject one).
+void AppendPromEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '\\': *out += "\\\\"; break;
+      case '"': *out += "\\\""; break;
+      case '\n': *out += "\\n"; break;
+      default: *out += c;
+    }
+  }
+}
+
 /// name{label_k="label_v",...} — the Prometheus series identifier; extra
 /// labels (e.g. quantile) are appended by the caller before closing.
 std::string PromSeries(const MetricValue& m, const std::string& suffix,
@@ -337,7 +352,9 @@ std::string PromSeries(const MetricValue& m, const std::string& suffix,
   for (const auto& [k, v] : m.labels) {
     if (!first) out += ",";
     first = false;
-    out += k + "=\"" + v + "\"";
+    out += k + "=\"";
+    AppendPromEscaped(&out, v);
+    out += "\"";
   }
   if (!extra_label.empty()) {
     if (!first) out += ",";

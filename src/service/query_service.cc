@@ -22,7 +22,9 @@ QueryService::QueryService(core::HosMiner miner, QueryServiceConfig config)
                        ? std::make_unique<ThreadPool>(config.search_threads)
                        : nullptr),
       rebuild_worker_(config.ingest.background_rebuild &&
-                              config.ingest.rebuild_delta_fraction > 0.0
+                              (config.ingest.rebuild_delta_fraction > 0.0 ||
+                               config.ingest.relearn_staleness_threshold >
+                                   0.0)
                           ? std::make_unique<ThreadPool>(1)
                           : nullptr),
       pool_(config.num_threads) {
@@ -97,6 +99,26 @@ void QueryService::RegisterMetricCallbacks() {
       "dataset_delta_fraction", {}, obs::MetricType::kGauge, [this] {
         std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
         return miner_.delta_fraction();
+      });
+  registry_.RegisterCallback(
+      "dataset_live_rows", {}, obs::MetricType::kGauge, [this] {
+        std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+        return static_cast<double>(miner_.live_rows());
+      });
+  registry_.RegisterCallback(
+      "dataset_tombstone_rows", {}, obs::MetricType::kGauge, [this] {
+        std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+        return static_cast<double>(miner_.dataset().num_tombstones());
+      });
+  registry_.RegisterCallback(
+      "dataset_churn_fraction", {}, obs::MetricType::kGauge, [this] {
+        std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+        return miner_.churn_fraction();
+      });
+  registry_.RegisterCallback(
+      "learning_staleness", {}, obs::MetricType::kGauge, [this] {
+        std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+        return miner_.learning_staleness();
       });
 
   // Per-backend kNN counters, labelled by the backend that serves this
@@ -182,6 +204,12 @@ Result<core::QueryResult> QueryService::RunTimedQuery(data::PointId id) {
                        counters.wasted_evaluations);
   } else {
     stats_.RecordQuery(latency, 0, 0);
+    if (result.status().IsNotFound()) {
+      // The id was deleted / slid out of the window: a clean client-visible
+      // rejection, counted separately from stale_fallbacks (which is an
+      // internal snapshot degradation that still answers exactly).
+      stats_.RecordEvictedReject();
+    }
   }
   if (traced) {
     auto trace =
@@ -255,16 +283,66 @@ Result<uint64_t> QueryService::AppendBatch(
     std::unique_lock<std::shared_mutex> epoch(epoch_mu_);
     version = miner_.CommitAppend(std::move(prepared).value());
     stats_.RecordAppend(rows.size());
+    // Row-count sliding window: evict the oldest live rows inside the
+    // same commit, so no query ever observes an over-full window (the
+    // version the batch reports is the post-eviction state).
+    const size_t window = config_.ingest.window_max_rows;
+    if (window > 0 && miner_.live_rows() > window) {
+      stats_.RecordEvict(miner_.EvictOldest(miner_.live_rows() - window));
+      version = miner_.version();
+    }
   }
   ScheduleRebuildIfNeeded();
+  ScheduleRelearnIfNeeded();
   return version;
+}
+
+Result<uint64_t> QueryService::DeleteRows(
+    std::span<const data::PointId> ids) {
+  Result<uint64_t> version = Status::Internal("delete did not run");
+  {
+    // Writer side: the whole batch (all-or-nothing in the dataset) becomes
+    // invisible to queries atomically.
+    std::unique_lock<std::shared_mutex> epoch(epoch_mu_);
+    version = miner_.Delete(ids);
+    if (version.ok()) stats_.RecordDelete(ids.size());
+  }
+  if (!version.ok()) return version.status();
+  ScheduleRebuildIfNeeded();
+  ScheduleRelearnIfNeeded();
+  return version;
+}
+
+size_t QueryService::EvictBefore(uint64_t version) {
+  size_t evicted = 0;
+  {
+    std::unique_lock<std::shared_mutex> epoch(epoch_mu_);
+    evicted = miner_.EvictBefore(version);
+    stats_.RecordEvict(evicted);
+  }
+  if (evicted > 0) {
+    ScheduleRebuildIfNeeded();
+    ScheduleRelearnIfNeeded();
+  }
+  return evicted;
 }
 
 bool QueryService::PolicyWantsRebuild() const {
   const IngestConfig& ingest = config_.ingest;
+  // Churn counts both halves of the window's drift: appended rows the
+  // sealed structures lack, and tombstoned rows they still contain.
+  const size_t churn_rows =
+      miner_.delta_rows() + miner_.dataset().unsealed_tombstones();
   return ingest.rebuild_delta_fraction > 0.0 &&
-         miner_.delta_rows() >= ingest.min_delta_rows &&
-         miner_.delta_fraction() > ingest.rebuild_delta_fraction;
+         churn_rows >= ingest.min_delta_rows &&
+         miner_.churn_fraction() > ingest.rebuild_delta_fraction;
+}
+
+bool QueryService::PolicyWantsRelearn() const {
+  const IngestConfig& ingest = config_.ingest;
+  return ingest.relearn_staleness_threshold > 0.0 &&
+         miner_.learning_stale() &&
+         miner_.learning_staleness() >= ingest.relearn_staleness_threshold;
 }
 
 void QueryService::ScheduleRebuildIfNeeded() {
@@ -280,6 +358,45 @@ void QueryService::ScheduleRebuildIfNeeded() {
   } else {
     RunRebuild();
   }
+}
+
+void QueryService::ScheduleRelearnIfNeeded() {
+  {
+    std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+    if (!PolicyWantsRelearn()) return;
+  }
+  if (relearn_scheduled_.exchange(true, std::memory_order_acq_rel)) {
+    return;  // single-flight: a running relearn re-checks when it is done
+  }
+  if (rebuild_worker_ != nullptr) {
+    rebuild_worker_->Submit([this] { RunRelearn(); });
+  } else {
+    RunRelearn();
+  }
+}
+
+void QueryService::RunRelearn() {
+  // Heavy phase — the sampling-based learner re-runs full lattice searches
+  // over the live rows — under the reader lock, concurrently with queries.
+  core::HosMiner::LearningArtifacts artifacts;
+  {
+    std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+    artifacts = miner_.PrepareLearning();
+  }
+  {
+    // O(1) pointer swap. Priors only steer search order, so queries
+    // answered before and after the swap are identical; results for
+    // already-committed versions never change.
+    std::unique_lock<std::shared_mutex> epoch(epoch_mu_);
+    miner_.CommitLearning(std::move(artifacts));
+  }
+  stats_.RecordRelearn();
+  relearn_scheduled_.store(false, std::memory_order_release);
+  // A mutation may have slipped in after the prepare pinned its version
+  // but before the flag cleared; its own schedule call saw the flag still
+  // set. Close the race by re-checking (the commit reset the staleness
+  // clock to the prepare-time version, so this only fires on real drift).
+  ScheduleRelearnIfNeeded();
 }
 
 void QueryService::RunRebuild() {
@@ -330,7 +447,8 @@ void QueryService::RunRebuild() {
 }
 
 void QueryService::WaitForRebuilds() {
-  while (rebuild_scheduled_.load(std::memory_order_acquire)) {
+  while (rebuild_scheduled_.load(std::memory_order_acquire) ||
+         relearn_scheduled_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 }
@@ -347,6 +465,10 @@ ServiceStatsSnapshot QueryService::Stats() const {
     snapshot.dataset_version = miner_.version();
     snapshot.delta_rows = miner_.delta_rows();
     snapshot.delta_fraction = miner_.delta_fraction();
+    snapshot.live_rows = miner_.live_rows();
+    snapshot.tombstone_rows = miner_.dataset().num_tombstones();
+    snapshot.churn_fraction = miner_.churn_fraction();
+    snapshot.learning_staleness = miner_.learning_staleness();
     snapshot.stale_fallbacks = EngineStatsLocked().stale_fallbacks;
   }
   return snapshot;

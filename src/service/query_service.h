@@ -76,20 +76,39 @@
 
 namespace hos::service {
 
-/// Rebuild policy for the streaming-ingest path.
+/// Rebuild, sliding-window and relearn policy for the streaming-ingest
+/// path.
 struct IngestConfig {
-  /// Trigger a rebuild when delta_rows / dataset size exceeds this
-  /// fraction (and min_delta_rows is met). <= 0 disables automatic
-  /// rebuilds entirely (appends still serve exactly through the delta
-  /// scan, just with linearly growing per-query delta cost).
+  /// Trigger a rebuild when the churn fraction — (delta rows + unsealed
+  /// tombstones) / live rows, the per-query extra work the sealed
+  /// structures cannot serve — exceeds this value (and min_delta_rows is
+  /// met). <= 0 disables automatic rebuilds entirely (appends and deletes
+  /// still serve exactly through the delta scan and tombstone filter,
+  /// just with linearly growing per-query churn cost).
   double rebuild_delta_fraction = 0.25;
-  /// Never rebuild for deltas smaller than this many rows.
+  /// Never rebuild for churn (delta rows + unsealed tombstones) smaller
+  /// than this many rows.
   size_t min_delta_rows = 64;
-  /// Run rebuilds on the dedicated background worker (default). When
-  /// false the whole rebuild executes synchronously inside the
-  /// AppendBatch call that triggered it — simpler latency reasoning for
-  /// tests and batch loaders.
+  /// Run rebuilds (and drift-triggered relearns) on the dedicated
+  /// background worker (default). When false the whole rebuild executes
+  /// synchronously inside the AppendBatch/DeleteRows/EvictBefore call
+  /// that triggered it — simpler latency reasoning for tests and batch
+  /// loaders.
   bool background_rebuild = true;
+  /// Row-count sliding window: when > 0, every append batch that pushes
+  /// the live row count above this evicts the oldest live rows back down
+  /// to it (inside the same writer-lock commit, so no query ever
+  /// observes an over-full window). 0 = unbounded.
+  size_t window_max_rows = 0;
+  /// Drift-triggered relearning: when > 0 and
+  /// HosMiner::learning_staleness() — rows appended + deleted since the
+  /// priors were learned, over the live rows — reaches this value, a
+  /// learning refresh is scheduled (same worker and single-flight
+  /// discipline as rebuilds; prepare under the reader lock, O(1) commit
+  /// under the writer lock). Priors only steer search order, so answers
+  /// are identical before and after. 0 disables automatic relearning;
+  /// 1.0 means "relearn when the window has fully turned over".
+  double relearn_staleness_threshold = 0.0;
 };
 
 /// Tracing, slow-query logging and periodic stats emission. Everything is
@@ -172,8 +191,21 @@ class QueryService {
   /// the query path.
   Result<uint64_t> AppendBatch(const std::vector<std::vector<double>>& rows);
 
-  /// Blocks until no rebuild is scheduled or running, then returns. Test
-  /// and shutdown aid; the destructor waits implicitly.
+  /// Tombstones the given rows, all-or-nothing, atomically against the
+  /// query path (see data::Dataset::DeleteRows for the error contract).
+  /// Queries issued after the return filter the dead rows exactly;
+  /// querying a deleted id returns NotFound (counted as
+  /// evicted_query_rejects). Returns the dataset version the batch
+  /// committed at.
+  Result<uint64_t> DeleteRows(std::span<const data::PointId> ids);
+
+  /// TTL eviction: tombstones every live row appended before dataset
+  /// version `version` (callers map their wall-clock horizon to the
+  /// version watermark they recorded then). Returns the number evicted.
+  size_t EvictBefore(uint64_t version);
+
+  /// Blocks until no rebuild or relearn is scheduled or running, then
+  /// returns. Test and shutdown aid; the destructor waits implicitly.
   void WaitForRebuilds();
 
   /// Counters plus cache hit rate, latency percentiles and ingest gauges.
@@ -234,14 +266,27 @@ class QueryService {
   /// ObservabilityConfig::stats_log_period_seconds > 0).
   void StatsLoggerLoop();
 
-  /// True when the delta currently exceeds the rebuild policy. Caller must
-  /// hold either side of epoch_mu_.
+  /// True when the churn (delta + unsealed tombstones) currently exceeds
+  /// the rebuild policy. Caller must hold either side of epoch_mu_.
   bool PolicyWantsRebuild() const;
+
+  /// True when the drift signal exceeds the relearn policy. Caller must
+  /// hold either side of epoch_mu_.
+  bool PolicyWantsRelearn() const;
 
   /// Schedules (or, in synchronous mode, runs) a rebuild if the policy
   /// wants one and none is in flight. Must be called WITHOUT epoch_mu_
   /// held.
   void ScheduleRebuildIfNeeded();
+
+  /// Same single-flight discipline for the drift-triggered learning
+  /// refresh. Must be called WITHOUT epoch_mu_ held.
+  void ScheduleRelearnIfNeeded();
+
+  /// PrepareLearning under the reader lock (concurrent with queries),
+  /// CommitLearning under the writer lock (O(1) pointer swap); clears
+  /// relearn_scheduled_ and re-checks like RunRebuild.
+  void RunRelearn();
 
   /// PrepareRebuild under the reader lock, CommitRebuild under the writer
   /// lock, repeated while the policy still wants folding (appends that
@@ -269,14 +314,19 @@ class QueryService {
   mutable std::shared_mutex epoch_mu_;
   /// True while a rebuild is scheduled or running (single-flight).
   std::atomic<bool> rebuild_scheduled_{false};
+  /// True while a learning refresh is scheduled or running
+  /// (single-flight, independent of rebuilds — they share the worker but
+  /// not the trigger).
+  std::atomic<bool> relearn_scheduled_{false};
 
   /// Shared by every in-flight query's frontier waves; null when
   /// search_threads <= 1. Declared before the pools so workers die first.
   std::unique_ptr<ThreadPool> search_pool_;
-  /// Dedicated single-thread worker for background rebuilds (see the
-  /// header comment for why rebuilds must not share the search pool).
-  /// Created in the constructor when the rebuild policy is active, so no
-  /// lazy-creation synchronization is needed; null otherwise.
+  /// Dedicated single-thread worker for background rebuilds and
+  /// drift-triggered relearns (see the header comment for why these must
+  /// not share the search pool). Created in the constructor when either
+  /// background policy is active, so no lazy-creation synchronization is
+  /// needed; null otherwise.
   std::unique_ptr<ThreadPool> rebuild_worker_;
 
   /// Periodic stats-logger thread; joined first thing in the destructor

@@ -15,6 +15,12 @@ ServiceStats::ServiceStats(obs::MetricsRegistry* registry)
       od_evaluations_(registry->GetCounter("service_od_evaluations")),
       wasted_evaluations_(
           registry->GetCounter("service_wasted_evaluations")),
+      rows_deleted_(registry->GetCounter("service_rows_deleted")),
+      rows_evicted_(registry->GetCounter("service_rows_evicted")),
+      evicted_query_rejects_(
+          registry->GetCounter("service_evicted_query_rejects")),
+      relearns_completed_(
+          registry->GetCounter("service_relearns_completed")),
       last_rebuild_pause_seconds_(
           registry->GetGauge("service_last_rebuild_pause_seconds")),
       latencies_(
@@ -41,6 +47,10 @@ ServiceStatsSnapshot ServiceStats::Snapshot() const {
   snapshot.slow_queries = slow_queries_->value();
   snapshot.od_evaluations = od_evaluations_->value();
   snapshot.wasted_evaluations = wasted_evaluations_->value();
+  snapshot.rows_deleted = rows_deleted_->value();
+  snapshot.rows_evicted = rows_evicted_->value();
+  snapshot.evicted_query_rejects = evicted_query_rejects_->value();
+  snapshot.relearns_completed = relearns_completed_->value();
   snapshot.last_rebuild_pause_seconds = last_rebuild_pause_seconds_->value();
   snapshot.p50_latency_seconds = latencies_->Percentile(0.50);
   snapshot.p90_latency_seconds = latencies_->Percentile(0.90);
@@ -51,7 +61,7 @@ ServiceStatsSnapshot ServiceStats::Snapshot() const {
 }
 
 std::string ServiceStatsSnapshot::ToJson() const {
-  char buffer[1280];
+  char buffer[1792];
   std::snprintf(
       buffer, sizeof(buffer),
       "{\"queries_served\": %llu, \"batches_served\": %llu, "
@@ -61,8 +71,13 @@ std::string ServiceStatsSnapshot::ToJson() const {
       "\"p999_latency_seconds\": %.6g, \"max_latency_seconds\": %.6g, "
       "\"rows_ingested\": %llu, "
       "\"append_batches\": %llu, \"rebuilds_completed\": %llu, "
-      "\"last_rebuild_pause_seconds\": %.6g, \"dataset_version\": %llu, "
+      "\"last_rebuild_pause_seconds\": %.6g, "
+      "\"rows_deleted\": %llu, \"rows_evicted\": %llu, "
+      "\"evicted_query_rejects\": %llu, \"relearns_completed\": %llu, "
+      "\"dataset_version\": %llu, "
       "\"delta_rows\": %llu, \"delta_fraction\": %.4f, "
+      "\"live_rows\": %llu, \"tombstone_rows\": %llu, "
+      "\"churn_fraction\": %.4f, \"learning_staleness\": %.4f, "
       "\"od_evaluations\": %llu, \"wasted_evaluations\": %llu, "
       "\"stale_fallbacks\": %llu, \"slow_queries\": %llu}",
       static_cast<unsigned long long>(queries_served),
@@ -75,8 +90,15 @@ std::string ServiceStatsSnapshot::ToJson() const {
       static_cast<unsigned long long>(append_batches),
       static_cast<unsigned long long>(rebuilds_completed),
       last_rebuild_pause_seconds,
+      static_cast<unsigned long long>(rows_deleted),
+      static_cast<unsigned long long>(rows_evicted),
+      static_cast<unsigned long long>(evicted_query_rejects),
+      static_cast<unsigned long long>(relearns_completed),
       static_cast<unsigned long long>(dataset_version),
       static_cast<unsigned long long>(delta_rows), delta_fraction,
+      static_cast<unsigned long long>(live_rows),
+      static_cast<unsigned long long>(tombstone_rows), churn_fraction,
+      learning_staleness,
       static_cast<unsigned long long>(od_evaluations),
       static_cast<unsigned long long>(wasted_evaluations),
       static_cast<unsigned long long>(stale_fallbacks),

@@ -71,10 +71,28 @@ struct ServiceStatsSnapshot {
   /// writers and queries actually observe (the heavy prepare runs
   /// concurrently with queries).
   double last_rebuild_pause_seconds = 0.0;
+
+  // Sliding-window counters (zero on a service that never deletes).
+  /// Rows tombstoned through DeleteRows.
+  uint64_t rows_deleted = 0;
+  /// Rows tombstoned by eviction (EvictBefore / the window_max_rows
+  /// policy).
+  uint64_t rows_evicted = 0;
+  /// Queries rejected with NotFound because the id was deleted/evicted —
+  /// a *client*-visible miss, distinct from stale_fallbacks (an internal
+  /// snapshot degradation that still answers exactly).
+  uint64_t evicted_query_rejects = 0;
+  /// Background learning refreshes committed (drift-triggered or manual).
+  uint64_t relearns_completed = 0;
+
   /// Gauges sampled at snapshot time from the served miner.
   uint64_t dataset_version = 0;
   uint64_t delta_rows = 0;
   double delta_fraction = 0.0;
+  uint64_t live_rows = 0;
+  uint64_t tombstone_rows = 0;
+  double churn_fraction = 0.0;
+  double learning_staleness = 0.0;
 
   // Search-work aggregates summed over every served query's counters.
   uint64_t od_evaluations = 0;
@@ -117,6 +135,20 @@ class ServiceStats {
     last_rebuild_pause_seconds_->Set(pause_seconds);
   }
 
+  /// Records one committed DeleteRows batch of `rows` rows.
+  void RecordDelete(uint64_t rows) { rows_deleted_->Increment(rows); }
+
+  /// Records `rows` rows tombstoned by eviction.
+  void RecordEvict(uint64_t rows) {
+    if (rows > 0) rows_evicted_->Increment(rows);
+  }
+
+  /// Records a query rejected because its id was deleted/evicted.
+  void RecordEvictedReject() { evicted_query_rejects_->Increment(); }
+
+  /// Records one committed learning refresh.
+  void RecordRelearn() { relearns_completed_->Increment(); }
+
   uint64_t queries_served() const { return queries_served_->value(); }
   uint64_t batches_served() const { return batches_served_->value(); }
   uint64_t rows_ingested() const { return rows_ingested_->value(); }
@@ -125,6 +157,14 @@ class ServiceStats {
     return rebuilds_completed_->value();
   }
   uint64_t slow_queries() const { return slow_queries_->value(); }
+  uint64_t rows_deleted() const { return rows_deleted_->value(); }
+  uint64_t rows_evicted() const { return rows_evicted_->value(); }
+  uint64_t evicted_query_rejects() const {
+    return evicted_query_rejects_->value();
+  }
+  uint64_t relearns_completed() const {
+    return relearns_completed_->value();
+  }
   const obs::Histogram& latencies() const { return *latencies_; }
 
   /// Snapshot without cache numbers, miner gauges and engine fold-ins
@@ -141,6 +181,10 @@ class ServiceStats {
   obs::Counter* slow_queries_;
   obs::Counter* od_evaluations_;
   obs::Counter* wasted_evaluations_;
+  obs::Counter* rows_deleted_;
+  obs::Counter* rows_evicted_;
+  obs::Counter* evicted_query_rejects_;
+  obs::Counter* relearns_completed_;
   obs::Gauge* last_rebuild_pause_seconds_;
   obs::Histogram* latencies_;
 };

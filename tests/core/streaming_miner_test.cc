@@ -175,5 +175,86 @@ TEST(StreamingMinerTest, RebuildWorksForEveryIndexKind) {
   }
 }
 
+TEST(StreamingMinerTest, DeleteEvictFeedTheStalenessClock) {
+  HosMiner miner = BuildMiner(8, /*rows=*/100);
+  EXPECT_EQ(miner.priors_version(), miner.version());
+  EXPECT_DOUBLE_EQ(miner.learning_staleness(), 0.0);
+  EXPECT_EQ(miner.live_rows(), 100u);
+
+  const std::vector<data::PointId> doomed = {4, 9};
+  auto version = miner.Delete(doomed);
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+  EXPECT_TRUE(miner.learning_stale());
+  EXPECT_EQ(miner.live_rows(), 98u);
+  // 2 mutations over 98 live rows.
+  EXPECT_DOUBLE_EQ(miner.learning_staleness(), 2.0 / 98.0);
+
+  EXPECT_EQ(miner.EvictOldest(3), 3u);
+  EXPECT_EQ(miner.live_rows(), 95u);
+  EXPECT_DOUBLE_EQ(miner.learning_staleness(), 5.0 / 95.0);
+  EXPECT_GT(miner.churn_fraction(), 0.0);
+
+  auto dead = miner.Query(4);
+  EXPECT_TRUE(dead.status().IsNotFound()) << dead.status().ToString();
+  auto live = miner.Query(50);
+  EXPECT_TRUE(live.ok()) << live.status().ToString();
+}
+
+TEST(StreamingMinerTest, TwoPhaseLearningCommitsAtomicallyAndResetsClock) {
+  HosMiner miner = BuildMiner(9, /*rows=*/100);
+  ASSERT_TRUE(miner.Delete(std::vector<data::PointId>{0, 1, 2}).ok());
+  ASSERT_TRUE(miner.Append({{0.5, 0.5, 0.5, 0.5, 0.5}}).ok());
+  ASSERT_TRUE(miner.learning_stale());
+  const uint64_t priors_v0 = miner.priors_version();
+
+  // Prepare is read-only: queries keep answering with the old priors and
+  // the staleness clock keeps ticking.
+  HosMiner::LearningArtifacts artifacts = miner.PrepareLearning();
+  EXPECT_EQ(artifacts.version, miner.version());
+  ASSERT_TRUE(miner.Query(50).ok());
+  EXPECT_TRUE(miner.learning_stale());
+  EXPECT_EQ(miner.priors_version(), priors_v0);
+
+  auto before = miner.Query(60);
+  ASSERT_TRUE(before.ok());
+
+  miner.CommitLearning(std::move(artifacts));
+  EXPECT_FALSE(miner.learning_stale());
+  EXPECT_GT(miner.priors_version(), priors_v0);
+  EXPECT_DOUBLE_EQ(miner.learning_staleness(), 0.0);
+
+  // Priors only steer the search order — never the answer set.
+  auto after = miner.Query(60);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->outcome.minimal_outlying_subspaces,
+            after->outcome.minimal_outlying_subspaces);
+
+  // The refreshed sample contains live rows only.
+  for (data::PointId id : miner.learning_report().sample_ids) {
+    EXPECT_TRUE(miner.dataset().IsLive(id)) << "sampled dead row " << id;
+  }
+}
+
+TEST(StreamingMinerTest, RebuildFoldsTombstonesAndReclaimsChunks) {
+  // Enough rows that the first storage chunk can become wholly dead.
+  HosMiner miner = BuildMiner(10, /*rows=*/600,
+                              data::NormalizationKind::kNone);
+  EXPECT_EQ(miner.EvictOldest(data::Dataset::kChunkRows),
+            data::Dataset::kChunkRows);
+  EXPECT_GT(miner.dataset().unsealed_tombstones(), 0u);
+
+  ASSERT_TRUE(miner.Rebuild().ok());
+  EXPECT_EQ(miner.dataset().unsealed_tombstones(), 0u);
+  EXPECT_DOUBLE_EQ(miner.churn_fraction(), 0.0);
+  // The wholly dead first chunk was reclaimed at commit.
+  EXPECT_LT(miner.dataset().allocated_chunks(),
+            (600 + data::Dataset::kChunkRows - 1) / data::Dataset::kChunkRows);
+
+  // Evicted rows stay NotFound after the physical fold; survivors answer.
+  EXPECT_TRUE(miner.Query(0).status().IsNotFound());
+  EXPECT_TRUE(
+      miner.Query(static_cast<data::PointId>(data::Dataset::kChunkRows)).ok());
+}
+
 }  // namespace
 }  // namespace hos::core

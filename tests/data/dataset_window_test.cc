@@ -1,0 +1,249 @@
+// Sliding-window dataset tests: chunked (never-reallocating) storage,
+// tombstone deletes, TTL / row-count eviction, live-aware statistics and
+// dead-chunk reclamation. The pointer-stability cases pin the append
+// contract the concurrent serving path relies on — a rebuild's prepare
+// phase may hold Row() spans while the ingest path appends.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/dataset.h"
+
+namespace hos::data {
+namespace {
+
+std::vector<double> MakeRow(int dims, double value) {
+  return std::vector<double>(dims, value);
+}
+
+TEST(DatasetWindowTest, AppendNeverInvalidatesRowPointers) {
+  constexpr int kDims = 3;
+  Dataset dataset(kDims);
+  // Fill a few chunks' worth so the chunk directory itself has to grow.
+  const size_t initial = Dataset::kChunkRows * 2 + 17;
+  for (size_t i = 0; i < initial; ++i) {
+    dataset.Append(MakeRow(kDims, static_cast<double>(i)));
+  }
+  std::vector<const double*> before(initial);
+  for (size_t i = 0; i < initial; ++i) {
+    before[i] = dataset.Row(static_cast<PointId>(i)).data();
+  }
+
+  // Appending several more chunks must perform zero reallocation of any
+  // existing row's storage.
+  for (size_t i = 0; i < Dataset::kChunkRows * 3; ++i) {
+    dataset.Append(MakeRow(kDims, -1.0));
+  }
+  for (size_t i = 0; i < initial; ++i) {
+    EXPECT_EQ(dataset.Row(static_cast<PointId>(i)).data(), before[i])
+        << "row " << i << " storage moved across appends";
+    EXPECT_EQ(dataset.At(static_cast<PointId>(i), 0),
+              static_cast<double>(i));
+  }
+}
+
+TEST(DatasetWindowTest, AppendRowsKeepsPointersStableMidBatch) {
+  constexpr int kDims = 2;
+  Dataset dataset(kDims);
+  dataset.Append(MakeRow(kDims, 1.0));
+  const double* p0 = dataset.Row(0).data();
+  std::vector<std::vector<double>> batch(Dataset::kChunkRows * 2,
+                                         MakeRow(kDims, 2.0));
+  ASSERT_TRUE(dataset.AppendRows(batch).ok());
+  EXPECT_EQ(dataset.Row(0).data(), p0);
+  EXPECT_EQ(dataset.size(), 1 + batch.size());
+}
+
+TEST(DatasetWindowTest, DeleteRowsTombstonesAndVersions) {
+  Dataset dataset(2);
+  for (int i = 0; i < 10; ++i) dataset.Append(MakeRow(2, i));
+  const uint64_t v = dataset.version();
+  ASSERT_EQ(v, 10u);
+
+  const std::vector<PointId> ids = {2, 7};
+  auto result = dataset.DeleteRows(ids);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, v + 2);  // +1 version per tombstoned row
+  EXPECT_EQ(dataset.version(), v + 2);
+  EXPECT_EQ(dataset.last_tombstone_version(), v + 2);
+
+  EXPECT_FALSE(dataset.IsLive(2));
+  EXPECT_FALSE(dataset.IsLive(7));
+  EXPECT_TRUE(dataset.IsLive(0));
+  EXPECT_TRUE(dataset.IsLive(9));
+  EXPECT_EQ(dataset.size(), 10u);  // ids are stable; size never shrinks
+  EXPECT_EQ(dataset.live_size(), 8u);
+  EXPECT_EQ(dataset.num_tombstones(), 2u);
+  // Version bookkeeping survives the tombstone.
+  EXPECT_EQ(dataset.RowVersion(2), 3u);
+}
+
+TEST(DatasetWindowTest, DeleteRowsIsAllOrNothing) {
+  Dataset dataset(1);
+  for (int i = 0; i < 5; ++i) dataset.Append(MakeRow(1, i));
+
+  // Out-of-range id: nothing deleted.
+  {
+    const std::vector<PointId> ids = {1, 99};
+    auto result = dataset.DeleteRows(ids);
+    EXPECT_TRUE(result.status().IsOutOfRange());
+    EXPECT_EQ(dataset.live_size(), 5u);
+    EXPECT_TRUE(dataset.IsLive(1));
+  }
+  // Duplicate id in the batch: nothing deleted.
+  {
+    const std::vector<PointId> ids = {3, 3};
+    auto result = dataset.DeleteRows(ids);
+    EXPECT_TRUE(result.status().IsInvalidArgument());
+    EXPECT_TRUE(dataset.IsLive(3));
+  }
+  // Deleting a dead row: NotFound, nothing else deleted.
+  {
+    const std::vector<PointId> first = {0};
+    ASSERT_TRUE(dataset.DeleteRows(first).ok());
+    const std::vector<PointId> ids = {1, 0};
+    auto result = dataset.DeleteRows(ids);
+    EXPECT_TRUE(result.status().IsNotFound());
+    EXPECT_TRUE(dataset.IsLive(1));
+    EXPECT_EQ(dataset.live_size(), 4u);
+  }
+}
+
+TEST(DatasetWindowTest, EvictBeforeUsesAppendVersions) {
+  Dataset dataset(1);
+  for (int i = 0; i < 8; ++i) dataset.Append(MakeRow(1, i));
+  // Rows 0..7 carry append versions 1..8; evict everything appended
+  // before version 4 (rows 0, 1, 2).
+  EXPECT_EQ(dataset.EvictBefore(4), 3u);
+  EXPECT_FALSE(dataset.IsLive(0));
+  EXPECT_FALSE(dataset.IsLive(2));
+  EXPECT_TRUE(dataset.IsLive(3));
+  EXPECT_EQ(dataset.live_size(), 5u);
+  // Idempotent at the same watermark: the dead rows do not re-evict.
+  EXPECT_EQ(dataset.EvictBefore(4), 0u);
+}
+
+TEST(DatasetWindowTest, EvictOldestSlidesTheWindow) {
+  Dataset dataset(1);
+  for (int i = 0; i < 6; ++i) dataset.Append(MakeRow(1, i));
+  EXPECT_EQ(dataset.EvictOldest(2), 2u);
+  EXPECT_FALSE(dataset.IsLive(0));
+  EXPECT_FALSE(dataset.IsLive(1));
+  EXPECT_TRUE(dataset.IsLive(2));
+  // Next eviction starts from the oldest *live* row.
+  EXPECT_EQ(dataset.EvictOldest(1), 1u);
+  EXPECT_FALSE(dataset.IsLive(2));
+  // Asking for more than remains evicts what is there.
+  EXPECT_EQ(dataset.EvictOldest(100), 3u);
+  EXPECT_EQ(dataset.live_size(), 0u);
+}
+
+TEST(DatasetWindowTest, CountLiveBeforeMatchesBruteForce) {
+  Dataset dataset(1);
+  const size_t n = Dataset::kChunkRows + 70;  // spans a word boundary mix
+  for (size_t i = 0; i < n; ++i) dataset.Append(MakeRow(1, 0.0));
+  const std::vector<PointId> dead = {0, 63, 64, 65, 127, 128, 200,
+                                     static_cast<PointId>(n - 1)};
+  ASSERT_TRUE(dataset.DeleteRows(dead).ok());
+  for (size_t end : {size_t{0}, size_t{1}, size_t{63}, size_t{64},
+                     size_t{65}, size_t{128}, size_t{129}, n / 2, n, n + 5}) {
+    size_t expected = 0;
+    for (size_t i = 0; i < std::min(end, n); ++i) {
+      if (dataset.IsLive(static_cast<PointId>(i))) ++expected;
+    }
+    EXPECT_EQ(dataset.CountLiveBefore(end), expected) << "end=" << end;
+  }
+}
+
+TEST(DatasetWindowTest, ChurnCountsDeltaAndUnsealedTombstones) {
+  Dataset dataset(1);
+  for (int i = 0; i < 10; ++i) dataset.Append(MakeRow(1, i));
+  ASSERT_TRUE(dataset.DeleteRows(std::vector<PointId>{0}).ok());
+  dataset.SealBase();  // folds the existing tombstone
+  EXPECT_EQ(dataset.unsealed_tombstones(), 0u);
+  EXPECT_DOUBLE_EQ(dataset.churn_fraction(), 0.0);
+
+  dataset.Append(MakeRow(1, 10.0));  // delta: 1
+  ASSERT_TRUE(dataset.DeleteRows(std::vector<PointId>{1, 2}).ok());
+  EXPECT_EQ(dataset.delta_size(), 1u);
+  EXPECT_EQ(dataset.unsealed_tombstones(), 2u);
+  EXPECT_EQ(dataset.live_size(), 8u);
+  EXPECT_DOUBLE_EQ(dataset.churn_fraction(), 3.0 / 8.0);
+}
+
+TEST(DatasetWindowTest, ReclaimDeadChunksFreesOnlyWhollyDeadSealedChunks) {
+  constexpr int kDims = 2;
+  Dataset dataset(kDims);
+  const size_t n = Dataset::kChunkRows * 3;
+  for (size_t i = 0; i < n; ++i) {
+    dataset.Append(MakeRow(kDims, static_cast<double>(i)));
+  }
+  // Kill all of chunk 0 and half of chunk 1.
+  std::vector<PointId> dead;
+  for (size_t i = 0; i < Dataset::kChunkRows + Dataset::kChunkRows / 2;
+       ++i) {
+    dead.push_back(static_cast<PointId>(i));
+  }
+  ASSERT_TRUE(dataset.DeleteRows(dead).ok());
+
+  // Unsealed: nothing reclaimable yet.
+  EXPECT_EQ(dataset.ReclaimDeadChunks(), 0u);
+  EXPECT_EQ(dataset.allocated_chunks(), 3u);
+
+  dataset.SealBase();
+  EXPECT_EQ(dataset.ReclaimDeadChunks(), 1u);  // chunk 0 only
+  EXPECT_EQ(dataset.allocated_chunks(), 2u);
+  // Version bookkeeping for reclaimed rows stays valid (TTL eviction
+  // needs it), and live rows elsewhere are untouched.
+  EXPECT_EQ(dataset.RowVersion(0), 1u);
+  const PointId live_id =
+      static_cast<PointId>(Dataset::kChunkRows + Dataset::kChunkRows / 2);
+  EXPECT_TRUE(dataset.IsLive(live_id));
+  EXPECT_EQ(dataset.At(live_id, 0), static_cast<double>(live_id));
+  // Reclaiming again is a no-op.
+  EXPECT_EQ(dataset.ReclaimDeadChunks(), 0u);
+}
+
+TEST(DatasetWindowTest, ComputeColumnStatsSeesOnlySurvivors) {
+  Dataset windowed(2);
+  windowed.Append(std::vector<double>{1.0, 10.0});
+  windowed.Append(std::vector<double>{100.0, -100.0});  // to be deleted
+  windowed.Append(std::vector<double>{3.0, 30.0});
+  ASSERT_TRUE(windowed.DeleteRows(std::vector<PointId>{1}).ok());
+
+  Dataset fresh(2);
+  fresh.Append(std::vector<double>{1.0, 10.0});
+  fresh.Append(std::vector<double>{3.0, 30.0});
+
+  auto ws = ComputeColumnStats(windowed);
+  auto fs = ComputeColumnStats(fresh);
+  for (int j = 0; j < 2; ++j) {
+    EXPECT_EQ(ws[j].min, fs[j].min);
+    EXPECT_EQ(ws[j].max, fs[j].max);
+    EXPECT_EQ(ws[j].mean, fs[j].mean);
+    EXPECT_EQ(ws[j].stddev, fs[j].stddev);
+  }
+}
+
+TEST(DatasetWindowTest, CopyIsDeepAndPreservesWindowState) {
+  Dataset original(1);
+  for (int i = 0; i < 5; ++i) original.Append(MakeRow(1, i));
+  ASSERT_TRUE(original.DeleteRows(std::vector<PointId>{1}).ok());
+  original.SealBase();
+
+  Dataset copy = original;
+  EXPECT_EQ(copy.size(), original.size());
+  EXPECT_EQ(copy.live_size(), original.live_size());
+  EXPECT_FALSE(copy.IsLive(1));
+  EXPECT_EQ(copy.base_size(), original.base_size());
+  EXPECT_EQ(copy.version(), original.version());
+  EXPECT_NE(copy.Row(0).data(), original.Row(0).data());  // deep
+
+  copy.Set(0, 0, 42.0);
+  EXPECT_EQ(original.At(0, 0), 0.0);  // original untouched
+}
+
+}  // namespace
+}  // namespace hos::data

@@ -1,0 +1,297 @@
+// The sliding-window exactness contract, end to end: a miner that appended
+// rows, deleted some and evicted others must answer queries bitwise
+// identically to a miner freshly built on the surviving rows only — same
+// minimal outlying subspaces, same OD values to the last bit — across
+// every kNN backend, both lattice stores, and before and after a rebuild
+// physically folds the tombstones away. Normalization is off and the
+// threshold fixed so both arms operate on the same coordinates and the
+// same T (the contract explicitly excludes re-fitting those).
+//
+// The iDistance cases cover the same contract at the engine level (it is
+// the screening backend, not a HosMinerConfig::index option), including
+// the k-means-over-live-rows determinism a rebuilt windowed index relies
+// on for bitwise-equal partitions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/hos_miner.h"
+#include "src/data/dataset.h"
+#include "src/data/generator.h"
+#include "src/index/idistance.h"
+#include "src/knn/knn_engine.h"
+
+namespace hos {
+namespace {
+
+constexpr int kDims = 6;
+constexpr size_t kInitialRows = 60;
+constexpr size_t kAppendedRows = 20;
+constexpr int kK = 3;
+constexpr double kThreshold = 0.9;
+
+core::HosMinerConfig MinerConfig(core::IndexKind index) {
+  core::HosMinerConfig config;
+  config.k = kK;
+  config.threshold = kThreshold;
+  config.normalization = data::NormalizationKind::kNone;
+  config.index = index;
+  config.sample_size = 4;
+  config.seed = 42;
+  return config;
+}
+
+/// Sorted subspace masks of an outcome's refined answer set.
+std::vector<uint64_t> AnswerMasks(const core::QueryResult& result) {
+  std::vector<uint64_t> masks;
+  for (const Subspace& s : result.outlying_subspaces()) {
+    masks.push_back(s.mask());
+  }
+  std::sort(masks.begin(), masks.end());
+  return masks;
+}
+
+/// The windowed arm: build on the initial rows, append, delete, evict.
+/// Returns the miner; survivor ids (ascending) land in `survivors`.
+core::HosMiner BuildWindowedMiner(core::IndexKind index,
+                                  std::vector<data::PointId>* survivors) {
+  Rng data_rng(5);
+  data::Dataset dataset =
+      data::GenerateUniform(kInitialRows + kAppendedRows, kDims, &data_rng);
+  // Split the generated rows: the tail is appended through the streaming
+  // path so it lives in the delta (no rebuild before the queries).
+  std::vector<std::vector<double>> tail;
+  for (size_t i = kInitialRows; i < dataset.size(); ++i) {
+    tail.push_back(dataset.RowCopy(static_cast<data::PointId>(i)));
+  }
+  data::Dataset initial(kDims);
+  for (size_t i = 0; i < kInitialRows; ++i) {
+    initial.Append(dataset.Row(static_cast<data::PointId>(i)));
+  }
+
+  auto built = core::HosMiner::Build(std::move(initial), MinerConfig(index));
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  core::HosMiner miner = std::move(built).value();
+  EXPECT_TRUE(miner.Append(tail).ok());
+
+  // Deletes hit the sealed base and the delta; eviction takes the oldest.
+  const std::vector<data::PointId> doomed = {3, 10, 33, 61, 70};
+  EXPECT_TRUE(miner.Delete(doomed).ok());
+  EXPECT_EQ(miner.EvictOldest(2), 2u);  // rows 0 and 1
+
+  survivors->clear();
+  for (data::PointId id = 0;
+       id < static_cast<data::PointId>(miner.dataset().size()); ++id) {
+    if (miner.dataset().IsLive(id)) survivors->push_back(id);
+  }
+  EXPECT_EQ(survivors->size(), kInitialRows + kAppendedRows - 7);
+  return miner;
+}
+
+/// The fresh arm: a miner built from scratch on the survivors only, in the
+/// same order (fresh id j corresponds to windowed id survivors[j]).
+core::HosMiner BuildFreshMiner(const core::HosMiner& windowed,
+                               const std::vector<data::PointId>& survivors,
+                               core::IndexKind index) {
+  data::Dataset fresh(kDims);
+  for (data::PointId id : survivors) {
+    fresh.Append(windowed.dataset().Row(id));
+  }
+  auto built = core::HosMiner::Build(std::move(fresh), MinerConfig(index));
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::move(built).value();
+}
+
+void ExpectSameAnswers(const core::HosMiner& windowed,
+                       const core::HosMiner& fresh,
+                       const std::vector<data::PointId>& survivors,
+                       lattice::LatticeBackend backend) {
+  core::QueryOptions options;
+  options.lattice_backend = backend;
+  for (size_t j = 0; j < survivors.size(); ++j) {
+    auto w = windowed.Query(survivors[j], options);
+    auto f = fresh.Query(static_cast<data::PointId>(j), options);
+    ASSERT_TRUE(w.ok()) << w.status().ToString();
+    ASSERT_TRUE(f.ok()) << f.status().ToString();
+    EXPECT_EQ(AnswerMasks(*w), AnswerMasks(*f))
+        << "answer sets diverge for windowed id " << survivors[j];
+    EXPECT_EQ(w->is_outlier_anywhere(), f->is_outlier_anywhere());
+  }
+}
+
+/// Bitwise OD equality between the arms, in the full space and a few
+/// proper subspaces, for every survivor.
+void ExpectBitwiseOds(const core::HosMiner& windowed,
+                      const core::HosMiner& fresh,
+                      const std::vector<data::PointId>& survivors) {
+  const std::vector<uint64_t> masks = {
+      (uint64_t{1} << kDims) - 1, 0b000001, 0b001010, 0b110101};
+  for (size_t j = 0; j < survivors.size(); ++j) {
+    for (uint64_t mask : masks) {
+      knn::KnnQuery wq;
+      wq.point = windowed.dataset().Row(survivors[j]);
+      wq.subspace = Subspace(mask);
+      wq.k = kK;
+      wq.exclude = survivors[j];
+      knn::KnnQuery fq = wq;
+      fq.point = fresh.dataset().Row(static_cast<data::PointId>(j));
+      fq.exclude = static_cast<data::PointId>(j);
+      const double wod = knn::OutlyingDegree(windowed.engine(), wq);
+      const double fod = knn::OutlyingDegree(fresh.engine(), fq);
+      EXPECT_EQ(wod, fod) << "OD diverges bitwise for windowed id "
+                          << survivors[j] << " mask " << mask;
+    }
+  }
+}
+
+class WindowDifferentialTest
+    : public ::testing::TestWithParam<core::IndexKind> {};
+
+TEST_P(WindowDifferentialTest, WindowedEqualsFreshBuildOnSurvivors) {
+  std::vector<data::PointId> survivors;
+  core::HosMiner windowed = BuildWindowedMiner(GetParam(), &survivors);
+  core::HosMiner fresh = BuildFreshMiner(windowed, survivors, GetParam());
+
+  // Tombstone-filtered serving (delta + tombstones unsealed).
+  ExpectBitwiseOds(windowed, fresh, survivors);
+  ExpectSameAnswers(windowed, fresh, survivors,
+                    lattice::LatticeBackend::kDense);
+  ExpectSameAnswers(windowed, fresh, survivors,
+                    lattice::LatticeBackend::kSparse);
+
+  // Dead ids answer NotFound (never a stale value, never a crash).
+  auto dead = windowed.Query(3);
+  EXPECT_TRUE(dead.status().IsNotFound()) << dead.status().ToString();
+  auto oob = windowed.Query(
+      static_cast<data::PointId>(windowed.dataset().size()));
+  EXPECT_TRUE(oob.status().IsOutOfRange());
+
+  // Screening sees only survivors, with bitwise-equal ODs.
+  auto ws = windowed.ScreenOutliers();
+  auto fs = fresh.ScreenOutliers();
+  ASSERT_EQ(ws.size(), fs.size());
+  for (size_t i = 0; i < ws.size(); ++i) {
+    const auto it =
+        std::lower_bound(survivors.begin(), survivors.end(), ws[i].id);
+    ASSERT_TRUE(it != survivors.end() && *it == ws[i].id)
+        << "screened id " << ws[i].id << " is not a survivor";
+    EXPECT_EQ(ws[i].full_space_od, fs[i].full_space_od);
+  }
+
+  // After a rebuild physically folds the tombstones, everything above
+  // still holds bitwise (and the dead prefix chunk storage is reclaimable
+  // without disturbing answers).
+  ASSERT_TRUE(windowed.Rebuild().ok());
+  EXPECT_EQ(windowed.delta_rows(), 0u);
+  EXPECT_EQ(windowed.dataset().unsealed_tombstones(), 0u);
+  ExpectBitwiseOds(windowed, fresh, survivors);
+  ExpectSameAnswers(windowed, fresh, survivors,
+                    lattice::LatticeBackend::kDense);
+  EXPECT_TRUE(windowed.Query(3).status().IsNotFound());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, WindowDifferentialTest,
+                         ::testing::Values(core::IndexKind::kLinearScan,
+                                           core::IndexKind::kXTree,
+                                           core::IndexKind::kVaFile),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case core::IndexKind::kXTree: return "XTree";
+                             case core::IndexKind::kVaFile: return "VaFile";
+                             default: return "LinearScan";
+                           }
+                         });
+
+TEST(IDistanceWindowTest, WindowedEqualsFreshBuildOnSurvivors) {
+  Rng data_rng(11);
+  data::Dataset windowed = data::GenerateUniform(80, kDims, &data_rng);
+
+  // Build over the first 80 rows, then append 20 (delta) and tombstone
+  // rows in both the indexed base and the delta.
+  Rng build_rng(7);
+  auto built = index::IDistance::Build(windowed, knn::MetricKind::kL2,
+                                       index::IDistanceConfig{}, &build_rng);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  index::IDistance windowed_index = std::move(built).value();
+
+  Rng extra_rng(13);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> row(kDims);
+    for (double& cell : row) cell = extra_rng.Uniform();
+    windowed.Append(row);
+  }
+  const std::vector<data::PointId> doomed = {0, 7, 42, 79, 85, 99};
+  ASSERT_TRUE(windowed.DeleteRows(doomed).ok());
+
+  std::vector<data::PointId> survivors;
+  for (data::PointId id = 0;
+       id < static_cast<data::PointId>(windowed.size()); ++id) {
+    if (windowed.IsLive(id)) survivors.push_back(id);
+  }
+  data::Dataset fresh(kDims);
+  for (data::PointId id : survivors) fresh.Append(windowed.Row(id));
+  Rng fresh_rng(7);
+  auto fresh_built = index::IDistance::Build(
+      fresh, knn::MetricKind::kL2, index::IDistanceConfig{}, &fresh_rng);
+  ASSERT_TRUE(fresh_built.ok());
+  const index::IDistance& fresh_index = fresh_built.value();
+
+  auto expect_same = [&](const index::IDistance& w_index) {
+    ASSERT_TRUE(w_index.CheckInvariants().ok());
+    Rng query_rng(23);
+    for (int q = 0; q < 12; ++q) {
+      std::vector<double> point(kDims);
+      for (double& cell : point) cell = query_rng.Uniform();
+      auto w = w_index.Knn(point, 5);
+      auto f = fresh_index.Knn(point, 5);
+      ASSERT_EQ(w.size(), f.size());
+      for (size_t i = 0; i < w.size(); ++i) {
+        EXPECT_EQ(w[i].id, survivors[f[i].id]);
+        EXPECT_EQ(w[i].distance, f[i].distance);  // bitwise
+      }
+      auto wr = w_index.RangeSearch(point, 0.6);
+      auto fr = fresh_index.RangeSearch(point, 0.6);
+      ASSERT_EQ(wr.size(), fr.size());
+      for (size_t i = 0; i < wr.size(); ++i) {
+        EXPECT_EQ(wr[i].id, survivors[fr[i].id]);
+        EXPECT_EQ(wr[i].distance, fr[i].distance);
+      }
+    }
+    // Self-excluding queries (the ScreenOutliers form), every survivor.
+    for (size_t j = 0; j < survivors.size(); ++j) {
+      auto w = w_index.Knn(windowed.Row(survivors[j]), kK, survivors[j]);
+      auto f = fresh_index.Knn(fresh.Row(static_cast<data::PointId>(j)),
+                               kK, static_cast<data::PointId>(j));
+      ASSERT_EQ(w.size(), f.size());
+      for (size_t i = 0; i < w.size(); ++i) {
+        EXPECT_EQ(w[i].id, survivors[f[i].id]);
+        EXPECT_EQ(w[i].distance, f[i].distance);
+      }
+    }
+  };
+
+  // Arm 1: tombstones filtered at query time (delta + dead base rows).
+  expect_same(windowed_index);
+
+  // Arm 2: rebuild folds the tombstones physically; k-means clusters the
+  // live rows in survivor order with identical rng draws, so the rebuilt
+  // windowed index and the fresh index have bitwise-equal partitions.
+  Rng rebuild_rng(7);
+  ASSERT_TRUE(windowed_index.Rebuild(&rebuild_rng).ok());
+  ASSERT_EQ(windowed_index.partitions().size(),
+            fresh_index.partitions().size());
+  for (size_t p = 0; p < windowed_index.partitions().size(); ++p) {
+    EXPECT_EQ(windowed_index.partitions()[p].center,
+              fresh_index.partitions()[p].center);
+    EXPECT_EQ(windowed_index.partitions()[p].radius,
+              fresh_index.partitions()[p].radius);
+  }
+  expect_same(windowed_index);
+}
+
+}  // namespace
+}  // namespace hos

@@ -263,6 +263,35 @@ TEST(MetricsExportTest, PrometheusTextHasTypesQuantilesAndCounts) {
   EXPECT_NE(text.find("pool=\"query\",quantile=\"0.5\""), std::string::npos);
 }
 
+// Regression: the Prometheus exporter used to splice label values into the
+// exposition text verbatim, so a value containing a backslash, a double
+// quote, or a newline produced an unparseable (or worse, silently
+// truncated/injected) scrape. The format requires exactly `\\`, `\"` and
+// `\n` inside quoted label values.
+TEST(MetricsExportTest, PrometheusEscapesHostileLabelValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("odd", {{"path", "C:\\tmp\"evil\nseries 9"}})
+      ->Increment(4);
+
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(
+      text.find("odd{path=\"C:\\\\tmp\\\"evil\\nseries 9\"} 4"),
+      std::string::npos)
+      << text;
+  // No raw newline may survive inside a label value: every line of the
+  // exposition is either a comment or starts with the metric name.
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    if (!line.empty() && line[0] != '#') {
+      EXPECT_EQ(line.rfind("odd{", 0), 0u) << "injected line: " << line;
+    }
+    start = end + 1;
+  }
+}
+
 // Concurrent handle acquisition and recording (the TSan case): threads race
 // Get* for overlapping names while others record through already-held
 // handles; totals must come out exact.
