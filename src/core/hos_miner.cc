@@ -191,6 +191,9 @@ Result<QueryResult> HosMiner::RunSearch(
   exec.max_threads = options.search_threads;
   exec.lattice_backend = options.lattice_backend;
   exec.max_od_evaluations = options.max_od_evaluations;
+  exec.filter = density_filter_.get();
+  exec.filter_mode = options.filter_mode;
+  exec.filter_speculative_slack = options.filter_speculative_slack;
   // Tracing: record into the caller's tracer when given; otherwise, when
   // collect_trace asked for one, own a local tracer and hand the finished
   // trace back on the result. Spans observe timing only — the search takes
@@ -326,6 +329,15 @@ Result<HosMiner::RebuildArtifacts> HosMiner::PrepareRebuild() const {
     artifacts.engine = std::make_unique<knn::LinearScanKnn>(
         *dataset_, config_.metric, artifacts.view);
   }
+  // The pre-filter rides every rebuild: a VA-file index re-exports its own
+  // approximation file (no second quantization pass), every other backend
+  // quantizes directly with the same cell rule.
+  artifacts.filter = std::make_unique<filter::DensityBoundFilter>(
+      *dataset_, config_.metric,
+      artifacts.va_file != nullptr
+          ? artifacts.va_file->ExportDensitySummary()
+          : filter::DensitySummary::Build(*dataset_,
+                                          config_.va_file.bits_per_dim));
   return artifacts;
 }
 
@@ -334,6 +346,7 @@ void HosMiner::CommitRebuild(RebuildArtifacts artifacts) {
   xtree_ = std::move(artifacts.xtree);
   va_file_ = std::move(artifacts.va_file);
   engine_ = std::move(artifacts.engine);
+  density_filter_ = std::move(artifacts.filter);
   // Rows appended after PrepareRebuild are not in the artifacts; they stay
   // in the delta, so the base seal stops at what the rebuild covered. The
   // same goes for rows tombstoned after the prepare: they stay unsealed

@@ -22,6 +22,7 @@
 #include "src/common/rng.h"
 #include "src/data/dataset.h"
 #include "src/data/normalizer.h"
+#include "src/filter/density_filter.h"
 #include "src/index/va_file.h"
 #include "src/index/xtree.h"
 #include "src/kernels/dataset_view.h"
@@ -67,8 +68,22 @@ struct HosMinerConfig {
   uint64_t seed = 42;
 };
 
-/// Per-query knobs that do not change answers, only how they are computed.
+/// Per-query knobs. All except `filter_mode` never change answers, only how
+/// they are computed; filter_mode == kSpeculative is the one opt-in that may
+/// trade accuracy for speed (and reports when it did — see
+/// SearchCounters::bound_gap).
 struct QueryOptions {
+  /// Density-bound OD pre-filter participation (see
+  /// filter::DensityBoundFilter). kOff never consults the filter;
+  /// kConservative takes only provably-safe shortcuts, keeping answers
+  /// bitwise identical to kOff; kSpeculative may additionally decide
+  /// near-threshold subspaces by bound midpoint, reporting every such
+  /// decision in the result's counters (risky_decisions / bound_gap —
+  /// bound_gap == 0 certifies the answer matched kOff).
+  filter::FilterMode filter_mode = filter::FilterMode::kOff;
+  /// kSpeculative only: maximum bound-interval width, as a fraction of the
+  /// threshold, a midpoint decision may act on.
+  double filter_speculative_slack = 0.25;
   /// Optional cross-query OD memo (the service layer's shared cache).
   /// Memoised values are bit-identical to fresh evaluations, so results
   /// with and without a store are the same.
@@ -304,6 +319,10 @@ class HosMiner {
     std::unique_ptr<index::XTree> xtree;
     std::unique_ptr<index::VaFile> va_file;
     std::unique_ptr<knn::KnnEngine> engine;
+    /// Density-bound pre-filter over the same rows (exported from the
+    /// VA-file when that is the serving index, quantized directly
+    /// otherwise).
+    std::unique_ptr<filter::DensityBoundFilter> filter;
     /// Rows and version the artifacts cover (rows appended after
     /// PrepareRebuild simply stay in the delta after the commit).
     size_t rows = 0;
@@ -346,6 +365,11 @@ class HosMiner {
   const index::XTree* xtree() const { return xtree_.get(); }
   /// Non-null when config().index == kVaFile.
   const index::VaFile* va_file() const { return va_file_.get(); }
+  /// The density-bound pre-filter over the current base (always built; it
+  /// only acts when a query opts in via QueryOptions::filter_mode).
+  const filter::DensityBoundFilter* density_filter() const {
+    return density_filter_.get();
+  }
 
  private:
   HosMiner(HosMinerConfig config, std::unique_ptr<data::Dataset> dataset,
@@ -368,6 +392,7 @@ class HosMiner {
   std::unique_ptr<index::XTree> xtree_;      // when index == kXTree
   std::unique_ptr<index::VaFile> va_file_;   // when index == kVaFile
   std::unique_ptr<knn::KnnEngine> engine_;
+  std::unique_ptr<filter::DensityBoundFilter> density_filter_;
   double threshold_ = 0.0;
   learning::LearningReport learning_report_;
   std::unique_ptr<search::DynamicSubspaceSearch> query_search_;

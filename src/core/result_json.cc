@@ -53,6 +53,9 @@ std::string QueryResultToJson(const QueryResult& result) {
   out << "\"steps\":" << outcome.counters.steps << ",";
   out << "\"wasted_evaluations\":" << outcome.counters.wasted_evaluations
       << ",";
+  out << "\"bound_decisions\":" << outcome.counters.bound_decisions << ",";
+  out << "\"risky_decisions\":" << outcome.counters.risky_decisions << ",";
+  out << "\"bound_gap\":" << outcome.counters.bound_gap << ",";
   out << "\"elapsed_seconds\":" << outcome.counters.elapsed_seconds;
   out << "}";
   // Only traced results carry the key, so untraced output (including the

@@ -1,0 +1,49 @@
+#include "src/filter/density_summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hos::filter {
+
+DensitySummary DensitySummary::Build(const data::Dataset& dataset,
+                                     int bits_per_dim) {
+  const int d = dataset.num_dims();
+  DensitySummary summary;
+  summary.num_dims = d;
+  summary.cells_per_dim = 1 << std::clamp(bits_per_dim, 1, 8);
+  summary.rows = dataset.size();
+  summary.live_rows = dataset.live_size();
+  summary.dim_lo.resize(d);
+  summary.dim_width.resize(d);
+  const std::vector<data::ColumnStats> stats =
+      data::ComputeColumnStats(dataset);
+  for (int dim = 0; dim < d; ++dim) {
+    summary.dim_lo[dim] = stats[dim].min;
+    const double extent = stats[dim].max - stats[dim].min;
+    summary.dim_width[dim] =
+        extent > 0.0 ? extent / summary.cells_per_dim : 1.0;
+  }
+  summary.cells.assign(summary.rows * static_cast<size_t>(d), 0);
+  summary.cell_counts.assign(
+      static_cast<size_t>(d) * summary.cells_per_dim, 0);
+  for (data::PointId id = 0; id < summary.rows; ++id) {
+    // Dead rows keep zeroed cells and no counts: their chunk storage may be
+    // reclaimed, so they must not be read (the VaFile::Build rule).
+    if (!dataset.IsLive(id)) continue;
+    const std::span<const double> row = dataset.Row(id);
+    for (int dim = 0; dim < d; ++dim) {
+      const double offset =
+          (row[dim] - summary.dim_lo[dim]) / summary.dim_width[dim];
+      const int cell = std::clamp(static_cast<int>(std::floor(offset)), 0,
+                                  summary.cells_per_dim - 1);
+      summary.cells[static_cast<size_t>(id) * d + dim] =
+          static_cast<uint8_t>(cell);
+      ++summary.cell_counts[static_cast<size_t>(dim) *
+                                summary.cells_per_dim +
+                            cell];
+    }
+  }
+  return summary;
+}
+
+}  // namespace hos::filter

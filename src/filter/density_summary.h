@@ -1,0 +1,77 @@
+// DensitySummary: the quantized per-dimension view of a dataset that the
+// density-bound OD pre-filter (density_filter.h) computes its bounds from.
+// It is exactly the VA-file's approximation data — per-dimension equi-width
+// cell boundaries plus one cell index per (row, dimension) — extended with
+// per-dimension *live-count histograms* so a filter can also reason about
+// whole-population density in O(cells) instead of O(rows).
+//
+// Two producers exist:
+//  * DensitySummary::Build quantizes any dataset directly (the path used
+//    when the serving index is not a VA-file);
+//  * index::VaFile::ExportDensitySummary re-exports the approximation file
+//    the index already built, so VA-file deployments pay no second
+//    quantization pass and the filter's cells are bit-identical to the
+//    index's.
+//
+// Coverage contract: the summary describes the first `rows` ids of the
+// dataset as of the moment it was built (its *base*). Rows appended later
+// are absent; rows tombstoned later still have cells and histogram counts.
+// The filter compensates for both (see density_filter.h) — consumers other
+// than the filter must check covers() themselves.
+
+#ifndef HOS_FILTER_DENSITY_SUMMARY_H_
+#define HOS_FILTER_DENSITY_SUMMARY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/dataset.h"
+
+namespace hos::filter {
+
+struct DensitySummary {
+  int num_dims = 0;
+  int cells_per_dim = 0;
+  /// Ids the cells cover: [0, rows). Tombstoned rows in that range carry
+  /// zeroed cells and histogram counts of the moment the summary was built.
+  size_t rows = 0;
+  /// Live rows among [0, rows) at build time.
+  size_t live_rows = 0;
+  /// Per-dimension cell boundaries: cell c of dim j spans
+  /// [dim_lo[j] + c * dim_width[j], dim_lo[j] + (c + 1) * dim_width[j]].
+  std::vector<double> dim_lo;
+  std::vector<double> dim_width;
+  /// Row-major rows x num_dims matrix of cell indices (zeroed for rows dead
+  /// at build time — their storage may already be reclaimed).
+  std::vector<uint8_t> cells;
+  /// Live-count histogram: cell_counts[dim * cells_per_dim + c] is the
+  /// number of build-time-live rows whose dim coordinate fell in cell c.
+  std::vector<uint32_t> cell_counts;
+
+  /// Cell index of `id` in `dim`; id must be < rows.
+  uint8_t CellOf(data::PointId id, int dim) const {
+    return cells[static_cast<size_t>(id) * num_dims + dim];
+  }
+
+  /// Build-time live rows in cell `c` of `dim`.
+  uint32_t CountIn(int dim, int c) const {
+    return cell_counts[static_cast<size_t>(dim) * cells_per_dim + c];
+  }
+
+  /// True when the summary still describes every row of `dataset` (nothing
+  /// appended since it was built; later tombstones are fine — the filter's
+  /// bounds stay valid for those, only looser).
+  bool covers(const data::Dataset& dataset) const {
+    return rows == dataset.size();
+  }
+
+  /// Quantizes `dataset` with 2^bits_per_dim equi-width cells per dimension
+  /// over each dimension's observed live [min, max] — the same boundary
+  /// rule as index::VaFile::Build, so a summary built here and one exported
+  /// from a VA-file over the same rows are identical.
+  static DensitySummary Build(const data::Dataset& dataset, int bits_per_dim);
+};
+
+}  // namespace hos::filter
+
+#endif  // HOS_FILTER_DENSITY_SUMMARY_H_

@@ -74,6 +74,29 @@ Status VaFile::Rebuild(std::shared_ptr<const kernels::DatasetView> view) {
   return Status::OK();
 }
 
+filter::DensitySummary VaFile::ExportDensitySummary() const {
+  const int d = dataset_->num_dims();
+  filter::DensitySummary summary;
+  summary.num_dims = d;
+  summary.cells_per_dim = cells_per_dim_;
+  summary.rows = base_rows_;
+  summary.dim_lo = dim_lo_;
+  summary.dim_width = dim_width_;
+  summary.cells = cells_;
+  summary.cell_counts.assign(static_cast<size_t>(d) * cells_per_dim_, 0);
+  size_t live = 0;
+  for (data::PointId id = 0; id < base_rows_; ++id) {
+    if (!dataset_->IsLive(id)) continue;
+    ++live;
+    for (int dim = 0; dim < d; ++dim) {
+      ++summary.cell_counts[static_cast<size_t>(dim) * cells_per_dim_ +
+                            cells_[static_cast<size_t>(id) * d + dim]];
+    }
+  }
+  summary.live_rows = live;
+  return summary;
+}
+
 const kernels::DatasetView* VaFile::kernel_view() const {
   return knn::GateKernelView(view_, *dataset_, base_rows_,
                              &stale_fallbacks_, "VaFile");

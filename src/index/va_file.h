@@ -20,6 +20,7 @@
 #include "src/common/atomic_counter.h"
 #include "src/common/result.h"
 #include "src/data/dataset.h"
+#include "src/filter/density_summary.h"
 #include "src/kernels/dataset_view.h"
 #include "src/knn/knn_engine.h"
 
@@ -77,6 +78,12 @@ class VaFile {
   /// Work-counter snapshot under backend name "va_file"; node_accesses
   /// counts approximation-file sweeps (one per query phase 1).
   knn::KnnBackendStats backend_stats() const;
+
+  /// Re-exports the approximation file as the density-bound pre-filter's
+  /// summary (cells shared bit-identically, histograms tallied over rows
+  /// live right now), so VA-file deployments pay no second quantization
+  /// pass. Covers base_rows(); the filter folds any delta in exactly.
+  filter::DensitySummary ExportDensitySummary() const;
 
  private:
   VaFile(const data::Dataset& dataset, knn::MetricKind metric,

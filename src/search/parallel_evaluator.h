@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "src/filter/density_filter.h"
 #include "src/lattice/lattice_store.h"
 #include "src/obs/trace.h"
 #include "src/search/od_evaluator.h"
@@ -82,6 +83,21 @@ struct SearchExecution {
   /// footprint and the reachable dimensionality. Forcing kDense past its
   /// cap makes the search return InvalidArgument.
   lattice::LatticeBackend lattice_backend = lattice::LatticeBackend::kAuto;
+
+  /// Density-bound pre-filter consulted by the pruning strategies before
+  /// dispatching a frontier mask to the exact kNN path; null or kOff ⇒
+  /// every mask takes the exact path (the pre-filter-PR behaviour).
+  /// ExhaustiveSearch ignores the filter — it is the oracle the
+  /// differential suites compare everything against. In kConservative the
+  /// filter only acts on proofs, so answers are bitwise identical to kOff
+  /// (held by tests/filter/filter_differential_test.cc); kSpeculative may
+  /// additionally decide near-threshold masks by bound midpoint, reporting
+  /// each such decision in SearchCounters::{risky_decisions, bound_gap}.
+  const filter::DensityBoundFilter* filter = nullptr;
+  filter::FilterMode filter_mode = filter::FilterMode::kOff;
+  /// kSpeculative only: maximum bound-interval width, as a fraction of the
+  /// threshold, a midpoint decision may act on.
+  double filter_speculative_slack = 0.25;
 
   /// Per-query trace sink; null ⇒ tracing off (the default, and the only
   /// cost disabled tracing pays is this null check). The tracer must

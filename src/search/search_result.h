@@ -35,6 +35,20 @@ struct SearchCounters {
   /// == 2^d - 1 for every strategy, speculation on or off. Always 0 without
   /// speculation.
   uint64_t wasted_evaluations = 0;
+  /// Subspaces decided by the density-bound pre-filter without any kNN
+  /// call (SearchExecution::filter_mode != kOff). These are "evaluated" as
+  /// far as the lattice is concerned — the closure identity becomes
+  /// od_evaluations + pruned_upward + pruned_downward + bound_decisions
+  /// == 2^d - 1 — and in conservative mode the verdicts are provably the
+  /// ones the exact path would have produced.
+  uint64_t bound_decisions = 0;
+  /// Bound decisions taken speculatively (bounds straddled the threshold
+  /// but the interval was tight; kSpeculative only). Each may be wrong.
+  uint64_t risky_decisions = 0;
+  /// Widest bound interval a risky decision acted on; 0 when
+  /// risky_decisions == 0. bound_gap == 0 therefore certifies the answer
+  /// is identical to a FilterMode::kOff run.
+  double bound_gap = 0.0;
   /// Wall-clock seconds.
   double elapsed_seconds = 0.0;
   /// Search steps (level batches for the dynamic search).

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -33,7 +34,8 @@ class FrontierRunner {
       : od_(od), threshold_(threshold), speculate_(exec.speculate),
         max_evaluations_(exec.max_od_evaluations),
         evals_at_start_(od->num_evaluations()), tracer_(exec.tracer),
-        evaluator_(od, exec) {}
+        filter_(exec.filter), filter_mode_(exec.filter_mode),
+        filter_slack_(exec.filter_speculative_slack), evaluator_(od, exec) {}
 
   /// Evaluates every currently-undecided subspace of level m and records
   /// the verdicts in mask order — the exact seed sequence the sequential
@@ -58,8 +60,54 @@ class FrontierRunner {
     obs::ScopedSpan level_span(
         tracer_, "level", trace_parent,
         tracer_ != nullptr ? "m=" + std::to_string(m) : std::string());
-    std::vector<uint64_t> wave = state->UndecidedMasks(m);
+    const std::vector<uint64_t> wave = state->UndecidedMasks(m);
     const size_t level_count = wave.size();
+
+    // Density-filter pre-admission: masks the bounds decide skip the exact
+    // wave entirely; the rest (plus any speculative tail) go to the kNN
+    // path as before. Memoised masks bypass the filter — their exact value
+    // is free, and consuming them through the evaluator keeps the
+    // speculation bookkeeping (and the waste tally) identical to a
+    // filter-off run. Verdicts are fed back to the lattice in original
+    // mask order via per-slot threshold sentinels, so the lattice — which
+    // stores only `od >= T` — evolves bit-for-bit as it would have with
+    // the filter off whenever the verdicts match (always, in conservative
+    // mode).
+    std::vector<double> level_values(level_count, 0.0);
+    std::vector<uint8_t> bound_decided;
+    std::vector<uint64_t> exact_wave;
+    if (FilterActive()) {
+      bound_decided.assign(level_count, 0);
+      exact_wave.reserve(level_count);
+      for (size_t i = 0; i < level_count; ++i) {
+        double memoised;
+        if (od_->LookupLocal(wave[i], &memoised)) {
+          exact_wave.push_back(wave[i]);
+          continue;
+        }
+        const filter::FilterDecision fd =
+            filter_->Decide(od_->point(), wave[i], od_->k(), od_->exclude(),
+                            threshold_, filter_mode_, filter_slack_);
+        if (!fd.decided()) {
+          exact_wave.push_back(wave[i]);
+          continue;
+        }
+        bound_decided[i] = 1;
+        level_values[i] =
+            fd.verdict == filter::FilterDecision::Verdict::kOutlier
+                ? std::numeric_limits<double>::infinity()
+                : -std::numeric_limits<double>::infinity();
+        ++bound_decisions_;
+        if (fd.risky) {
+          ++risky_decisions_;
+          bound_gap_ = std::max(bound_gap_, fd.gap());
+        }
+      }
+    } else {
+      exact_wave.assign(wave.begin(), wave.end());
+    }
+
+    const size_t exact_level_count = exact_wave.size();
     if (speculate_ && predict) {
       const int next = predict(m, *state);
       // Under a work budget, prefetch only what provably fits: speculative
@@ -67,19 +115,27 @@ class FrontierRunner {
       // are identical whether or not the prefetch happens.
       if (next != 0 && next != m &&
           (max_evaluations_ == 0 ||
-           od_->num_evaluations() - evals_at_start_ + level_count +
+           od_->num_evaluations() - evals_at_start_ + exact_level_count +
                    state->UndecidedCount(next) <=
                max_evaluations_)) {
         const std::vector<uint64_t> ahead = state->UndecidedMasks(next);
-        wave.insert(wave.end(), ahead.begin(), ahead.end());
+        exact_wave.insert(exact_wave.end(), ahead.begin(), ahead.end());
       }
     }
 
     ParallelEvaluator::Batch batch =
-        evaluator_.EvaluateBatch(wave, level_span.id());
+        evaluator_.EvaluateBatch(exact_wave, level_span.id());
+    if (FilterActive()) {
+      size_t j = 0;
+      for (size_t i = 0; i < level_count; ++i) {
+        if (!bound_decided[i]) level_values[i] = batch.values[j++];
+      }
+    } else {
+      std::copy_n(batch.values.begin(), level_count, level_values.begin());
+    }
     state->MarkEvaluatedBatch(
         std::span(wave.data(), level_count),
-        std::span(batch.values.data(), level_count), threshold_);
+        std::span(level_values.data(), level_count), threshold_);
 
     if (speculate_) {
       // Masks merged this wave consume any earlier speculation on them;
@@ -87,9 +143,9 @@ class FrontierRunner {
       for (size_t i = 0; i < level_count; ++i) {
         outstanding_speculation_.erase(wave[i]);
       }
-      for (size_t i = level_count; i < wave.size(); ++i) {
+      for (size_t i = exact_level_count; i < exact_wave.size(); ++i) {
         if (batch.sources[i] == ParallelEvaluator::Source::kComputed) {
-          outstanding_speculation_.insert(wave[i]);
+          outstanding_speculation_.insert(exact_wave[i]);
         }
       }
     }
@@ -99,6 +155,11 @@ class FrontierRunner {
   /// Speculative evaluations never consumed — on a fully decided lattice
   /// every one of them was pruned, i.e. work the sequential walk skips.
   uint64_t wasted() const { return outstanding_speculation_.size(); }
+
+  /// Density-filter tallies for SearchCounters.
+  uint64_t bound_decisions() const { return bound_decisions_; }
+  uint64_t risky_decisions() const { return risky_decisions_; }
+  double bound_gap() const { return bound_gap_; }
 
   /// Outstanding speculative evaluations still undecided at level m:
   /// already paid for (they are in the evaluator's tally) and memoised, so
@@ -120,14 +181,24 @@ class FrontierRunner {
   }
 
  private:
+  bool FilterActive() const {
+    return filter_ != nullptr && filter_mode_ != filter::FilterMode::kOff;
+  }
+
   OdEvaluator* od_;
   double threshold_;
   bool speculate_;
   uint64_t max_evaluations_;
   uint64_t evals_at_start_;
   obs::QueryTracer* tracer_;
+  const filter::DensityBoundFilter* filter_;
+  filter::FilterMode filter_mode_;
+  double filter_slack_;
   ParallelEvaluator evaluator_;
   std::unordered_set<uint64_t> outstanding_speculation_;
+  uint64_t bound_decisions_ = 0;
+  uint64_t risky_decisions_ = 0;
+  double bound_gap_ = 0.0;
 };
 
 uint64_t SaturatingSub(uint64_t a, uint64_t b) { return a > b ? a - b : 0; }
@@ -159,7 +230,8 @@ Status CheckBudget(const SearchExecution& exec, const OdEvaluator& od,
 SearchOutcome Finalize(const lattice::LatticeStore& state, double threshold,
                        const OdEvaluator& od, uint64_t od_evals_before,
                        uint64_t dist_before, uint64_t steps, uint64_t wasted,
-                       const Timer& timer) {
+                       const Timer& timer, uint64_t bound_decisions = 0,
+                       uint64_t risky_decisions = 0, double bound_gap = 0.0) {
   assert(state.AllDecided());
   const int d = state.num_dims();
   SearchOutcome outcome;
@@ -182,6 +254,9 @@ SearchOutcome Finalize(const lattice::LatticeStore& state, double threshold,
   outcome.counters.distance_computations =
       od.engine().distance_computations() - dist_before;
   outcome.counters.steps = steps;
+  outcome.counters.bound_decisions = bound_decisions;
+  outcome.counters.risky_decisions = risky_decisions;
+  outcome.counters.bound_gap = bound_gap;
   outcome.counters.elapsed_seconds = timer.ElapsedSeconds();
   return outcome;
 }
@@ -233,7 +308,8 @@ Result<SearchOutcome> DynamicSubspaceSearch::RunImpl(
     ++steps;
   }
   return Finalize(*state, threshold, *od, od_before, dist_before, steps,
-                  runner.wasted(), timer);
+                  runner.wasted(), timer, runner.bound_decisions(),
+                  runner.risky_decisions(), runner.bound_gap());
 }
 
 // ---------------------------------------------------------------------------
@@ -301,7 +377,8 @@ Result<SearchOutcome> BottomUpSearch::RunImpl(
     ++steps;
   }
   return Finalize(*state, threshold, *od, od_before, dist_before, steps,
-                  runner.wasted(), timer);
+                  runner.wasted(), timer, runner.bound_decisions(),
+                  runner.risky_decisions(), runner.bound_gap());
 }
 
 Result<SearchOutcome> TopDownSearch::RunImpl(
@@ -331,7 +408,8 @@ Result<SearchOutcome> TopDownSearch::RunImpl(
     ++steps;
   }
   return Finalize(*state, threshold, *od, od_before, dist_before, steps,
-                  runner.wasted(), timer);
+                  runner.wasted(), timer, runner.bound_decisions(),
+                  runner.risky_decisions(), runner.bound_gap());
 }
 
 }  // namespace hos::search

@@ -28,6 +28,9 @@ QueryService::QueryService(core::HosMiner miner, QueryServiceConfig config)
                           ? std::make_unique<ThreadPool>(1)
                           : nullptr),
       pool_(config.num_threads) {
+  // Seed the time → version history so EvictOlderThan can age out the
+  // build-time rows too, not just post-construction appends.
+  RecordVersionSample();
   RegisterMetricCallbacks();
   if (config_.observability.stats_log_period_seconds > 0.0) {
     stats_logger_ = std::thread([this] { StatsLoggerLoop(); });
@@ -201,7 +204,9 @@ Result<core::QueryResult> QueryService::RunTimedQuery(data::PointId id) {
   if (result.ok()) {
     const search::SearchCounters& counters = result.value().outcome.counters;
     stats_.RecordQuery(latency, counters.od_evaluations,
-                       counters.wasted_evaluations);
+                       counters.wasted_evaluations,
+                       counters.bound_decisions, counters.risky_decisions,
+                       counters.bound_gap);
   } else {
     stats_.RecordQuery(latency, 0, 0);
     if (result.status().IsNotFound()) {
@@ -291,6 +296,7 @@ Result<uint64_t> QueryService::AppendBatch(
       stats_.RecordEvict(miner_.EvictOldest(miner_.live_rows() - window));
       version = miner_.version();
     }
+    RecordVersionSample();
   }
   ScheduleRebuildIfNeeded();
   ScheduleRelearnIfNeeded();
@@ -311,6 +317,43 @@ Result<uint64_t> QueryService::DeleteRows(
   ScheduleRebuildIfNeeded();
   ScheduleRelearnIfNeeded();
   return version;
+}
+
+void QueryService::RecordVersionSample() {
+  // Reads miner_.version() — callers hold the epoch writer lock (or are
+  // the constructor, where nothing else runs yet).
+  const uint64_t version = miner_.version();
+  std::lock_guard<std::mutex> lock(history_mu_);
+  version_history_.emplace_back(std::chrono::steady_clock::now(), version);
+}
+
+size_t QueryService::EvictOlderThan(double seconds) {
+  const std::chrono::steady_clock::time_point horizon =
+      std::chrono::steady_clock::now() -
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(seconds));
+  uint64_t watermark = 0;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(history_mu_);
+    // Samples are time-ordered; the last one at or before the horizon is
+    // the newest version fully older than `seconds`.
+    for (const auto& [when, version] : version_history_) {
+      if (when > horizon) break;
+      watermark = version;
+      found = true;
+    }
+    // Already-consumed samples can never move a future watermark (versions
+    // only grow), so drop all but the watermark sample itself.
+    while (version_history_.size() > 1 &&
+           version_history_.front().second < watermark) {
+      version_history_.pop_front();
+    }
+  }
+  if (!found) return 0;
+  // Rows appended at version <= watermark existed at the horizon sample;
+  // EvictBefore's bound is exclusive.
+  return EvictBefore(watermark + 1);
 }
 
 size_t QueryService::EvictBefore(uint64_t version) {

@@ -58,7 +58,9 @@
 #define HOS_SERVICE_QUERY_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -66,6 +68,7 @@
 #include <span>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/core/hos_miner.h"
@@ -151,6 +154,16 @@ struct QueryServiceConfig {
   /// that would exceed it fail with ResourceExhausted instead of occupying
   /// a worker for hours (QueryOptions::max_od_evaluations).
   uint64_t max_od_evaluations = 0;
+  /// Density-bound OD pre-filter for every query this service runs
+  /// (QueryOptions::filter_mode): kOff (default) never consults it,
+  /// kConservative skips exact kNN work only when provably safe (answers
+  /// bitwise identical), kSpeculative may decide near-threshold subspaces
+  /// by bound midpoint and reports each such decision via the
+  /// filter_risky_decisions counter / last_bound_gap gauge.
+  filter::FilterMode filter_mode = filter::FilterMode::kOff;
+  /// kSpeculative only: maximum bound-interval width, as a fraction of the
+  /// threshold, a midpoint decision may act on.
+  double filter_speculative_slack = 0.25;
   /// Streaming-ingest rebuild policy.
   IngestConfig ingest;
   /// Tracing / slow-query log / periodic stats emission.
@@ -204,6 +217,16 @@ class QueryService {
   /// version watermark they recorded then). Returns the number evicted.
   size_t EvictBefore(uint64_t version);
 
+  /// Wall-clock TTL convenience over EvictBefore: tombstones every live
+  /// row whose commit the service observed more than `seconds` ago, using
+  /// the monotonic time → dataset-version samples it records at
+  /// construction and at every append commit — callers no longer need to
+  /// keep their own version watermarks. Granularity is the append batch: a
+  /// batch is evicted only once its *whole* commit is older than the
+  /// horizon, so this never evicts a row younger than `seconds`. Returns
+  /// the number evicted.
+  size_t EvictOlderThan(double seconds);
+
   /// Blocks until no rebuild or relearn is scheduled or running, then
   /// returns. Test and shutdown aid; the destructor waits implicitly.
   void WaitForRebuilds();
@@ -243,10 +266,17 @@ class QueryService {
     options.search_threads = config_.search_threads;
     options.lattice_backend = config_.lattice_backend;
     options.max_od_evaluations = config_.max_od_evaluations;
+    options.filter_mode = config_.filter_mode;
+    options.filter_speculative_slack = config_.filter_speculative_slack;
     return options;
   }
 
   Result<core::QueryResult> RunTimedQuery(data::PointId id);
+
+  /// Appends (steady_clock::now(), current dataset version) to
+  /// version_history_. Called at construction and after every append
+  /// commit; takes history_mu_ (a leaf lock — safe under epoch_mu_).
+  void RecordVersionSample();
 
   /// Registers the pull-model metrics: OD-cache counters, dataset/ingest
   /// gauges and the per-backend kNN work counters (labelled by backend
@@ -306,6 +336,13 @@ class QueryService {
   /// (an ingest rebuild swaps in a fresh engine whose counters start at
   /// zero). Guarded by epoch_mu_: written under the writer side only.
   knn::KnnBackendStats engine_offsets_;
+
+  /// Monotonic-time → dataset-version samples for EvictOlderThan, in
+  /// nondecreasing time and version order. Guarded by history_mu_, never
+  /// epoch_mu_: EvictOlderThan must read it before taking the writer lock.
+  std::mutex history_mu_;
+  std::deque<std::pair<std::chrono::steady_clock::time_point, uint64_t>>
+      version_history_;
 
   /// The ingest epoch lock: queries and rebuild-prepare are readers,
   /// append commits and rebuild commits are writers. Guards every access

@@ -24,6 +24,7 @@
 #include "src/data/generator.h"
 #include "src/index/idistance.h"
 #include "src/knn/knn_engine.h"
+#include "tests/testutil/adversarial_gen.h"
 
 namespace hos {
 namespace {
@@ -205,6 +206,44 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, WindowDifferentialTest,
                              default: return "LinearScan";
                            }
                          });
+
+// The windowed-equals-fresh contract on adversarially generated data:
+// tombstones land inside near-threshold rings and next to exact duplicates,
+// so a backend that mishandles dead rows flips verdicts engineered to sit
+// at T ± 3% rather than comfortably away from it.
+TEST_P(WindowDifferentialTest, AdversarialWindowedEqualsFresh) {
+  testutil::AdversarialSpec spec;
+  spec.num_dims = kDims;
+  spec.k = kK;
+  spec.threshold = kThreshold;
+  spec.seed = 31337;
+  testutil::AdversarialDataset scenario = testutil::MakeAdversarial(spec);
+
+  core::HosMinerConfig config = MinerConfig(GetParam());
+  auto built = core::HosMiner::Build(testutil::ToDataset(scenario), config);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  core::HosMiner windowed = std::move(built).value();
+  ASSERT_TRUE(windowed.Delete(scenario.tombstones).ok());
+
+  std::vector<data::PointId> survivors;
+  for (data::PointId id = 0;
+       id < static_cast<data::PointId>(windowed.dataset().size()); ++id) {
+    if (windowed.dataset().IsLive(id)) survivors.push_back(id);
+  }
+  core::HosMiner fresh = BuildFreshMiner(windowed, survivors, GetParam());
+
+  ExpectBitwiseOds(windowed, fresh, survivors);
+  ExpectSameAnswers(windowed, fresh, survivors,
+                    lattice::LatticeBackend::kDense);
+  ExpectSameAnswers(windowed, fresh, survivors,
+                    lattice::LatticeBackend::kSparse);
+
+  // And after the tombstones are folded physically.
+  ASSERT_TRUE(windowed.Rebuild().ok());
+  ExpectBitwiseOds(windowed, fresh, survivors);
+  ExpectSameAnswers(windowed, fresh, survivors,
+                    lattice::LatticeBackend::kDense);
+}
 
 TEST(IDistanceWindowTest, WindowedEqualsFreshBuildOnSurvivors) {
   Rng data_rng(11);

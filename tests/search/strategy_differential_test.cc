@@ -30,6 +30,7 @@
 #include "src/search/od_evaluator.h"
 #include "src/search/subspace_search.h"
 #include "src/service/thread_pool.h"
+#include "tests/testutil/adversarial_gen.h"
 
 namespace hos::search {
 namespace {
@@ -197,6 +198,71 @@ INSTANTIATE_TEST_SUITE_P(DimensionSweep, StrategyDifferentialTest,
                          [](const auto& info) {
                            return "d" + std::to_string(info.param);
                          });
+
+// The same cross-strategy contract on adversarially generated data:
+// near-threshold OD bands (verdicts a hair on either side of T), correlated
+// dimensions, exact duplicates, and tombstoned rows. Every pruning strategy,
+// sequential and parallel, must still match the exhaustive oracle exactly —
+// there is no "close enough" when ODs are engineered to sit at T ± 3%.
+TEST(StrategyDifferentialAdversarialTest, AllStrategiesMatchTheOracle) {
+  testutil::AdversarialSpec spec;
+  spec.num_dims = 6;
+  spec.seed = 2024;
+  testutil::AdversarialDataset scenario = testutil::MakeAdversarial(spec);
+  data::Dataset ds = testutil::ToDataset(scenario);
+  ASSERT_TRUE(ds.DeleteRows(scenario.tombstones).ok());
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+
+  const int d = spec.num_dims;
+  const uint64_t lattice = (uint64_t{1} << d) - 1;
+  service::ThreadPool pool(4);
+
+  std::vector<std::unique_ptr<SubspaceSearch>> strategies;
+  strategies.push_back(std::make_unique<DynamicSubspaceSearch>(
+      d, lattice::PruningPriors::Flat(d)));
+  strategies.push_back(std::make_unique<BottomUpSearch>(d));
+  strategies.push_back(std::make_unique<TopDownSearch>(d));
+
+  std::vector<data::PointId> queries = scenario.probes;
+  queries.push_back(5);  // a background row amid the correlated cloud
+
+  for (data::PointId query : queries) {
+    SCOPED_TRACE("query id=" + std::to_string(query));
+    OdEvaluator oracle_od(engine, ds.Row(query), scenario.k, query);
+    auto oracle = ExhaustiveSearch(d).Run(&oracle_od, scenario.threshold);
+    ASSERT_TRUE(oracle.ok());
+    std::vector<double> truth(lattice + 1, 0.0);
+    for (uint64_t mask = 1; mask <= lattice; ++mask) {
+      ASSERT_TRUE(oracle_od.LookupLocal(mask, &truth[mask]));
+    }
+
+    for (const auto& strategy : strategies) {
+      SCOPED_TRACE(std::string("strategy=") + std::string(strategy->name()));
+      for (bool parallel : {false, true}) {
+        SearchExecution exec;
+        exec.pool = parallel ? &pool : nullptr;
+        exec.speculate = parallel;
+
+        OdEvaluator od(engine, ds.Row(query), scenario.k, query);
+        auto run = strategy->Run(&od, scenario.threshold, exec);
+        ASSERT_TRUE(run.ok());
+        EXPECT_EQ(run->minimal_outlying_subspaces,
+                  oracle->minimal_outlying_subspaces);
+        for (uint64_t mask = 1; mask <= lattice; ++mask) {
+          ASSERT_EQ(run->IsOutlying(Subspace(mask)),
+                    truth[mask] >= scenario.threshold)
+              << "mask " << mask;
+        }
+        for (const auto& [mask, value] : MemoisedValues(od, d)) {
+          ASSERT_EQ(value, truth[mask]) << "mask " << mask;
+        }
+        EXPECT_EQ(run->counters.od_evaluations + run->counters.pruned_upward +
+                      run->counters.pruned_downward,
+                  lattice);
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace hos::search

@@ -1,0 +1,75 @@
+// Adversarial scenario generator for the differential suites (after
+// "Adversarial Subspace Generation for Outlier Detection in High-Dimensional
+// Data"): seeded, deterministic datasets engineered to stress exactly the
+// places an approximate fast path can go wrong —
+//
+//  * near-threshold OD bands: probe points surrounded by rings of
+//    neighbours at radius ~threshold/k, so OD(probe, s) lands within a few
+//    percent of T in the full space and just under it in projections; any
+//    bound-based shortcut must thread these straits or fall back to exact;
+//  * correlated dimensions: the last dimension is an affine copy of the
+//    first (plus epsilon noise), so per-dimension independence assumptions
+//    (exactly what cell-histogram bounds make) are maximally wrong;
+//  * duplicate points: zero-distance neighbour pairs exercise bound lower
+//    edges at exactly 0 and kNN tie-breaking;
+//  * tombstones: a deterministic id set the caller deletes after build, so
+//    summaries/histograms built before the deletes serve stale occupancy.
+//
+// The generator produces raw append-order rows plus the interesting probe
+// ids; callers build a Dataset/HosMiner from them (use
+// NormalizationKind::kNone so `threshold` keeps meaning) and apply
+// `tombstones` via Delete. Everything derives from Rng(spec.seed), so equal
+// specs generate byte-equal scenarios on every platform and run.
+
+#ifndef HOS_TESTS_TESTUTIL_ADVERSARIAL_GEN_H_
+#define HOS_TESTS_TESTUTIL_ADVERSARIAL_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/dataset.h"
+
+namespace hos::testutil {
+
+struct AdversarialSpec {
+  int num_dims = 4;
+  /// Uniform background cloud rows (in [0, 1]^d).
+  size_t background_rows = 60;
+  /// k of the OD measure the scenario is tuned for.
+  int k = 3;
+  /// Threshold the near-threshold bands are built around.
+  double threshold = 0.9;
+  uint64_t seed = 1234;
+  /// Probe/ring groups; band b's ring radius is threshold / k scaled by
+  /// (1 + 0.03 * (b - num_bands/2)), so the probes' full-space ODs
+  /// straddle the threshold from both sides.
+  int num_bands = 3;
+  /// Background rows duplicated verbatim (appended at the end).
+  int duplicates = 6;
+  /// Make the last dimension an affine copy of the first for background
+  /// rows (needs num_dims >= 2).
+  bool correlated_dims = true;
+  /// Size of the tombstone id set the caller should Delete after build:
+  /// deterministic background ids plus one ring member per band.
+  size_t tombstones = 5;
+};
+
+struct AdversarialDataset {
+  /// Rows in append order (raw coordinates).
+  std::vector<std::vector<double>> rows;
+  /// Band probe ids — the near-threshold query points (never tombstoned).
+  std::vector<data::PointId> probes;
+  /// Ids the caller should tombstone (all distinct, never probes).
+  std::vector<data::PointId> tombstones;
+  int k = 0;
+  double threshold = 0.0;
+};
+
+AdversarialDataset MakeAdversarial(const AdversarialSpec& spec);
+
+/// rows → Dataset convenience (rows are generator output, so always valid).
+data::Dataset ToDataset(const AdversarialDataset& scenario);
+
+}  // namespace hos::testutil
+
+#endif  // HOS_TESTS_TESTUTIL_ADVERSARIAL_GEN_H_
