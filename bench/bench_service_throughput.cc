@@ -89,6 +89,71 @@ Row RunConfig(int threads, bool cache_on) {
   return row;
 }
 
+// --- batched screening -----------------------------------------------------
+//
+// The fused multi-query path through the serving facade: the same distinct
+// query set pushed through QueryBatch at several batch_fusion_width
+// settings, single-threaded and with the OD cache off so every row is real
+// screening work. width<=1 is the historical one-pool-task-per-id loop;
+// the wider rows show what the shared-frontier scheduler and batched OD
+// kernels buy end to end (answers are bitwise identical at any width).
+
+struct FusionRow {
+  int width;
+  double qps = 0.0;
+  double seconds = 0.0;
+  double speedup = 0.0;  // vs the width<=1 row
+};
+
+std::vector<FusionRow> RunFusionSweep() {
+  constexpr int kWidths[] = {1, 4, 16, 64};
+  constexpr int kTrials = 3;
+
+  std::vector<std::unique_ptr<service::QueryService>> services;
+  std::vector<data::PointId> ids;
+  for (int width : kWidths) {
+    service::QueryServiceConfig config;
+    config.num_threads = 1;
+    config.enable_od_cache = false;
+    config.batch_fusion_width = width;
+    services.push_back(std::make_unique<service::QueryService>(
+        BuildMiner(/*seed=*/99), config));
+  }
+  // Distinct ids — with memoisation off and no repeats, every query pays
+  // its full screening cost, which is what the fusion width changes.
+  const auto n = static_cast<int>(services[0]->miner().dataset().size());
+  for (int i = 0; i < kHotSetSize * kRepetitions && i < n; ++i) {
+    ids.push_back(static_cast<data::PointId>(i));
+  }
+
+  // Interleaved best-of-N, same reasoning as the observability sweep: all
+  // widths measured under the same scheduler weather each trial, fastest
+  // trial stands for the width.
+  std::vector<double> best_seconds(services.size(), 0.0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    for (size_t m = 0; m < services.size(); ++m) {
+      Timer timer;
+      if (!services[m]->QueryBatch(ids).ok()) std::abort();
+      const double seconds = timer.ElapsedSeconds();
+      if (trial == 0 || seconds < best_seconds[m]) best_seconds[m] = seconds;
+    }
+  }
+
+  std::vector<FusionRow> rows;
+  for (size_t m = 0; m < services.size(); ++m) {
+    FusionRow row;
+    row.width = kWidths[m];
+    row.seconds = best_seconds[m];
+    row.qps = static_cast<double>(ids.size()) / best_seconds[m];
+    rows.push_back(row);
+  }
+  const double base_qps = rows[0].qps;
+  for (FusionRow& row : rows) {
+    row.speedup = base_qps > 0.0 ? row.qps / base_qps : 0.0;
+  }
+  return rows;
+}
+
 // --- observability overhead ------------------------------------------------
 //
 // The same hot mix served three ways: observability off (the serve-only
@@ -186,6 +251,7 @@ std::vector<OverheadRow> RunOverheadSweep() {
 }
 
 void WriteJson(const std::vector<Row>& rows,
+               const std::vector<FusionRow>& fusion,
                const std::vector<OverheadRow>& overhead,
                const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -206,6 +272,15 @@ void WriteJson(const std::vector<Row>& rows,
                  "\"p99_latency_seconds\": %.6g, \"cache_hit_rate\": %.4f}%s\n",
                  r.threads, r.cache ? "true" : "false", r.qps, r.seconds,
                  r.p50, r.p99, r.hit_rate, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"batched_screening\": [\n");
+  for (size_t i = 0; i < fusion.size(); ++i) {
+    const FusionRow& r = fusion[i];
+    std::fprintf(f,
+                 "    {\"batch_fusion_width\": %d, \"qps\": %.2f, "
+                 "\"seconds\": %.4f, \"speedup_vs_width1\": %.2f}%s\n",
+                 r.width, r.qps, r.seconds, r.speedup,
+                 i + 1 < fusion.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"tracing_overhead\": [\n");
   for (size_t i = 0; i < overhead.size(); ++i) {
@@ -263,6 +338,18 @@ void Run(const std::string& json_path) {
                 t4_on->qps / t1_on->qps);
   }
 
+  std::printf("\nbatched screening (1 thread, cache off, distinct ids):\n");
+  const std::vector<FusionRow> fusion = RunFusionSweep();
+  eval::Table fusion_table(
+      {"fusion width", "qps", "seconds", "speedup vs 1"});
+  for (const FusionRow& r : fusion) {
+    fusion_table.AddRow({std::to_string(r.width),
+                         eval::FormatDouble(r.qps, 1),
+                         eval::FormatDouble(r.seconds, 4),
+                         eval::FormatDouble(r.speedup, 2)});
+  }
+  fusion_table.Print();
+
   std::printf("\nobservability overhead (4 threads, cache on, warm):\n");
   const std::vector<OverheadRow> overhead = RunOverheadSweep();
   eval::Table overhead_table({"mode", "qps", "seconds", "overhead %"});
@@ -273,7 +360,7 @@ void Run(const std::string& json_path) {
   }
   overhead_table.Print();
 
-  WriteJson(rows, overhead, json_path);
+  WriteJson(rows, fusion, overhead, json_path);
 }
 
 }  // namespace

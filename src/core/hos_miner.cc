@@ -4,9 +4,20 @@
 #include <utility>
 
 #include "src/core/threshold.h"
+#include "src/search/batch_frontier.h"
 #include "src/search/od_evaluator.h"
 
 namespace hos::core {
+namespace {
+
+/// Rows per fused screening block. Bounds the batch state of the backends
+/// (the VA-file batch keeps O(block · base) lower bounds, the X-tree batch
+/// carries per-point min-distances on every queue entry) while still
+/// amortising one traversal/sweep over a full kernel query tile
+/// (kernels::kQueryBlock = 8) twice over.
+constexpr size_t kScreenBlock = 16;
+
+}  // namespace
 
 HosMiner::HosMiner(HosMinerConfig config,
                    std::unique_ptr<data::Dataset> dataset,
@@ -132,18 +143,36 @@ Result<std::vector<QueryResult>> HosMiner::QueryAll(
   return results;
 }
 
-std::vector<HosMiner::ScreenedOutlier> HosMiner::ScreenOutliers() const {
-  std::vector<ScreenedOutlier> out;
+std::vector<double> HosMiner::ScreenBatch(
+    std::span<const data::PointId> ids) const {
   const Subspace full = Subspace::Full(dataset_->num_dims());
+  std::vector<double> ods;
+  ods.reserve(ids.size());
+  std::vector<knn::BatchPointQuery> block;
+  block.reserve(kScreenBlock);
+  for (size_t start = 0; start < ids.size(); start += kScreenBlock) {
+    const size_t end = std::min(ids.size(), start + kScreenBlock);
+    block.clear();
+    for (size_t i = start; i < end; ++i) {
+      block.push_back({dataset_->Row(ids[i]), ids[i]});
+    }
+    const std::vector<double> vals =
+        knn::OutlyingDegreeBatch(*engine_, block, full, config_.k);
+    ods.insert(ods.end(), vals.begin(), vals.end());
+  }
+  return ods;
+}
+
+std::vector<HosMiner::ScreenedOutlier> HosMiner::ScreenOutliers() const {
+  std::vector<data::PointId> live;
+  live.reserve(dataset_->live_size());
   for (data::PointId id = 0; id < dataset_->size(); ++id) {
-    if (!dataset_->IsLive(id)) continue;
-    knn::KnnQuery query;
-    query.point = dataset_->Row(id);
-    query.subspace = full;
-    query.k = config_.k;
-    query.exclude = id;
-    double od = knn::OutlyingDegree(*engine_, query);
-    if (od >= threshold_) out.push_back({id, od});
+    if (dataset_->IsLive(id)) live.push_back(id);
+  }
+  const std::vector<double> ods = ScreenBatch(live);
+  std::vector<ScreenedOutlier> out;
+  for (size_t i = 0; i < live.size(); ++i) {
+    if (ods[i] >= threshold_) out.push_back({live[i], ods[i]});
   }
   std::sort(out.begin(), out.end(),
             [](const ScreenedOutlier& a, const ScreenedOutlier& b) {
@@ -157,17 +186,16 @@ std::vector<HosMiner::ScreenedOutlier> HosMiner::ScreenOutliers() const {
 
 std::vector<HosMiner::ScreenedOutlier> HosMiner::TopOutliers(
     int top_n) const {
-  std::vector<ScreenedOutlier> all;
-  all.reserve(dataset_->live_size());
-  const Subspace full = Subspace::Full(dataset_->num_dims());
+  std::vector<data::PointId> live;
+  live.reserve(dataset_->live_size());
   for (data::PointId id = 0; id < dataset_->size(); ++id) {
-    if (!dataset_->IsLive(id)) continue;
-    knn::KnnQuery query;
-    query.point = dataset_->Row(id);
-    query.subspace = full;
-    query.k = config_.k;
-    query.exclude = id;
-    all.push_back({id, knn::OutlyingDegree(*engine_, query)});
+    if (dataset_->IsLive(id)) live.push_back(id);
+  }
+  const std::vector<double> ods = ScreenBatch(live);
+  std::vector<ScreenedOutlier> all;
+  all.reserve(live.size());
+  for (size_t i = 0; i < live.size(); ++i) {
+    all.push_back({live[i], ods[i]});
   }
   std::sort(all.begin(), all.end(),
             [](const ScreenedOutlier& a, const ScreenedOutlier& b) {
@@ -179,6 +207,91 @@ std::vector<HosMiner::ScreenedOutlier> HosMiner::TopOutliers(
   all.resize(std::min<size_t>(all.size(),
                               static_cast<size_t>(std::max(top_n, 0))));
   return all;
+}
+
+std::vector<Result<QueryResult>> HosMiner::QueryBatchFused(
+    std::span<const data::PointId> ids, const QueryOptions& options) const {
+  std::vector<std::optional<Result<QueryResult>>> slots(ids.size());
+  std::vector<size_t> valid;
+  valid.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    // Exactly Query's validation, reported per slot so one dead id cannot
+    // fail its batch-mates.
+    if (ids[i] >= dataset_->size()) {
+      slots[i] = Status::OutOfRange("point id " + std::to_string(ids[i]) +
+                                    " outside dataset of size " +
+                                    std::to_string(dataset_->size()));
+    } else if (!dataset_->IsLive(ids[i])) {
+      slots[i] = Status::NotFound("point id " + std::to_string(ids[i]) +
+                                  " was deleted/evicted from the window");
+    } else {
+      valid.push_back(i);
+    }
+  }
+  if (!valid.empty()) {
+    // One evaluator per point, all on the shared engine/store — the only
+    // shared inputs, and both only ever hand back bitwise-exact OD values,
+    // which is why the co-scheduled walks replay the per-point searches.
+    std::vector<search::OdEvaluator> evaluators;
+    evaluators.reserve(valid.size());
+    std::vector<search::OdEvaluator*> pointers;
+    pointers.reserve(valid.size());
+    for (size_t i : valid) {
+      evaluators.emplace_back(*engine_, dataset_->Row(ids[i]), config_.k,
+                              ids[i], options.od_store);
+    }
+    for (search::OdEvaluator& od : evaluators) pointers.push_back(&od);
+
+    search::SearchExecution exec;
+    exec.pool = options.search_pool;
+    exec.max_threads = options.search_threads;
+    exec.lattice_backend = options.lattice_backend;
+    exec.max_od_evaluations = options.max_od_evaluations;
+    exec.filter = density_filter_.get();
+    exec.filter_mode = options.filter_mode;
+    exec.filter_speculative_slack = options.filter_speculative_slack;
+    std::unique_ptr<obs::QueryTracer> local_tracer;
+    obs::QueryTracer* tracer = options.tracer;
+    if (tracer == nullptr && options.collect_trace) {
+      local_tracer = std::make_unique<obs::QueryTracer>();
+      tracer = local_tracer.get();
+    }
+    const uint64_t version = dataset_->version();
+    std::vector<Result<search::SearchOutcome>> outcomes;
+    {
+      obs::ScopedSpan search_span(
+          tracer, "search", options.trace_parent,
+          tracer != nullptr ? "points=" + std::to_string(valid.size())
+                            : std::string());
+      exec.tracer = tracer;
+      exec.trace_parent = search_span.id();
+      search::BatchFrontierRunner runner(dataset_->num_dims(), &priors());
+      outcomes = runner.Run(pointers, threshold_, exec);
+    }
+    // The block records one shared span tree; every successful result
+    // carries it (shared_ptr, so this stays cheap).
+    std::shared_ptr<const obs::QueryTrace> trace;
+    if (local_tracer != nullptr) {
+      trace = std::make_shared<const obs::QueryTrace>(local_tracer->Finish());
+    }
+    for (size_t j = 0; j < valid.size(); ++j) {
+      if (!outcomes[j].ok()) {
+        slots[valid[j]] = outcomes[j].status();
+        continue;
+      }
+      QueryResult result;
+      result.outcome = std::move(outcomes[j]).value();
+      result.dataset_version = version;
+      result.trace = trace;
+      slots[valid[j]] = std::move(result);
+    }
+  }
+  std::vector<Result<QueryResult>> out;
+  out.reserve(slots.size());
+  for (std::optional<Result<QueryResult>>& slot : slots) {
+    out.push_back(std::move(*slot));
+  }
+  return out;
 }
 
 Result<QueryResult> HosMiner::RunSearch(

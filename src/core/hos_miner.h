@@ -200,6 +200,27 @@ class HosMiner {
   /// OD measure), regardless of the threshold.
   std::vector<ScreenedOutlier> TopOutliers(int top_n) const;
 
+  /// Fused full-space OD of the given rows (each must be live), in input
+  /// order: the ids are served in internal blocks through the backend's
+  /// batched kNN entry point (one index traversal / kernel sweep per block
+  /// instead of per id). Values are bitwise identical to per-id
+  /// knn::OutlyingDegree calls — the multi-point kernel admits neighbours
+  /// by exact distances only — so ScreenOutliers and TopOutliers, which
+  /// are built on this, rank exactly as the historical per-point loop did.
+  std::vector<double> ScreenBatch(std::span<const data::PointId> ids) const;
+
+  /// Fused batch form of Query(id, options): each id is validated exactly
+  /// like Query (OutOfRange / NotFound reported in that id's slot), then
+  /// the valid points' lattice searches are co-scheduled through
+  /// search::BatchFrontierRunner so OD evaluations coinciding on a
+  /// subspace share one fused kNN pass. Per-point answer content is
+  /// bitwise identical to Query(id, options) — see batch_frontier.h for
+  /// the argument and the monitoring-only counter exceptions. With
+  /// collect_trace set (and no external tracer) the whole block records
+  /// one shared span tree, attached to every successful result.
+  std::vector<Result<QueryResult>> QueryBatchFused(
+      std::span<const data::PointId> ids, const QueryOptions& options) const;
+
   // -------------------------------------------------------------------
   // Streaming ingest and the sliding window. Append adds rows (the delta)
   // which every query merges in exactly — the kNN backends scan the delta

@@ -207,6 +207,137 @@ std::vector<knn::Neighbor> IDistance::Knn(
   return best.TakeSorted();
 }
 
+std::vector<std::vector<knn::Neighbor>> IDistance::KnnBatch(
+    std::span<const knn::BatchPointQuery> points, int k) const {
+  const size_t nb = points.size();
+  const size_t want = static_cast<size_t>(std::max(k, 0));
+  std::vector<std::vector<knn::Neighbor>> results(nb);
+  if (nb == 0) return results;
+  if (want == 0 || dataset_->live_size() == 0) return results;
+  const kernels::DatasetView* view = kernel_view();
+  if (view == nullptr) {
+    // Stale base: the scalar per-point search is the only exact path.
+    for (size_t q = 0; q < nb; ++q) {
+      results[q] = Knn(points[q].point, k, points[q].exclude);
+    }
+    return results;
+  }
+  const Subspace full = Subspace::Full(dataset_->num_dims());
+  const size_t base = std::min(base_rows_, dataset_->size());
+  const size_t num_parts = partitions_.size();
+
+  // Per-point distances to every partition centre.
+  std::vector<double> center_dist(nb * num_parts);
+  for (size_t q = 0; q < nb; ++q) {
+    for (size_t p = 0; p < num_parts; ++p) {
+      center_dist[q * num_parts + p] = knn::SubspaceDistance(
+          points[q].point, partitions_[p].center, full, metric_);
+    }
+  }
+
+  kernel_scans_ += nb;
+  if (dataset_->size() > base) delta_merges_ += nb;
+  const data::Dataset* live_filter =
+      dataset_->num_tombstones() > 0 ? dataset_ : nullptr;
+  std::vector<kernels::TopKCollector> collectors;
+  collectors.reserve(nb);
+  for (size_t q = 0; q < nb; ++q) collectors.emplace_back(want, live_filter);
+  std::vector<kernels::MultiPointQuery> queries(nb);
+  std::vector<size_t> reachable(nb);
+  for (size_t q = 0; q < nb; ++q) {
+    queries[q] = {points[q].point.data(), points[q].exclude, &collectors[q]};
+    reachable[q] =
+        dataset_->CountLiveBefore(base) -
+        (points[q].exclude && *points[q].exclude < base &&
+                 dataset_->IsLive(*points[q].exclude)
+             ? 1
+             : 0);
+  }
+
+  // One shared visited set: each base id is pulled from the B+-tree once
+  // per batch and offered to every point still active in that round. A
+  // retired point's invariant (worst <= r with its stripes fully covered)
+  // proves every still-unseen id strictly farther than r, so ids harvested
+  // in later rounds could not have entered its answer anyway.
+  std::vector<char> visited(base, 0);
+  std::vector<char> active(nb, 1);
+  size_t num_active = nb;
+  std::vector<data::PointId> round_batch;
+  std::vector<kernels::MultiPointQuery> active_queries;
+  const double step =
+      std::max(mean_radius_ * config_.initial_radius_fraction, 1e-9);
+  double r = step;
+
+  while (num_active > 0) {
+    // Per partition, one scan over the union of the active points' key
+    // stripes — a superset of every active point's own stripe, so each
+    // point's coverage invariant is the sequential one.
+    round_batch.clear();
+    for (size_t p = 0; p < num_parts; ++p) {
+      double lo_d = std::numeric_limits<double>::infinity();
+      double hi_d = -std::numeric_limits<double>::infinity();
+      for (size_t q = 0; q < nb; ++q) {
+        if (!active[q]) continue;
+        const double cd = center_dist[q * num_parts + p];
+        if (cd - r > partitions_[p].radius) continue;
+        lo_d = std::min(lo_d, std::max(0.0, cd - r));
+        hi_d = std::max(hi_d, std::min(partitions_[p].radius, cd + r));
+      }
+      if (lo_d > hi_d) continue;
+      ++stripe_scans_;
+      tree_.Scan(Key(static_cast<int>(p), lo_d),
+                 Key(static_cast<int>(p), hi_d),
+                 [&](double /*key*/, data::PointId id) {
+                   if (!visited[id]) {
+                     visited[id] = 1;
+                     round_batch.push_back(id);
+                   }
+                   return true;
+                 });
+    }
+    if (!round_batch.empty()) {
+      active_queries.clear();
+      for (size_t q = 0; q < nb; ++q) {
+        if (active[q]) active_queries.push_back(queries[q]);
+      }
+      distance_count_ += kernels::ScanIdsForTopKMulti(
+          *view, active_queries, full, metric_, round_batch);
+    }
+    for (size_t q = 0; q < nb; ++q) {
+      if (!active[q]) continue;
+      const kernels::TopKCollector& best = collectors[q];
+      const size_t target = std::min(want, reachable[q]);
+      if (best.size() >= target && (best.empty() || best.worst() <= r)) {
+        active[q] = 0;
+        --num_active;
+        continue;
+      }
+      bool any_left = false;
+      for (size_t p = 0; p < num_parts; ++p) {
+        if (center_dist[q * num_parts + p] - r <= partitions_[p].radius) {
+          any_left = true;
+          break;
+        }
+      }
+      if (!any_left && best.size() >= target) {
+        active[q] = 0;
+        --num_active;
+      }
+    }
+    r += step;
+  }
+
+  for (size_t q = 0; q < nb; ++q) {
+    distance_count_ += knn::DeltaScanTopK(
+        *dataset_, metric_, points[q].point, full,
+        static_cast<data::PointId>(base),
+        static_cast<data::PointId>(dataset_->size()), points[q].exclude,
+        &collectors[q]);
+    results[q] = collectors[q].TakeSorted();
+  }
+  return results;
+}
+
 std::vector<knn::Neighbor> IDistance::RangeSearch(
     std::span<const double> point, double radius) const {
   const Subspace full = Subspace::Full(dataset_->num_dims());

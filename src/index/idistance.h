@@ -73,6 +73,19 @@ class IDistance {
                                  std::optional<data::PointId> exclude =
                                      std::nullopt) const;
 
+  /// Batched exact full-space kNN: one joint radius search for B query
+  /// points. Per round, each partition is scanned once over the *union* of
+  /// the active points' key stripes; newly harvested ids (one shared
+  /// visited set, so every id is fetched from the B+-tree at most once per
+  /// batch) are refined through the fused multi-point kernel into every
+  /// active point's collector. A point retires when its own termination
+  /// invariant holds — k found and worst <= r after its stripes were
+  /// covered — at which moment all unseen ids are provably farther than r,
+  /// so later rounds cannot change its answer: results[i] is bitwise
+  /// identical to Knn(points[i], k, excludes[i]).
+  std::vector<std::vector<knn::Neighbor>> KnnBatch(
+      std::span<const knn::BatchPointQuery> points, int k) const;
+
   /// Exact full-space range query, ascending (distance, id).
   std::vector<knn::Neighbor> RangeSearch(std::span<const double> point,
                                          double radius) const;

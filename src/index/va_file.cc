@@ -7,9 +7,14 @@
 #include <queue>
 
 #include "src/kernels/batched_distance.h"
+#include "src/kernels/va_screen.h"
 #include "src/knn/delta_scan.h"
 
 namespace hos::index {
+
+namespace {
+
+}  // namespace
 
 VaFile::VaFile(const data::Dataset& dataset, knn::MetricKind metric,
                VaFileConfig config)
@@ -267,6 +272,149 @@ std::vector<knn::Neighbor> VaFile::Knn(const knn::KnnQuery& query) const {
 
   last_candidates_ = candidates_visited;
   return best.TakeSorted();
+}
+
+std::vector<std::vector<knn::Neighbor>> VaFile::KnnBatch(
+    std::span<const knn::BatchPointQuery> points, const Subspace& subspace,
+    int k) const {
+  const size_t nb = points.size();
+  const size_t n = dataset_->size();
+  const size_t base = std::min(base_rows_, n);
+  const size_t kk = static_cast<size_t>(std::max(k, 0));
+  std::vector<std::vector<knn::Neighbor>> results(nb);
+  if (nb == 0) return results;
+  if (n == 0 || kk == 0) {
+    last_candidates_ = 0;
+    return results;
+  }
+  const kernels::DatasetView* view = kernel_view();
+  if (view == nullptr) {
+    // Stale base: the per-point scalar refinement is the only exact path.
+    for (size_t q = 0; q < nb; ++q) {
+      results[q] = Knn({points[q].point, subspace, k, points[q].exclude});
+    }
+    return results;
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::vector<int> dims = subspace.Dims();
+  const size_t nd = dims.size();
+  const bool filter_dead = dataset_->num_tombstones() > 0;
+  const int d = dataset_->num_dims();
+
+  // Phase 1, fused: one vectorized sweep of the approximation codes per
+  // query point (lazy uppers — see kernels::VaScreenSweep). The codes are
+  // transposed once per batch into dimension-major columns so the sweep
+  // runs candidate-inner over row blocks; the nd*base transpose is
+  // amortized over the batch's nb sweeps and everything remains in
+  // accumulation space — the screening never takes a square root.
+  std::vector<double> lowers(nb * base);  // [q * base + id], acc space
+  std::vector<std::priority_queue<double>> heaps(nb);
+  std::vector<double> lo0(nd), w(nd), qdims(nd);
+  for (size_t c = 0; c < nd; ++c) {
+    lo0[c] = dim_lo_[dims[c]];
+    w[c] = dim_width_[dims[c]];
+  }
+  std::vector<uint8_t> dead;
+  if (filter_dead) {
+    dead.resize(base);
+    for (size_t r = 0; r < base; ++r) {
+      dead[r] = dataset_->IsLive(static_cast<data::PointId>(r)) ? 0 : 1;
+    }
+  }
+  std::vector<uint8_t> codes_t(nd * base);
+  for (size_t c = 0; c < nd; ++c) {
+    const uint8_t* src = cells_.data() + dims[c];
+    uint8_t* dst = codes_t.data() + c * base;
+    for (size_t r = 0; r < base; ++r) {
+      dst[r] = src[r * static_cast<size_t>(d)];
+    }
+  }
+  for (size_t q = 0; q < nb; ++q) {
+    const double* point = points[q].point.data();
+    for (size_t c = 0; c < nd; ++c) qdims[c] = point[dims[c]];
+    const size_t skip = points[q].exclude
+                            ? static_cast<size_t>(*points[q].exclude)
+                            : static_cast<size_t>(-1);
+    kernels::VaScreenSweep(metric_, qdims.data(), lo0.data(), w.data(), nd,
+                           codes_t.data(), base,
+                           filter_dead ? dead.data() : nullptr, skip, kk,
+                           heaps[q], &lowers[q * base]);
+  }
+
+  // Phase 2: per-point candidates and exact refinement, the sequential
+  // loop's shape — candidates below the k-th-upper cutoff, visited in
+  // ascending lower-bound order so the running k-th distance breaks the
+  // loop early. Both the cutoff and the break comparisons stay in
+  // accumulation space against the kernel's loosened bound, which absorbs
+  // the sqrt plateau: the candidate set is a superset of the sequential
+  // one, the break only drops provably-inadmissible candidates, and the
+  // exact refinement (same kernel, same ascending-dimension accumulation,
+  // order-insensitive (distance, id) admission) returns bitwise-identical
+  // neighbours.
+  constexpr double kLoosen =
+      1.0 + 8.0 * std::numeric_limits<double>::epsilon();
+  approx_sweeps_ += nb;
+  kernel_scans_ += nb;
+  if (n > base) delta_merges_ += nb;
+  struct Approx {
+    double lower;  // accumulation space
+    data::PointId id;
+  };
+  std::vector<Approx> candidates;
+  std::vector<data::PointId> block_ids;
+  double dist[kernels::kDistanceBlock];
+  uint64_t candidates_visited = 0;
+  for (size_t q = 0; q < nb; ++q) {
+    const double* lower = &lowers[q * base];
+    const double tau_acc =
+        heaps[q].size() >= kk ? heaps[q].top() * kLoosen : kInf;
+    candidates.clear();
+    for (data::PointId id = 0; id < base; ++id) {
+      if (lower[id] <= tau_acc) candidates.push_back({lower[id], id});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Approx& a, const Approx& b) {
+                if (a.lower != b.lower) return a.lower < b.lower;
+                return a.id < b.id;
+              });
+    kernels::TopKCollector best(kk);
+    size_t i = 0;
+    while (i < candidates.size()) {
+      const double bound = best.bound();
+      if (best.full()) {
+        double bound_acc = bound;
+        if (metric_ == knn::MetricKind::kL2) {
+          bound_acc = bound * bound * kLoosen;
+        }
+        if (candidates[i].lower > bound_acc) break;
+      }
+      const size_t block_end =
+          std::min(i + kernels::kDistanceBlock, candidates.size());
+      block_ids.clear();
+      for (size_t j = i; j < block_end; ++j) {
+        block_ids.push_back(candidates[j].id);
+      }
+      kernels::BatchedSubspaceDistance(*view, points[q].point, dims, metric_,
+                                       block_ids, bound,
+                                       {dist, block_ids.size()});
+      distance_count_ += block_ids.size();
+      candidates_visited += block_ids.size();
+      for (size_t j = 0; j < block_ids.size(); ++j) {
+        if (dist[j] != kernels::kPrunedDistance) {
+          best.Offer(block_ids[j], dist[j]);
+        }
+      }
+      i = block_end;
+    }
+    distance_count_ += knn::DeltaScanTopK(
+        *dataset_, metric_, points[q].point, subspace,
+        static_cast<data::PointId>(base), static_cast<data::PointId>(n),
+        points[q].exclude, &best);
+    results[q] = best.TakeSorted();
+  }
+  last_candidates_ = candidates_visited;
+  return results;
 }
 
 std::vector<knn::Neighbor> VaFile::RangeSearch(std::span<const double> point,

@@ -50,6 +50,18 @@ class VaFile {
   /// LinearScanKnn: ascending (distance, id).
   std::vector<knn::Neighbor> Knn(const knn::KnnQuery& query) const;
 
+  /// Batched exact kNN for B query points sharing one subspace and k:
+  /// phase 1 makes a single sweep of the approximation file, decoding each
+  /// row's cell bounds once and serving gap/reach accumulation to every
+  /// query point; phase 2 refines the union of the per-point candidate
+  /// sets through the fused multi-point kernel into per-point collectors.
+  /// A candidate outside a point's own set has lower > tau for that point,
+  /// so it can never displace a true neighbour — results[i] is bitwise
+  /// identical to Knn({points[i], subspace, k, excludes[i]}).
+  std::vector<std::vector<knn::Neighbor>> KnnBatch(
+      std::span<const knn::BatchPointQuery> points, const Subspace& subspace,
+      int k) const;
+
   /// All points within `radius`, ascending (distance, id).
   std::vector<knn::Neighbor> RangeSearch(std::span<const double> point,
                                          const Subspace& subspace,
@@ -131,6 +143,11 @@ class VaFileKnn : public knn::KnnEngine {
 
   std::vector<knn::Neighbor> Search(const knn::KnnQuery& query) const override {
     return file_.Knn(query);
+  }
+  std::vector<std::vector<knn::Neighbor>> SearchBatch(
+      std::span<const knn::BatchPointQuery> points, const Subspace& subspace,
+      int k) const override {
+    return file_.KnnBatch(points, subspace, k);
   }
   std::vector<knn::Neighbor> RangeSearch(std::span<const double> point,
                                          const Subspace& subspace,

@@ -744,6 +744,127 @@ std::vector<knn::Neighbor> XTree::KnnBase(const knn::KnnQuery& query) const {
   return out;
 }
 
+std::vector<std::vector<knn::Neighbor>> XTree::KnnBatch(
+    std::span<const knn::BatchPointQuery> points, const Subspace& subspace,
+    int k) const {
+  const size_t nb = points.size();
+  std::vector<std::vector<knn::Neighbor>> results(nb);
+  if (nb == 0 || k <= 0) return results;
+  const kernels::DatasetView* view = kernel_view();
+  if (view == nullptr || root_ == nullptr) {
+    // Scalar fallback (or empty tree): the per-point query loop.
+    for (size_t q = 0; q < nb; ++q) {
+      results[q] = Knn({points[q].point, subspace, k, points[q].exclude});
+    }
+    return results;
+  }
+
+  kernel_scans_ += nb;
+  // Tombstoned rows are still in the leaves; the collectors reject them at
+  // admission, exactly like the sequential path's pre-offer filter.
+  const data::Dataset* live_filter =
+      dataset_->num_tombstones() > 0 ? dataset_ : nullptr;
+  std::vector<kernels::TopKCollector> collectors;
+  collectors.reserve(nb);
+  for (size_t q = 0; q < nb; ++q) {
+    collectors.emplace_back(static_cast<size_t>(k), live_filter);
+  }
+  std::vector<kernels::MultiPointQuery> queries(nb);
+  for (size_t q = 0; q < nb; ++q) {
+    queries[q] = {points[q].point.data(), points[q].exclude, &collectors[q]};
+  }
+
+  // Shared best-first traversal with shrinking active sets: each queue
+  // entry carries only the queries its parent had not already pruned (and
+  // their MBR min-distances), ordered by the carried minimum so the
+  // batch's most promising subtree is expanded first and every collector's
+  // bound tightens as early as possible. A query q is dropped from a
+  // subtree once mindist_q exceeds q's full-collector bound — bounds only
+  // tighten and child mindists dominate the parent's, so nothing inside
+  // can ever enter q's answer. This keeps the traversal arithmetic
+  // proportional to the per-query node sets (plus sharing where they
+  // overlap) instead of B min-distances on every node the union touches.
+  // Queue entries are PODs pointing into shared member/mindist arenas
+  // (append-only for the duration of the traversal), so pushing a node
+  // costs no allocation and popping no vector copy.
+  struct BatchItem {
+    double key;
+    const Node* node;
+    uint32_t offset;  // segment start in the arenas
+    uint32_t count;   // segment length
+  };
+  struct BatchGreater {
+    bool operator()(const BatchItem& a, const BatchItem& b) const {
+      return a.key > b.key;
+    }
+  };
+  std::vector<uint32_t> arena_members;
+  std::vector<double> arena_mindist;
+  arena_members.reserve(nb * 16);
+  arena_mindist.reserve(nb * 16);
+  std::priority_queue<BatchItem, std::vector<BatchItem>, BatchGreater> heap;
+  const auto push_node = [&](const Node* node, const uint32_t* candidates,
+                             size_t num_candidates) {
+    const auto offset = static_cast<uint32_t>(arena_members.size());
+    double key = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < num_candidates; ++i) {
+      const uint32_t q = candidates[i];
+      const double md =
+          node->mbr.MinDistance(points[q].point, subspace, metric_);
+      // Prune at push time too: the bound can only be tighter by the time
+      // the node is popped, so this discards exactly what the pop-time
+      // check would.
+      if (md > collectors[q].bound()) continue;
+      arena_members.push_back(q);
+      arena_mindist.push_back(md);
+      key = std::min(key, md);
+    }
+    const auto count = static_cast<uint32_t>(arena_members.size()) - offset;
+    if (count == 0) return;
+    heap.push({key, node, offset, count});
+  };
+  std::vector<uint32_t> all(nb);
+  for (size_t q = 0; q < nb; ++q) all[q] = static_cast<uint32_t>(q);
+  push_node(root_.get(), all.data(), all.size());
+
+  std::vector<kernels::MultiPointQuery> active;
+  std::vector<uint32_t> active_members;
+  while (!heap.empty()) {
+    const BatchItem item = heap.top();
+    heap.pop();
+    active.clear();
+    active_members.clear();
+    for (size_t i = 0; i < item.count; ++i) {
+      const uint32_t q = arena_members[item.offset + i];
+      if (arena_mindist[item.offset + i] <= collectors[q].bound()) {
+        active.push_back(queries[q]);
+        active_members.push_back(q);
+      }
+    }
+    if (active.empty()) continue;
+    ++node_access_count_;
+    if (item.node->is_leaf) {
+      distance_count_ += kernels::ScanIdsForTopKMulti(
+          *view, active, subspace, metric_, item.node->points);
+    } else {
+      for (const auto& child : item.node->children) {
+        push_node(child.get(), active_members.data(), active_members.size());
+      }
+    }
+  }
+
+  const auto live = static_cast<data::PointId>(dataset_->size());
+  if (live > base_rows_) delta_merges_ += nb;
+  for (size_t q = 0; q < nb; ++q) {
+    distance_count_ += knn::DeltaScanTopK(
+        *dataset_, metric_, points[q].point, subspace,
+        static_cast<data::PointId>(base_rows_), live, points[q].exclude,
+        &collectors[q]);
+    results[q] = collectors[q].TakeSorted();
+  }
+  return results;
+}
+
 std::vector<knn::Neighbor> XTree::RangeSearch(std::span<const double> point,
                                               const Subspace& subspace,
                                               double radius) const {

@@ -125,6 +125,19 @@ class XTree {
   /// Ordering matches LinearScanKnn: ascending (distance, id).
   std::vector<knn::Neighbor> Knn(const knn::KnnQuery& query) const;
 
+  /// Batched exact kNN for B query points sharing one subspace and k: a
+  /// single shared best-first traversal ordered by the batch-minimum MBR
+  /// distance. Each queue entry carries per-point min-distances; a node is
+  /// expanded when at least one point's collector could still admit a
+  /// point from it, and leaves are scanned once through the fused
+  /// multi-point kernel into per-point collectors. A subtree is skipped
+  /// for a point only when its min-distance strictly exceeds that point's
+  /// full-collector bound — provably outside the answer — so results[i]
+  /// is bitwise identical to Knn({points[i], subspace, k, excludes[i]}).
+  std::vector<std::vector<knn::Neighbor>> KnnBatch(
+      std::span<const knn::BatchPointQuery> points, const Subspace& subspace,
+      int k) const;
+
   /// All points within `radius` (inclusive), ascending (distance, id).
   std::vector<knn::Neighbor> RangeSearch(std::span<const double> point,
                                          const Subspace& subspace,
@@ -209,6 +222,11 @@ class XTreeKnn : public knn::KnnEngine {
 
   std::vector<knn::Neighbor> Search(const knn::KnnQuery& query) const override {
     return tree_.Knn(query);
+  }
+  std::vector<std::vector<knn::Neighbor>> SearchBatch(
+      std::span<const knn::BatchPointQuery> points, const Subspace& subspace,
+      int k) const override {
+    return tree_.KnnBatch(points, subspace, k);
   }
   std::vector<knn::Neighbor> RangeSearch(std::span<const double> point,
                                          const Subspace& subspace,

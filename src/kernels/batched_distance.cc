@@ -140,6 +140,112 @@ void TopKBlock(const DatasetView& view, const double* query,
   }
 }
 
+/// One (query-block, candidate-block) tile of the fused multi-point scan:
+/// up to kQueryBlock query rows against up to kDistanceBlock candidates.
+/// Dimension-outer / query-point / candidate-inner — each column block is
+/// loaded once and swept for every still-active query row. Per point the
+/// arithmetic is exactly TopKBlock's: ascending-dimension accumulation,
+/// screening in accumulation space against that point's SelectionBound, one
+/// exact Finalize per near-bound candidate, offers in lane order. A point
+/// whose block-minimum accumulation exceeds its bound between dimension
+/// chunks goes inactive for the rest of the tile (no offers — the whole
+/// block is provably beyond its k-th neighbour); the tile is abandoned when
+/// every point is inactive. A point's excluded id is skipped at offer time
+/// rather than by segment splitting, which changes pruning opportunities
+/// but never collector content.
+template <knn::MetricKind kMetric, bool kContiguous>
+void MultiTopKBlock(const DatasetView& view,
+                    std::span<const MultiPointQuery> queries,
+                    std::span<const int> dims, const data::PointId* ids,
+                    data::PointId first, size_t m) {
+  const size_t nq = queries.size();
+  double acc[kQueryBlock][kDistanceBlock];
+  double bound[kQueryBlock];
+  double bound_acc[kQueryBlock];
+  bool active[kQueryBlock];
+  size_t num_active = nq;
+  for (size_t q = 0; q < nq; ++q) {
+    for (size_t j = 0; j < m; ++j) acc[q][j] = 0.0;
+    bound[q] = queries[q].collector->bound();
+    bound_acc[q] = SelectionBound<kMetric>(bound[q]);
+    active[q] = true;
+  }
+
+  const size_t num_dims = dims.size();
+  size_t c = 0;
+  while (c < num_dims) {
+    const size_t chunk_end = std::min(c + kDimChunk, num_dims);
+    for (; c < chunk_end; ++c) {
+      const double* col = view.Column(dims[c]);
+      const double* base = col + first;
+      const int dim = dims[c];
+      for (size_t q = 0; q < nq; ++q) {
+        if (!active[q]) continue;
+        const double qv = queries[q].point[dim];
+        double* a = acc[q];
+        if constexpr (kContiguous) {
+          for (size_t j = 0; j < m; ++j) Accumulate<kMetric>(a[j], qv - base[j]);
+        } else {
+          for (size_t j = 0; j < m; ++j) {
+            Accumulate<kMetric>(a[j], qv - col[ids[j]]);
+          }
+        }
+      }
+    }
+    if (c < num_dims) {
+      for (size_t q = 0; q < nq; ++q) {
+        if (!active[q] || !(bound_acc[q] < kInf)) continue;
+        double partial = acc[q][0];
+        for (size_t j = 1; j < m; ++j) partial = std::min(partial, acc[q][j]);
+        if (partial > bound_acc[q]) {
+          active[q] = false;
+          --num_active;
+        }
+      }
+      if (num_active == 0) return;
+    }
+  }
+
+  for (size_t q = 0; q < nq; ++q) {
+    if (!active[q]) continue;
+    const double* a = acc[q];
+    double closest = a[0];
+    for (size_t j = 1; j < m; ++j) closest = std::min(closest, a[j]);
+    if (closest > bound_acc[q]) continue;
+    for (size_t j = 0; j < m; ++j) {
+      if (a[j] <= bound_acc[q]) {
+        const data::PointId id =
+            kContiguous ? first + static_cast<data::PointId>(j) : ids[j];
+        if (queries[q].exclude && *queries[q].exclude == id) continue;
+        const double dist = Finalize<kMetric>(a[j]);
+        if (dist <= bound[q]) queries[q].collector->Offer(id, dist);
+      }
+    }
+  }
+}
+
+template <bool kContiguous>
+void MultiTopKDispatch(const DatasetView& view,
+                       std::span<const MultiPointQuery> queries,
+                       std::span<const int> dims, knn::MetricKind metric,
+                       const data::PointId* ids, data::PointId first,
+                       size_t m) {
+  switch (metric) {
+    case knn::MetricKind::kL1:
+      MultiTopKBlock<knn::MetricKind::kL1, kContiguous>(view, queries, dims,
+                                                        ids, first, m);
+      return;
+    case knn::MetricKind::kL2:
+      MultiTopKBlock<knn::MetricKind::kL2, kContiguous>(view, queries, dims,
+                                                        ids, first, m);
+      return;
+    case knn::MetricKind::kLInf:
+      MultiTopKBlock<knn::MetricKind::kLInf, kContiguous>(view, queries, dims,
+                                                          ids, first, m);
+      return;
+  }
+}
+
 template <bool kContiguous>
 void TopKDispatch(const DatasetView& view, const double* query,
                   std::span<const int> dims, knn::MetricKind metric,
@@ -280,6 +386,47 @@ uint64_t ScanIdsForTopK(const DatasetView& view, std::span<const double> query,
                         0, m, collector);
   }
   return ids.size();
+}
+
+uint64_t ScanAllForTopKMulti(const DatasetView& view,
+                             std::span<const MultiPointQuery> queries,
+                             const Subspace& subspace, knn::MetricKind metric) {
+  const std::vector<int> dims = subspace.Dims();
+  const size_t n = view.num_points();
+  uint64_t examined = 0;
+  for (size_t q0 = 0; q0 < queries.size(); q0 += kQueryBlock) {
+    const size_t nq = std::min(kQueryBlock, queries.size() - q0);
+    const std::span<const MultiPointQuery> tile = queries.subspan(q0, nq);
+    for (size_t start = 0; start < n; start += kDistanceBlock) {
+      const size_t m = std::min(kDistanceBlock, n - start);
+      MultiTopKDispatch<true>(view, tile, dims, metric, nullptr,
+                              static_cast<data::PointId>(start), m);
+    }
+    // Per point, the sequential scan examines every row except its own
+    // exclusion (pruned candidates included), so the fused count is the
+    // same sum it would report.
+    for (const MultiPointQuery& mq : tile) {
+      examined += n - ((mq.exclude && *mq.exclude < n) ? 1 : 0);
+    }
+  }
+  return examined;
+}
+
+uint64_t ScanIdsForTopKMulti(const DatasetView& view,
+                             std::span<const MultiPointQuery> queries,
+                             const Subspace& subspace, knn::MetricKind metric,
+                             std::span<const data::PointId> ids) {
+  const std::vector<int> dims = subspace.Dims();
+  for (size_t q0 = 0; q0 < queries.size(); q0 += kQueryBlock) {
+    const size_t nq = std::min(kQueryBlock, queries.size() - q0);
+    const std::span<const MultiPointQuery> tile = queries.subspan(q0, nq);
+    for (size_t start = 0; start < ids.size(); start += kDistanceBlock) {
+      const size_t m = std::min(kDistanceBlock, ids.size() - start);
+      MultiTopKDispatch<false>(view, tile, dims, metric, ids.data() + start,
+                               0, m);
+    }
+  }
+  return static_cast<uint64_t>(queries.size()) * ids.size();
 }
 
 }  // namespace hos::kernels

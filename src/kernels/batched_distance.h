@@ -176,6 +176,42 @@ uint64_t ScanIdsForTopK(const DatasetView& view, std::span<const double> query,
                         std::span<const data::PointId> ids,
                         TopKCollector* collector);
 
+/// Query-points per fused scan block (the query-point-inner-inner unroll of
+/// the multi-point kernel below): kQueryBlock accumulator rows of
+/// kDistanceBlock doubles fit comfortably in L1 alongside one column block.
+inline constexpr size_t kQueryBlock = 8;
+
+/// One query row of a fused multi-point scan: a full-dimensional point, its
+/// optional self-exclusion, and the collector receiving its candidates.
+struct MultiPointQuery {
+  const double* point = nullptr;
+  std::optional<data::PointId> exclude;
+  TopKCollector* collector = nullptr;
+};
+
+/// Fused top-k scan serving B query points in one pass over the view: the
+/// loop order is dimension-outer / query-point / candidate-inner, so each
+/// column block is read once from L1 for up to kQueryBlock query rows
+/// instead of being re-streamed per point. Each point's candidates still
+/// accumulate per-dimension terms in ascending dimension order against that
+/// point's own collector bound, and a point's excluded id is skipped at
+/// offer time — so every collector finishes with exactly the content a
+/// sequential ScanAllForTopK would produce (the selection is
+/// order-insensitive under (distance, id) tie-breaking and screening only
+/// drops candidates provably beyond the bound). Returns the summed
+/// per-point examined counts, matching B sequential scans.
+uint64_t ScanAllForTopKMulti(const DatasetView& view,
+                             std::span<const MultiPointQuery> queries,
+                             const Subspace& subspace, knn::MetricKind metric);
+
+/// Fused top-k over an explicit candidate list for B query points (the
+/// shared-traversal index backends' refinement step). Each point's excluded
+/// id is skipped at offer time; `ids` need not be pre-filtered per point.
+uint64_t ScanIdsForTopKMulti(const DatasetView& view,
+                             std::span<const MultiPointQuery> queries,
+                             const Subspace& subspace, knn::MetricKind metric,
+                             std::span<const data::PointId> ids);
+
 }  // namespace hos::kernels
 
 #endif  // HOS_KERNELS_BATCHED_DISTANCE_H_

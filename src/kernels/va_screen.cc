@@ -1,0 +1,106 @@
+#include "src/kernels/va_screen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hos::kernels {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Rows accumulated per tile: the accumulator row plus one code column
+/// block stay resident in L1 across the dimension loop.
+constexpr size_t kRowTile = 64;
+
+template <knn::MetricKind kMetric>
+void Sweep(const double* qdims, const double* lo0, const double* w, size_t nd,
+           const uint8_t* codes, size_t base, const uint8_t* dead,
+           size_t skip, size_t k, std::priority_queue<double>& heap,
+           double* out) {
+  double acc[kRowTile];
+  for (size_t start = 0; start < base; start += kRowTile) {
+    const size_t m = std::min(kRowTile, base - start);
+    for (size_t j = 0; j < m; ++j) acc[j] = 0.0;
+    for (size_t c = 0; c < nd; ++c) {
+      const uint8_t* col = codes + c * base + start;
+      const double p = qdims[c];
+      const double l0 = lo0[c];
+      const double wc = w[c];
+      for (size_t j = 0; j < m; ++j) {
+        const double lo = l0 + col[j] * wc;
+        const double hi = lo + wc;
+        // Branchless: identical values to the inside/below/above case
+        // split (a point inside the cell makes both differences
+        // non-positive), but compiles to max instructions instead of two
+        // data-dependent branches per element.
+        const double gap = std::max(std::max(lo - p, p - hi), 0.0);
+        if constexpr (kMetric == knn::MetricKind::kL1) {
+          acc[j] += gap;
+        } else if constexpr (kMetric == knn::MetricKind::kL2) {
+          acc[j] += gap * gap;
+        } else {
+          acc[j] = std::max(acc[j], gap);
+        }
+      }
+    }
+    for (size_t j = 0; j < m; ++j) {
+      const size_t r = start + j;
+      if ((dead != nullptr && dead[r]) || r == skip) {
+        out[r] = kInf;
+        continue;
+      }
+      out[r] = acc[j];
+      if (heap.size() >= k && acc[j] > heap.top()) continue;
+      // Lazy upper: reached only while the row might hold one of the k
+      // smallest uppers, so this scalar loop runs for a vanishing
+      // fraction of rows once the heap is warm.
+      double up = 0.0;
+      for (size_t c = 0; c < nd; ++c) {
+        const double lo = lo0[c] + codes[c * base + r] * w[c];
+        const double hi = lo + w[c];
+        const double p = qdims[c];
+        const double reach =
+            std::max(std::abs(p - lo), std::abs(p - hi));
+        if constexpr (kMetric == knn::MetricKind::kL1) {
+          up += reach;
+        } else if constexpr (kMetric == knn::MetricKind::kL2) {
+          up += reach * reach;
+        } else {
+          up = std::max(up, reach);
+        }
+      }
+      if (heap.size() < k) {
+        heap.push(up);
+      } else if (up < heap.top()) {
+        heap.pop();
+        heap.push(up);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void VaScreenSweep(knn::MetricKind metric, const double* qdims,
+                   const double* lo0, const double* w, size_t nd,
+                   const uint8_t* codes, size_t base, const uint8_t* dead,
+                   size_t skip, size_t k, std::priority_queue<double>& heap,
+                   double* out) {
+  switch (metric) {
+    case knn::MetricKind::kL1:
+      Sweep<knn::MetricKind::kL1>(qdims, lo0, w, nd, codes, base, dead, skip,
+                                  k, heap, out);
+      return;
+    case knn::MetricKind::kL2:
+      Sweep<knn::MetricKind::kL2>(qdims, lo0, w, nd, codes, base, dead, skip,
+                                  k, heap, out);
+      return;
+    case knn::MetricKind::kLInf:
+      Sweep<knn::MetricKind::kLInf>(qdims, lo0, w, nd, codes, base, dead,
+                                    skip, k, heap, out);
+      return;
+  }
+}
+
+}  // namespace hos::kernels

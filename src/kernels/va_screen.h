@@ -1,0 +1,54 @@
+// VaScreenSweep: the vectorized VA-file screening sweep of the fused
+// multi-query batch path. The codes are laid out dimension-major (one
+// column of 1-byte cells per subspace dimension), so the inner loop runs
+// candidate-inner over a block of rows with elementwise arithmetic only —
+// the auto-vectorizable mirror of the batched distance kernel's
+// dimension-outer / candidate-inner structure.
+//
+// Everything stays in accumulation space (squared distances for L2): the
+// produced values only gate candidacy, so no square root is ever paid
+// during screening. Per element the expressions are exactly the scalar
+// branchless forms (lo = lo0 + code*w; hi = lo + w; gap = max(lo-p, p-hi,
+// 0)), each row's accumulation walks the dimensions in ascending order,
+// and vectorization happens across rows — so the results are bitwise
+// independent of the block size and of whether the compiler vectorizes.
+//
+// The k smallest upper bounds are maintained lazily: a row's upper
+// (reach) accumulation is only computed when its lower bound does not
+// already exceed the current k-th upper, since a skipped row has
+// upper >= lower > heap-top and could neither enter the heap nor lower
+// the eventual cutoff. The sequential VA-file path computes both bounds
+// and a square root for every row; this sweep is where the fused batch
+// wins its throughput.
+
+#ifndef HOS_KERNELS_VA_SCREEN_H_
+#define HOS_KERNELS_VA_SCREEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+
+#include "src/knn/metric.h"
+
+namespace hos::kernels {
+
+/// One query point swept over `base` rows of dimension-major VA codes.
+///
+///  - qdims/lo0/w: per-subspace-slot query coordinate, cell origin and
+///    cell width (nd entries, ascending dimension order).
+///  - codes: nd columns of 1-byte cells, column c at codes[c * base].
+///  - dead: optional per-row tombstone flags (nullptr when none).
+///  - skip: row index excluded from the query (size_t(-1) for none).
+///  - out: receives each row's lower bound in accumulation space; dead
+///    and skipped rows get +infinity.
+///  - heap: max-heap receiving the k smallest upper bounds (accumulation
+///    space) over the live rows, the caller's cutoff source.
+void VaScreenSweep(knn::MetricKind metric, const double* qdims,
+                   const double* lo0, const double* w, size_t nd,
+                   const uint8_t* codes, size_t base, const uint8_t* dead,
+                   size_t skip, size_t k, std::priority_queue<double>& heap,
+                   double* out);
+
+}  // namespace hos::kernels
+
+#endif  // HOS_KERNELS_VA_SCREEN_H_

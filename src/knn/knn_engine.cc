@@ -9,12 +9,37 @@ KnnBackendStats KnnEngine::backend_stats() const {
   return stats;
 }
 
+std::vector<std::vector<Neighbor>> KnnEngine::SearchBatch(
+    std::span<const BatchPointQuery> points, const Subspace& subspace,
+    int k) const {
+  std::vector<std::vector<Neighbor>> results;
+  results.reserve(points.size());
+  for (const BatchPointQuery& p : points) {
+    results.push_back(Search({p.point, subspace, k, p.exclude}));
+  }
+  return results;
+}
+
 double OutlyingDegree(const KnnEngine& engine, const KnnQuery& query) {
   double sum = 0.0;
   for (const Neighbor& n : engine.Search(query)) {
     sum += n.distance;
   }
   return sum;
+}
+
+std::vector<double> OutlyingDegreeBatch(const KnnEngine& engine,
+                                        std::span<const BatchPointQuery> points,
+                                        const Subspace& subspace, int k) {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (std::vector<Neighbor>& neighbors :
+       engine.SearchBatch(points, subspace, k)) {
+    double sum = 0.0;
+    for (const Neighbor& n : neighbors) sum += n.distance;
+    out.push_back(sum);
+  }
+  return out;
 }
 
 }  // namespace hos::knn

@@ -39,6 +39,15 @@ struct KnnQuery {
   std::optional<data::PointId> exclude;
 };
 
+/// One query point of a batched kNN call: the point and its optional
+/// self-exclusion. Subspace and k are shared across the batch (the fused
+/// screening / co-scheduled lattice paths always query one subspace for a
+/// block of points at a time).
+struct BatchPointQuery {
+  std::span<const double> point;
+  std::optional<data::PointId> exclude;
+};
+
 /// Uniform snapshot of a backend's internal work counters, so the metrics
 /// layer can export every backend through one shape without knowing which
 /// concrete index sits behind the KnnEngine. All counts are monotone over
@@ -90,11 +99,29 @@ class KnnEngine {
   /// the distance count under backend "unknown"; concrete engines override
   /// with their name and index-specific tallies.
   virtual KnnBackendStats backend_stats() const;
+
+  /// Batched kNN: one answer per query point, all in the same subspace with
+  /// the same k. results[i] is exactly Search({points[i], subspace, k,
+  /// excludes[i]}) — ascending (distance, id) with identical doubles — for
+  /// every backend; the base class runs the per-point loop and concrete
+  /// engines override with fused scans / shared traversals that amortize
+  /// column streaming and index walks across the batch.
+  virtual std::vector<std::vector<Neighbor>> SearchBatch(
+      std::span<const BatchPointQuery> points, const Subspace& subspace,
+      int k) const;
 };
 
 /// OD(p, s) = sum of distances to the k nearest neighbours of p in s
 /// (paper §2). The core measure of the whole system.
 double OutlyingDegree(const KnnEngine& engine, const KnnQuery& query);
+
+/// Batched OD: results[i] = OutlyingDegree of points[i] in `subspace`,
+/// bitwise identical to the per-point calls (each point's neighbour
+/// distances are the same doubles summed in the same ascending
+/// (distance, id) order), amortized through SearchBatch.
+std::vector<double> OutlyingDegreeBatch(const KnnEngine& engine,
+                                        std::span<const BatchPointQuery> points,
+                                        const Subspace& subspace, int k);
 
 }  // namespace hos::knn
 

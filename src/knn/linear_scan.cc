@@ -60,6 +60,52 @@ std::vector<Neighbor> LinearScanKnn::Search(const KnnQuery& query) const {
   return collector.TakeSorted();
 }
 
+std::vector<std::vector<Neighbor>> LinearScanKnn::SearchBatch(
+    std::span<const BatchPointQuery> points, const Subspace& subspace,
+    int k) const {
+  const size_t kk = static_cast<size_t>(std::max(k, 0));
+  if (kk == 0 || points.empty()) {
+    return std::vector<std::vector<Neighbor>>(points.size());
+  }
+  const kernels::BaseDeltaSplit split =
+      kernels::SplitBaseDelta(view_, dataset_);
+  if (split.base == nullptr) {
+    // Stale base: the scalar per-point loop is the only exact path left.
+    return KnnEngine::SearchBatch(points, subspace, k);
+  }
+
+  const data::Dataset* live_filter =
+      dataset_.num_tombstones() > 0 ? &dataset_ : nullptr;
+  std::vector<kernels::TopKCollector> collectors;
+  collectors.reserve(points.size());
+  std::vector<kernels::MultiPointQuery> queries;
+  queries.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    collectors.emplace_back(kk, live_filter);
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    queries.push_back(
+        {points[i].point.data(), points[i].exclude, &collectors[i]});
+  }
+
+  kernel_scans_ += points.size();
+  if (split.delta_begin < dataset_.size()) delta_merges_ += points.size();
+  distance_count_ +=
+      kernels::ScanAllForTopKMulti(*split.base, queries, subspace, metric_);
+
+  std::vector<std::vector<Neighbor>> results;
+  results.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    distance_count_ += DeltaScanTopK(
+        dataset_, metric_, points[i].point, subspace,
+        static_cast<data::PointId>(split.delta_begin),
+        static_cast<data::PointId>(dataset_.size()), points[i].exclude,
+        &collectors[i]);
+    results.push_back(collectors[i].TakeSorted());
+  }
+  return results;
+}
+
 std::vector<Neighbor> LinearScanKnn::RangeSearch(std::span<const double> point,
                                                  const Subspace& subspace,
                                                  double radius) const {

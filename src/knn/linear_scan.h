@@ -46,6 +46,15 @@ class LinearScanKnn : public KnnEngine {
                                     const Subspace& subspace,
                                     double radius) const override;
 
+  /// Fused multi-point scan: one pass over the SoA base serves the whole
+  /// batch (kernels::ScanAllForTopKMulti), then each point merges the
+  /// append delta scalar-exactly. Answers are bitwise identical to the
+  /// per-point Search loop. Falls back to that loop when the base snapshot
+  /// cannot serve.
+  std::vector<std::vector<Neighbor>> SearchBatch(
+      std::span<const BatchPointQuery> points, const Subspace& subspace,
+      int k) const override;
+
   /// Re-snapshots the SoA base to cover all current dataset rows (sharing
   /// `view` when given, building a private one when null), emptying the
   /// delta. Not thread-safe with concurrent queries.

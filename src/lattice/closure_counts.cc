@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <unordered_map>
+#include <utility>
 
 #include "src/common/combinatorics.h"
 
@@ -34,51 +36,89 @@ void PruneImpliedSeeds(std::vector<uint64_t>* seeds) {
   *seeds = std::move(kept);
 }
 
-/// Adds, for every way of choosing masks over `free_dims` yet-unbranched
-/// dimensions that avoid all `seeds`, a count into out[picked + j] where j
-/// is the number of chosen dimensions. Seeds always live entirely within
-/// the unbranched dimensions: the exclude branch removes every seed
-/// containing the branched bit (its constraint is now vacuous), the
-/// include branch strips the bit from every seed.
-void AvoidRec(std::vector<uint64_t> seeds, int free_dims, int picked,
-              std::vector<uint64_t>* out) {
+/// Memo key for one branch-and-prune subproblem: the canonical (pruned and
+/// sorted) seed antichain together with how many dimensions remain
+/// unbranched. `free_dims` must be part of the key — the same antichain
+/// yields different Binomial tails under different remaining budgets.
+struct AvoidMemoKey {
+  int free_dims = 0;
+  std::vector<uint64_t> seeds;
+  bool operator==(const AvoidMemoKey&) const = default;
+};
+
+struct AvoidMemoKeyHash {
+  size_t operator()(const AvoidMemoKey& key) const {
+    uint64_t h = 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(key.free_dims);
+    for (uint64_t s : key.seeds) {
+      h ^= s + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+using AvoidMemo =
+    std::unordered_map<AvoidMemoKey, std::vector<uint64_t>, AvoidMemoKeyHash>;
+
+/// counts[j] = number of ways to choose j of `free_dims` yet-unbranched
+/// dimensions such that the chosen set avoids all `seeds`. Seeds always
+/// live entirely within the unbranched dimensions: the exclude branch
+/// removes every seed containing the branched bit (its constraint is now
+/// vacuous), the include branch strips the bit from every seed.
+///
+/// Memoised on the canonical subproblem: interlocking antichains (dense
+/// families of overlapping pair/triple seeds) reach the same pruned seed
+/// set along exponentially many branch paths, and without the memo each
+/// path re-expands the identical subtree. With it, cost is bounded by the
+/// number of *distinct* subproblems, which for those pathological families
+/// is polynomial in |seeds| and d.
+const std::vector<uint64_t>& AvoidCounts(std::vector<uint64_t> seeds,
+                                         int free_dims, AvoidMemo* memo) {
   PruneImpliedSeeds(&seeds);
-  if (!seeds.empty() && seeds.front() == 0) return;  // contains the empty seed
-  if (seeds.empty()) {
-    for (int j = 0; j <= free_dims; ++j) {
-      (*out)[picked + j] += Binomial(free_dims, j);
-    }
-    return;
-  }
-  // Branch on one dimension of the smallest seed (front after sorting):
-  // this is the seed closest to forcing a decision, so singletons resolve
-  // without any fan-out.
-  const uint64_t bit = seeds.front() & (~seeds.front() + 1);
+  AvoidMemoKey key{free_dims, std::move(seeds)};
+  auto it = memo->find(key);
+  if (it != memo->end()) return it->second;
 
-  // Dimension excluded: seeds containing it can never be covered.
-  std::vector<uint64_t> excluded;
-  excluded.reserve(seeds.size());
-  for (uint64_t s : seeds) {
-    if ((s & bit) == 0) excluded.push_back(s);
-  }
-  AvoidRec(std::move(excluded), free_dims - 1, picked, out);
+  std::vector<uint64_t> counts(free_dims + 1, 0);
+  if (key.seeds.empty()) {
+    for (int j = 0; j <= free_dims; ++j) counts[j] = Binomial(free_dims, j);
+  } else if (key.seeds.front() != 0) {  // a zero seed decides everything: 0s
+    // Branch on one dimension of the smallest seed (front after sorting):
+    // this is the seed closest to forcing a decision, so singletons resolve
+    // without any fan-out.
+    const uint64_t bit = key.seeds.front() & (~key.seeds.front() + 1);
 
-  // Dimension included: every seed sheds the bit; a seed reduced to zero
-  // is now fully contained, so that branch holds no avoiders.
-  std::vector<uint64_t> included;
-  included.reserve(seeds.size());
-  bool contradiction = false;
-  for (uint64_t s : seeds) {
-    const uint64_t rest = s & ~bit;
-    if (rest == 0) {
-      contradiction = true;
-      break;
+    // Dimension excluded: seeds containing it can never be covered.
+    std::vector<uint64_t> excluded;
+    excluded.reserve(key.seeds.size());
+    for (uint64_t s : key.seeds) {
+      if ((s & bit) == 0) excluded.push_back(s);
     }
-    included.push_back(rest);
+    const std::vector<uint64_t>& ex =
+        AvoidCounts(std::move(excluded), free_dims - 1, memo);
+    for (int j = 0; j < free_dims; ++j) counts[j] += ex[j];
+
+    // Dimension included: every seed sheds the bit; a seed reduced to zero
+    // is now fully contained, so that branch holds no avoiders.
+    std::vector<uint64_t> included;
+    included.reserve(key.seeds.size());
+    bool contradiction = false;
+    for (uint64_t s : key.seeds) {
+      const uint64_t rest = s & ~bit;
+      if (rest == 0) {
+        contradiction = true;
+        break;
+      }
+      included.push_back(rest);
+    }
+    if (!contradiction) {
+      const std::vector<uint64_t>& inc =
+          AvoidCounts(std::move(included), free_dims - 1, memo);
+      for (int j = 0; j < free_dims; ++j) counts[j + 1] += inc[j];
+    }
   }
-  if (!contradiction) {
-    AvoidRec(std::move(included), free_dims - 1, picked + 1, out);
-  }
+  // Mapped references are stable under unordered_map rehash, so handing
+  // them out across recursive insertions is safe.
+  return memo->emplace(std::move(key), std::move(counts)).first->second;
 }
 
 uint64_t LowBits(int d) {
@@ -95,8 +135,12 @@ std::vector<uint64_t> AvoidingSubsetCounts(std::vector<uint64_t> seeds,
     s &= LowBits(d);
     if (s == 0) return out;  // the empty seed is contained in every mask
   }
-  AvoidRec(std::move(seeds), d, 0, &out);
-  return out;
+  // The memo lives for one top-level count: repeated subproblems only arise
+  // across branch paths of the same recursion, and keying on the canonical
+  // seed vector keeps entries valid without any cross-call invalidation
+  // story.
+  AvoidMemo memo;
+  return AvoidCounts(std::move(seeds), d, &memo);
 }
 
 std::vector<uint64_t> UpClosureLevelCounts(const std::vector<uint64_t>& seeds,

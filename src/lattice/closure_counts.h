@@ -11,7 +11,12 @@
 // AvoidingSubsetCounts, a branch-and-prune recursion over the seed bits
 // whose cost depends on the seed structure, not on C(d, m): each step
 // branches one dimension of the smallest seed, so singleton-rich seed sets
-// (the common high-d frontier-band shape) resolve in O(|seeds| * d).
+// (the common high-d frontier-band shape) resolve in O(|seeds| * d). The
+// recursion is memoised on the canonical (pruned seed set, remaining
+// dimensions) subproblem, so pathological interlocking antichains — dense
+// families of overlapping small seeds that reach the same pruned residue
+// along many branch paths — cost the number of distinct subproblems rather
+// than the number of paths.
 //
 // All counts are exact in uint64; the largest possible value is
 // C(58, 29) < 2^63 (kMaxLatticeDims caps d at 58).

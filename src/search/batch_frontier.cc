@@ -1,0 +1,264 @@
+#include "src/search/batch_frontier.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/timer.h"
+#include "src/filter/density_filter.h"
+#include "src/lattice/lattice_store.h"
+#include "src/obs/trace.h"
+#include "src/search/frontier_support.h"
+
+namespace hos::search {
+namespace {
+
+/// One point's walk state. The lattice, the counters and the round scratch
+/// are all private to the point — the only thing the batch shares is the
+/// engine pass that computes coinciding OD values (and, optionally, the
+/// cross-query store), neither of which feeds the point's decisions
+/// anything but bitwise-exact OD doubles.
+struct PointRun {
+  OdEvaluator* od = nullptr;
+  std::unique_ptr<lattice::LatticeStore> state;
+  uint64_t od_before = 0;
+  uint64_t dist_before = 0;
+  uint64_t steps = 0;
+  uint64_t bound_decisions = 0;
+  uint64_t risky_decisions = 0;
+  double bound_gap = 0.0;
+  bool done = false;
+  // Scratch of the round in flight; wave is cleared on retirement so the
+  // merge phase can tell participants from bystanders.
+  std::vector<uint64_t> wave;
+  std::vector<double> values;
+  std::vector<uint8_t> resolved;
+};
+
+}  // namespace
+
+std::vector<Result<SearchOutcome>> BatchFrontierRunner::Run(
+    std::span<OdEvaluator* const> ods, double threshold,
+    const SearchExecution& exec) const {
+  if (priors_->num_dims() != num_dims_) {
+    // Same input error DynamicSubspaceSearch reports, replicated per point.
+    const Status bad = Status::InvalidArgument(
+        "pruning priors cover " + std::to_string(priors_->num_dims()) +
+        " dimensions but the search runs over " + std::to_string(num_dims_));
+    std::vector<Result<SearchOutcome>> out;
+    out.reserve(ods.size());
+    for (size_t q = 0; q < ods.size(); ++q) out.push_back(bad);
+    return out;
+  }
+  const bool filter_active =
+      exec.filter != nullptr && exec.filter_mode != filter::FilterMode::kOff;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  Timer timer;
+  std::vector<std::optional<Result<SearchOutcome>>> slots(ods.size());
+  std::vector<PointRun> runs(ods.size());
+  size_t live = 0;
+  for (size_t q = 0; q < ods.size(); ++q) {
+    PointRun& run = runs[q];
+    run.od = ods[q];
+    run.od_before = run.od->num_evaluations();
+    run.dist_before = run.od->engine().distance_computations();
+    auto made = lattice::MakeLatticeStore(num_dims_, exec.lattice_backend);
+    if (!made.ok()) {
+      slots[q] = made.status();
+      run.done = true;
+      continue;
+    }
+    run.state = std::move(made).value();
+    ++live;
+  }
+
+  obs::ScopedSpan strategy_span(
+      exec.tracer, "batch-dynamic", exec.trace_parent,
+      exec.tracer != nullptr ? "points=" + std::to_string(ods.size())
+                             : std::string());
+
+  // mask -> (point, wave slot) pairs needing an exact evaluation this
+  // round. Ordered by mask so the engine, the tracer and the store see a
+  // deterministic order (OD values are order-independent regardless).
+  std::map<uint64_t, std::vector<std::pair<size_t, size_t>>> pending;
+
+  while (live > 0) {
+    pending.clear();
+    obs::ScopedSpan wave_span(
+        exec.tracer, "wave", strategy_span.id(),
+        exec.tracer != nullptr ? "points=" + std::to_string(live)
+                               : std::string());
+
+    // Phase 1 — per point: pick the level its sequential walk would pick
+    // next, apply the budget gate, materialise the wave, and resolve what
+    // the memo and the density filter can. This replays the sequential
+    // FrontierRunner::EvaluateLevel pre-evaluation half per point, in the
+    // identical order (memo first, then filter), with the identical
+    // threshold sentinels and tallies.
+    for (size_t q = 0; q < runs.size(); ++q) {
+      PointRun& run = runs[q];
+      if (run.done) continue;
+      const int m = lattice::BestLevel(*priors_, *run.state);
+      if (m == 0) {
+        slots[q] = internal::AssembleOutcome(
+            *run.state, threshold, *run.od, run.od_before, run.dist_before,
+            run.steps, /*wasted=*/0, timer, run.bound_decisions,
+            run.risky_decisions, run.bound_gap);
+        run.done = true;
+        run.wave.clear();
+        --live;
+        continue;
+      }
+      // Batch mode never speculates, so nothing is ever prepaid: the gate
+      // charges the level's full undecided count, exactly like the
+      // sequential speculation-off walk.
+      Status budget = internal::CheckSearchBudget(
+          exec, *run.od, run.od_before, m, run.state->UndecidedCount(m));
+      if (!budget.ok()) {
+        slots[q] = std::move(budget);
+        run.done = true;
+        run.wave.clear();
+        --live;
+        continue;
+      }
+      run.wave = run.state->UndecidedMasks(m);
+      run.values.assign(run.wave.size(), 0.0);
+      run.resolved.assign(run.wave.size(), 0);
+      for (size_t i = 0; i < run.wave.size(); ++i) {
+        const uint64_t mask = run.wave[i];
+        double memoised;
+        if (run.od->LookupLocal(mask, &memoised)) {
+          // The sequential path routes memo hits through the evaluator's
+          // kMemo source: same value, no counter movement.
+          run.values[i] = memoised;
+          run.resolved[i] = 1;
+          continue;
+        }
+        if (filter_active) {
+          const filter::FilterDecision fd = exec.filter->Decide(
+              run.od->point(), mask, run.od->k(), run.od->exclude(),
+              threshold, exec.filter_mode, exec.filter_speculative_slack);
+          if (fd.decided()) {
+            run.resolved[i] = 1;
+            run.values[i] =
+                fd.verdict == filter::FilterDecision::Verdict::kOutlier
+                    ? kInf
+                    : -kInf;
+            ++run.bound_decisions;
+            if (fd.risky) {
+              ++run.risky_decisions;
+              run.bound_gap = std::max(run.bound_gap, fd.gap());
+            }
+            continue;
+          }
+        }
+        pending[mask].push_back({q, i});
+      }
+    }
+
+    // Phase 2 — per distinct mask: one multi-probe of the shared store for
+    // the shareable members, ONE fused kNN pass for the rest, one
+    // multi-store write-back. This mirrors the sequential evaluator's
+    // store-probe → kNN → store-write order per (point, mask); the fusion
+    // is where the batch recovers B-1 index traversals per coinciding
+    // subspace.
+    for (auto& [mask, members] : pending) {
+      std::vector<size_t> compute;  // member indices still needing kNN
+      compute.reserve(members.size());
+      std::vector<size_t> probe;
+      std::vector<SharedOdStore::OdKey> keys;
+      SharedOdStore* store = nullptr;
+      for (size_t j = 0; j < members.size(); ++j) {
+        PointRun& run = runs[members[j].first];
+        if (run.od->shareable()) {
+          probe.push_back(j);
+          keys.push_back({*run.od->exclude(), mask});
+          store = run.od->shared_store();
+        } else {
+          compute.push_back(j);
+        }
+      }
+      if (!keys.empty()) {
+        std::vector<double> hit_values(keys.size(), 0.0);
+        std::vector<uint8_t> found(keys.size(), 0);
+        store->LookupMulti(keys, hit_values, found);
+        for (size_t t = 0; t < probe.size(); ++t) {
+          const auto [q, slot] = members[probe[t]];
+          PointRun& run = runs[q];
+          if (found[t]) {
+            run.od->Deposit(mask, hit_values[t],
+                            OdEvaluator::ValueSource::kSharedStoreHit);
+            run.values[slot] = hit_values[t];
+            run.resolved[slot] = 1;
+          } else {
+            compute.push_back(probe[t]);
+          }
+        }
+      }
+      if (compute.empty()) continue;
+
+      std::vector<knn::BatchPointQuery> queries;
+      queries.reserve(compute.size());
+      for (size_t j : compute) {
+        const PointRun& run = runs[members[j].first];
+        queries.push_back({run.od->point(), run.od->exclude()});
+      }
+      const OdEvaluator& lead = *runs[members[compute.front()].first].od;
+      obs::ScopedSpan knn_span(
+          exec.tracer, "knn-batch", wave_span.id(),
+          exec.tracer != nullptr
+              ? "mask=" + std::to_string(mask) +
+                    " points=" + std::to_string(queries.size())
+              : std::string());
+      const std::vector<double> fresh = knn::OutlyingDegreeBatch(
+          lead.engine(), queries, Subspace(mask), lead.k());
+
+      std::vector<SharedOdStore::OdKey> store_keys;
+      std::vector<double> store_values;
+      for (size_t t = 0; t < compute.size(); ++t) {
+        const auto [q, slot] = members[compute[t]];
+        PointRun& run = runs[q];
+        run.od->Deposit(mask, fresh[t], OdEvaluator::ValueSource::kComputed);
+        run.values[slot] = fresh[t];
+        run.resolved[slot] = 1;
+        if (run.od->shareable()) {
+          store_keys.push_back({*run.od->exclude(), mask});
+          store_values.push_back(fresh[t]);
+        }
+      }
+      if (!store_keys.empty()) {
+        store->StoreMulti(store_keys, store_values);
+      }
+    }
+
+    // Phase 3 — per participating point: merge the wave in original mask
+    // order (the exact seed sequence the sequential loop produces), then
+    // propagate both pruning directions.
+    for (PointRun& run : runs) {
+      if (run.done || run.wave.empty()) continue;
+      assert(std::all_of(run.resolved.begin(), run.resolved.end(),
+                         [](uint8_t r) { return r != 0; }));
+      run.state->MarkEvaluatedBatch(run.wave, run.values, threshold);
+      run.state->Propagate();
+      ++run.steps;
+      run.wave.clear();
+    }
+  }
+
+  std::vector<Result<SearchOutcome>> out;
+  out.reserve(slots.size());
+  for (std::optional<Result<SearchOutcome>>& slot : slots) {
+    out.push_back(std::move(*slot));
+  }
+  return out;
+}
+
+}  // namespace hos::search

@@ -30,6 +30,35 @@ class SharedOdStore {
 
   /// Records OD(id, mask) = od.
   virtual void Store(data::PointId id, uint64_t mask, double od) = 0;
+
+  /// One (dataset row, subspace mask) key of a batched probe.
+  struct OdKey {
+    data::PointId id = 0;
+    uint64_t mask = 0;
+  };
+
+  /// Batched lookup: `keys`, `od` and `found` must be equally sized;
+  /// found[i] is set to 1 and od[i] filled exactly when keys[i] is present
+  /// (od[i] is untouched otherwise). The default loops over Lookup(); the
+  /// service's sharded cache overrides it to visit each shard once per
+  /// batch — O(shards) lock acquisitions instead of O(keys) — which is
+  /// where the fused batch path recovers the lock traffic a per-point loop
+  /// pays. Values are identical to per-key Lookup calls either way.
+  virtual void LookupMulti(std::span<const OdKey> keys, std::span<double> od,
+                           std::span<uint8_t> found) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      found[i] = Lookup(keys[i].id, keys[i].mask, &od[i]) ? 1 : 0;
+    }
+  }
+
+  /// Batched Store with the same default-loop / sharded-override contract
+  /// as LookupMulti.
+  virtual void StoreMulti(std::span<const OdKey> keys,
+                          std::span<const double> od) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      Store(keys[i].id, keys[i].mask, od[i]);
+    }
+  }
 };
 
 /// Bound to one query point; caches OD values by subspace mask so repeated

@@ -13,9 +13,14 @@
 #include "src/common/combinatorics.h"
 #include "src/common/timer.h"
 #include "src/filter/minimal_filter.h"
+#include "src/search/frontier_support.h"
 
 namespace hos::search {
 namespace {
+
+using internal::AssembleOutcome;
+using internal::CheckSearchBudget;
+using internal::SaturatingSub;
 
 /// Runs the per-level frontier of a pruning search, sequentially or fanned
 /// out across a pool (ParallelEvaluator), and owns the speculation
@@ -201,65 +206,9 @@ class FrontierRunner {
   double bound_gap_ = 0.0;
 };
 
-uint64_t SaturatingSub(uint64_t a, uint64_t b) { return a > b ? a - b : 0; }
-
-/// Work-budget gate (SearchExecution::max_od_evaluations), consulted before
-/// a level batch is materialised: spending so far plus the level's
-/// undecided count (minus any masks speculation already paid for) must fit
-/// the budget, so a runaway query fails fast instead of allocating (or
-/// evaluating) an astronomically large wave.
-Status CheckBudget(const SearchExecution& exec, const OdEvaluator& od,
-                   uint64_t evals_at_start, int level, uint64_t level_count) {
-  if (exec.max_od_evaluations == 0) return Status::OK();
-  const uint64_t spent = od.num_evaluations() - evals_at_start;
-  if (spent + level_count <= exec.max_od_evaluations) return Status::OK();
-  return Status::ResourceExhausted(
-      "search work budget exceeded: level " + std::to_string(level) +
-      " holds " + std::to_string(level_count) +
-      " undecided subspaces, but only " +
-      std::to_string(SaturatingSub(exec.max_od_evaluations, spent)) +
-      " of the " + std::to_string(exec.max_od_evaluations) +
-      " budgeted OD evaluations remain (raise "
-      "SearchExecution::max_od_evaluations, use a band-pruning-friendly "
-      "strategy, or reduce dimensionality)");
-}
-
-/// Assembles the SearchOutcome once the lattice is fully decided. `wasted`
-/// is subtracted from the evaluator's delta so od_evaluations reports the
-/// order-independent count every execution mode shares.
-SearchOutcome Finalize(const lattice::LatticeStore& state, double threshold,
-                       const OdEvaluator& od, uint64_t od_evals_before,
-                       uint64_t dist_before, uint64_t steps, uint64_t wasted,
-                       const Timer& timer, uint64_t bound_decisions = 0,
-                       uint64_t risky_decisions = 0, double bound_gap = 0.0) {
-  assert(state.AllDecided());
-  const int d = state.num_dims();
-  SearchOutcome outcome;
-  outcome.num_dims = d;
-  outcome.threshold = threshold;
-  outcome.evaluated_outliers = state.evaluated_outlier_list();
-  outcome.minimal_outlying_subspaces =
-      filter::MinimalSubspaces(state.minimal_outlier_seeds());
-  outcome.outlier_fraction.assign(d + 1, 0.0);
-  for (int m = 1; m <= d; ++m) {
-    outcome.outlier_fraction[m] =
-        static_cast<double>(state.OutliersAtLevel(m)) /
-        static_cast<double>(Binomial(d, m));
-    outcome.counters.pruned_upward += state.InferredOutliers(m);
-    outcome.counters.pruned_downward += state.InferredNonOutliers(m);
-  }
-  outcome.counters.od_evaluations =
-      od.num_evaluations() - od_evals_before - wasted;
-  outcome.counters.wasted_evaluations = wasted;
-  outcome.counters.distance_computations =
-      od.engine().distance_computations() - dist_before;
-  outcome.counters.steps = steps;
-  outcome.counters.bound_decisions = bound_decisions;
-  outcome.counters.risky_decisions = risky_decisions;
-  outcome.counters.bound_gap = bound_gap;
-  outcome.counters.elapsed_seconds = timer.ElapsedSeconds();
-  return outcome;
-}
+// The work-budget gate and outcome assembly live in frontier_support.h,
+// shared with the fused BatchFrontierRunner so both drivers keep identical
+// error contracts and counter semantics.
 
 }  // namespace
 
@@ -301,13 +250,13 @@ Result<SearchOutcome> DynamicSubspaceSearch::RunImpl(
   while (true) {
     int m = lattice::BestLevel(priors_, *state);
     if (m == 0) break;
-    HOS_RETURN_IF_ERROR(CheckBudget(
+    HOS_RETURN_IF_ERROR(CheckSearchBudget(
         exec, *od, od_before, m,
         SaturatingSub(state->UndecidedCount(m), runner.PrepaidAt(m, *state))));
     runner.EvaluateLevel(m, state.get(), predict, strategy_span.id());
     ++steps;
   }
-  return Finalize(*state, threshold, *od, od_before, dist_before, steps,
+  return AssembleOutcome(*state, threshold, *od, od_before, dist_before, steps,
                   runner.wasted(), timer, runner.bound_decisions(),
                   runner.risky_decisions(), runner.bound_gap());
 }
@@ -332,7 +281,7 @@ Result<SearchOutcome> ExhaustiveSearch::RunImpl(
   ParallelEvaluator evaluator(od, exec);
   for (int m = 1; m <= num_dims_; ++m) {
     HOS_RETURN_IF_ERROR(
-        CheckBudget(exec, *od, od_before, m, state->UndecidedCount(m)));
+        CheckSearchBudget(exec, *od, od_before, m, state->UndecidedCount(m)));
     obs::ScopedSpan level_span(
         exec.tracer, "level", strategy_span.id(),
         exec.tracer != nullptr ? "m=" + std::to_string(m) : std::string());
@@ -342,7 +291,7 @@ Result<SearchOutcome> ExhaustiveSearch::RunImpl(
     state->MarkEvaluatedBatch(batch, wave.values, threshold);
     ++steps;
   }
-  return Finalize(*state, threshold, *od, od_before, dist_before, steps,
+  return AssembleOutcome(*state, threshold, *od, od_before, dist_before, steps,
                   /*wasted=*/0, timer);
 }
 
@@ -370,13 +319,13 @@ Result<SearchOutcome> BottomUpSearch::RunImpl(
       };
   for (int m = 1; m <= num_dims_; ++m) {
     if (state->UndecidedCount(m) == 0) continue;
-    HOS_RETURN_IF_ERROR(CheckBudget(
+    HOS_RETURN_IF_ERROR(CheckSearchBudget(
         exec, *od, od_before, m,
         SaturatingSub(state->UndecidedCount(m), runner.PrepaidAt(m, *state))));
     runner.EvaluateLevel(m, state.get(), predict, strategy_span.id());
     ++steps;
   }
-  return Finalize(*state, threshold, *od, od_before, dist_before, steps,
+  return AssembleOutcome(*state, threshold, *od, od_before, dist_before, steps,
                   runner.wasted(), timer, runner.bound_decisions(),
                   runner.risky_decisions(), runner.bound_gap());
 }
@@ -401,13 +350,13 @@ Result<SearchOutcome> TopDownSearch::RunImpl(
       };
   for (int m = num_dims_; m >= 1; --m) {
     if (state->UndecidedCount(m) == 0) continue;
-    HOS_RETURN_IF_ERROR(CheckBudget(
+    HOS_RETURN_IF_ERROR(CheckSearchBudget(
         exec, *od, od_before, m,
         SaturatingSub(state->UndecidedCount(m), runner.PrepaidAt(m, *state))));
     runner.EvaluateLevel(m, state.get(), predict, strategy_span.id());
     ++steps;
   }
-  return Finalize(*state, threshold, *od, od_before, dist_before, steps,
+  return AssembleOutcome(*state, threshold, *od, od_before, dist_before, steps,
                   runner.wasted(), timer, runner.bound_decisions(),
                   runner.risky_decisions(), runner.bound_gap());
 }

@@ -65,6 +65,87 @@ void OdCache::Store(uint64_t version, data::PointId id, uint64_t mask,
   }
 }
 
+namespace {
+
+/// Index-chaining scratch for grouping a key batch by shard without one
+/// heap vector per shard: head[s] -> first key index in shard s, next[i]
+/// -> following key index, kChainEnd terminates. Built back-to-front so
+/// each chain walks the keys in their original (ascending) batch order.
+constexpr size_t kChainEnd = static_cast<size_t>(-1);
+
+}  // namespace
+
+void OdCache::LookupMulti(uint64_t version,
+                          std::span<const search::SharedOdStore::OdKey> keys,
+                          std::span<double> od, std::span<uint8_t> found) {
+  std::vector<size_t> head(shards_.size(), kChainEnd);
+  std::vector<size_t> next(keys.size());
+  for (size_t i = keys.size(); i-- > 0;) {
+    const Key key{version, keys[i].id, keys[i].mask};
+    const size_t s = KeyHash{}(key) & shard_mask_;
+    next[i] = head[s];
+    head[s] = i;
+  }
+  uint64_t hit_count = 0;
+  uint64_t miss_count = 0;
+  for (size_t s = 0; s < head.size(); ++s) {
+    if (head[s] == kChainEnd) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t i = head[s]; i != kChainEnd; i = next[i]) {
+      const Key key{version, keys[i].id, keys[i].mask};
+      auto it = shard.index.find(key);
+      if (it == shard.index.end()) {
+        found[i] = 0;
+        ++miss_count;
+        continue;
+      }
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      od[i] = it->second->second;
+      found[i] = 1;
+      ++hit_count;
+    }
+  }
+  hits_ += hit_count;
+  misses_ += miss_count;
+}
+
+void OdCache::StoreMulti(uint64_t version,
+                         std::span<const search::SharedOdStore::OdKey> keys,
+                         std::span<const double> od) {
+  std::vector<size_t> head(shards_.size(), kChainEnd);
+  std::vector<size_t> next(keys.size());
+  for (size_t i = keys.size(); i-- > 0;) {
+    const Key key{version, keys[i].id, keys[i].mask};
+    const size_t s = KeyHash{}(key) & shard_mask_;
+    next[i] = head[s];
+    head[s] = i;
+  }
+  uint64_t eviction_count = 0;
+  for (size_t s = 0; s < head.size(); ++s) {
+    if (head[s] == kChainEnd) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t i = head[s]; i != kChainEnd; i = next[i]) {
+      const Key key{version, keys[i].id, keys[i].mask};
+      auto it = shard.index.find(key);
+      if (it != shard.index.end()) {
+        it->second->second = od[i];
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        continue;
+      }
+      shard.lru.emplace_front(key, od[i]);
+      shard.index.emplace(key, shard.lru.begin());
+      if (shard.lru.size() > per_shard_capacity_) {
+        shard.index.erase(shard.lru.back().first);
+        shard.lru.pop_back();
+        ++eviction_count;
+      }
+    }
+  }
+  evictions_ += eviction_count;
+}
+
 size_t OdCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {

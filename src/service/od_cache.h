@@ -20,10 +20,12 @@
 #ifndef HOS_SERVICE_OD_CACHE_H_
 #define HOS_SERVICE_OD_CACHE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -54,6 +56,23 @@ class OdCache {
   /// Records OD(id, mask) = od as computed at dataset version `version`.
   void Store(uint64_t version, data::PointId id, uint64_t mask, double od);
 
+  /// Batched Lookup for the fused multi-query path: keys are bucketed by
+  /// shard and every *touched shard* is visited under one lock acquisition
+  /// — O(shards) instead of O(keys) lock traffic per batch (the per-point
+  /// loop pays one acquisition per lookup even when all keys land on the
+  /// same hot shard). found[i] is set to 1 and od[i] filled exactly when
+  /// keys[i] is present at `version`; recency, hit/miss counters and
+  /// returned values match a sequence of per-key Lookup calls.
+  void LookupMulti(uint64_t version,
+                   std::span<const search::SharedOdStore::OdKey> keys,
+                   std::span<double> od, std::span<uint8_t> found);
+
+  /// Batched Store with the same one-lock-per-touched-shard contract as
+  /// LookupMulti.
+  void StoreMulti(uint64_t version,
+                  std::span<const search::SharedOdStore::OdKey> keys,
+                  std::span<const double> od);
+
   /// SharedOdStore adapter binding one dataset version: the per-query
   /// bridge QueryService puts on the stack so OdEvaluator's lookups and
   /// stores are version-keyed without the evaluator knowing about
@@ -68,6 +87,18 @@ class OdCache {
     }
     void Store(data::PointId id, uint64_t mask, double od) override {
       if (cache_ != nullptr) cache_->Store(version_, id, mask, od);
+    }
+    void LookupMulti(std::span<const OdKey> keys, std::span<double> od,
+                     std::span<uint8_t> found) override {
+      if (cache_ == nullptr) {
+        std::fill(found.begin(), found.end(), 0);
+        return;
+      }
+      cache_->LookupMulti(version_, keys, od, found);
+    }
+    void StoreMulti(std::span<const OdKey> keys,
+                    std::span<const double> od) override {
+      if (cache_ != nullptr) cache_->StoreMulti(version_, keys, od);
     }
 
     uint64_t version() const { return version_; }

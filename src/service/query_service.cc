@@ -241,6 +241,70 @@ std::future<Result<core::QueryResult>> QueryService::QueryAsync(
       [this, id]() { return RunTimedQuery(id); });
 }
 
+void QueryService::RunTimedBlock(
+    std::span<const data::PointId> ids,
+    std::vector<std::optional<Result<core::QueryResult>>>* slots,
+    size_t base) {
+  const ObservabilityConfig& obs_config = config_.observability;
+  const bool traced = obs_config.trace_queries ||
+                      obs_config.slow_query_threshold_seconds > 0.0;
+  obs::QueryTracer tracer;  // unused (and cheap) when tracing is off
+  Timer timer;
+  std::vector<Result<core::QueryResult>> results;
+  {
+    // The "batch" root span covers the whole fused block, so the span
+    // tree reads batch → search → batch-dynamic → wave → knn-batch.
+    obs::ScopedSpan batch_span(
+        traced ? &tracer : nullptr, "batch", -1,
+        traced ? "points=" + std::to_string(ids.size()) : std::string());
+    // One reader hold for the block: every point in it observes the same
+    // committed dataset state and binds the same version into the cache
+    // view — exactly what a per-point loop at a quiescent version does.
+    std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+    OdCache::VersionView versioned_store(cache_.get(), miner_.version());
+    core::QueryOptions options =
+        MakeOptions(cache_ != nullptr ? &versioned_store : nullptr);
+    if (traced) {
+      options.tracer = &tracer;
+      options.trace_parent = batch_span.id();
+    }
+    results = miner_.QueryBatchFused(ids, options);
+  }
+  // Block latency, recorded once per point: the per-point share is not
+  // separable on the fused path (monitoring data, like the work counters).
+  const double latency = timer.ElapsedSeconds();
+  std::shared_ptr<const obs::QueryTrace> trace;
+  if (traced) {
+    trace = std::make_shared<const obs::QueryTrace>(tracer.Finish());
+  }
+  uint64_t fused_evaluations = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    Result<core::QueryResult>& result = results[i];
+    if (result.ok()) {
+      const search::SearchCounters& counters =
+          result.value().outcome.counters;
+      fused_evaluations += counters.od_evaluations;
+      stats_.RecordQuery(latency, counters.od_evaluations,
+                         counters.wasted_evaluations,
+                         counters.bound_decisions, counters.risky_decisions,
+                         counters.bound_gap);
+      if (traced) result.value().trace = trace;
+    } else {
+      stats_.RecordQuery(latency, 0, 0);
+      if (result.status().IsNotFound()) stats_.RecordEvictedReject();
+    }
+    (*slots)[base + i] = std::move(result);
+  }
+  stats_.RecordFusedBatch(ids.size(), fused_evaluations);
+  if (traced && obs_config.slow_query_threshold_seconds > 0.0 &&
+      latency >= obs_config.slow_query_threshold_seconds) {
+    stats_.RecordSlowQuery();
+    HOS_LOG(Warning) << "slow batch: points=" << ids.size()
+                     << " latency_seconds=" << latency
+                     << " trace=" << trace->ToJson();
+  }
+}
+
 Result<std::vector<core::QueryResult>> QueryService::QueryBatch(
     std::span<const data::PointId> ids) {
   stats_.RecordBatch();
@@ -248,14 +312,31 @@ Result<std::vector<core::QueryResult>> QueryService::QueryBatch(
   // One slot per id, written by whichever worker runs it; slot order (not
   // completion order) defines the output, so the batch is deterministic.
   std::vector<std::optional<Result<core::QueryResult>>> slots(ids.size());
+  const size_t width = static_cast<size_t>(
+      std::max(config_.batch_fusion_width, 0));
   {
     std::vector<std::future<void>> done;
-    done.reserve(ids.size());
-    for (size_t i = 0; i < ids.size(); ++i) {
-      const data::PointId id = ids[i];
-      done.push_back(pool_.SubmitWithResult([this, id, &slots, i]() {
-        slots[i] = RunTimedQuery(id);
-      }));
+    if (width > 1) {
+      // Fused path: one pool task per block of `width` ids; each block's
+      // lattice searches are co-scheduled so coinciding OD evaluations
+      // share one engine pass (answers identical — see batch_frontier.h).
+      done.reserve((ids.size() + width - 1) / width);
+      for (size_t start = 0; start < ids.size(); start += width) {
+        const size_t count = std::min(width, ids.size() - start);
+        done.push_back(
+            pool_.SubmitWithResult([this, ids, start, count, &slots]() {
+              RunTimedBlock(ids.subspan(start, count), &slots, start);
+            }));
+      }
+    } else {
+      // Fusion disabled: the historical one-task-per-id path.
+      done.reserve(ids.size());
+      for (size_t i = 0; i < ids.size(); ++i) {
+        const data::PointId id = ids[i];
+        done.push_back(pool_.SubmitWithResult([this, id, &slots, i]() {
+          slots[i] = RunTimedQuery(id);
+        }));
+      }
     }
     // Wait for every task before collecting: get() can rethrow a task's
     // exception, and unwinding with workers still writing into `slots`

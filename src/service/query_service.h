@@ -64,6 +64,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <span>
 #include <string>
@@ -164,6 +165,17 @@ struct QueryServiceConfig {
   /// kSpeculative only: maximum bound-interval width, as a fraction of the
   /// threshold, a midpoint decision may act on.
   double filter_speculative_slack = 0.25;
+  /// Fused multi-query execution: QueryBatch splits each batch into blocks
+  /// of at most this many ids and co-schedules every block's lattice
+  /// searches (HosMiner::QueryBatchFused → search::BatchFrontierRunner),
+  /// so OD evaluations coinciding on a subspace share one fused engine
+  /// pass; each block runs under one epoch reader lock and one sharded
+  /// OD-cache multi-probe per wave. Answers are bitwise identical to the
+  /// per-point path at any setting; <= 1 disables fusion (one pool task
+  /// per id, the historical behavior). On the fused path the per-query
+  /// latency and SearchCounters work stats are measured per *block*
+  /// (monitoring data — see the determinism note above).
+  int batch_fusion_width = 16;
   /// Streaming-ingest rebuild policy.
   IngestConfig ingest;
   /// Tracing / slow-query log / periodic stats emission.
@@ -183,9 +195,11 @@ class QueryService {
   /// Drains in-flight queries and any scheduled rebuild.
   ~QueryService();
 
-  /// Executes all ids across the worker pool. results[i] answers ids[i];
-  /// identical to calling Query(ids[i]) serially. On any per-query error
-  /// the first error in id order is returned instead.
+  /// Executes all ids across the worker pool, in fused blocks of
+  /// config.batch_fusion_width (one co-scheduled lattice search per block;
+  /// width <= 1 falls back to one task per id). results[i] answers ids[i];
+  /// answer content is identical to calling Query(ids[i]) serially. On any
+  /// per-query error the first error in id order is returned instead.
   Result<std::vector<core::QueryResult>> QueryBatch(
       std::span<const data::PointId> ids);
 
@@ -272,6 +286,17 @@ class QueryService {
   }
 
   Result<core::QueryResult> RunTimedQuery(data::PointId id);
+
+  /// One fused block of QueryBatch: runs miner_.QueryBatchFused for
+  /// `ids` under one epoch reader lock (with the version-bound cache
+  /// view), records per-point stats (block latency) plus the fused-batch
+  /// counters/histogram, and writes each result into
+  /// (*slots)[base + i]. When tracing is on the block records one span
+  /// tree under a "batch" root span, attached to every successful result.
+  void RunTimedBlock(
+      std::span<const data::PointId> ids,
+      std::vector<std::optional<Result<core::QueryResult>>>* slots,
+      size_t base);
 
   /// Appends (steady_clock::now(), current dataset version) to
   /// version_history_. Called at construction and after every append

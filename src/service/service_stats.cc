@@ -28,6 +28,14 @@ ServiceStats::ServiceStats(obs::MetricsRegistry* registry)
           registry->GetCounter("service_relearns_completed")),
       last_rebuild_pause_seconds_(
           registry->GetGauge("service_last_rebuild_pause_seconds")),
+      batched_queries_(registry->GetCounter("service_batched_queries")),
+      batch_fused_evaluations_(
+          registry->GetCounter("service_batch_fused_evaluations")),
+      // Batch sizes are small integers (1 .. a few hundred), not latencies;
+      // start the buckets at 1 so every realistic width gets its own bucket.
+      batch_sizes_(registry->GetHistogram(
+          "service_batch_size", {},
+          obs::HistogramOptions{/*min_value=*/1.0, /*num_buckets=*/48})),
       latencies_(
           registry->GetHistogram("service_query_latency_seconds")) {}
 
@@ -73,6 +81,8 @@ ServiceStatsSnapshot ServiceStats::Snapshot() const {
   snapshot.evicted_query_rejects = evicted_query_rejects_->value();
   snapshot.relearns_completed = relearns_completed_->value();
   snapshot.last_rebuild_pause_seconds = last_rebuild_pause_seconds_->value();
+  snapshot.batched_queries = batched_queries_->value();
+  snapshot.batch_fused_evaluations = batch_fused_evaluations_->value();
   snapshot.p50_latency_seconds = latencies_->Percentile(0.50);
   snapshot.p90_latency_seconds = latencies_->Percentile(0.90);
   snapshot.p99_latency_seconds = latencies_->Percentile(0.99);
@@ -102,7 +112,8 @@ std::string ServiceStatsSnapshot::ToJson() const {
       "\"od_evaluations\": %llu, \"wasted_evaluations\": %llu, "
       "\"filter_bound_decisions\": %llu, "
       "\"filter_risky_decisions\": %llu, \"last_bound_gap\": %.6g, "
-      "\"stale_fallbacks\": %llu, \"slow_queries\": %llu}",
+      "\"stale_fallbacks\": %llu, \"slow_queries\": %llu, "
+      "\"batched_queries\": %llu, \"batch_fused_evaluations\": %llu}",
       static_cast<unsigned long long>(queries_served),
       static_cast<unsigned long long>(batches_served),
       static_cast<unsigned long long>(cache_hits),
@@ -128,7 +139,9 @@ std::string ServiceStatsSnapshot::ToJson() const {
       static_cast<unsigned long long>(filter_risky_decisions),
       last_bound_gap,
       static_cast<unsigned long long>(stale_fallbacks),
-      static_cast<unsigned long long>(slow_queries));
+      static_cast<unsigned long long>(slow_queries),
+      static_cast<unsigned long long>(batched_queries),
+      static_cast<unsigned long long>(batch_fused_evaluations));
   return buffer;
 }
 

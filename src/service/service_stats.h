@@ -113,6 +113,15 @@ struct ServiceStatsSnapshot {
   /// Queries over ObservabilityConfig::slow_query_threshold_seconds.
   uint64_t slow_queries = 0;
 
+  // Fused multi-query execution counters (zero when batch fusion is
+  // disabled or QueryBatch was never called).
+  /// Queries served through the fused batch path (co-scheduled lattice
+  /// searches sharing engine passes), as opposed to one-task-per-id.
+  uint64_t batched_queries = 0;
+  /// Fresh OD evaluations those queries spent through the fused
+  /// multi-point engine passes.
+  uint64_t batch_fused_evaluations = 0;
+
   std::string ToJson() const;
 };
 
@@ -161,6 +170,18 @@ class ServiceStats {
   /// Records one committed learning refresh.
   void RecordRelearn() { relearns_completed_->Increment(); }
 
+  /// Records one fused query block: how many points were co-scheduled
+  /// (also fed to the service_batch_size histogram, so the registry shows
+  /// the effective fusion-width distribution) and the fresh OD evaluations
+  /// the block spent through the fused engine passes.
+  void RecordFusedBatch(uint64_t points, uint64_t fused_evaluations) {
+    batched_queries_->Increment(points);
+    if (fused_evaluations > 0) {
+      batch_fused_evaluations_->Increment(fused_evaluations);
+    }
+    batch_sizes_->Record(static_cast<double>(points));
+  }
+
   uint64_t queries_served() const { return queries_served_->value(); }
   uint64_t batches_served() const { return batches_served_->value(); }
   uint64_t rows_ingested() const { return rows_ingested_->value(); }
@@ -201,6 +222,9 @@ class ServiceStats {
   obs::Counter* evicted_query_rejects_;
   obs::Counter* relearns_completed_;
   obs::Gauge* last_rebuild_pause_seconds_;
+  obs::Counter* batched_queries_;
+  obs::Counter* batch_fused_evaluations_;
+  obs::Histogram* batch_sizes_;
   obs::Histogram* latencies_;
 };
 

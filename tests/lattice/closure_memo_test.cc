@@ -1,0 +1,162 @@
+// Tests for the memoised closure counter: the branch-and-prune recursion
+// behind AvoidingSubsetCounts caches canonical (pruned seed set, remaining
+// dimensions) subproblems, so pathological interlocking antichains — the
+// seed shapes a frontier-band sparse search can produce — cost the number
+// of distinct subproblems instead of the number of branch paths. The memo
+// must be invisible: counts stay exactly the brute-force truth on every
+// family a 2^d sweep can check, and known closed forms pin the pathological
+// families brute force cannot reach (d = 40..58).
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/combinatorics.h"
+#include "src/common/rng.h"
+#include "src/lattice/closure_counts.h"
+
+namespace hos::lattice {
+namespace {
+
+/// 2^d truth: j-subsets of [d] containing no seed.
+std::vector<uint64_t> BruteForceAvoiding(const std::vector<uint64_t>& seeds,
+                                         int d) {
+  std::vector<uint64_t> counts(d + 1, 0);
+  const uint64_t top = (uint64_t{1} << d) - 1;
+  for (uint64_t mask = 0; mask <= top; ++mask) {
+    bool avoids = true;
+    for (uint64_t seed : seeds) {
+      if ((mask & seed) == seed) {
+        avoids = false;
+        break;
+      }
+    }
+    if (avoids) ++counts[static_cast<size_t>(std::popcount(mask))];
+  }
+  return counts;
+}
+
+TEST(ClosureMemoTest, RandomFamiliesMatchBruteForce) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int d = 4 + static_cast<int>(rng.UniformInt(0, 10));  // 4..14
+    const int num_seeds = 1 + static_cast<int>(rng.UniformInt(0, 19));
+    std::vector<uint64_t> seeds;
+    for (int s = 0; s < num_seeds; ++s) {
+      // Small seeds (1..4 bits) interlock the most — the memo's case.
+      uint64_t seed = 0;
+      const int bits = 1 + static_cast<int>(rng.UniformInt(0, 3));
+      for (int b = 0; b < bits; ++b) {
+        seed |= uint64_t{1} << rng.UniformInt(0, d - 1);
+      }
+      seeds.push_back(seed);
+    }
+    SCOPED_TRACE("trial=" + std::to_string(trial) + " d=" + std::to_string(d));
+    EXPECT_EQ(AvoidingSubsetCounts(seeds, d), BruteForceAvoiding(seeds, d));
+  }
+}
+
+TEST(ClosureMemoTest, DuplicateAndImpliedSeedsMatchBruteForce) {
+  // Duplicates, supersets of other seeds, and a full-universe seed: all
+  // pruned to the same canonical antichain, so the memo must not conflate
+  // them with distinct families.
+  const int d = 10;
+  std::vector<uint64_t> seeds = {0b11, 0b11, 0b111, 0b1100, 0b1111111111,
+                                 0b0011001100};
+  EXPECT_EQ(AvoidingSubsetCounts(seeds, d), BruteForceAvoiding(seeds, d));
+}
+
+TEST(ClosureMemoTest, ZeroAndEmptySeedEdgeCases) {
+  // The empty seed is contained in everything: all counts 0.
+  EXPECT_EQ(AvoidingSubsetCounts({0}, 8), std::vector<uint64_t>(9, 0));
+  EXPECT_EQ(AvoidingSubsetCounts({0b11, 0}, 8), std::vector<uint64_t>(9, 0));
+  // No seeds at all: every subset avoids vacuously.
+  const std::vector<uint64_t> none = AvoidingSubsetCounts({}, 6);
+  for (int j = 0; j <= 6; ++j) {
+    EXPECT_EQ(none[static_cast<size_t>(j)], Binomial(6, j));
+  }
+}
+
+// Pathological family 1: the path antichain {i, i+1} for i = 0..d-2. An
+// avoiding subset is an independent set of the path graph, and the number
+// of j-vertex independent sets of a path on d vertices is C(d - j + 1, j).
+// At d = 58 the branch tree has Fibonacci-many paths (~10^12 at this
+// depth); only subproblem sharing finishes this in test time.
+TEST(ClosureMemoTest, PathAntichainMatchesClosedFormAtFullWidth) {
+  for (int d : {12, 40, 58}) {
+    SCOPED_TRACE("d=" + std::to_string(d));
+    std::vector<uint64_t> seeds;
+    for (int i = 0; i + 1 < d; ++i) {
+      seeds.push_back((uint64_t{1} << i) | (uint64_t{1} << (i + 1)));
+    }
+    const std::vector<uint64_t> counts = AvoidingSubsetCounts(seeds, d);
+    for (int j = 0; j <= d; ++j) {
+      const uint64_t expected =
+          j <= (d + 1) / 2 ? Binomial(d - j + 1, j) : 0;
+      EXPECT_EQ(counts[static_cast<size_t>(j)], expected) << "j=" << j;
+    }
+    if (d <= 14) {
+      EXPECT_EQ(counts, BruteForceAvoiding(seeds, d));
+    }
+  }
+}
+
+// Pathological family 2: every pair {i, j} (the complete graph). Avoiding
+// subsets are the independent sets of K_d: the empty set and the d
+// singletons. C(d, 2) seeds at d = 58 is 1653 mutually interlocking
+// constraints.
+TEST(ClosureMemoTest, CompleteGraphAntichainMatchesClosedForm) {
+  for (int d : {10, 34, 58}) {
+    SCOPED_TRACE("d=" + std::to_string(d));
+    std::vector<uint64_t> seeds;
+    for (int i = 0; i < d; ++i) {
+      for (int j = i + 1; j < d; ++j) {
+        seeds.push_back((uint64_t{1} << i) | (uint64_t{1} << j));
+      }
+    }
+    const std::vector<uint64_t> counts = AvoidingSubsetCounts(seeds, d);
+    EXPECT_EQ(counts[0], 1u);
+    EXPECT_EQ(counts[1], static_cast<uint64_t>(d));
+    for (int j = 2; j <= d; ++j) {
+      EXPECT_EQ(counts[static_cast<size_t>(j)], 0u) << "j=" << j;
+    }
+  }
+}
+
+// The closure entry points ride on the same recursion; cross-check both
+// against their definitions on a brute-forceable width.
+TEST(ClosureMemoTest, ClosureLevelCountsMatchBruteForce) {
+  Rng rng(999);
+  const int d = 12;
+  std::vector<uint64_t> seeds;
+  for (int s = 0; s < 8; ++s) {
+    uint64_t seed = 0;
+    for (int b = 0; b < 3; ++b) seed |= uint64_t{1} << rng.UniformInt(0, d - 1);
+    seeds.push_back(seed);
+  }
+
+  std::vector<uint64_t> up_truth(d + 1, 0), down_truth(d + 1, 0);
+  const uint64_t top = (uint64_t{1} << d) - 1;
+  for (uint64_t mask = 0; mask <= top; ++mask) {
+    const auto level = static_cast<size_t>(std::popcount(mask));
+    for (uint64_t seed : seeds) {
+      if ((mask & seed) == seed) {
+        ++up_truth[level];
+        break;
+      }
+    }
+    for (uint64_t seed : seeds) {
+      if ((mask & seed) == mask) {
+        ++down_truth[level];
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(UpClosureLevelCounts(seeds, d), up_truth);
+  EXPECT_EQ(DownClosureLevelCounts(seeds, d), down_truth);
+}
+
+}  // namespace
+}  // namespace hos::lattice

@@ -155,18 +155,21 @@ TEST(TraceDifferentialTest, ServiceTracingMatchesUntracedService) {
     EXPECT_EQ(a.outcome.evaluated_outliers, e.outcome.evaluated_outliers);
     EXPECT_EQ(a.outcome.outlier_fraction, e.outcome.outlier_fraction);
 
+    // QueryBatch runs fused blocks by default, so each result carries the
+    // block's shared span tree: batch -> search -> batch-dynamic -> wave
+    // -> knn-batch (store hits resolve silently inside the wave).
     ASSERT_NE(a.trace, nullptr);
     EXPECT_EQ(e.trace, nullptr);
-    const obs::TraceSpan* root = a.trace->Find("service");
+    const obs::TraceSpan* root = a.trace->Find("batch");
     ASSERT_NE(root, nullptr);
     EXPECT_EQ(root->parent, -1);
     const obs::TraceSpan* search = a.trace->Find("search");
     ASSERT_NE(search, nullptr);
     EXPECT_EQ(search->parent, root->id);
-    // Every leaf was either computed or served from the shared OD store.
-    EXPECT_GT(a.trace->CountByName("knn") +
-                  a.trace->CountByName("od_store_hit"),
-              0u);
+    const obs::TraceSpan* strategy = a.trace->Find("batch-dynamic");
+    ASSERT_NE(strategy, nullptr);
+    EXPECT_EQ(strategy->parent, search->id);
+    EXPECT_GT(a.trace->CountByName("knn-batch"), 0u);
   }
 
   // Aggregates reached the stats surface.
