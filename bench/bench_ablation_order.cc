@@ -17,11 +17,12 @@ using namespace hos;  // NOLINT
 
 constexpr int kDims = 12;
 constexpr int kK = 5;
-constexpr int kNumQueries = 12;
+int NumQueries() { return static_cast<int>(bench::SmokeSize(12, 4)); }
 
 void Run() {
   bench::Banner("E11", "level-order ablation (d=12, 12 queries)");
-  auto workload = bench::MakeWorkload(3000, kDims, /*seed=*/11);
+  auto workload =
+      bench::MakeWorkload(bench::SmokeSize(3000, 500), kDims, /*seed=*/11);
   const data::Dataset& ds = workload.dataset;
 
   auto tree = index::XTree::BulkLoad(ds, knn::MetricKind::kL2);
@@ -45,7 +46,7 @@ void Run() {
   std::vector<data::PointId> queries;
   for (const auto& planted : workload.outliers) queries.push_back(planted.id);
   Rng query_rng(12);
-  while (queries.size() < kNumQueries) {
+  while (queries.size() < static_cast<size_t>(NumQueries())) {
     queries.push_back(
         static_cast<data::PointId>(query_rng.UniformInt(0, ds.size() - 1)));
   }
@@ -87,10 +88,10 @@ void Run() {
   for (const auto& entry : entries) {
     table.AddRow({entry.name,
                   eval::FormatDouble(
-                      static_cast<double>(entry.evals) / kNumQueries, 1),
+                      static_cast<double>(entry.evals) / NumQueries(), 1),
                   eval::FormatDouble(
-                      static_cast<double>(entry.steps) / kNumQueries, 1),
-                  eval::FormatDouble(entry.ms / kNumQueries, 2)});
+                      static_cast<double>(entry.steps) / NumQueries(), 1),
+                  eval::FormatDouble(entry.ms / NumQueries(), 2)});
   }
   table.Print();
   std::printf(
@@ -102,7 +103,8 @@ void Run() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hos::bench::ConsumeSmokeFlag(&argc, argv);
   Run();
   return 0;
 }

@@ -33,11 +33,13 @@ namespace {
 
 using namespace hos;  // NOLINT
 
-size_t g_num_points = 20000;  // overridable: argv[2]
+size_t g_num_points = 20000;  // overridable: argv[2]; shrunk by --smoke
 constexpr int kNumDims = 8;
 constexpr int kK = 5;
-constexpr size_t kScreenIds = 256;  // points screened per timed pass
-constexpr int kTrials = 3;          // best-of, single-core noise guard
+
+// Points screened per timed pass / best-of trials, shrunk by --smoke.
+size_t ScreenIds() { return bench::SmokeSize(256, 64); }
+int Trials() { return bench::SmokeMode() ? 1 : 3; }
 
 struct ScreenRow {
   const char* backend;
@@ -68,8 +70,8 @@ std::vector<data::PointId> ScreenSet(size_t dataset_size) {
   // the timed window is exactly the shape the fused path sees in
   // production.
   std::vector<data::PointId> ids;
-  ids.reserve(kScreenIds);
-  for (size_t i = 0; i < kScreenIds; ++i) {
+  ids.reserve(ScreenIds());
+  for (size_t i = 0; i < ScreenIds(); ++i) {
     ids.push_back(static_cast<data::PointId>(i % dataset_size));
   }
   return ids;
@@ -121,7 +123,7 @@ std::vector<ScreenRow> ScreenSweep(const char* name,
   for (size_t block : {size_t{1}, size_t{4}, size_t{16}, size_t{64}}) {
     std::vector<double> ods;
     double best = 0.0;
-    for (int trial = 0; trial < kTrials; ++trial) {
+    for (int trial = 0; trial < Trials(); ++trial) {
       const double seconds = TimeScreen(miner, ids, block, &ods);
       if (trial == 0 || seconds < best) best = seconds;
     }
@@ -176,7 +178,7 @@ std::vector<ScreenRow> IDistanceSweep(const data::Dataset& ds) {
   for (size_t block : {size_t{1}, size_t{4}, size_t{16}, size_t{64}}) {
     std::vector<double> ods;
     double best = 0.0;
-    for (int trial = 0; trial < kTrials; ++trial) {
+    for (int trial = 0; trial < Trials(); ++trial) {
       const double seconds = run(block, &ods);
       if (trial == 0 || seconds < best) best = seconds;
     }
@@ -264,12 +266,14 @@ void WriteJson(const std::vector<std::vector<ScreenRow>>& sweeps,
     return;
   }
   std::fprintf(f,
-               "{\n  \"bench\": \"batch\",\n  \"num_points\": %zu,\n"
+               "{\n  \"bench\": \"batch\",\n  %s,\n  \"smoke\": %s,\n"
+               "  \"num_points\": %zu,\n"
                "  \"num_dims\": %d,\n  \"k\": %d,\n"
-               "  \"screened_points\": %zu,\n  \"cores\": %u,\n"
+               "  \"screened_points\": %zu,\n"
                "  \"screening\": [\n",
-               g_num_points, kNumDims, kK, kScreenIds,
-               std::thread::hardware_concurrency());
+               bench::ProvenanceJsonFields().c_str(),
+               bench::SmokeMode() ? "true" : "false", g_num_points, kNumDims,
+               kK, ScreenIds());
   bool first = true;
   for (const auto& sweep : sweeps) {
     for (const ScreenRow& r : sweep) {
@@ -297,7 +301,7 @@ void WriteJson(const std::vector<std::vector<ScreenRow>>& sweeps,
 void Run(const std::string& json_path) {
   bench::Banner("B1", "fused multi-query screening throughput");
   std::printf("n=%zu d=%d k=%d, %zu screened points per pass, cores=%u\n",
-              g_num_points, kNumDims, kK, kScreenIds,
+              g_num_points, kNumDims, kK, ScreenIds(),
               std::thread::hardware_concurrency());
 
   std::vector<std::vector<ScreenRow>> sweeps;
@@ -342,7 +346,9 @@ void Run(const std::string& json_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::ConsumeSmokeFlag(&argc, argv);
   if (argc > 2) g_num_points = static_cast<size_t>(std::atol(argv[2]));
+  g_num_points = bench::SmokeSize(g_num_points, 2000);
   Run(argc > 1 ? argv[1] : "BENCH_batch.json");
   return 0;
 }

@@ -39,10 +39,10 @@ void Run() {
   bench::Banner("E7", "subspace recovery: HOS-Miner vs evolutionary [1]");
   Accumulator hos_acc, evo_acc;
 
-  for (uint64_t seed : {1, 2, 3, 4, 5}) {
+  for (uint64_t seed : bench::SmokeSweep<uint64_t>({1, 2, 3, 4, 5})) {
     Rng rng(seed);
     data::SubspaceOutlierSpec spec;
-    spec.num_points = 1500;
+    spec.num_points = bench::SmokeSize(1500, 500);
     spec.num_dims = 8;
     spec.planted_subspaces = {Subspace::FromOneBased({1, 2}),
                               Subspace::FromOneBased({4, 5})};
@@ -60,7 +60,7 @@ void Run() {
     baseline::EvolutionaryOptions evo_options;
     evo_options.target_dims = 2;
     evo_options.population_size = 80;
-    evo_options.max_generations = 60;
+    evo_options.max_generations = bench::SmokeMode() ? 15 : 60;
     evo_options.top_m = 10;
     auto evo = baseline::EvolutionaryOutlierSearch::Create(copy, evo_options);
     if (!evo.ok()) return;
@@ -107,7 +107,8 @@ void Run() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hos::bench::ConsumeSmokeFlag(&argc, argv);
   Run();
   return 0;
 }

@@ -20,7 +20,8 @@ void Run() {
   bench::Banner("E1 (Figure 1)", "outlying degree across 2-D views");
   Rng rng(42);
   const int d = 6;
-  auto generated = data::GenerateFigure1Scenario(1000, d, &rng);
+  auto generated = data::GenerateFigure1Scenario(
+      bench::SmokeSize(1000, 400), d, &rng);
   if (!generated.ok()) {
     std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
     return;
@@ -39,7 +40,8 @@ void Run() {
       // Rank p's OD among 200 sampled points (1 = most outlying).
       int rank = 1;
       Rng sample_rng(7);
-      for (size_t idx : sample_rng.SampleWithoutReplacement(ds.size(), 200)) {
+      for (size_t idx : sample_rng.SampleWithoutReplacement(
+               ds.size(), bench::SmokeSize(200, 50))) {
         auto id = static_cast<data::PointId>(idx);
         if (id == p) continue;
         knn::KnnQuery q;
@@ -95,7 +97,8 @@ void Run() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hos::bench::ConsumeSmokeFlag(&argc, argv);
   Run();
   return 0;
 }

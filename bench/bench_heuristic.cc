@@ -22,8 +22,9 @@ void Run() {
   bench::Banner("E14", "exact dynamic search vs genetic heuristic");
   eval::Table table({"d", "method", "OD evals", "answers", "recall vs exact"});
 
-  for (int d : {8, 10, 12}) {
-    auto workload = bench::MakeWorkload(2000, d, /*seed=*/14 + d);
+  for (int d : bench::SmokeSweep<int>({8, 10, 12})) {
+    auto workload =
+        bench::MakeWorkload(bench::SmokeSize(2000, 500), d, /*seed=*/14 + d);
     const data::Dataset& ds = workload.dataset;
     const data::PointId query = workload.outliers[0].id;
     auto tree = index::XTree::BulkLoad(ds, knn::MetricKind::kL2);
@@ -71,7 +72,8 @@ void Run() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hos::bench::ConsumeSmokeFlag(&argc, argv);
   Run();
   return 0;
 }

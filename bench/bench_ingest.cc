@@ -34,16 +34,16 @@ namespace {
 
 using namespace hos;  // NOLINT
 
-constexpr size_t kNumPoints = 800;
 constexpr int kNumDims = 8;
 constexpr int kQueryThreads = 4;
 constexpr int kHotSetSize = 32;
-constexpr int kQueryRounds = 4;       // QueryBatch rounds per scenario
 constexpr size_t kAppendBatchRows = 16;
-constexpr int kAppendBatches = 12;
+size_t NumPoints() { return bench::SmokeSize(800, 256); }
+int QueryRounds() { return bench::SmokeMode() ? 2 : 4; }  // per scenario
+int AppendBatches() { return bench::SmokeMode() ? 4 : 12; }
 
 core::HosMiner BuildMiner(uint64_t seed) {
-  auto workload = bench::MakeWorkload(kNumPoints, kNumDims, seed);
+  auto workload = bench::MakeWorkload(NumPoints(), kNumDims, seed);
   core::HosMinerConfig config;
   config.seed = seed;
   auto miner = core::HosMiner::Build(std::move(workload.dataset), config);
@@ -95,13 +95,13 @@ ServeRow RunServing(const std::string& mode, bool with_appends,
     config.ingest.rebuild_delta_fraction = 0.0;  // policy off
   }
   service::QueryService service(BuildMiner(/*seed=*/7), config);
-  const std::vector<data::PointId> ids = HotIds(kNumPoints);
+  const std::vector<data::PointId> ids = HotIds(NumPoints());
 
   std::thread writer;
   if (with_appends) {
     writer = std::thread([&service]() {
       Rng rng(1234);
-      for (int b = 0; b < kAppendBatches; ++b) {
+      for (int b = 0; b < AppendBatches(); ++b) {
         auto version = service.AppendBatch(RandomRows(kAppendBatchRows, &rng));
         if (!version.ok()) std::abort();
       }
@@ -110,7 +110,7 @@ ServeRow RunServing(const std::string& mode, bool with_appends,
 
   size_t queries = 0;
   Timer timer;
-  for (int round = 0; round < kQueryRounds; ++round) {
+  for (int round = 0; round < QueryRounds(); ++round) {
     auto results = service.QueryBatch(ids);
     if (!results.ok()) {
       std::fprintf(stderr, "batch failed: %s\n",
@@ -150,16 +150,16 @@ DepthRow RunDepth(double fraction) {
   core::HosMiner miner = BuildMiner(/*seed=*/7);
   Rng rng(99);
   const auto delta_count = static_cast<size_t>(
-      static_cast<double>(kNumPoints) * fraction / (1.0 - fraction) + 0.5);
+      static_cast<double>(NumPoints()) * fraction / (1.0 - fraction) + 0.5);
   if (delta_count > 0) {
     auto version = miner.Append(RandomRows(delta_count, &rng));
     if (!version.ok()) std::abort();
   }
 
-  const std::vector<data::PointId> ids = HotIds(kNumPoints);
+  const std::vector<data::PointId> ids = HotIds(NumPoints());
   size_t queries = 0;
   Timer timer;
-  for (int round = 0; round < kQueryRounds; ++round) {
+  for (int round = 0; round < QueryRounds(); ++round) {
     for (data::PointId id : ids) {
       if (!miner.Query(id).ok()) std::abort();
       ++queries;
@@ -201,7 +201,7 @@ struct WindowRow {
 WindowRow RunWindow(const std::string& mode, bool with_rebuilds) {
   service::QueryServiceConfig config;
   config.num_threads = kQueryThreads;
-  config.ingest.window_max_rows = kNumPoints;
+  config.ingest.window_max_rows = NumPoints();
   if (with_rebuilds) {
     config.ingest.min_delta_rows = 32;
     config.ingest.rebuild_delta_fraction = 0.05;
@@ -212,7 +212,7 @@ WindowRow RunWindow(const std::string& mode, bool with_rebuilds) {
 
   std::thread writer([&service]() {
     Rng rng(4321);
-    for (int b = 0; b < kAppendBatches; ++b) {
+    for (int b = 0; b < AppendBatches(); ++b) {
       auto version = service.AppendBatch(RandomRows(kAppendBatchRows, &rng));
       if (!version.ok()) std::abort();
     }
@@ -220,7 +220,7 @@ WindowRow RunWindow(const std::string& mode, bool with_rebuilds) {
 
   size_t queries = 0;
   Timer timer;
-  for (int round = 0; round < kQueryRounds; ++round) {
+  for (int round = 0; round < QueryRounds(); ++round) {
     // Query the youngest live rows — the streaming hot set. The window
     // slides under us, so re-pick every round.
     std::vector<data::PointId> ids;
@@ -258,7 +258,7 @@ WindowRow RunWindow(const std::string& mode, bool with_rebuilds) {
 void Run(const std::string& json_path) {
   bench::Banner("I1", "streaming ingest: append-while-serving");
   std::printf("n=%zu d=%d, %d query threads, %d x %zu appended rows\n",
-              kNumPoints, kNumDims, kQueryThreads, kAppendBatches,
+              NumPoints(), kNumDims, kQueryThreads, AppendBatches(),
               kAppendBatchRows);
 
   std::vector<ServeRow> serve_rows;
@@ -297,7 +297,7 @@ void Run(const std::string& json_path) {
 
   bench::Banner("I3", "sliding window: append+evict steady state");
   std::printf("window_max_rows=%zu (every append batch evicts)\n",
-              kNumPoints);
+              NumPoints());
   std::vector<WindowRow> window_rows;
   window_rows.push_back(RunWindow("window_no_rebuild", false));
   window_rows.push_back(RunWindow("window_with_rebuilds", true));
@@ -320,15 +320,17 @@ void Run(const std::string& json_path) {
   }
   std::fprintf(f,
                "{\n  \"bench\": \"ingest\",\n"
+               "  %s,\n  \"smoke\": %s,\n"
                "  \"num_points\": %zu,\n  \"num_dims\": %d,\n"
                "  \"query_threads\": %d,\n"
                "  \"append_batches\": %d,\n  \"append_batch_rows\": %zu,\n"
                "  \"note\": \"append-while-serving overlap is limited by "
-               "the host's core count; regenerate on a multi-core machine "
-               "for real concurrency numbers\",\n"
+               "the host's core count (see single_core_caveat); regenerate "
+               "on a multi-core machine for real concurrency numbers\",\n"
                "  \"serving\": [\n",
-               kNumPoints, kNumDims, kQueryThreads, kAppendBatches,
-               kAppendBatchRows);
+               bench::ProvenanceJsonFields().c_str(),
+               bench::SmokeMode() ? "true" : "false", NumPoints(), kNumDims,
+               kQueryThreads, AppendBatches(), kAppendBatchRows);
   for (size_t i = 0; i < serve_rows.size(); ++i) {
     const ServeRow& r = serve_rows[i];
     std::fprintf(
@@ -376,6 +378,7 @@ void Run(const std::string& json_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  hos::bench::ConsumeSmokeFlag(&argc, argv);
   Run(argc > 1 ? argv[1] : "BENCH_ingest.json");
   return 0;
 }

@@ -28,13 +28,13 @@ namespace {
 
 using namespace hos;  // NOLINT
 
-constexpr size_t kNumPoints = 6000;
 constexpr int kNumDims = 16;
-constexpr int kNumQueries = 40;
 constexpr int kOdK = 5;
-// Each side is timed kRepetitions times and the fastest pass is kept, so a
+size_t NumPoints() { return bench::SmokeSize(6000, 500); }
+int NumQueries() { return bench::SmokeMode() ? 8 : 40; }
+// Each side is timed Repetitions() times and the fastest pass is kept, so a
 // single scheduler hiccup on a busy machine cannot skew a ratio.
-constexpr int kRepetitions = 3;
+int Repetitions() { return bench::SmokeMode() ? 1 : 3; }
 
 /// The pre-rewire linear-scan kNN: per-point virtual-free scalar metric
 /// calls over row-major storage, kept here as the bench reference.
@@ -77,7 +77,7 @@ struct Row {
 };
 
 std::vector<std::vector<double>> MakeQueries(int d, Rng* rng) {
-  std::vector<std::vector<double>> queries(kNumQueries,
+  std::vector<std::vector<double>> queries(NumQueries(),
                                            std::vector<double>(d));
   for (auto& q : queries) {
     for (auto& v : q) v = rng->Uniform();
@@ -94,7 +94,7 @@ Row RawThroughput(const data::Dataset& ds, const kernels::DatasetView& view,
   double checksum = 0.0;
 
   double scalar_seconds = 1e30;
-  for (int rep = 0; rep < kRepetitions; ++rep) {
+  for (int rep = 0; rep < Repetitions(); ++rep) {
     Timer timer;
     for (const auto& q : queries) {
       for (data::PointId id = 0; id < ds.size(); ++id) {
@@ -106,7 +106,7 @@ Row RawThroughput(const data::Dataset& ds, const kernels::DatasetView& view,
 
   std::vector<double> dist(ds.size());
   double kernel_seconds = 1e30;
-  for (int rep = 0; rep < kRepetitions; ++rep) {
+  for (int rep = 0; rep < Repetitions(); ++rep) {
     Timer timer;
     for (const auto& q : queries) {
       kernels::BatchedSubspaceDistanceRange(view, q, subspace, metric, 0,
@@ -141,7 +141,7 @@ Row OdWorkload(const data::Dataset& ds, knn::MetricKind metric,
   double checksum = 0.0;
 
   double scalar_seconds = 1e30;
-  for (int rep = 0; rep < kRepetitions; ++rep) {
+  for (int rep = 0; rep < Repetitions(); ++rep) {
     Timer timer;
     for (const auto& q : queries) {
       checksum += ScalarOd(ds, q, subspace, metric, kOdK);
@@ -151,7 +151,7 @@ Row OdWorkload(const data::Dataset& ds, knn::MetricKind metric,
 
   knn::LinearScanKnn engine(ds, metric);
   double kernel_seconds = 1e30;
-  for (int rep = 0; rep < kRepetitions; ++rep) {
+  for (int rep = 0; rep < Repetitions(); ++rep) {
     Timer timer;
     for (const auto& q : queries) {
       knn::KnnQuery query;
@@ -185,9 +185,12 @@ void WriteJson(const std::vector<Row>& rows, const std::string& path) {
   }
   std::fprintf(f,
                "{\n  \"bench\": \"kernel\",\n"
+               "  %s,\n  \"smoke\": %s,\n"
                "  \"num_points\": %zu,\n  \"num_dims\": %d,\n"
                "  \"num_queries\": %d,\n  \"k\": %d,\n  \"results\": [\n",
-               kNumPoints, kNumDims, kNumQueries, kOdK);
+               bench::ProvenanceJsonFields().c_str(),
+               bench::SmokeMode() ? "true" : "false", NumPoints(), kNumDims,
+               NumQueries(), kOdK);
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,
@@ -206,7 +209,7 @@ void WriteJson(const std::vector<Row>& rows, const std::string& path) {
 void Run(const std::string& json_path) {
   bench::Banner("K1", "batched distance kernel vs scalar metric path");
   Rng rng(4242);
-  data::Dataset ds = data::GenerateUniform(kNumPoints, kNumDims, &rng);
+  data::Dataset ds = data::GenerateUniform(NumPoints(), kNumDims, &rng);
   kernels::DatasetView view = kernels::DatasetView::Build(ds);
   auto queries = MakeQueries(kNumDims, &rng);
 
@@ -250,6 +253,7 @@ void Run(const std::string& json_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  hos::bench::ConsumeSmokeFlag(&argc, argv);
   Run(argc > 1 ? argv[1] : "BENCH_kernel.json");
   return 0;
 }

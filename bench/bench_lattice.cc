@@ -38,7 +38,7 @@ namespace {
 
 using namespace hos;  // NOLINT
 
-constexpr int kRepetitions = 3;
+int Repetitions() { return bench::SmokeMode() ? 1 : 3; }
 
 long ReadStatusKb(const char* key) {
   std::FILE* f = std::fopen("/proc/self/status", "r");
@@ -78,7 +78,7 @@ CaseResult Drive(int d, lattice::LatticeBackend backend, bool all_outlying) {
   const auto priors = lattice::PruningPriors::Flat(d);
 
   double total_seconds = 0.0;
-  for (int rep = 0; rep < kRepetitions; ++rep) {
+  for (int rep = 0; rep < Repetitions(); ++rep) {
     const long rss_before = ReadStatusKb("VmRSS:");
     Timer timer;
     auto made = lattice::MakeLatticeStore(d, backend);
@@ -105,7 +105,7 @@ CaseResult Drive(int d, lattice::LatticeBackend backend, bool all_outlying) {
     result.steps = steps;
   }
   result.supported = true;
-  result.seconds = total_seconds / kRepetitions;
+  result.seconds = total_seconds / Repetitions();
   return result;
 }
 
@@ -118,6 +118,7 @@ void WriteJson(const std::vector<CaseResult>& cases, const std::string& path) {
   std::fprintf(
       f,
       "{\n  \"bench\": \"lattice_backends\",\n"
+      "  %s,\n  \"smoke\": %s,\n"
       "  \"repetitions\": %d,\n"
       "  \"vm_hwm_kb\": %ld,\n"
       "  \"note\": \"Pure lattice machinery (synthetic monotone verdicts, "
@@ -128,7 +129,9 @@ void WriteJson(const std::vector<CaseResult>& cases, const std::string& path) {
       "single-threaded by construction, so cores do not affect them, but "
       "absolute numbers carry the container's CPU variance.\",\n"
       "  \"cases\": [\n",
-      kRepetitions, ReadStatusKb("VmHWM:"));
+      bench::ProvenanceJsonFields().c_str(),
+      bench::SmokeMode() ? "true" : "false", Repetitions(),
+      ReadStatusKb("VmHWM:"));
   for (size_t i = 0; i < cases.size(); ++i) {
     const CaseResult& c = cases[i];
     if (c.supported) {
@@ -156,7 +159,7 @@ void WriteJson(const std::vector<CaseResult>& cases, const std::string& path) {
 void Run(const std::string& path) {
   bench::Banner("lattice", "dense vs sparse lattice backends across d");
   std::vector<CaseResult> cases;
-  for (int d : {12, 18, 22, 26, 32}) {
+  for (int d : bench::SmokeSweep<int>({12, 18, 22, 26, 32})) {
     for (lattice::LatticeBackend backend :
          {lattice::LatticeBackend::kDense, lattice::LatticeBackend::kSparse}) {
       for (bool all_outlying : {true, false}) {
@@ -182,6 +185,7 @@ void Run(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  hos::bench::ConsumeSmokeFlag(&argc, argv);
   Run(argc > 1 ? argv[1] : "BENCH_lattice.json");
   return 0;
 }

@@ -17,11 +17,12 @@ using namespace hos;  // NOLINT
 
 constexpr int kDims = 12;
 constexpr int kK = 5;
-constexpr int kNumQueries = 10;
+int NumQueries() { return static_cast<int>(bench::SmokeSize(10, 4)); }
 
 void Run() {
   bench::Banner("E6", "learning sample size S vs query cost (d=12)");
-  auto workload = bench::MakeWorkload(3000, kDims, /*seed=*/6);
+  auto workload =
+      bench::MakeWorkload(bench::SmokeSize(3000, 600), kDims, /*seed=*/6);
   const data::Dataset& ds = workload.dataset;
 
   auto tree = index::XTree::BulkLoad(ds, knn::MetricKind::kL2);
@@ -39,14 +40,14 @@ void Run() {
   std::vector<data::PointId> queries;
   for (const auto& planted : workload.outliers) queries.push_back(planted.id);
   Rng query_rng(99);
-  while (queries.size() < kNumQueries) {
+  while (queries.size() < static_cast<size_t>(NumQueries())) {
     queries.push_back(
         static_cast<data::PointId>(query_rng.UniformInt(0, ds.size() - 1)));
   }
 
   eval::Table table({"S", "learn_ms", "learn OD evals",
                      "avg query OD evals", "avg query ms"});
-  for (int sample_size : {0, 5, 10, 20, 40}) {
+  for (int sample_size : bench::SmokeSweep<int>({0, 5, 10, 20, 40})) {
     Rng learn_rng(6);
     learning::LearnerOptions learner_options;
     learner_options.sample_size = sample_size;
@@ -85,7 +86,8 @@ void Run() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hos::bench::ConsumeSmokeFlag(&argc, argv);
   Run();
   return 0;
 }

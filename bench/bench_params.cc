@@ -20,7 +20,7 @@ void SweepK(const data::Dataset& ds, const index::XTreeKnn& engine,
   std::printf("\n-- E9a: vary k (T = auto 95th percentile per k) --\n");
   eval::Table table(
       {"k", "T", "time_ms", "OD evals", "minimal subspaces"});
-  for (int k : {1, 3, 5, 10, 20}) {
+  for (int k : bench::SmokeSweep<int>({1, 3, 5, 10, 20})) {
     Rng rng(9);
     core::ThresholdOptions threshold_options;
     threshold_options.k = k;
@@ -57,7 +57,8 @@ void SweepT(const data::Dataset& ds, const index::XTreeKnn& engine,
 
   eval::Table table({"T / T_auto", "T", "OD evals", "pruned up",
                      "pruned down", "outlying total", "minimal"});
-  for (double factor : {0.25, 0.5, 0.75, 1.0, 1.25, 2.0}) {
+  for (double factor :
+       bench::SmokeSweep<double>({0.25, 0.5, 0.75, 1.0, 1.25, 2.0})) {
     const double threshold = *base * factor;
     learning::LearnerOptions learner_options;
     learner_options.sample_size = 10;
@@ -87,7 +88,8 @@ void SweepT(const data::Dataset& ds, const index::XTreeKnn& engine,
 
 void Run() {
   bench::Banner("E9", "parameter sensitivity: k and T (d=10, N=3000)");
-  auto workload = bench::MakeWorkload(3000, kDims, /*seed=*/9);
+  auto workload =
+      bench::MakeWorkload(bench::SmokeSize(3000, 600), kDims, /*seed=*/9);
   const data::Dataset& ds = workload.dataset;
   auto tree = index::XTree::BulkLoad(ds, knn::MetricKind::kL2);
   if (!tree.ok()) return;
@@ -99,7 +101,8 @@ void Run() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hos::bench::ConsumeSmokeFlag(&argc, argv);
   Run();
   return 0;
 }

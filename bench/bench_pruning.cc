@@ -23,7 +23,8 @@ constexpr int kK = 5;
 // tallies: we re-run the same algorithm inline to read the LatticeStore.
 void Run() {
   bench::Banner("E5", "per-level pruning breakdown (dynamic search, d=12)");
-  auto workload = bench::MakeWorkload(3000, kDims, /*seed=*/5);
+  auto workload =
+      bench::MakeWorkload(bench::SmokeSize(3000, 600), kDims, /*seed=*/5);
   const data::Dataset& ds = workload.dataset;
   const data::PointId query = workload.outliers[0].id;
 
@@ -90,7 +91,8 @@ void Run() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hos::bench::ConsumeSmokeFlag(&argc, argv);
   Run();
   return 0;
 }

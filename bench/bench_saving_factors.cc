@@ -64,9 +64,17 @@ BENCHMARK(BM_BestLevel)->Arg(8)->Arg(16);
 
 }  // namespace
 
+// Smoke mode (--smoke): shrink the table sweeps above and ask
+// google-benchmark for a near-zero min time so every registered benchmark
+// still executes once (all args here are cheap, no filter needed).
 int main(int argc, char** argv) {
+  hos::bench::ConsumeSmokeFlag(&argc, argv);
   PrintTables();
-  benchmark::Initialize(&argc, argv);
+  std::vector<char*> args(argv, argv + argc);
+  char min_time[] = "--benchmark_min_time=0.001";
+  if (hos::bench::SmokeMode()) args.push_back(min_time);
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -26,8 +26,9 @@ void Run() {
   eval::Table table({"d", "lattice 2^d-1", "strategy", "time_ms", "OD evals",
                      "evaluated fraction"});
 
-  for (int d : {6, 8, 10, 12, 14}) {
-    auto workload = bench::MakeWorkload(kN, d, /*seed=*/d);
+  for (int d : bench::SmokeSweep<int>({6, 8, 10, 12, 14})) {
+    auto workload =
+        bench::MakeWorkload(bench::SmokeSize(kN, 500), d, /*seed=*/d);
     const data::Dataset& ds = workload.dataset;
     const data::PointId query = workload.outliers[0].id;
     const uint64_t lattice_size = (uint64_t{1} << d) - 1;
@@ -82,7 +83,8 @@ void Run() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hos::bench::ConsumeSmokeFlag(&argc, argv);
   Run();
   return 0;
 }

@@ -28,8 +28,9 @@ void Run() {
   eval::Table table({"N", "strategy", "time_ms", "OD evals", "dist comps",
                      "minimal subspaces"});
 
-  for (size_t n : {1000, 2000, 5000, 10000}) {
-    auto workload = bench::MakeWorkload(n, kDims, /*seed=*/n);
+  for (size_t n : bench::SmokeSweep<size_t>({1000, 2000, 5000, 10000})) {
+    auto workload = bench::MakeWorkload(bench::SmokeSize(n, 600), kDims,
+                                        /*seed=*/n);
     const data::Dataset& ds = workload.dataset;
     const data::PointId query = workload.outliers[0].id;
 
@@ -97,7 +98,8 @@ void Run() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hos::bench::ConsumeSmokeFlag(&argc, argv);
   Run();
   return 0;
 }

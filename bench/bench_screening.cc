@@ -16,8 +16,9 @@ void Run() {
   bench::Banner("E13", "screen-then-detail pipeline (d=10)");
   eval::Table table({"N", "screen_ms", "screened", "detail_ms",
                      "avg evals/outlier", "planted found"});
-  for (size_t n : {1000, 3000, 10000}) {
-    auto workload = bench::MakeWorkload(n, 10, /*seed=*/13 + n);
+  for (size_t n : bench::SmokeSweep<size_t>({1000, 3000, 10000})) {
+    auto workload = bench::MakeWorkload(bench::SmokeSize(n, 500), 10,
+                                        /*seed=*/13 + n);
     const auto planted = workload.outliers;
     core::HosMinerConfig config;
     config.seed = 13;
@@ -69,7 +70,8 @@ void Run() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hos::bench::ConsumeSmokeFlag(&argc, argv);
   Run();
   return 0;
 }

@@ -39,10 +39,10 @@ uint64_t ScreenAll(const data::Dataset& ds,
 void Run() {
   bench::Banner("E15", "screening stage: full-space kNN for every point");
   eval::Table table({"N", "backend", "screen_ms", "dists/query"});
-  for (size_t n : {2000, 10000, 30000}) {
+  for (size_t n : bench::SmokeSweep<size_t>({2000, 10000, 30000})) {
     Rng rng(15);
     data::GaussianMixtureSpec spec;
-    spec.num_points = n;
+    spec.num_points = bench::SmokeSize(n, 600);
     spec.num_dims = kDims;
     spec.num_clusters = 8;
     data::Dataset ds = data::GenerateGaussianMixture(spec, &rng);
@@ -122,7 +122,8 @@ void Run() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hos::bench::ConsumeSmokeFlag(&argc, argv);
   Run();
   return 0;
 }

@@ -31,10 +31,10 @@ namespace {
 
 using namespace hos;  // NOLINT
 
-constexpr size_t kNumPoints = 1500;
-constexpr int kNumDims = 14;
 constexpr int kK = 5;
-constexpr int kRepetitions = 3;
+size_t NumPoints() { return bench::SmokeSize(1500, 400); }
+int NumDims() { return bench::SmokeMode() ? 10 : 14; }
+int Repetitions() { return bench::SmokeMode() ? 1 : 3; }
 
 struct Row {
   int threads;        // 1 = sequential (no pool)
@@ -54,14 +54,17 @@ void WriteJson(const std::vector<Row>& rows, double threshold,
   }
   std::fprintf(f,
                "{\n  \"bench\": \"search_parallel_frontier\",\n"
+               "  %s,\n  \"smoke\": %s,\n"
                "  \"num_points\": %zu,\n  \"num_dims\": %d,\n"
                "  \"threshold\": %.6g,\n  \"repetitions\": %d,\n"
-               "  \"hardware_concurrency\": %u,\n"
                "  \"note\": \"speedup is meaningful only when "
-               "hardware_concurrency >= threads; on fewer cores the pool "
-               "can only add handoff overhead\",\n"
+               "hardware_concurrency >= threads (single_core_caveat false); "
+               "on fewer cores the pool can only add handoff overhead\",\n"
                "  \"results\": [\n",
-               kNumPoints, kNumDims, threshold, kRepetitions, cores);
+               bench::ProvenanceJsonFields().c_str(),
+               bench::SmokeMode() ? "true" : "false", NumPoints(), NumDims(),
+               threshold, Repetitions());
+  (void)cores;
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,
@@ -80,7 +83,7 @@ void WriteJson(const std::vector<Row>& rows, double threshold,
 
 void Run(const std::string& json_path) {
   bench::Banner("S2", "parallel frontier evaluation (dynamic search, d=14)");
-  auto workload = bench::MakeWorkload(kNumPoints, kNumDims, /*seed=*/77);
+  auto workload = bench::MakeWorkload(NumPoints(), NumDims(), /*seed=*/77);
   const data::Dataset& ds = workload.dataset;
   const data::PointId query = workload.outliers[0].id;
   knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
@@ -105,11 +108,11 @@ void Run(const std::string& json_path) {
   learner_options.threshold = *threshold;
   auto report =
       learning::LearnPruningPriors(ds, engine, learner_options, &rng);
-  search::DynamicSubspaceSearch strategy(kNumDims, report.priors);
+  search::DynamicSubspaceSearch strategy(NumDims(), report.priors);
 
   const unsigned cores = std::thread::hardware_concurrency();
-  std::printf("n=%zu d=%d T=%.3f k=%d, %u hardware threads\n", kNumPoints,
-              kNumDims, *threshold, kK, cores);
+  std::printf("n=%zu d=%d T=%.3f k=%d, %u hardware threads\n", NumPoints(),
+              NumDims(), *threshold, kK, cores);
 
   struct Config {
     int threads;
@@ -130,7 +133,7 @@ void Run(const std::string& json_path) {
     exec.speculate = config.speculate;
 
     Row row{config.threads, config.speculate, 0.0, 0, 0, 0.0};
-    for (int rep = 0; rep < kRepetitions; ++rep) {
+    for (int rep = 0; rep < Repetitions(); ++rep) {
       // Fresh evaluator per run: no memo carry-over between rows.
       search::OdEvaluator od(engine, ds.Row(query), kK, query);
       Timer timer;
@@ -151,7 +154,7 @@ void Run(const std::string& json_path) {
         return;
       }
     }
-    row.seconds /= kRepetitions;
+    row.seconds /= Repetitions();
     rows.push_back(row);
   }
   for (Row& row : rows) row.speedup = rows[0].seconds / row.seconds;
@@ -173,6 +176,7 @@ void Run(const std::string& json_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  hos::bench::ConsumeSmokeFlag(&argc, argv);
   Run(argc > 1 ? argv[1] : "BENCH_search.json");
   return 0;
 }

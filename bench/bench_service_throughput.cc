@@ -23,13 +23,13 @@ namespace {
 
 using namespace hos;  // NOLINT
 
-constexpr size_t kNumPoints = 1200;
 constexpr int kNumDims = 8;
-constexpr int kHotSetSize = 48;   // distinct query points
-constexpr int kRepetitions = 6;   // times each hot point is queried
+size_t NumPoints() { return bench::SmokeSize(1200, 300); }
+int HotSetSize() { return bench::SmokeMode() ? 16 : 48; }  // distinct query points
+int Repetitions() { return bench::SmokeMode() ? 2 : 6; }   // queries per hot point
 
 core::HosMiner BuildMiner(uint64_t seed) {
-  auto workload = bench::MakeWorkload(kNumPoints, kNumDims, seed);
+  auto workload = bench::MakeWorkload(NumPoints(), kNumDims, seed);
   core::HosMinerConfig config;
   config.seed = seed;
   auto miner = core::HosMiner::Build(std::move(workload.dataset), config);
@@ -60,9 +60,9 @@ Row RunConfig(int threads, bool cache_on) {
   // Hot query mix: kHotSetSize distinct ids, each repeated, interleaved so
   // repeats land while earlier queries may still be in flight.
   std::vector<data::PointId> ids;
-  ids.reserve(kHotSetSize * kRepetitions);
-  for (int rep = 0; rep < kRepetitions; ++rep) {
-    for (int i = 0; i < kHotSetSize; ++i) {
+  ids.reserve(HotSetSize() * Repetitions());
+  for (int rep = 0; rep < Repetitions(); ++rep) {
+    for (int i = 0; i < HotSetSize(); ++i) {
       ids.push_back(static_cast<data::PointId>(
           (i * 17) % static_cast<int>(service.miner().dataset().size())));
     }
@@ -107,7 +107,7 @@ struct FusionRow {
 
 std::vector<FusionRow> RunFusionSweep() {
   constexpr int kWidths[] = {1, 4, 16, 64};
-  constexpr int kTrials = 3;
+  const int kTrials = bench::SmokeMode() ? 1 : 3;
 
   std::vector<std::unique_ptr<service::QueryService>> services;
   std::vector<data::PointId> ids;
@@ -122,7 +122,7 @@ std::vector<FusionRow> RunFusionSweep() {
   // Distinct ids — with memoisation off and no repeats, every query pays
   // its full screening cost, which is what the fusion width changes.
   const auto n = static_cast<int>(services[0]->miner().dataset().size());
-  for (int i = 0; i < kHotSetSize * kRepetitions && i < n; ++i) {
+  for (int i = 0; i < HotSetSize() * Repetitions() && i < n; ++i) {
     ids.push_back(static_cast<data::PointId>(i));
   }
 
@@ -194,9 +194,9 @@ std::vector<OverheadRow> RunOverheadSweep() {
     services.push_back(std::make_unique<service::QueryService>(
         BuildMiner(/*seed=*/99), config));
     if (ids.empty()) {
-      ids.reserve(kHotSetSize * kRepetitions);
-      for (int rep = 0; rep < kRepetitions; ++rep) {
-        for (int i = 0; i < kHotSetSize; ++i) {
+      ids.reserve(HotSetSize() * Repetitions());
+      for (int rep = 0; rep < Repetitions(); ++rep) {
+        for (int i = 0; i < HotSetSize(); ++i) {
           ids.push_back(static_cast<data::PointId>(
               (i * 17) %
               static_cast<int>(services[0]->miner().dataset().size())));
@@ -215,7 +215,7 @@ std::vector<OverheadRow> RunOverheadSweep() {
   // tens of percent — the minimum is the defensible estimate of the
   // code's own cost.
   constexpr int kTimedBatches = 4;
-  constexpr int kTrials = 7;
+  const int kTrials = bench::SmokeMode() ? 1 : 7;
   double best_seconds[3] = {0.0, 0.0, 0.0};
   for (int trial = 0; trial < kTrials; ++trial) {
     for (size_t m = 0; m < services.size(); ++m) {
@@ -261,9 +261,12 @@ void WriteJson(const std::vector<Row>& rows,
   }
   std::fprintf(f,
                "{\n  \"bench\": \"service_throughput\",\n"
+               "  %s,\n  \"smoke\": %s,\n"
                "  \"num_points\": %zu,\n  \"num_dims\": %d,\n"
                "  \"queries\": %d,\n  \"results\": [\n",
-               kNumPoints, kNumDims, kHotSetSize * kRepetitions);
+               bench::ProvenanceJsonFields().c_str(),
+               bench::SmokeMode() ? "true" : "false", NumPoints(), kNumDims,
+               HotSetSize() * Repetitions());
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,
@@ -299,8 +302,8 @@ void WriteJson(const std::vector<Row>& rows,
 void Run(const std::string& json_path) {
   bench::Banner("S1", "concurrent query service throughput");
   std::printf("n=%zu d=%d, %d queries (%d hot points x %d repetitions)\n",
-              kNumPoints, kNumDims, kHotSetSize * kRepetitions, kHotSetSize,
-              kRepetitions);
+              NumPoints(), kNumDims, HotSetSize() * Repetitions(),
+              HotSetSize(), Repetitions());
 
   std::vector<Row> rows;
   for (bool cache_on : {false, true}) {
@@ -366,6 +369,7 @@ void Run(const std::string& json_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  hos::bench::ConsumeSmokeFlag(&argc, argv);
   Run(argc > 1 ? argv[1] : "BENCH_service.json");
   return 0;
 }

@@ -30,7 +30,7 @@ void PrintShapeTable() {
   bench::Banner("E12", "X-tree build: insertion vs STR bulk-load (d=10)");
   eval::Table table({"N", "build", "time_ms", "height", "leaves",
                      "supernodes", "avg kNN ms"});
-  for (size_t n : {2000, 10000, 50000}) {
+  for (size_t n : bench::SmokeSweep<size_t>({2000, 10000, 50000})) {
     data::Dataset ds = MakeClustered(n);
     for (bool bulk : {false, true}) {
       Timer timer;
@@ -96,9 +96,21 @@ BENCHMARK(BM_BuildBulk)->Arg(2000)->Arg(10000)->Arg(50000)
 
 }  // namespace
 
+// Smoke mode (--smoke): shrink the table sweeps above and ask
+// google-benchmark for a near-zero min time so every registered benchmark
+// still executes once; the filter keeps only the smallest-argument variants.
 int main(int argc, char** argv) {
+  hos::bench::ConsumeSmokeFlag(&argc, argv);
   PrintShapeTable();
-  benchmark::Initialize(&argc, argv);
+  std::vector<char*> args(argv, argv + argc);
+  char min_time[] = "--benchmark_min_time=0.001";
+  char filter[] = "--benchmark_filter=2000";
+  if (hos::bench::SmokeMode()) {
+    args.push_back(min_time);
+    if (filter[0] != '\0') args.push_back(filter);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

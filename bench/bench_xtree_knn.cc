@@ -112,14 +112,14 @@ void PrintDistanceSavings() {
   eval::Table table({"N", "subspace dims", "x-tree dists/query",
                      "va-file dists/query", "scan dists/query",
                      "x-tree saving"});
-  for (size_t n : {2000, 10000, 50000}) {
+  for (size_t n : bench::SmokeSweep<size_t>({2000, 10000, 50000})) {
     Fixture& f = Fixture::Get(n);
     for (int subspace_dims : {2, 5, 10}) {
       Rng rng(2);
       knn::LinearScanKnn scan(f.dataset, knn::MetricKind::kL2);
       const uint64_t tree_before = f.tree->distance_computations();
       const uint64_t va_before = f.va_file->distance_computations();
-      const int kQueries = 50;
+      const int kQueries = bench::SmokeMode() ? 10 : 50;
       for (int i = 0; i < kQueries; ++i) {
         auto query = MakeQuery(f.dataset, subspace_dims, &rng);
         f.tree->Knn(query);
@@ -152,9 +152,21 @@ void PrintDistanceSavings() {
 
 }  // namespace
 
+// Smoke mode (--smoke): shrink the table sweeps above and ask
+// google-benchmark for a near-zero min time so every registered benchmark
+// still executes once; the filter keeps only the smallest-argument variants.
 int main(int argc, char** argv) {
+  hos::bench::ConsumeSmokeFlag(&argc, argv);
   PrintDistanceSavings();
-  benchmark::Initialize(&argc, argv);
+  std::vector<char*> args(argv, argv + argc);
+  char min_time[] = "--benchmark_min_time=0.001";
+  char filter[] = "--benchmark_filter=2000";
+  if (hos::bench::SmokeMode()) {
+    args.push_back(min_time);
+    if (filter[0] != '\0') args.push_back(filter);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

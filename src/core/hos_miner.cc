@@ -24,7 +24,8 @@ HosMiner::HosMiner(HosMinerConfig config,
                    data::Normalizer normalizer)
     : config_(std::move(config)),
       dataset_(std::move(dataset)),
-      normalizer_(std::move(normalizer)) {}
+      normalizer_(std::move(normalizer)),
+      filter_gate_(std::make_unique<filter::FilterGate>()) {}
 
 Result<HosMiner> HosMiner::Build(data::Dataset dataset,
                                  HosMinerConfig config) {
@@ -209,6 +210,19 @@ std::vector<HosMiner::ScreenedOutlier> HosMiner::TopOutliers(
   return all;
 }
 
+std::vector<HosMiner::TopOutlierQuery> HosMiner::TopOutliersWithSubspaces(
+    int top_n, const QueryOptions& options) const {
+  std::vector<TopOutlierQuery> out;
+  for (const ScreenedOutlier& s : TopOutliers(top_n)) {
+    // Each walk starts with the screening pass's full-space OD already in
+    // its memo (bitwise the value the walk's own kNN query would compute).
+    out.push_back({s.id, s.full_space_od,
+                   RunSearch(dataset_->Row(s.id), s.id, options,
+                             s.full_space_od)});
+  }
+  return out;
+}
+
 std::vector<Result<QueryResult>> HosMiner::QueryBatchFused(
     std::span<const data::PointId> ids, const QueryOptions& options) const {
   std::vector<std::optional<Result<QueryResult>>> slots(ids.size());
@@ -250,6 +264,9 @@ std::vector<Result<QueryResult>> HosMiner::QueryBatchFused(
     exec.filter = density_filter_.get();
     exec.filter_mode = options.filter_mode;
     exec.filter_speculative_slack = options.filter_speculative_slack;
+    exec.frontier_ordering = options.frontier_ordering;
+    exec.filter_gate = options.filter_gate ? filter_gate_.get() : nullptr;
+    exec.margin_histogram = options.margin_histogram;
     std::unique_ptr<obs::QueryTracer> local_tracer;
     obs::QueryTracer* tracer = options.tracer;
     if (tracer == nullptr && options.collect_trace) {
@@ -296,9 +313,18 @@ std::vector<Result<QueryResult>> HosMiner::QueryBatchFused(
 
 Result<QueryResult> HosMiner::RunSearch(
     std::span<const double> point, std::optional<data::PointId> exclude,
-    const QueryOptions& options) const {
+    const QueryOptions& options,
+    std::optional<double> full_space_seed) const {
   search::OdEvaluator od(*engine_, point, config_.k, exclude,
                          options.od_store);
+  if (full_space_seed.has_value()) {
+    // Screening hand-off: the full-space OD is already known (bitwise, from
+    // the same engine), so warm the memo before the strategy snapshots its
+    // counters — the seed then reports like a shared-store hit, never as a
+    // fresh evaluation, and the walk skips one kNN query.
+    od.Deposit(Subspace::Full(dataset_->num_dims()).mask(), *full_space_seed,
+               search::OdEvaluator::ValueSource::kComputed);
+  }
   search::SearchExecution exec;
   exec.pool = options.search_pool;
   exec.max_threads = options.search_threads;
@@ -307,6 +333,9 @@ Result<QueryResult> HosMiner::RunSearch(
   exec.filter = density_filter_.get();
   exec.filter_mode = options.filter_mode;
   exec.filter_speculative_slack = options.filter_speculative_slack;
+  exec.frontier_ordering = options.frontier_ordering;
+  exec.filter_gate = options.filter_gate ? filter_gate_.get() : nullptr;
+  exec.margin_histogram = options.margin_histogram;
   // Tracing: record into the caller's tracer when given; otherwise, when
   // collect_trace asked for one, own a local tracer and hand the finished
   // trace back on the result. Spans observe timing only — the search takes
@@ -373,24 +402,48 @@ uint64_t HosMiner::CommitAppend(
     dataset_->Append(row);
   }
   learning_stale_ = true;
+  // Keep the filter's tallies synced so its coarse tier survives the
+  // append (in-grid rows are counted; out-of-grid rows fold in exactly).
+  if (config_.incremental_filter_tallies && density_filter_ != nullptr) {
+    density_filter_->AbsorbAppends();
+  }
   return dataset_->version();
 }
 
 Result<uint64_t> HosMiner::Delete(std::span<const data::PointId> ids) {
   HOS_ASSIGN_OR_RETURN(uint64_t version, dataset_->DeleteRows(ids));
-  if (!ids.empty()) learning_stale_ = true;
+  if (!ids.empty()) {
+    learning_stale_ = true;
+    // Sparse tally retirement: the dead rows' histogram counts go with
+    // them, so the filter's bounds tighten instead of only loosening.
+    if (config_.incremental_filter_tallies && density_filter_ != nullptr) {
+      density_filter_->AbsorbDeletes(ids);
+    }
+  }
   return version;
 }
 
 size_t HosMiner::EvictBefore(uint64_t version) {
   const size_t evicted = dataset_->EvictBefore(version);
-  if (evicted > 0) learning_stale_ = true;
+  if (evicted > 0) {
+    learning_stale_ = true;
+    // Eviction reports only a count, not ids: catch the tallies up with a
+    // scan over counted-but-dead rows.
+    if (config_.incremental_filter_tallies && density_filter_ != nullptr) {
+      density_filter_->ResyncTombstones();
+    }
+  }
   return evicted;
 }
 
 size_t HosMiner::EvictOldest(size_t n) {
   const size_t evicted = dataset_->EvictOldest(n);
-  if (evicted > 0) learning_stale_ = true;
+  if (evicted > 0) {
+    learning_stale_ = true;
+    if (config_.incremental_filter_tallies && density_filter_ != nullptr) {
+      density_filter_->ResyncTombstones();
+    }
+  }
   return evicted;
 }
 
@@ -460,6 +513,13 @@ void HosMiner::CommitRebuild(RebuildArtifacts artifacts) {
   va_file_ = std::move(artifacts.va_file);
   engine_ = std::move(artifacts.engine);
   density_filter_ = std::move(artifacts.filter);
+  // Rows appended or tombstoned between the prepare and this commit are
+  // not in the freshly built summary; fold them in now (the caller holds
+  // the same exclusive section every other mutation runs under).
+  if (config_.incremental_filter_tallies) {
+    density_filter_->AbsorbAppends();
+    density_filter_->ResyncTombstones();
+  }
   // Rows appended after PrepareRebuild are not in the artifacts; they stay
   // in the delta, so the base seal stops at what the rebuild covered. The
   // same goes for rows tombstoned after the prepare: they stay unsealed

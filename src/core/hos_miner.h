@@ -23,6 +23,7 @@
 #include "src/data/dataset.h"
 #include "src/data/normalizer.h"
 #include "src/filter/density_filter.h"
+#include "src/filter/filter_gate.h"
 #include "src/index/va_file.h"
 #include "src/index/xtree.h"
 #include "src/kernels/dataset_view.h"
@@ -66,6 +67,15 @@ struct HosMinerConfig {
   int sample_size = 20;
   /// Seed for sampling and threshold estimation.
   uint64_t seed = 42;
+  /// Keep the density filter's tallies synced through the streaming
+  /// mutators (DensitySummary::ApplyAppend / ApplyDelete /
+  /// ResyncTombstones on every commit), so the coarse bound tier stays
+  /// alive — and both tiers *tighten* — as the window slides, instead of
+  /// degrading until the next rebuild. Off emulates the original
+  /// rebuild-only filter lifecycle (the bench A/B baseline). Answers are
+  /// identical either way; only bound tightness (and so which tier decides
+  /// what) changes.
+  bool incremental_filter_tallies = true;
 };
 
 /// Per-query knobs. All except `filter_mode` never change answers, only how
@@ -84,6 +94,20 @@ struct QueryOptions {
   /// kSpeculative only: maximum bound-interval width, as a fraction of the
   /// threshold, a midpoint decision may act on.
   double filter_speculative_slack = 0.25;
+  /// Frontier dispatch order (see search::FrontierOrdering): kBoundMargin
+  /// sorts each level's exact-path masks widest-bound-margin first.
+  /// Execution order only — answers are identical at either setting.
+  search::FrontierOrdering frontier_ordering =
+      search::FrontierOrdering::kNone;
+  /// Consult the miner's learned per-level gate (filter::FilterGate) to
+  /// skip the filter's refined tier at levels where it has historically
+  /// decided ~nothing. Conservative answers are unchanged; skipped passes
+  /// are reported in SearchCounters::gate_skips. No-op when filter_mode is
+  /// kOff. Queries with this set also train the gate.
+  bool filter_gate = false;
+  /// Sink for the signed bound margin of every filter consult; null ⇒ off
+  /// (the serving layer points this at its hos_filter_margin histogram).
+  obs::Histogram* margin_histogram = nullptr;
   /// Optional cross-query OD memo (the service layer's shared cache).
   /// Memoised values are bit-identical to fresh evaluations, so results
   /// with and without a store are the same.
@@ -199,6 +223,24 @@ class HosMiner {
   /// The top-n points by full-space OD (Ramaswamy-style ranking with the
   /// OD measure), regardless of the threshold.
   std::vector<ScreenedOutlier> TopOutliers(int top_n) const;
+
+  /// A top-n point with its full lattice answer.
+  struct TopOutlierQuery {
+    data::PointId id;
+    double full_space_od;
+    Result<QueryResult> result;
+  };
+
+  /// TopOutliers, then a full lattice walk per returned point — with each
+  /// walk *seeded* from the screening pass: the point's full-space OD
+  /// (already computed by the shared batched sweep) is deposited into the
+  /// walk's memo up front, so the full-space subspace never costs a second
+  /// kNN query. Answer content is bitwise identical to Query(id, options)
+  /// per point; the only counter difference is that a walk which consumes
+  /// the seed reports the full-space mask like a shared-store hit instead
+  /// of a fresh evaluation (od_evaluations one lower).
+  std::vector<TopOutlierQuery> TopOutliersWithSubspaces(
+      int top_n, const QueryOptions& options = {}) const;
 
   /// Fused full-space OD of the given rows (each must be live), in input
   /// order: the ids are served in internal blocks through the backend's
@@ -391,14 +433,23 @@ class HosMiner {
   const filter::DensityBoundFilter* density_filter() const {
     return density_filter_.get();
   }
+  /// The learned per-level refined-tier gate (always allocated; it only
+  /// acts — and learns — when a query opts in via
+  /// QueryOptions::filter_gate). Owned here, not by the rebuild artifacts,
+  /// so learned rates survive index rebuilds.
+  filter::FilterGate* filter_gate() const { return filter_gate_.get(); }
 
  private:
   HosMiner(HosMinerConfig config, std::unique_ptr<data::Dataset> dataset,
            data::Normalizer normalizer);
 
-  Result<QueryResult> RunSearch(std::span<const double> point,
-                                std::optional<data::PointId> exclude,
-                                const QueryOptions& options) const;
+  /// `full_space_seed`: pre-deposits OD(p, full space) into the walk's
+  /// memo (the TopOutliersWithSubspaces screening hand-off). Must be the
+  /// bitwise OutlyingDegree value for `point` or answers may change.
+  Result<QueryResult> RunSearch(
+      std::span<const double> point, std::optional<data::PointId> exclude,
+      const QueryOptions& options,
+      std::optional<double> full_space_seed = std::nullopt) const;
 
   /// The one learning step shared by Build and PrepareLearning: runs the
   /// sampling-based learner (skipped — flat priors — past the dense
@@ -414,6 +465,7 @@ class HosMiner {
   std::unique_ptr<index::VaFile> va_file_;   // when index == kVaFile
   std::unique_ptr<knn::KnnEngine> engine_;
   std::unique_ptr<filter::DensityBoundFilter> density_filter_;
+  std::unique_ptr<filter::FilterGate> filter_gate_;
   double threshold_ = 0.0;
   learning::LearningReport learning_report_;
   std::unique_ptr<search::DynamicSubspaceSearch> query_search_;

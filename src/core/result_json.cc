@@ -56,6 +56,7 @@ std::string QueryResultToJson(const QueryResult& result) {
   out << "\"bound_decisions\":" << outcome.counters.bound_decisions << ",";
   out << "\"risky_decisions\":" << outcome.counters.risky_decisions << ",";
   out << "\"bound_gap\":" << outcome.counters.bound_gap << ",";
+  out << "\"gate_skips\":" << outcome.counters.gate_skips << ",";
   out << "\"elapsed_seconds\":" << outcome.counters.elapsed_seconds;
   out << "}";
   // Only traced results carry the key, so untraced output (including the

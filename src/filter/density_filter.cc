@@ -105,18 +105,32 @@ size_t DensityBoundFilter::EligibleCandidates(
 std::optional<OdBounds> DensityBoundFilter::CoarseBounds(
     std::span<const double> point, uint64_t mask, int k,
     std::optional<data::PointId> exclude) const {
-  // Rows appended after the build have no cells; an unknown candidate could
-  // sit at distance ~0, so neither coarse bound is valid once a delta
-  // exists.
-  if (!summary_.covers(*dataset_)) return std::nullopt;
+  // With the incremental tallies applied (synced), the histograms describe
+  // the current live set exactly — minus any uncounted out-of-grid appends,
+  // handled below — so the tier keeps working as the window slides. Without
+  // them, rows appended after the build have no cells and an unknown
+  // candidate could sit at distance ~0, so neither coarse bound is valid
+  // once a delta exists.
+  const bool synced = summary_.synced(*dataset_);
+  if (!synced && !summary_.covers(*dataset_)) return std::nullopt;
   const size_t eligible = EligibleCandidates(exclude);
   if (eligible == 0) return OdBounds{0.0, 0.0};
 
   // The query row's own histogram contribution must be discounted, or its
-  // occupied cell pins every min-gap to 0.
+  // occupied cell pins every min-gap to 0. Only counted rows contribute a
+  // count to remove.
   const bool discount_exclude =
       exclude.has_value() && *exclude < summary_.rows &&
-      dataset_->IsLive(*exclude);
+      dataset_->IsLive(*exclude) && summary_.IsCounted(*exclude);
+
+  // How many of the eligible candidates the histograms actually describe.
+  // When the tallies are synced, any shortfall is exactly the uncounted
+  // out-of-grid appends; when they are not, the legacy covers() gate above
+  // already guaranteed every eligible candidate was counted at build time
+  // (stale tombstone counts only loosen the bounds).
+  const size_t counted_eligible =
+      synced ? summary_.counted_live - (discount_exclude ? 1 : 0) : eligible;
+  const bool all_counted = !synced || counted_eligible >= eligible;
 
   const Subspace subspace(mask);
   MetricAccum lower_acc{metric_};
@@ -141,16 +155,26 @@ std::optional<OdBounds> DensityBoundFilter::CoarseBounds(
       min_gap = std::min(min_gap, gap);
       max_reach = std::max(max_reach, reach);
     }
-    // eligible > 0 implies some live candidate is in every dimension's
-    // histogram; an empty occupied set means the summary disagrees with the
-    // dataset, so refuse rather than emit an unsound bound.
+    // An empty occupied set with candidates present means either every
+    // candidate is uncounted (all appends fell outside the grid) or the
+    // summary disagrees with the dataset; refuse rather than emit an
+    // unsound bound.
     if (!any_occupied) return std::nullopt;
     lower_acc.Add(min_gap);
     upper_acc.Add(max_reach);
   }
 
   const double n = static_cast<double>(std::min<size_t>(eligible, k));
-  return WidenForRounding(n * lower_acc.Finish(), n * upper_acc.Finish());
+  if (all_counted) {
+    return WidenForRounding(n * lower_acc.Finish(), n * upper_acc.Finish());
+  }
+  // Uncounted live candidates (out-of-grid appends) exist. One could sit
+  // arbitrarily close to the query, so the lower bound collapses to 0. The
+  // upper bound survives iff the counted candidates alone can supply all n
+  // neighbours: the k-smallest sum over a candidate subset caps the true
+  // k-smallest sum over all candidates.
+  if (counted_eligible < static_cast<size_t>(n)) return std::nullopt;
+  return WidenForRounding(0.0, n * upper_acc.Finish());
 }
 
 OdBounds DensityBoundFilter::RefinedBounds(
@@ -163,6 +187,16 @@ OdBounds DensityBoundFilter::RefinedBounds(
   for (data::PointId id = 0; id < covered; ++id) {
     if (exclude.has_value() && id == *exclude) continue;
     if (!dataset_->IsLive(id)) continue;
+    if (!summary_.IsCounted(id)) {
+      // Live but uncounted: an append that fell outside the frozen grid, so
+      // its cells are meaningless — fold it by exact distance instead.
+      // (Rows dead at build time are uncounted too, but IsLive skips them.)
+      const double dist =
+          knn::SubspaceDistance(point, dataset_->Row(id), subspace, metric_);
+      lower_sum.Add(dist);
+      upper_sum.Add(dist);
+      continue;
+    }
     MetricAccum lower_acc{metric_};
     MetricAccum upper_acc{metric_};
     for (int dim = 0; dim < summary_.num_dims; ++dim) {
@@ -205,7 +239,7 @@ OdBounds DensityBoundFilter::Bounds(std::span<const double> point,
 FilterDecision DensityBoundFilter::Decide(
     std::span<const double> point, uint64_t mask, int k,
     std::optional<data::PointId> exclude, double threshold, FilterMode mode,
-    double speculative_slack) const {
+    double speculative_slack, bool allow_refined) const {
   FilterDecision decision;
   if (mode == FilterMode::kOff) return decision;
 
@@ -214,6 +248,7 @@ FilterDecision DensityBoundFilter::Decide(
   if (const std::optional<OdBounds> coarse =
           CoarseBounds(point, mask, k, exclude)) {
     decision.bounds = *coarse;
+    decision.tier = FilterDecision::Tier::kCoarse;
     if (coarse->lower >= threshold) {
       decision.verdict = FilterDecision::Verdict::kOutlier;
       return decision;
@@ -224,8 +259,16 @@ FilterDecision DensityBoundFilter::Decide(
     }
   }
 
+  // The learned per-level gate: when the refined tier has historically
+  // decided ~nothing at this level, the caller skips it and this mask goes
+  // straight to the exact path — an undecided verdict either way, so
+  // conservative answers are unchanged. Speculation is also off on a
+  // coarse-only interval: midpoint calls were tuned for refined tightness.
+  if (!allow_refined) return decision;
+
   // Tier 2: per-candidate bounds.
   decision.bounds = RefinedBounds(point, mask, k, exclude);
+  decision.tier = FilterDecision::Tier::kRefined;
   if (decision.bounds.lower >= threshold) {
     decision.verdict = FilterDecision::Verdict::kOutlier;
     return decision;

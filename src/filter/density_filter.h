@@ -30,13 +30,21 @@
 //    coarse pass decides the clear-cut subspaces — typically the strongly
 //    outlying ones, where p's cells are isolated — in near-constant time.
 //
-// Streaming deltas and tombstones. Rows appended after the summary was
-// built have no cells; the refined pass folds them in by their *exact*
-// scalar distance (lower == upper == dist), so bounds stay sound while the
-// delta grows. Rows tombstoned after the build are skipped per-candidate in
-// the refined pass; in the coarse pass their histogram counts only widen
-// the occupied-cell sets, which loosens but never invalidates the bounds.
-// The candidate count always comes from the dataset's current live state.
+// Streaming deltas and tombstones. When the miner keeps the summary's
+// incremental tallies applied (DensitySummary::ApplyAppend / ApplyDelete /
+// ResyncTombstones — the default commit-path hooks), the summary stays
+// synced() across the whole streaming lifecycle: appended in-grid rows are
+// counted, tombstoned rows' counts are retired, so both tiers keep their
+// full power — bounds *tighten* as the window slides. Appended rows that
+// fall outside the frozen grid stay uncounted: the refined pass folds them
+// by exact distance, and the coarse tier drops its lower bound to 0 (an
+// unknown candidate could sit arbitrarily close) while keeping its upper
+// bound (a k-smallest sum over a candidate subset still caps the true
+// one). Without the hooks (a consumer mutating the dataset directly) the
+// filter falls back to the rebuild-era semantics: appended rows are folded
+// exactly by the refined pass, the coarse tier switches off once a delta
+// exists, and stale tombstone counts only loosen the coarse bounds. The
+// candidate count always comes from the dataset's current live state.
 //
 // Floating-point slack. Returned bounds are widened by a relative 1e-9
 // (kBoundSlack): the bound arithmetic and the exact kernel path round
@@ -63,6 +71,7 @@
 #ifndef HOS_FILTER_DENSITY_FILTER_H_
 #define HOS_FILTER_DENSITY_FILTER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -93,7 +102,17 @@ struct FilterDecision {
     kOutlier,    ///< OD >= T proven (or speculated)
     kInlier,     ///< OD < T proven (or speculated)
   };
+  /// Which bound tier produced `bounds` (and so the verdict, if any).
+  /// Feeds the learned per-level gate: a refined-tier outcome is one
+  /// observation of whether the expensive per-candidate pass was worth
+  /// running at that level.
+  enum class Tier : uint8_t {
+    kNone,     ///< no tier applied (coarse unavailable, refined skipped)
+    kCoarse,   ///< histogram-only bounds
+    kRefined,  ///< per-candidate bounds
+  };
   Verdict verdict = Verdict::kUndecided;
+  Tier tier = Tier::kNone;
   /// The (slack-widened) bounds the verdict rests on.
   OdBounds bounds;
   /// True when the verdict is a speculative midpoint call, not a proof.
@@ -102,12 +121,27 @@ struct FilterDecision {
   bool decided() const { return verdict != Verdict::kUndecided; }
   /// Interval width — the reported gap of a risky decision.
   double gap() const { return bounds.upper - bounds.lower; }
+
+  /// Signed distance from the threshold to the bound interval: positive
+  /// for decided masks (how far the whole interval clears T — the
+  /// confidence of the shortcut), negative for undecided ones (how deep T
+  /// sits inside the interval). The frontier-ordering priority: widest
+  /// margin first. Meaningless when tier == kNone.
+  double Margin(double threshold) const {
+    if (bounds.lower >= threshold) return bounds.lower - threshold;
+    if (bounds.upper < threshold) return threshold - bounds.upper;
+    return -std::min(threshold - bounds.lower, bounds.upper - threshold);
+  }
 };
 
-/// Stateless bound computer over one dataset + summary. All methods are
-/// const and touch only immutable state plus the (externally serialized)
-/// dataset, so concurrent queries may share one filter — the same contract
-/// as the kNN engines.
+/// Bound computer over one dataset + summary. All query-side methods are
+/// const and touch only state that is immutable between mutations of the
+/// (externally serialized) dataset, so concurrent queries may share one
+/// filter — the same contract as the kNN engines. The Absorb*/Resync
+/// mutators maintain the summary's incremental tallies and must be
+/// serialized exactly like the dataset mutations they mirror (the miner
+/// calls them from its commit path, which the serving layer already runs
+/// under its writer lock).
 class DensityBoundFilter {
  public:
   /// Relative widening applied to every returned bound.
@@ -141,9 +175,27 @@ class DensityBoundFilter {
   /// first and computing refined bounds only when it is inconclusive.
   /// `mode` must not be kOff. `speculative_slack` is the maximum interval
   /// width, as a fraction of T, a speculative midpoint call may act on.
+  /// `allow_refined == false` stops after the coarse tier (the learned
+  /// per-level gate's skip): an undecided result then simply takes the
+  /// exact path, so conservative-mode answers are unchanged — only the
+  /// work distribution shifts.
   FilterDecision Decide(std::span<const double> point, uint64_t mask, int k,
                         std::optional<data::PointId> exclude, double threshold,
-                        FilterMode mode, double speculative_slack) const;
+                        FilterMode mode, double speculative_slack,
+                        bool allow_refined = true) const;
+
+  /// Folds rows appended since the summary last applied into its tallies.
+  /// Mutator — serialize like a dataset mutation.
+  void AbsorbAppends() { summary_.ApplyAppend(*dataset_); }
+
+  /// Retires the given (already tombstoned) rows' tally counts.
+  void AbsorbDeletes(std::span<const data::PointId> ids) {
+    summary_.ApplyDelete(*dataset_, ids);
+  }
+
+  /// Retires counts of every counted row no longer live — the catch-up for
+  /// eviction paths that report only how many rows died, not which.
+  void ResyncTombstones() { summary_.ResyncTombstones(*dataset_); }
 
   const DensitySummary& summary() const { return summary_; }
   const data::Dataset& dataset() const { return *dataset_; }

@@ -1,0 +1,113 @@
+// FilterGate: learned per-level gating of the density filter's refined
+// tier. The coarse histogram tier costs O(|s| * cells) — effectively free —
+// but the refined per-candidate tier costs O(live rows * |s|) per consult,
+// and on many workloads it decides almost nothing at certain lattice levels
+// (mid-lattice subspaces whose OD intervals straddle the threshold no
+// matter how tight the bounds get). The gate keeps an EWMA of the refined
+// tier's historical decision rate per (lattice level) and tells the
+// frontier runners to skip the refined pass where that rate has collapsed.
+//
+// Correctness: skipping the refined tier can only turn a would-be bound
+// decision into an exact evaluation — in conservative mode the answer for
+// that mask is identical either way (the exact kernel computes the same OD
+// the bound would have proven a side of), so gated runs stay bitwise equal
+// to ungated ones; only the work distribution and the bound_decisions /
+// gate_skips counters shift. Speculative mode loses only the (already
+// risky) midpoint call for gated masks, never gains one.
+//
+// Learning signal: every refined-tier consult reports whether it decided
+// the mask. Coarse-tier decisions are NOT observations — they never reach
+// the refined pass — and gate-skipped masks contribute nothing (no
+// self-fulfilling lockout: the gate re-opens only via the periodic probe).
+// To avoid freezing forever on a cold estimate, one in kProbeEvery gated
+// consults still runs the refined tier (and is recorded), so a level whose
+// decision rate recovers — e.g. after the window slides into a different
+// data regime — un-gates within a few probes.
+//
+// Concurrency: counters are relaxed atomics. Readers may see a torn-in-time
+// (rate, observations) pair; the worst case is one extra or one skipped
+// refined pass, never an unsound answer. The gate is owned by the miner and
+// survives index rebuilds, so learned rates persist across the stream.
+
+#ifndef HOS_FILTER_FILTER_GATE_H_
+#define HOS_FILTER_FILTER_GATE_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace hos::filter {
+
+class FilterGate {
+ public:
+  /// EWMA step per observation.
+  static constexpr double kAlpha = 0.1;
+  /// Gate closes when the decision-rate estimate drops below this.
+  static constexpr double kSkipBelow = 0.02;
+  /// Observations required at a level before the gate may close.
+  static constexpr uint32_t kWarmup = 32;
+  /// One in this many gated consults probes the refined tier anyway.
+  static constexpr uint32_t kProbeEvery = 64;
+  /// Lattice levels tracked (masks are <= 64 bits, so levels are 1..64).
+  static constexpr int kMaxLevels = 65;
+
+  FilterGate() = default;
+
+  /// Whether the caller should skip the refined tier at `level`. Also
+  /// advances the probe counter, so a false return on a closed gate means
+  /// "this consult is the probe" — call RecordRefined with its outcome.
+  bool ShouldSkipRefined(int level) {
+    if (level < 0 || level >= kMaxLevels) return false;
+    Slot& slot = slots_[level];
+    if (slot.observations.load(std::memory_order_relaxed) < kWarmup) {
+      return false;
+    }
+    if (slot.rate.load(std::memory_order_relaxed) >= kSkipBelow) return false;
+    const uint32_t tick =
+        slot.probe_tick.fetch_add(1, std::memory_order_relaxed);
+    return tick % kProbeEvery != 0;
+  }
+
+  /// Records one refined-tier consult at `level` and whether it decided the
+  /// mask. Relaxed read-modify-write: a lost update under contention only
+  /// perturbs the estimate by one sample.
+  void RecordRefined(int level, bool decided) {
+    if (level < 0 || level >= kMaxLevels) return;
+    Slot& slot = slots_[level];
+    const uint32_t seen =
+        slot.observations.fetch_add(1, std::memory_order_relaxed);
+    const double sample = decided ? 1.0 : 0.0;
+    double prev = slot.rate.load(std::memory_order_relaxed);
+    // Before warmup completes, use a plain running mean so the estimate is
+    // not anchored to the optimistic initial 1.0.
+    const double next = seen < kWarmup
+                            ? prev + (sample - prev) / (seen + 1)
+                            : prev + kAlpha * (sample - prev);
+    slot.rate.store(next, std::memory_order_relaxed);
+  }
+
+  /// Current decision-rate estimate for a level (tests / metrics).
+  double RateAt(int level) const {
+    if (level < 0 || level >= kMaxLevels) return 1.0;
+    return slots_[level].rate.load(std::memory_order_relaxed);
+  }
+
+  /// Refined-tier consults observed at a level.
+  uint32_t ObservationsAt(int level) const {
+    if (level < 0 || level >= kMaxLevels) return 0;
+    return slots_[level].observations.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint32_t> observations{0};
+    std::atomic<uint32_t> probe_tick{0};
+    /// Optimistic start: an unobserved level never gates.
+    std::atomic<double> rate{1.0};
+  };
+
+  Slot slots_[kMaxLevels];
+};
+
+}  // namespace hos::filter
+
+#endif  // HOS_FILTER_FILTER_GATE_H_

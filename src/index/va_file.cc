@@ -89,16 +89,20 @@ filter::DensitySummary VaFile::ExportDensitySummary() const {
   summary.dim_width = dim_width_;
   summary.cells = cells_;
   summary.cell_counts.assign(static_cast<size_t>(d) * cells_per_dim_, 0);
+  summary.counted.assign(base_rows_, 0);
   size_t live = 0;
   for (data::PointId id = 0; id < base_rows_; ++id) {
     if (!dataset_->IsLive(id)) continue;
     ++live;
+    summary.counted[id] = 1;
     for (int dim = 0; dim < d; ++dim) {
       ++summary.cell_counts[static_cast<size_t>(dim) * cells_per_dim_ +
                             cells_[static_cast<size_t>(id) * d + dim]];
     }
   }
   summary.live_rows = live;
+  summary.counted_live = live;
+  summary.applied_version = dataset_->version();
   return summary;
 }
 
@@ -302,15 +306,18 @@ std::vector<std::vector<knn::Neighbor>> VaFile::KnnBatch(
   const bool filter_dead = dataset_->num_tombstones() > 0;
   const int d = dataset_->num_dims();
 
-  // Phase 1, fused: one vectorized sweep of the approximation codes per
-  // query point (lazy uppers — see kernels::VaScreenSweep). The codes are
-  // transposed once per batch into dimension-major columns so the sweep
-  // runs candidate-inner over row blocks; the nd*base transpose is
-  // amortized over the batch's nb sweeps and everything remains in
-  // accumulation space — the screening never takes a square root.
+  // Phase 1, fused: ONE vectorized sweep of the approximation codes for
+  // the whole block (lazy uppers — see kernels::VaScreenSweepMulti). The
+  // codes are transposed once per batch into dimension-major columns, and
+  // the multi-query sweep streams each column block once and screens every
+  // query against it — nd*base code bytes read once per block instead of
+  // once per query. Everything remains in accumulation space — the
+  // screening never takes a square root — and each query's bounds, heap
+  // and cutoff are bitwise the single-query sweep's.
   std::vector<double> lowers(nb * base);  // [q * base + id], acc space
   std::vector<std::priority_queue<double>> heaps(nb);
-  std::vector<double> lo0(nd), w(nd), qdims(nd);
+  std::vector<double> lo0(nd), w(nd), qdims(nb * nd);
+  std::vector<size_t> skips(nb);
   for (size_t c = 0; c < nd; ++c) {
     lo0[c] = dim_lo_[dims[c]];
     w[c] = dim_width_[dims[c]];
@@ -332,15 +339,15 @@ std::vector<std::vector<knn::Neighbor>> VaFile::KnnBatch(
   }
   for (size_t q = 0; q < nb; ++q) {
     const double* point = points[q].point.data();
-    for (size_t c = 0; c < nd; ++c) qdims[c] = point[dims[c]];
-    const size_t skip = points[q].exclude
-                            ? static_cast<size_t>(*points[q].exclude)
-                            : static_cast<size_t>(-1);
-    kernels::VaScreenSweep(metric_, qdims.data(), lo0.data(), w.data(), nd,
-                           codes_t.data(), base,
-                           filter_dead ? dead.data() : nullptr, skip, kk,
-                           heaps[q], &lowers[q * base]);
+    for (size_t c = 0; c < nd; ++c) qdims[q * nd + c] = point[dims[c]];
+    skips[q] = points[q].exclude ? static_cast<size_t>(*points[q].exclude)
+                                 : static_cast<size_t>(-1);
   }
+  kernels::VaScreenSweepMulti(metric_, qdims.data(), lo0.data(), w.data(),
+                              nd, nb, codes_t.data(), base,
+                              filter_dead ? dead.data() : nullptr,
+                              skips.data(), kk, heaps.data(),
+                              lowers.data());
 
   // Phase 2: per-point candidates and exact refinement, the sequential
   // loop's shape — candidates below the k-th-upper cutoff, visited in

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 namespace hos::kernels {
 namespace {
@@ -80,6 +81,83 @@ void Sweep(const double* qdims, const double* lo0, const double* w, size_t nd,
   }
 }
 
+template <knn::MetricKind kMetric>
+void SweepMulti(const double* qdims, const double* lo0, const double* w,
+                size_t nd, size_t nq, const uint8_t* codes, size_t base,
+                const uint8_t* dead, const size_t* skips, size_t k,
+                std::priority_queue<double>* heaps, double* out) {
+  // One accumulator row per query; the whole block (nq * 64 doubles) plus
+  // the shared code column stays L1-resident across the dimension loop,
+  // which is the point: the single-query sweep streams all nd * base
+  // codes from memory once per query, this streams them once per block.
+  std::vector<double> acc(nq * kRowTile);
+  for (size_t start = 0; start < base; start += kRowTile) {
+    const size_t m = std::min(kRowTile, base - start);
+    std::fill(acc.begin(), acc.end(), 0.0);
+    for (size_t c = 0; c < nd; ++c) {
+      const uint8_t* col = codes + c * base + start;
+      const double l0 = lo0[c];
+      const double wc = w[c];
+      for (size_t q = 0; q < nq; ++q) {
+        const double p = qdims[q * nd + c];
+        double* a = acc.data() + q * kRowTile;
+        for (size_t j = 0; j < m; ++j) {
+          const double lo = l0 + col[j] * wc;
+          const double hi = lo + wc;
+          const double gap = std::max(std::max(lo - p, p - hi), 0.0);
+          if constexpr (kMetric == knn::MetricKind::kL1) {
+            a[j] += gap;
+          } else if constexpr (kMetric == knn::MetricKind::kL2) {
+            a[j] += gap * gap;
+          } else {
+            a[j] = std::max(a[j], gap);
+          }
+        }
+      }
+    }
+    // Retirement matches the single-query sweep's order per query (rows
+    // ascending within the tile, tiles ascending), so each heap sees the
+    // identical push/pop sequence and the lazy-upper skip test reads the
+    // identical heap state.
+    for (size_t q = 0; q < nq; ++q) {
+      const double* a = acc.data() + q * kRowTile;
+      double* o = out + q * base;
+      std::priority_queue<double>& heap = heaps[q];
+      const size_t skip = skips[q];
+      for (size_t j = 0; j < m; ++j) {
+        const size_t r = start + j;
+        if ((dead != nullptr && dead[r]) || r == skip) {
+          o[r] = kInf;
+          continue;
+        }
+        o[r] = a[j];
+        if (heap.size() >= k && a[j] > heap.top()) continue;
+        double up = 0.0;
+        for (size_t c = 0; c < nd; ++c) {
+          const double lo = lo0[c] + codes[c * base + r] * w[c];
+          const double hi = lo + w[c];
+          const double p = qdims[q * nd + c];
+          const double reach =
+              std::max(std::abs(p - lo), std::abs(p - hi));
+          if constexpr (kMetric == knn::MetricKind::kL1) {
+            up += reach;
+          } else if constexpr (kMetric == knn::MetricKind::kL2) {
+            up += reach * reach;
+          } else {
+            up = std::max(up, reach);
+          }
+        }
+        if (heap.size() < k) {
+          heap.push(up);
+        } else if (up < heap.top()) {
+          heap.pop();
+          heap.push(up);
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void VaScreenSweep(knn::MetricKind metric, const double* qdims,
@@ -99,6 +177,28 @@ void VaScreenSweep(knn::MetricKind metric, const double* qdims,
     case knn::MetricKind::kLInf:
       Sweep<knn::MetricKind::kLInf>(qdims, lo0, w, nd, codes, base, dead,
                                     skip, k, heap, out);
+      return;
+  }
+}
+
+void VaScreenSweepMulti(knn::MetricKind metric, const double* qdims,
+                        const double* lo0, const double* w, size_t nd,
+                        size_t nq, const uint8_t* codes, size_t base,
+                        const uint8_t* dead, const size_t* skips, size_t k,
+                        std::priority_queue<double>* heaps, double* out) {
+  if (nq == 0) return;
+  switch (metric) {
+    case knn::MetricKind::kL1:
+      SweepMulti<knn::MetricKind::kL1>(qdims, lo0, w, nd, nq, codes, base,
+                                       dead, skips, k, heaps, out);
+      return;
+    case knn::MetricKind::kL2:
+      SweepMulti<knn::MetricKind::kL2>(qdims, lo0, w, nd, nq, codes, base,
+                                       dead, skips, k, heaps, out);
+      return;
+    case knn::MetricKind::kLInf:
+      SweepMulti<knn::MetricKind::kLInf>(qdims, lo0, w, nd, nq, codes, base,
+                                         dead, skips, k, heaps, out);
       return;
   }
 }

@@ -49,6 +49,24 @@ void VaScreenSweep(knn::MetricKind metric, const double* qdims,
                    size_t skip, size_t k, std::priority_queue<double>& heap,
                    double* out);
 
+/// A block of `nq` query points swept over the same code columns in one
+/// pass: each row-tile's column block is loaded once and reused across
+/// every query (the single-query sweep re-streams all nd*base codes per
+/// query). Per (query, row) the accumulation still walks the dimensions in
+/// ascending order with the identical branchless expressions, so every
+/// lower bound, heap decision and cutoff is bitwise what nq independent
+/// VaScreenSweep calls produce.
+///
+///  - qdims: nq * nd query coordinates, query-major (qdims[q * nd + c]).
+///  - skips: per-query excluded row (size_t(-1) for none), nq entries.
+///  - heaps: nq max-heaps, heaps[q] receiving query q's k smallest uppers.
+///  - out: nq * base lower bounds, query-major (out[q * base + r]).
+void VaScreenSweepMulti(knn::MetricKind metric, const double* qdims,
+                        const double* lo0, const double* w, size_t nd,
+                        size_t nq, const uint8_t* codes, size_t base,
+                        const uint8_t* dead, const size_t* skips, size_t k,
+                        std::priority_queue<double>* heaps, double* out);
+
 }  // namespace hos::kernels
 
 #endif  // HOS_KERNELS_VA_SCREEN_H_

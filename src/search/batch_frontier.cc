@@ -13,7 +13,9 @@
 
 #include "src/common/timer.h"
 #include "src/filter/density_filter.h"
+#include "src/filter/filter_gate.h"
 #include "src/lattice/lattice_store.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/search/frontier_support.h"
 
@@ -34,6 +36,7 @@ struct PointRun {
   uint64_t bound_decisions = 0;
   uint64_t risky_decisions = 0;
   double bound_gap = 0.0;
+  uint64_t gate_skips = 0;
   bool done = false;
   // Scratch of the round in flight; wave is cleared on retirement so the
   // merge phase can tell participants from bystanders.
@@ -86,9 +89,18 @@ std::vector<Result<SearchOutcome>> BatchFrontierRunner::Run(
                              : std::string());
 
   // mask -> (point, wave slot) pairs needing an exact evaluation this
-  // round. Ordered by mask so the engine, the tracer and the store see a
-  // deterministic order (OD values are order-independent regardless).
-  std::map<uint64_t, std::vector<std::pair<size_t, size_t>>> pending;
+  // round, plus the widest filter margin any member saw (the bound-margin
+  // dispatch priority). Ordered by mask so the engine, the tracer and the
+  // store see a deterministic order (OD values are order-independent
+  // regardless).
+  struct PendingGroup {
+    std::vector<std::pair<size_t, size_t>> members;
+    double margin = -std::numeric_limits<double>::infinity();
+  };
+  std::map<uint64_t, PendingGroup> pending;
+  const bool order_by_margin =
+      exec.frontier_ordering == FrontierOrdering::kBoundMargin &&
+      filter_active;
 
   while (live > 0) {
     pending.clear();
@@ -111,7 +123,7 @@ std::vector<Result<SearchOutcome>> BatchFrontierRunner::Run(
         slots[q] = internal::AssembleOutcome(
             *run.state, threshold, *run.od, run.od_before, run.dist_before,
             run.steps, /*wasted=*/0, timer, run.bound_decisions,
-            run.risky_decisions, run.bound_gap);
+            run.risky_decisions, run.bound_gap, run.gate_skips);
         run.done = true;
         run.wave.clear();
         --live;
@@ -142,10 +154,25 @@ std::vector<Result<SearchOutcome>> BatchFrontierRunner::Run(
           run.resolved[i] = 1;
           continue;
         }
+        double margin = -std::numeric_limits<double>::infinity();
         if (filter_active) {
+          // Same gate / tier bookkeeping as the sequential runner (see
+          // subspace_search.cc): skip-probe, record, histogram, tally.
+          const bool allow_refined =
+              exec.filter_gate == nullptr ||
+              !exec.filter_gate->ShouldSkipRefined(m);
           const filter::FilterDecision fd = exec.filter->Decide(
               run.od->point(), mask, run.od->k(), run.od->exclude(),
-              threshold, exec.filter_mode, exec.filter_speculative_slack);
+              threshold, exec.filter_mode, exec.filter_speculative_slack,
+              allow_refined);
+          if (exec.filter_gate != nullptr &&
+              fd.tier == filter::FilterDecision::Tier::kRefined) {
+            exec.filter_gate->RecordRefined(m, fd.decided());
+          }
+          if (exec.margin_histogram != nullptr &&
+              fd.tier != filter::FilterDecision::Tier::kNone) {
+            exec.margin_histogram->Record(fd.Margin(threshold));
+          }
           if (fd.decided()) {
             run.resolved[i] = 1;
             run.values[i] =
@@ -159,8 +186,17 @@ std::vector<Result<SearchOutcome>> BatchFrontierRunner::Run(
             }
             continue;
           }
+          if (!allow_refined &&
+              fd.tier != filter::FilterDecision::Tier::kRefined) {
+            ++run.gate_skips;
+          }
+          if (fd.tier != filter::FilterDecision::Tier::kNone) {
+            margin = fd.Margin(threshold);
+          }
         }
-        pending[mask].push_back({q, i});
+        PendingGroup& group = pending[mask];
+        group.members.push_back({q, i});
+        group.margin = std::max(group.margin, margin);
       }
     }
 
@@ -170,7 +206,23 @@ std::vector<Result<SearchOutcome>> BatchFrontierRunner::Run(
     // store-probe → kNN → store-write order per (point, mask); the fusion
     // is where the batch recovers B-1 index traversals per coinciding
     // subspace.
-    for (auto& [mask, members] : pending) {
+    //
+    // Dispatch order: canonical mask order, or widest-margin-first under
+    // the bound-margin ordering (stable on mask for determinism). Per-mask
+    // work is self-contained — store keys are (point, mask) — so the order
+    // only schedules execution; every point's merge stays canonical.
+    std::vector<std::pair<const uint64_t, PendingGroup>*> dispatch;
+    dispatch.reserve(pending.size());
+    for (auto& entry : pending) dispatch.push_back(&entry);
+    if (order_by_margin) {
+      std::stable_sort(dispatch.begin(), dispatch.end(),
+                       [](const auto* a, const auto* b) {
+                         return a->second.margin > b->second.margin;
+                       });
+    }
+    for (auto* entry : dispatch) {
+      const uint64_t mask = entry->first;
+      std::vector<std::pair<size_t, size_t>>& members = entry->second.members;
       std::vector<size_t> compute;  // member indices still needing kNN
       compute.reserve(members.size());
       std::vector<size_t> probe;

@@ -58,7 +58,7 @@ inline SearchOutcome AssembleOutcome(
     const OdEvaluator& od, uint64_t od_evals_before, uint64_t dist_before,
     uint64_t steps, uint64_t wasted, const Timer& timer,
     uint64_t bound_decisions = 0, uint64_t risky_decisions = 0,
-    double bound_gap = 0.0) {
+    double bound_gap = 0.0, uint64_t gate_skips = 0) {
   assert(state.AllDecided());
   const int d = state.num_dims();
   SearchOutcome outcome;
@@ -84,6 +84,7 @@ inline SearchOutcome AssembleOutcome(
   outcome.counters.bound_decisions = bound_decisions;
   outcome.counters.risky_decisions = risky_decisions;
   outcome.counters.bound_gap = bound_gap;
+  outcome.counters.gate_skips = gate_skips;
   outcome.counters.elapsed_seconds = timer.ElapsedSeconds();
   return outcome;
 }

@@ -33,7 +33,28 @@ namespace hos::service {
 class ThreadPool;
 }  // namespace hos::service
 
+namespace hos::obs {
+class Histogram;
+}  // namespace hos::obs
+
+namespace hos::filter {
+class FilterGate;
+}  // namespace hos::filter
+
 namespace hos::search {
+
+/// How a frontier runner orders the undecided masks of a level wave.
+enum class FrontierOrdering : uint8_t {
+  /// Canonical mask order — the pre-scheduling behaviour.
+  kNone,
+  /// Exact-path masks sorted by descending bound margin (widest straddle
+  /// first), so the hardest evaluations start earliest in a parallel wave
+  /// and stragglers shrink. Lattice merges stay in canonical mask order,
+  /// so answers are bitwise identical to kNone in conservative mode (held
+  /// by tests/filter/filter_differential_test.cc). No-op when the filter
+  /// is off (no bounds ⇒ no margins).
+  kBoundMargin,
+};
 
 /// How a search strategy executes its frontier batches. The default runs
 /// everything sequentially on the calling thread; attaching a pool turns on
@@ -98,6 +119,22 @@ struct SearchExecution {
   /// kSpeculative only: maximum bound-interval width, as a fraction of the
   /// threshold, a midpoint decision may act on.
   double filter_speculative_slack = 0.25;
+
+  /// Priority order for each level's exact-path masks (see FrontierOrdering).
+  FrontierOrdering frontier_ordering = FrontierOrdering::kNone;
+
+  /// Learned per-level gate over the filter's refined tier; null ⇒ every
+  /// filter consult may run both tiers. Owned by the miner (it survives
+  /// index rebuilds so learned rates persist across the stream); skips are
+  /// reported in SearchCounters::gate_skips and never change conservative
+  /// answers (see filter/filter_gate.h).
+  filter::FilterGate* filter_gate = nullptr;
+
+  /// Sink for the signed bound margin of every filter consult (positive =
+  /// decided clearance, negative = straddle depth); null ⇒ off. Feeds the
+  /// service's hos_filter_margin histogram so operators can see how much
+  /// headroom the bounds have before re-tuning grids or thresholds.
+  obs::Histogram* margin_histogram = nullptr;
 
   /// Per-query trace sink; null ⇒ tracing off (the default, and the only
   /// cost disabled tracing pays is this null check). The tracer must

@@ -49,6 +49,11 @@ struct SearchCounters {
   /// risky_decisions == 0. bound_gap == 0 therefore certifies the answer
   /// is identical to a FilterMode::kOff run.
   double bound_gap = 0.0;
+  /// Refined-tier filter passes the learned per-level gate skipped
+  /// (SearchExecution::filter_gate). Each skip sends the mask straight to
+  /// the exact path, so conservative answers are unchanged — the counter
+  /// only records work the gate saved.
+  uint64_t gate_skips = 0;
   /// Wall-clock seconds.
   double elapsed_seconds = 0.0;
   /// Search steps (level batches for the dynamic search).

@@ -6,13 +6,16 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <numeric>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "src/common/combinatorics.h"
 #include "src/common/timer.h"
+#include "src/filter/filter_gate.h"
 #include "src/filter/minimal_filter.h"
+#include "src/obs/metrics.h"
 #include "src/search/frontier_support.h"
 
 namespace hos::search {
@@ -40,7 +43,9 @@ class FrontierRunner {
         max_evaluations_(exec.max_od_evaluations),
         evals_at_start_(od->num_evaluations()), tracer_(exec.tracer),
         filter_(exec.filter), filter_mode_(exec.filter_mode),
-        filter_slack_(exec.filter_speculative_slack), evaluator_(od, exec) {}
+        filter_slack_(exec.filter_speculative_slack),
+        ordering_(exec.frontier_ordering), gate_(exec.filter_gate),
+        margin_hist_(exec.margin_histogram), evaluator_(od, exec) {}
 
   /// Evaluates every currently-undecided subspace of level m and records
   /// the verdicts in mask order — the exact seed sequence the sequential
@@ -81,20 +86,62 @@ class FrontierRunner {
     std::vector<double> level_values(level_count, 0.0);
     std::vector<uint8_t> bound_decided;
     std::vector<uint64_t> exact_wave;
+    // Canonical wave index of each exact_wave entry (the level portion),
+    // so values stitch back into their original slots even when the
+    // bound-margin ordering permutes the dispatch order.
+    std::vector<size_t> exact_slots;
+    std::vector<double> exact_margins;
+    const bool order_by_margin =
+        ordering_ == FrontierOrdering::kBoundMargin && FilterActive();
     if (FilterActive()) {
       bound_decided.assign(level_count, 0);
       exact_wave.reserve(level_count);
+      exact_slots.reserve(level_count);
+      if (order_by_margin) exact_margins.reserve(level_count);
       for (size_t i = 0; i < level_count; ++i) {
         double memoised;
         if (od_->LookupLocal(wave[i], &memoised)) {
           exact_wave.push_back(wave[i]);
+          exact_slots.push_back(i);
+          // Memo hits cost nothing in the exact wave — schedule them first.
+          if (order_by_margin) {
+            exact_margins.push_back(std::numeric_limits<double>::infinity());
+          }
           continue;
         }
+        // Learned gate: skip the expensive refined tier at levels where it
+        // has historically decided ~nothing. A false return on a closed
+        // gate is the periodic probe — the consult runs (and is recorded)
+        // so the gate can re-open if the data regime shifts.
+        const bool allow_refined =
+            gate_ == nullptr || !gate_->ShouldSkipRefined(m);
         const filter::FilterDecision fd =
             filter_->Decide(od_->point(), wave[i], od_->k(), od_->exclude(),
-                            threshold_, filter_mode_, filter_slack_);
+                            threshold_, filter_mode_, filter_slack_,
+                            allow_refined);
+        if (gate_ != nullptr &&
+            fd.tier == filter::FilterDecision::Tier::kRefined) {
+          gate_->RecordRefined(m, fd.decided());
+        }
+        if (margin_hist_ != nullptr &&
+            fd.tier != filter::FilterDecision::Tier::kNone) {
+          margin_hist_->Record(fd.Margin(threshold_));
+        }
         if (!fd.decided()) {
+          // A skipped refined pass on an (otherwise) undecided mask is the
+          // work the gate saved; the mask takes the exact path either way.
+          if (!allow_refined &&
+              fd.tier != filter::FilterDecision::Tier::kRefined) {
+            ++gate_skips_;
+          }
           exact_wave.push_back(wave[i]);
+          exact_slots.push_back(i);
+          if (order_by_margin) {
+            exact_margins.push_back(
+                fd.tier == filter::FilterDecision::Tier::kNone
+                    ? -std::numeric_limits<double>::infinity()
+                    : fd.Margin(threshold_));
+          }
           continue;
         }
         bound_decided[i] = 1;
@@ -107,6 +154,31 @@ class FrontierRunner {
           ++risky_decisions_;
           bound_gap_ = std::max(bound_gap_, fd.gap());
         }
+      }
+      if (order_by_margin && exact_wave.size() > 1) {
+        // Dispatch widest-margin (easiest-looking) masks first; ties break
+        // on ascending mask so the order is fully deterministic. This only
+        // permutes execution: OD(p, s) is a pure function and the lattice
+        // merge below stays in canonical wave order, so answers are
+        // bitwise identical to the unordered walk.
+        std::vector<size_t> order(exact_wave.size());
+        std::iota(order.begin(), order.end(), size_t{0});
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+          if (exact_margins[a] != exact_margins[b]) {
+            return exact_margins[a] > exact_margins[b];
+          }
+          return exact_wave[a] < exact_wave[b];
+        });
+        std::vector<uint64_t> sorted_wave;
+        std::vector<size_t> sorted_slots;
+        sorted_wave.reserve(order.size());
+        sorted_slots.reserve(order.size());
+        for (size_t idx : order) {
+          sorted_wave.push_back(exact_wave[idx]);
+          sorted_slots.push_back(exact_slots[idx]);
+        }
+        exact_wave = std::move(sorted_wave);
+        exact_slots = std::move(sorted_slots);
       }
     } else {
       exact_wave.assign(wave.begin(), wave.end());
@@ -131,9 +203,8 @@ class FrontierRunner {
     ParallelEvaluator::Batch batch =
         evaluator_.EvaluateBatch(exact_wave, level_span.id());
     if (FilterActive()) {
-      size_t j = 0;
-      for (size_t i = 0; i < level_count; ++i) {
-        if (!bound_decided[i]) level_values[i] = batch.values[j++];
+      for (size_t j = 0; j < exact_level_count; ++j) {
+        level_values[exact_slots[j]] = batch.values[j];
       }
     } else {
       std::copy_n(batch.values.begin(), level_count, level_values.begin());
@@ -165,6 +236,7 @@ class FrontierRunner {
   uint64_t bound_decisions() const { return bound_decisions_; }
   uint64_t risky_decisions() const { return risky_decisions_; }
   double bound_gap() const { return bound_gap_; }
+  uint64_t gate_skips() const { return gate_skips_; }
 
   /// Outstanding speculative evaluations still undecided at level m:
   /// already paid for (they are in the evaluator's tally) and memoised, so
@@ -199,11 +271,15 @@ class FrontierRunner {
   const filter::DensityBoundFilter* filter_;
   filter::FilterMode filter_mode_;
   double filter_slack_;
+  FrontierOrdering ordering_;
+  filter::FilterGate* gate_;
+  obs::Histogram* margin_hist_;
   ParallelEvaluator evaluator_;
   std::unordered_set<uint64_t> outstanding_speculation_;
   uint64_t bound_decisions_ = 0;
   uint64_t risky_decisions_ = 0;
   double bound_gap_ = 0.0;
+  uint64_t gate_skips_ = 0;
 };
 
 // The work-budget gate and outcome assembly live in frontier_support.h,
@@ -258,7 +334,8 @@ Result<SearchOutcome> DynamicSubspaceSearch::RunImpl(
   }
   return AssembleOutcome(*state, threshold, *od, od_before, dist_before, steps,
                   runner.wasted(), timer, runner.bound_decisions(),
-                  runner.risky_decisions(), runner.bound_gap());
+                  runner.risky_decisions(), runner.bound_gap(),
+                  runner.gate_skips());
 }
 
 // ---------------------------------------------------------------------------
@@ -327,7 +404,8 @@ Result<SearchOutcome> BottomUpSearch::RunImpl(
   }
   return AssembleOutcome(*state, threshold, *od, od_before, dist_before, steps,
                   runner.wasted(), timer, runner.bound_decisions(),
-                  runner.risky_decisions(), runner.bound_gap());
+                  runner.risky_decisions(), runner.bound_gap(),
+                  runner.gate_skips());
 }
 
 Result<SearchOutcome> TopDownSearch::RunImpl(
@@ -358,7 +436,8 @@ Result<SearchOutcome> TopDownSearch::RunImpl(
   }
   return AssembleOutcome(*state, threshold, *od, od_before, dist_before, steps,
                   runner.wasted(), timer, runner.bound_decisions(),
-                  runner.risky_decisions(), runner.bound_gap());
+                  runner.risky_decisions(), runner.bound_gap(),
+                  runner.gate_skips());
 }
 
 }  // namespace hos::search

@@ -32,6 +32,10 @@ QueryService::QueryService(core::HosMiner miner, QueryServiceConfig config)
   // build-time rows too, not just post-construction appends.
   RecordVersionSample();
   RegisterMetricCallbacks();
+  if (config_.filter_mode != filter::FilterMode::kOff) {
+    filter_margin_hist_ =
+        registry_.GetHistogram("service_filter_margin_distribution");
+  }
   if (config_.observability.stats_log_period_seconds > 0.0) {
     stats_logger_ = std::thread([this] { StatsLoggerLoop(); });
   }
@@ -206,7 +210,7 @@ Result<core::QueryResult> QueryService::RunTimedQuery(data::PointId id) {
     stats_.RecordQuery(latency, counters.od_evaluations,
                        counters.wasted_evaluations,
                        counters.bound_decisions, counters.risky_decisions,
-                       counters.bound_gap);
+                       counters.bound_gap, counters.gate_skips);
   } else {
     stats_.RecordQuery(latency, 0, 0);
     if (result.status().IsNotFound()) {
@@ -287,7 +291,7 @@ void QueryService::RunTimedBlock(
       stats_.RecordQuery(latency, counters.od_evaluations,
                          counters.wasted_evaluations,
                          counters.bound_decisions, counters.risky_decisions,
-                         counters.bound_gap);
+                         counters.bound_gap, counters.gate_skips);
       if (traced) result.value().trace = trace;
     } else {
       stats_.RecordQuery(latency, 0, 0);

@@ -20,6 +20,8 @@ ServiceStats::ServiceStats(obs::MetricsRegistry* registry)
       filter_risky_decisions_(
           registry->GetCounter("service_filter_risky_decisions")),
       last_bound_gap_(registry->GetGauge("service_last_bound_gap")),
+      filter_gate_skips_(
+          registry->GetCounter("service_filter_gate_skips")),
       rows_deleted_(registry->GetCounter("service_rows_deleted")),
       rows_evicted_(registry->GetCounter("service_rows_evicted")),
       evicted_query_rejects_(
@@ -43,7 +45,8 @@ void ServiceStats::RecordQuery(double latency_seconds,
                                uint64_t od_evaluations,
                                uint64_t wasted_evaluations,
                                uint64_t bound_decisions,
-                               uint64_t risky_decisions, double bound_gap) {
+                               uint64_t risky_decisions, double bound_gap,
+                               uint64_t gate_skips) {
   queries_served_->Increment();
   latencies_->Record(latency_seconds);
   if (od_evaluations > 0) od_evaluations_->Increment(od_evaluations);
@@ -61,6 +64,7 @@ void ServiceStats::RecordQuery(double latency_seconds,
     // service never writes it (stays 0).
     last_bound_gap_->Set(bound_gap);
   }
+  if (gate_skips > 0) filter_gate_skips_->Increment(gate_skips);
 }
 
 ServiceStatsSnapshot ServiceStats::Snapshot() const {
@@ -76,6 +80,7 @@ ServiceStatsSnapshot ServiceStats::Snapshot() const {
   snapshot.filter_bound_decisions = filter_bound_decisions_->value();
   snapshot.filter_risky_decisions = filter_risky_decisions_->value();
   snapshot.last_bound_gap = last_bound_gap_->value();
+  snapshot.filter_gate_skips = filter_gate_skips_->value();
   snapshot.rows_deleted = rows_deleted_->value();
   snapshot.rows_evicted = rows_evicted_->value();
   snapshot.evicted_query_rejects = evicted_query_rejects_->value();
@@ -112,6 +117,7 @@ std::string ServiceStatsSnapshot::ToJson() const {
       "\"od_evaluations\": %llu, \"wasted_evaluations\": %llu, "
       "\"filter_bound_decisions\": %llu, "
       "\"filter_risky_decisions\": %llu, \"last_bound_gap\": %.6g, "
+      "\"filter_gate_skips\": %llu, "
       "\"stale_fallbacks\": %llu, \"slow_queries\": %llu, "
       "\"batched_queries\": %llu, \"batch_fused_evaluations\": %llu}",
       static_cast<unsigned long long>(queries_served),
@@ -138,6 +144,7 @@ std::string ServiceStatsSnapshot::ToJson() const {
       static_cast<unsigned long long>(filter_bound_decisions),
       static_cast<unsigned long long>(filter_risky_decisions),
       last_bound_gap,
+      static_cast<unsigned long long>(filter_gate_skips),
       static_cast<unsigned long long>(stale_fallbacks),
       static_cast<unsigned long long>(slow_queries),
       static_cast<unsigned long long>(batched_queries),

@@ -106,6 +106,9 @@ struct ServiceStatsSnapshot {
   /// Widest bound interval the most recent query's risky decisions acted
   /// on; 0 certifies that query matched FilterMode::kOff bitwise.
   double last_bound_gap = 0.0;
+  /// Refined filter passes skipped by the learned per-level gate, summed
+  /// over every served query (0 unless the gate is enabled).
+  uint64_t filter_gate_skips = 0;
   /// kNN-backend queries forced fully scalar because the base snapshot was
   /// invalidated (folded across engine swaps, so monotone over the
   /// service's lifetime).
@@ -139,7 +142,8 @@ class ServiceStats {
   void RecordQuery(double latency_seconds, uint64_t od_evaluations,
                    uint64_t wasted_evaluations,
                    uint64_t bound_decisions = 0,
-                   uint64_t risky_decisions = 0, double bound_gap = 0.0);
+                   uint64_t risky_decisions = 0, double bound_gap = 0.0,
+                   uint64_t gate_skips = 0);
   void RecordBatch() { batches_served_->Increment(); }
   void RecordSlowQuery() { slow_queries_->Increment(); }
 
@@ -217,6 +221,7 @@ class ServiceStats {
   obs::Counter* filter_bound_decisions_;
   obs::Counter* filter_risky_decisions_;
   obs::Gauge* last_bound_gap_;
+  obs::Counter* filter_gate_skips_;
   obs::Counter* rows_deleted_;
   obs::Counter* rows_evicted_;
   obs::Counter* evicted_query_rejects_;

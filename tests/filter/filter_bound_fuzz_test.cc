@@ -16,7 +16,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -76,6 +78,11 @@ TEST_P(BoundSoundnessTest, BoundsContainExactOdThroughStreamingMutations) {
     config.threshold = 0.9;
     config.index = GetParam();
     config.sample_size = 0;
+    // Hooks off: this arm pins the legacy rebuild-era semantics — the
+    // summary goes stale under mutation and the filter must stay sound
+    // anyway. The synced incremental path is fuzzed by the sliding-window
+    // test below.
+    config.incremental_filter_tallies = false;
     auto built = core::HosMiner::Build(std::move(dataset), config);
     ASSERT_TRUE(built.ok()) << built.status().ToString();
     core::HosMiner miner = std::move(built).value();
@@ -117,6 +124,84 @@ TEST_P(BoundSoundnessTest, BoundsContainExactOdThroughStreamingMutations) {
     // Rebuild refreshes the summary over the folded rows.
     ASSERT_TRUE(miner.Rebuild().ok());
     sweep("rebuilt");
+  }
+}
+
+// Sliding-window incremental-tally fuzz: with the commit-path hooks ON
+// (the default), the summary must stay synced() and the bounds sound
+// through arbitrary interleavings of appends (both inside the frozen grid
+// and outside it), deletes and evictions — with NO rebuild ever running.
+// This is the soundness half of the incremental-density-tally contract:
+// the bounds may only tighten as counts retire, never admit a violation
+// of lower <= exact <= upper.
+TEST_P(BoundSoundnessTest, IncrementalTalliesStaySoundThroughSlidingWindow) {
+  for (uint64_t seed : {909u, 1010u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng data_rng(seed);
+    data::Dataset dataset = data::GenerateUniform(90, kDims, &data_rng);
+
+    core::HosMinerConfig config;
+    config.k = kK;
+    config.threshold = 0.9;
+    config.index = GetParam();
+    config.sample_size = 0;
+    // Keep raw coordinates: appended rows outside [0, 1] then genuinely
+    // miss the frozen grid, exercising the uncounted-row paths.
+    config.normalization = data::NormalizationKind::kNone;
+    auto built = core::HosMiner::Build(std::move(dataset), config);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    core::HosMiner miner = std::move(built).value();
+
+    const uint64_t lattice = (uint64_t{1} << kDims) - 1;
+    Rng fuzz(seed * 11 + 3);
+    auto sweep = [&](const std::string& phase) {
+      SCOPED_TRACE(phase);
+      for (int trial = 0; trial < 30; ++trial) {
+        data::PointId id;
+        do {
+          id = static_cast<data::PointId>(
+              fuzz.UniformInt(0, static_cast<int64_t>(miner.dataset().size()) -
+                                     1));
+        } while (!miner.dataset().IsLive(id));
+        const uint64_t mask =
+            static_cast<uint64_t>(fuzz.UniformInt(1, lattice));
+        ExpectSound(*miner.density_filter(), miner.engine(), miner.dataset(),
+                    id, mask);
+      }
+    };
+
+    sweep("fresh");
+    Rng mut(seed + 21);
+    for (int round = 0; round < 4; ++round) {
+      // Half the appends land inside the build-time grid (counted into the
+      // tallies), half outside it (stay uncounted, exact-folded).
+      std::vector<std::vector<double>> extra;
+      for (int i = 0; i < 8; ++i) {
+        std::vector<double> row(kDims);
+        const double scale = i % 2 == 0 ? 1.0 : 1.6;
+        for (double& cell : row) cell = mut.Uniform() * scale;
+        extra.push_back(std::move(row));
+      }
+      ASSERT_TRUE(miner.Append(extra).ok());
+
+      std::vector<data::PointId> doomed;
+      while (doomed.size() < 3) {
+        const auto id = static_cast<data::PointId>(mut.UniformInt(
+            0, static_cast<int64_t>(miner.dataset().size()) - 1));
+        if (miner.dataset().IsLive(id) &&
+            std::find(doomed.begin(), doomed.end(), id) == doomed.end()) {
+          doomed.push_back(id);
+        }
+      }
+      ASSERT_TRUE(miner.Delete(doomed).ok());
+      EXPECT_GT(miner.EvictOldest(4), 0u);
+
+      // The hooks kept the tallies applied: no rebuild has run, yet the
+      // summary still reports itself synced (never diverged).
+      EXPECT_TRUE(miner.density_filter()->summary().synced(miner.dataset()))
+          << "round " << round;
+      sweep("round " + std::to_string(round));
+    }
   }
 }
 

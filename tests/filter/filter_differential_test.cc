@@ -32,6 +32,7 @@
 #include "src/data/generator.h"
 #include "src/filter/density_filter.h"
 #include "src/filter/density_summary.h"
+#include "src/filter/filter_gate.h"
 #include "src/index/idistance.h"
 #include "tests/testutil/adversarial_gen.h"
 
@@ -80,15 +81,18 @@ Scenario RandomScenario(core::IndexKind index) {
 }
 
 /// Adversarial arm: near-threshold bands + correlated dims + duplicates,
-/// with the tombstone set applied after Build so the filter's summary is
-/// stale in exactly the way streaming serving makes it. Normalization off
-/// and the generator's own threshold, so the bands stay near T.
+/// with the tombstone set applied after Build AND the incremental tally
+/// hooks disabled, so the filter's summary is stale in exactly the way the
+/// pre-incremental rebuild-era semantics leave it (the synced incremental
+/// path has its own windowed suites). Normalization off and the
+/// generator's own threshold, so the bands stay near T.
 Scenario AdversarialScenario(core::IndexKind index) {
   testutil::AdversarialSpec spec;
   spec.seed = 77;
   testutil::AdversarialDataset scenario = testutil::MakeAdversarial(spec);
 
   core::HosMinerConfig config = BaseConfig(index);
+  config.incremental_filter_tallies = false;
   config.k = scenario.k;
   config.threshold = scenario.threshold;
   config.normalization = data::NormalizationKind::kNone;
@@ -221,6 +225,124 @@ TEST_P(FilterDifferentialTest, ConservativeIsBitwiseOffAndSpeculativeIsHonest) {
           << "the pre-filter never fired on scenario " << scenario.name;
     }
   }
+}
+
+// The bound-margin frontier ordering reorders only the exact-evaluation
+// dispatch inside a level — the lattice merge stays canonical — so every
+// field of the outcome, including the order-sensitive evaluated_outliers
+// list and the full counter set, must be bitwise the canonical-order
+// run's, in both filter modes, on both scenario arms.
+TEST_P(FilterDifferentialTest, BoundMarginOrderingIsExecutionOnly) {
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(RandomScenario(GetParam()));
+  scenarios.push_back(AdversarialScenario(GetParam()));
+
+  for (Scenario& scenario : scenarios) {
+    SCOPED_TRACE("scenario=" + scenario.name);
+    const int d = scenario.miner.num_dims();
+    const uint64_t lattice = (uint64_t{1} << d) - 1;
+    for (filter::FilterMode mode : {filter::FilterMode::kConservative,
+                                    filter::FilterMode::kSpeculative}) {
+      SCOPED_TRACE(mode == filter::FilterMode::kConservative
+                       ? "conservative"
+                       : "speculative");
+      for (data::PointId id : scenario.queries) {
+        SCOPED_TRACE("query id=" + std::to_string(id));
+        core::QueryOptions canonical;
+        canonical.filter_mode = mode;
+        core::QueryOptions ordered = canonical;
+        ordered.frontier_ordering = search::FrontierOrdering::kBoundMargin;
+
+        auto canon = scenario.miner.Query(id, canonical);
+        auto ord = scenario.miner.Query(id, ordered);
+        ASSERT_TRUE(canon.ok()) << canon.status().ToString();
+        ASSERT_TRUE(ord.ok()) << ord.status().ToString();
+
+        EXPECT_EQ(ord->outcome.minimal_outlying_subspaces,
+                  canon->outcome.minimal_outlying_subspaces);
+        EXPECT_EQ(ord->outcome.evaluated_outliers,
+                  canon->outcome.evaluated_outliers);
+        EXPECT_EQ(ord->outcome.outlier_fraction,
+                  canon->outcome.outlier_fraction);
+        EXPECT_EQ(VerdictVector(*ord, d), VerdictVector(*canon, d));
+        EXPECT_EQ(ord->outcome.counters.od_evaluations,
+                  canon->outcome.counters.od_evaluations);
+        EXPECT_EQ(ord->outcome.counters.pruned_upward,
+                  canon->outcome.counters.pruned_upward);
+        EXPECT_EQ(ord->outcome.counters.pruned_downward,
+                  canon->outcome.counters.pruned_downward);
+        EXPECT_EQ(ord->outcome.counters.steps,
+                  canon->outcome.counters.steps);
+        EXPECT_EQ(ord->outcome.counters.bound_decisions,
+                  canon->outcome.counters.bound_decisions);
+        EXPECT_EQ(ord->outcome.counters.risky_decisions,
+                  canon->outcome.counters.risky_decisions);
+        EXPECT_EQ(ord->outcome.counters.bound_gap,
+                  canon->outcome.counters.bound_gap);
+        EXPECT_EQ(ord->outcome.counters.od_evaluations +
+                      ord->outcome.counters.pruned_upward +
+                      ord->outcome.counters.pruned_downward +
+                      ord->outcome.counters.bound_decisions,
+                  lattice);
+      }
+    }
+  }
+}
+
+// The learned per-level gate may redistribute work (a suppressed refined
+// pass sends its mask to the exact path) but must never change a
+// conservative answer. The gate is pre-trained to all-undecided refined
+// rates so the skip branch is guaranteed to run — and then must actually
+// fire (gate_skips > 0 somewhere), since near-threshold masks that the
+// coarse tier cannot decide exist on both scenario arms.
+TEST_P(FilterDifferentialTest, LearnedGateKeepsConservativeAnswersBitwise) {
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(RandomScenario(GetParam()));
+  scenarios.push_back(AdversarialScenario(GetParam()));
+
+  uint64_t total_gate_skips = 0;
+  for (Scenario& scenario : scenarios) {
+    SCOPED_TRACE("scenario=" + scenario.name);
+    const int d = scenario.miner.num_dims();
+    const uint64_t lattice = (uint64_t{1} << d) - 1;
+
+    filter::FilterGate* gate = scenario.miner.filter_gate();
+    ASSERT_NE(gate, nullptr);
+    for (int level = 1; level <= d; ++level) {
+      for (int i = 0; i < 128; ++i) gate->RecordRefined(level, false);
+    }
+
+    for (data::PointId id : scenario.queries) {
+      SCOPED_TRACE("query id=" + std::to_string(id));
+      core::QueryOptions off_opts;
+      core::QueryOptions gated = off_opts;
+      gated.filter_mode = filter::FilterMode::kConservative;
+      gated.filter_gate = true;
+
+      auto off = scenario.miner.Query(id, off_opts);
+      auto cons = scenario.miner.Query(id, gated);
+      ASSERT_TRUE(off.ok()) << off.status().ToString();
+      ASSERT_TRUE(cons.ok()) << cons.status().ToString();
+
+      EXPECT_EQ(cons->outcome.minimal_outlying_subspaces,
+                off->outcome.minimal_outlying_subspaces);
+      EXPECT_EQ(cons->outcome.outlier_fraction,
+                off->outcome.outlier_fraction);
+      EXPECT_EQ(VerdictVector(*cons, d), VerdictVector(*off, d));
+      EXPECT_EQ(cons->outcome.counters.risky_decisions, 0u);
+      EXPECT_EQ(cons->outcome.counters.bound_gap, 0.0);
+      // Closure holds with skips in the mix: a skipped mask just became an
+      // exact evaluation instead of a bound decision.
+      EXPECT_EQ(cons->outcome.counters.od_evaluations +
+                    cons->outcome.counters.pruned_upward +
+                    cons->outcome.counters.pruned_downward +
+                    cons->outcome.counters.bound_decisions,
+                lattice);
+      total_gate_skips += cons->outcome.counters.gate_skips;
+    }
+  }
+  EXPECT_GT(total_gate_skips, 0u)
+      << "the trained gate never suppressed a refined pass";
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, FilterDifferentialTest,

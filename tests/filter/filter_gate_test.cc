@@ -1,0 +1,82 @@
+// Unit contract of the learned per-level gate (see
+// src/filter/filter_gate.h): never skip during warmup, close only when the
+// refined decision rate collapses below kSkipBelow, keep probing one in
+// kProbeEvery consults so the gate can re-open, and recover promptly when
+// the decision rate does. The end-to-end guarantee — gated conservative
+// answers bitwise equal to ungated — lives in filter_differential_test.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/filter/filter_gate.h"
+
+namespace hos::filter {
+namespace {
+
+TEST(FilterGateTest, NeverSkipsDuringWarmup) {
+  FilterGate gate;
+  // A fresh gate is optimistic at every level, in and out of range.
+  for (int level : {-1, 0, 1, 5, 64, 65, 1000}) {
+    EXPECT_FALSE(gate.ShouldSkipRefined(level)) << "level " << level;
+  }
+  // All-undecided consults, one short of warmup: still open.
+  for (uint32_t i = 0; i + 1 < FilterGate::kWarmup; ++i) {
+    gate.RecordRefined(3, false);
+    EXPECT_FALSE(gate.ShouldSkipRefined(3)) << "observation " << i;
+  }
+  // The warmup-completing observation closes it (rate has run-meaned to 0).
+  gate.RecordRefined(3, false);
+  EXPECT_EQ(gate.ObservationsAt(3), FilterGate::kWarmup);
+  EXPECT_LT(gate.RateAt(3), FilterGate::kSkipBelow);
+  // First consult on a closed gate is the probe; the next ones skip.
+  EXPECT_FALSE(gate.ShouldSkipRefined(3));
+  EXPECT_TRUE(gate.ShouldSkipRefined(3));
+}
+
+TEST(FilterGateTest, ClosedGateStillProbesPeriodically) {
+  FilterGate gate;
+  for (uint32_t i = 0; i < FilterGate::kWarmup; ++i) {
+    gate.RecordRefined(2, false);
+  }
+  // Exactly one consult in every kProbeEvery window passes through.
+  uint32_t passed = 0;
+  const uint32_t consults = 3 * FilterGate::kProbeEvery;
+  for (uint32_t i = 0; i < consults; ++i) {
+    if (!gate.ShouldSkipRefined(2)) ++passed;
+  }
+  EXPECT_EQ(passed, consults / FilterGate::kProbeEvery);
+}
+
+TEST(FilterGateTest, DecidingLevelsStayOpenAndCollapsedOnesRecover) {
+  FilterGate gate;
+  // A level whose refined tier decides everything never gates.
+  for (int i = 0; i < 200; ++i) gate.RecordRefined(4, true);
+  EXPECT_FALSE(gate.ShouldSkipRefined(4));
+  EXPECT_DOUBLE_EQ(gate.RateAt(4), 1.0);
+
+  // Collapse level 5, then feed its probes decisions: the EWMA climbs
+  // above the skip threshold within a few samples and the gate re-opens.
+  for (uint32_t i = 0; i < FilterGate::kWarmup; ++i) {
+    gate.RecordRefined(5, false);
+  }
+  ASSERT_LT(gate.RateAt(5), FilterGate::kSkipBelow);
+  gate.RecordRefined(5, true);  // one deciding probe: 0 -> kAlpha
+  EXPECT_GE(gate.RateAt(5), FilterGate::kSkipBelow);
+  EXPECT_FALSE(gate.ShouldSkipRefined(5));
+}
+
+TEST(FilterGateTest, LevelsAreIndependent) {
+  FilterGate gate;
+  for (uint32_t i = 0; i < FilterGate::kWarmup; ++i) {
+    gate.RecordRefined(6, false);
+  }
+  // Level 6 is closed (modulo probes); its neighbours are untouched.
+  EXPECT_EQ(gate.ObservationsAt(5), 0u);
+  EXPECT_EQ(gate.ObservationsAt(7), 0u);
+  EXPECT_FALSE(gate.ShouldSkipRefined(5));
+  EXPECT_FALSE(gate.ShouldSkipRefined(7));
+}
+
+}  // namespace
+}  // namespace hos::filter

@@ -13,12 +13,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <queue>
 #include <string>
 #include <vector>
 
 #include "src/common/rng.h"
 #include "src/core/hos_miner.h"
 #include "src/data/generator.h"
+#include "src/filter/filter_gate.h"
+#include "src/kernels/va_screen.h"
 #include "src/knn/linear_scan.h"
 #include "src/lattice/saving_factors.h"
 #include "src/search/batch_frontier.h"
@@ -55,6 +59,7 @@ void ExpectOutcomeIdentical(const SearchOutcome& fused,
   EXPECT_EQ(fused.counters.risky_decisions,
             sequential.counters.risky_decisions);
   EXPECT_EQ(fused.counters.bound_gap, sequential.counters.bound_gap);
+  EXPECT_EQ(fused.counters.gate_skips, sequential.counters.gate_skips);
 }
 
 data::GeneratedData MakePlanted(uint64_t seed, int d) {
@@ -227,24 +232,94 @@ TEST_P(QueryBatchFusedTest, MatchesPerPointQueries) {
        {lattice::LatticeBackend::kDense, lattice::LatticeBackend::kSparse}) {
     for (filter::FilterMode mode :
          {filter::FilterMode::kOff, filter::FilterMode::kConservative}) {
-      SCOPED_TRACE("backend=" + std::to_string(static_cast<int>(backend)) +
-                   " filter=" + std::to_string(static_cast<int>(mode)));
-      core::QueryOptions options;
-      options.lattice_backend = backend;
-      options.filter_mode = mode;
+      // The bound-margin frontier ordering only applies with the filter
+      // on; it is stateless, so the fused/sequential counter identity must
+      // survive it unchanged. (The learned gate is *stateful* across
+      // queries on one miner and gets its own answers-only test below.)
+      for (bool ordered : {false, true}) {
+        if (ordered && mode == filter::FilterMode::kOff) continue;
+        SCOPED_TRACE("backend=" + std::to_string(static_cast<int>(backend)) +
+                     " filter=" + std::to_string(static_cast<int>(mode)) +
+                     " ordered=" + std::to_string(ordered));
+        core::QueryOptions options;
+        options.lattice_backend = backend;
+        options.filter_mode = mode;
+        if (ordered) {
+          options.frontier_ordering = FrontierOrdering::kBoundMargin;
+        }
 
-      auto fused = miner->QueryBatchFused(ids, options);
-      ASSERT_EQ(fused.size(), ids.size());
-      for (size_t i = 0; i < ids.size(); ++i) {
-        auto seq = miner->Query(ids[i], options);
-        ASSERT_TRUE(seq.ok()) << seq.status().ToString();
-        ASSERT_TRUE(fused[i].ok()) << fused[i].status().ToString();
-        ExpectOutcomeIdentical(fused[i].value().outcome, seq->outcome,
-                               "id " + std::to_string(ids[i]));
-        EXPECT_EQ(fused[i].value().dataset_version, seq->dataset_version);
+        auto fused = miner->QueryBatchFused(ids, options);
+        ASSERT_EQ(fused.size(), ids.size());
+        for (size_t i = 0; i < ids.size(); ++i) {
+          auto seq = miner->Query(ids[i], options);
+          ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+          ASSERT_TRUE(fused[i].ok()) << fused[i].status().ToString();
+          ExpectOutcomeIdentical(fused[i].value().outcome, seq->outcome,
+                                 "id " + std::to_string(ids[i]));
+          EXPECT_EQ(fused[i].value().dataset_version, seq->dataset_version);
+        }
       }
     }
   }
+}
+
+// The learned per-level gate carries EWMA state across every query a miner
+// serves, so fused and sequential runs see different gate states and their
+// work *distribution* may differ — but conservative-mode answers must stay
+// bitwise the filter-off ones no matter what the gate does, fused or not.
+// The gate is pre-trained to all-undecided rates so the skip path really
+// runs (a fresh gate would pass every consult through during warmup).
+TEST_P(QueryBatchFusedTest, LearnedGateNeverChangesConservativeAnswers) {
+  auto generated = MakePlanted(9400, 6);
+  core::HosMinerConfig config;
+  config.index = GetParam();
+  config.k = 4;
+  auto miner = core::HosMiner::Build(std::move(generated.dataset), config);
+  ASSERT_TRUE(miner.ok()) << miner.status().ToString();
+
+  std::vector<data::PointId> ids;
+  for (data::PointId id = 0; id < 24; ++id) ids.push_back(id);
+  ids.push_back(generated.outliers[0].id);
+
+  std::vector<std::vector<Subspace>> expected;
+  for (data::PointId id : ids) {
+    auto off = miner->Query(id);
+    ASSERT_TRUE(off.ok());
+    expected.push_back(off->outcome.minimal_outlying_subspaces);
+  }
+
+  filter::FilterGate* gate = miner->filter_gate();
+  ASSERT_NE(gate, nullptr);
+  for (int level = 1; level <= miner->num_dims(); ++level) {
+    for (int i = 0; i < 128; ++i) gate->RecordRefined(level, false);
+  }
+
+  core::QueryOptions options;
+  options.filter_mode = filter::FilterMode::kConservative;
+  options.filter_gate = true;
+  options.frontier_ordering = FrontierOrdering::kBoundMargin;
+  uint64_t total_gate_skips = 0;
+  auto fused = miner->QueryBatchFused(ids, options);
+  ASSERT_EQ(fused.size(), ids.size());
+  const uint64_t lattice =
+      (uint64_t{1} << static_cast<unsigned>(miner->num_dims())) - 1;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    SCOPED_TRACE("id " + std::to_string(ids[i]));
+    ASSERT_TRUE(fused[i].ok()) << fused[i].status().ToString();
+    const auto& outcome = fused[i].value().outcome;
+    EXPECT_EQ(outcome.minimal_outlying_subspaces, expected[i]);
+    // Closure holds with the gate in the loop: a skipped refined pass just
+    // moves a mask from bound_decisions to od_evaluations.
+    EXPECT_EQ(outcome.counters.od_evaluations +
+                  outcome.counters.pruned_upward +
+                  outcome.counters.pruned_downward +
+                  outcome.counters.bound_decisions,
+              lattice);
+    EXPECT_EQ(outcome.counters.risky_decisions, 0u);
+    total_gate_skips += outcome.counters.gate_skips;
+  }
+  // The trained gate must have actually suppressed refined passes.
+  EXPECT_GT(total_gate_skips, 0u);
 }
 
 TEST_P(QueryBatchFusedTest, InvalidSlotsFailAloneAndExactlyLikeQuery) {
@@ -332,6 +407,68 @@ TEST(QueryBatchFusedAdversarialTest, ProbesMatchPerPointQueries) {
   }
 }
 
+// The multi-query VA screening sweep must be bitwise the single-query
+// sweep run once per query: same lower bounds (including the dead/skip
+// sentinels) and the same k-smallest-upper heap contents, across metrics,
+// block sizes that are and are not multiples of the row tile, and queries
+// with and without an excluded row. This is the kernel the fused VA-file
+// KnnBatch now rests on.
+TEST(VaScreenSweepMultiTest, BitwiseIdenticalToPerQuerySweeps) {
+  Rng rng(7100);
+  constexpr size_t kNd = 3;
+  constexpr size_t kK = 4;
+  for (size_t base : {40u, 64u, 150u}) {
+    for (knn::MetricKind metric : {knn::MetricKind::kL1,
+                                   knn::MetricKind::kL2,
+                                   knn::MetricKind::kLInf}) {
+      SCOPED_TRACE("base=" + std::to_string(base) +
+                   " metric=" + std::to_string(static_cast<int>(metric)));
+      std::vector<uint8_t> codes(kNd * base);
+      for (uint8_t& c : codes) {
+        c = static_cast<uint8_t>(rng.UniformInt(0, 15));
+      }
+      std::vector<uint8_t> dead(base, 0);
+      for (size_t r = 0; r < base; r += 9) dead[r] = 1;
+      std::vector<double> lo0(kNd, 0.0), w(kNd);
+      for (double& wc : w) wc = 1.0 / 16.0 + rng.Uniform() * 0.01;
+
+      constexpr size_t kNq = 5;
+      std::vector<double> qdims(kNq * kNd);
+      for (double& q : qdims) q = rng.Uniform() * 1.2 - 0.1;
+      std::vector<size_t> skips(kNq, static_cast<size_t>(-1));
+      skips[1] = 3;
+      skips[4] = base - 1;
+
+      std::vector<double> multi_lowers(kNq * base);
+      std::vector<std::priority_queue<double>> multi_heaps(kNq);
+      kernels::VaScreenSweepMulti(metric, qdims.data(), lo0.data(), w.data(),
+                                  kNd, kNq, codes.data(), base, dead.data(),
+                                  skips.data(), kK, multi_heaps.data(),
+                                  multi_lowers.data());
+
+      for (size_t q = 0; q < kNq; ++q) {
+        SCOPED_TRACE("query " + std::to_string(q));
+        std::vector<double> single_lowers(base);
+        std::priority_queue<double> single_heap;
+        kernels::VaScreenSweep(metric, qdims.data() + q * kNd, lo0.data(),
+                               w.data(), kNd, codes.data(), base,
+                               dead.data(), skips[q], kK, single_heap,
+                               single_lowers.data());
+        for (size_t r = 0; r < base; ++r) {
+          ASSERT_EQ(multi_lowers[q * base + r], single_lowers[r])
+              << "row " << r;
+        }
+        ASSERT_EQ(multi_heaps[q].size(), single_heap.size());
+        while (!single_heap.empty()) {
+          ASSERT_EQ(multi_heaps[q].top(), single_heap.top());
+          multi_heaps[q].pop();
+          single_heap.pop();
+        }
+      }
+    }
+  }
+}
+
 // ScreenBatch (and so ScreenOutliers/TopOutliers, which are built on it)
 // must produce the exact full-space OD doubles the per-point path does.
 TEST(ScreenBatchTest, BitwiseIdenticalToPerPointOutlyingDegree) {
@@ -357,6 +494,51 @@ TEST(ScreenBatchTest, BitwiseIdenticalToPerPointOutlyingDegree) {
     query.exclude = ids[i];
     EXPECT_EQ(fused[i], knn::OutlyingDegree(miner->engine(), query))
         << "id " << ids[i];
+  }
+}
+
+// TopOutliersWithSubspaces seeds each ranked point's lattice walk with the
+// full-space OD the screening pass already paid for. The seed enters the
+// evaluator's memo before the walk starts, so answers are bitwise the
+// plain Query's while the walk never re-evaluates the full mask — the
+// seeded walk's fresh-evaluation count can only be lower or equal.
+TEST(TopOutliersWithSubspacesTest, SeededWalksMatchPerPointQueries) {
+  auto generated = MakePlanted(9500, 6);
+  core::HosMinerConfig config;
+  config.k = 4;
+  auto miner = core::HosMiner::Build(std::move(generated.dataset), config);
+  ASSERT_TRUE(miner.ok()) << miner.status().ToString();
+
+  const auto top = miner->TopOutliersWithSubspaces(6);
+  ASSERT_FALSE(top.empty());
+  const Subspace full((uint64_t{1} << miner->num_dims()) - 1);
+  for (const auto& entry : top) {
+    SCOPED_TRACE("id " + std::to_string(entry.id));
+    ASSERT_TRUE(entry.result.ok()) << entry.result.status().ToString();
+    const auto& seeded = entry.result.value().outcome;
+
+    // The carried full-space OD is the exact per-point double.
+    knn::KnnQuery query;
+    query.point = miner->dataset().Row(entry.id);
+    query.subspace = full;
+    query.k = config.k;
+    query.exclude = entry.id;
+    EXPECT_EQ(entry.full_space_od,
+              knn::OutlyingDegree(miner->engine(), query));
+
+    auto seq = miner->Query(entry.id);
+    ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+    EXPECT_EQ(seeded.minimal_outlying_subspaces,
+              seq->outcome.minimal_outlying_subspaces);
+    EXPECT_EQ(seeded.evaluated_outliers, seq->outcome.evaluated_outliers);
+    EXPECT_EQ(seeded.outlier_fraction, seq->outcome.outlier_fraction);
+    EXPECT_EQ(seeded.counters.pruned_upward,
+              seq->outcome.counters.pruned_upward);
+    EXPECT_EQ(seeded.counters.pruned_downward,
+              seq->outcome.counters.pruned_downward);
+    EXPECT_EQ(seeded.counters.steps, seq->outcome.counters.steps);
+    EXPECT_LE(seeded.counters.od_evaluations,
+              seq->outcome.counters.od_evaluations);
   }
 }
 

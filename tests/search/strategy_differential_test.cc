@@ -26,6 +26,8 @@
 
 #include "src/common/rng.h"
 #include "src/data/generator.h"
+#include "src/filter/density_filter.h"
+#include "src/filter/density_summary.h"
 #include "src/knn/linear_scan.h"
 #include "src/search/od_evaluator.h"
 #include "src/search/subspace_search.h"
@@ -258,6 +260,87 @@ TEST(StrategyDifferentialAdversarialTest, AllStrategiesMatchTheOracle) {
         }
         EXPECT_EQ(run->counters.od_evaluations + run->counters.pruned_upward +
                       run->counters.pruned_downward,
+                  lattice);
+      }
+    }
+  }
+}
+
+// Bound-margin frontier ordering is a scheduling decision, not a semantic
+// one: with the density filter active, every pruning strategy run with
+// kBoundMargin must match its canonical-order run field by field — the
+// order-sensitive evaluated_outliers list, every work counter including
+// the filter trio, and the closure identity — in both conservative and
+// speculative modes, on the adversarial near-threshold data where a
+// reordered merge would first diverge.
+TEST(FrontierOrderingDifferentialTest, OrderingIsExecutionOnly) {
+  testutil::AdversarialSpec spec;
+  spec.num_dims = 6;
+  spec.seed = 3033;
+  testutil::AdversarialDataset scenario = testutil::MakeAdversarial(spec);
+  data::Dataset ds = testutil::ToDataset(scenario);
+  ASSERT_TRUE(ds.DeleteRows(scenario.tombstones).ok());
+  knn::LinearScanKnn engine(ds, knn::MetricKind::kL2);
+  const filter::DensityBoundFilter filter(
+      ds, knn::MetricKind::kL2,
+      filter::DensitySummary::Build(ds, /*bits_per_dim=*/8));
+
+  const int d = spec.num_dims;
+  const uint64_t lattice = (uint64_t{1} << d) - 1;
+
+  std::vector<std::unique_ptr<SubspaceSearch>> strategies;
+  strategies.push_back(std::make_unique<DynamicSubspaceSearch>(
+      d, lattice::PruningPriors::Flat(d)));
+  strategies.push_back(std::make_unique<BottomUpSearch>(d));
+  strategies.push_back(std::make_unique<TopDownSearch>(d));
+
+  std::vector<data::PointId> queries = scenario.probes;
+  queries.push_back(5);
+
+  for (data::PointId query : queries) {
+    SCOPED_TRACE("query id=" + std::to_string(query));
+    for (const auto& strategy : strategies) {
+      SCOPED_TRACE(std::string("strategy=") + std::string(strategy->name()));
+      for (filter::FilterMode mode : {filter::FilterMode::kConservative,
+                                      filter::FilterMode::kSpeculative}) {
+        SCOPED_TRACE(mode == filter::FilterMode::kConservative
+                         ? "conservative"
+                         : "speculative");
+        SearchExecution canonical;
+        canonical.filter = &filter;
+        canonical.filter_mode = mode;
+        SearchExecution ordered = canonical;
+        ordered.frontier_ordering = FrontierOrdering::kBoundMargin;
+
+        OdEvaluator canon_od(engine, ds.Row(query), scenario.k, query);
+        auto canon = strategy->Run(&canon_od, scenario.threshold, canonical);
+        ASSERT_TRUE(canon.ok()) << canon.status().ToString();
+        OdEvaluator ord_od(engine, ds.Row(query), scenario.k, query);
+        auto ord = strategy->Run(&ord_od, scenario.threshold, ordered);
+        ASSERT_TRUE(ord.ok()) << ord.status().ToString();
+
+        EXPECT_EQ(ord->minimal_outlying_subspaces,
+                  canon->minimal_outlying_subspaces);
+        EXPECT_EQ(ord->evaluated_outliers, canon->evaluated_outliers);
+        EXPECT_EQ(ord->outlier_fraction, canon->outlier_fraction);
+        EXPECT_EQ(ord->counters.od_evaluations,
+                  canon->counters.od_evaluations);
+        EXPECT_EQ(ord->counters.pruned_upward,
+                  canon->counters.pruned_upward);
+        EXPECT_EQ(ord->counters.pruned_downward,
+                  canon->counters.pruned_downward);
+        EXPECT_EQ(ord->counters.steps, canon->counters.steps);
+        EXPECT_EQ(ord->counters.bound_decisions,
+                  canon->counters.bound_decisions);
+        EXPECT_EQ(ord->counters.risky_decisions,
+                  canon->counters.risky_decisions);
+        EXPECT_EQ(ord->counters.bound_gap, canon->counters.bound_gap);
+        EXPECT_EQ(ord->counters.gate_skips, 0u);
+        EXPECT_EQ(MemoisedValues(ord_od, d), MemoisedValues(canon_od, d));
+        EXPECT_EQ(ord->counters.od_evaluations +
+                      ord->counters.pruned_upward +
+                      ord->counters.pruned_downward +
+                      ord->counters.bound_decisions,
                   lattice);
       }
     }
